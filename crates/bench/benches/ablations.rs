@@ -1,0 +1,108 @@
+//! Ablation benchmarks of the design choices DESIGN.md calls out, on the
+//! real implementation:
+//!
+//! * shared scanning (§4.3) — convoy vs independent execution;
+//! * two-level partitioning (§4.4) — near-neighbour join with vs without
+//!   subchunking (coarse chunker as the "without" stand-in);
+//! * subchunk caching (§5.4) — repeated near-neighbour queries with the
+//!   worker cache on/off;
+//! * placement strategy (§4.4) — round-robin vs block placement under a
+//!   spatially concentrated workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qserv::sharedscan::SharedScanner;
+use qserv::{Chunker, ClusterBuilder, PlacementStrategy};
+use qserv_bench::fixtures::{bench_patch, queries};
+use qserv_sphgeom::Angle;
+use std::hint::black_box;
+
+fn shared_scan(c: &mut Criterion) {
+    let q = qserv_bench::fixtures::bench_cluster();
+    let batch = [queries::HV1, queries::HV2, queries::HV3];
+    let mut g = c.benchmark_group("ablation_shared_scan");
+    g.sample_size(10);
+    g.bench_function("naive_sequential", |b| {
+        b.iter(|| {
+            for sql in batch {
+                black_box(q.query(sql).expect("query runs"));
+            }
+        })
+    });
+    g.bench_function("convoy_shared", |b| {
+        let scanner = SharedScanner::new(&q);
+        b.iter(|| black_box(scanner.run(&batch).expect("convoy runs")))
+    });
+    g.finish();
+}
+
+fn subchunk_join(c: &mut Criterion) {
+    let patch = bench_patch();
+    let mut g = c.benchmark_group("ablation_subchunk");
+    g.sample_size(10);
+    // Fine partitioning: near-neighbour joins run over small subchunks.
+    let fine = ClusterBuilder::new(4)
+        .chunker(Chunker::new(18, 10, Angle::from_degrees(0.1)).expect("valid"))
+        .build(&patch.objects, &patch.sources);
+    // Coarse partitioning: one sub-stripe per stripe ⇒ subchunks as big
+    // as chunks, i.e. effectively no second level.
+    let coarse = ClusterBuilder::new(4)
+        .chunker(Chunker::new(18, 1, Angle::from_degrees(0.1)).expect("valid"))
+        .build(&patch.objects, &patch.sources);
+    let expected = fine.query(queries::SHV1).expect("fine runs");
+    assert_eq!(
+        expected,
+        coarse.query(queries::SHV1).expect("coarse runs"),
+        "both partitionings must agree on the answer"
+    );
+    g.bench_function("with_subchunks_18x10", |b| {
+        b.iter(|| black_box(fine.query(queries::SHV1).expect("runs")))
+    });
+    g.bench_function("without_subchunks_18x1", |b| {
+        b.iter(|| black_box(coarse.query(queries::SHV1).expect("runs")))
+    });
+    g.finish();
+}
+
+fn subchunk_caching(c: &mut Criterion) {
+    let patch = bench_patch();
+    let mut g = c.benchmark_group("ablation_subchunk_cache");
+    g.sample_size(10);
+    let dropping = ClusterBuilder::new(4).build(&patch.objects, &patch.sources);
+    let caching = ClusterBuilder::new(4)
+        .cache_subchunks(true)
+        .build(&patch.objects, &patch.sources);
+    // Warm the cache once so the bench measures steady state.
+    caching.query(queries::SHV1).expect("warms");
+    g.bench_function("drop_after_query", |b| {
+        b.iter(|| black_box(dropping.query(queries::SHV1).expect("runs")))
+    });
+    g.bench_function("cache_across_queries", |b| {
+        b.iter(|| black_box(caching.query(queries::SHV1).expect("runs")))
+    });
+    g.finish();
+}
+
+fn placement(c: &mut Criterion) {
+    let patch = bench_patch();
+    let mut g = c.benchmark_group("ablation_placement");
+    g.sample_size(10);
+    let rr = ClusterBuilder::new(4)
+        .placement(PlacementStrategy::RoundRobin)
+        .build(&patch.objects, &patch.sources);
+    let block = ClusterBuilder::new(4)
+        .placement(PlacementStrategy::Block)
+        .build(&patch.objects, &patch.sources);
+    // A spatially concentrated scan: block placement parks all its chunks
+    // on one node; round-robin spreads them.
+    let sql = "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(358.0, -7.0, 5.0, 0.0)";
+    g.bench_function("round_robin", |b| {
+        b.iter(|| black_box(rr.query(sql).expect("runs")))
+    });
+    g.bench_function("block", |b| {
+        b.iter(|| black_box(block.query(sql).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, shared_scan, subchunk_join, subchunk_caching, placement);
+criterion_main!(benches);

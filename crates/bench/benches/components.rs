@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the pipeline's components: the per-chunk costs
+//! whose paper-scale equivalents calibrate the simulator (query parsing
+//! and rewriting are the frontend's per-chunk dispatch work of §7.1; dump
+//! round-trips are the §5.4 transfer path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qserv::analysis::analyze;
+use qserv::meta::CatalogMeta;
+use qserv::rewrite::{build_plan, render_chunk_message};
+use qserv::Chunker;
+use qserv_engine::dump::{dump_table, load_dump};
+use qserv_engine::exec::execute;
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_sphgeom::{htm, LonLat, SphericalBox};
+use qserv_sqlparse::parse_select;
+use qserv_xrd::md5_hex;
+use std::hint::black_box;
+
+const LV3_SQL: &str = "SELECT COUNT(*) FROM Object \
+    WHERE ra_PS BETWEEN 1 AND 2 AND decl_PS BETWEEN 3 AND 4 \
+    AND fluxToAbMag(zFlux_PS) BETWEEN 21 AND 21.5 \
+    AND fluxToAbMag(gFlux_PS)-fluxToAbMag(rFlux_PS) BETWEEN 0.3 AND 0.4";
+
+fn parsing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("parse_lv3", |b| {
+        b.iter(|| black_box(parse_select(LV3_SQL).expect("parses")))
+    });
+    let meta = CatalogMeta::lsst();
+    let stmt = parse_select(LV3_SQL).expect("parses");
+    g.bench_function("analyze_and_plan", |b| {
+        b.iter(|| {
+            let a = analyze(black_box(&stmt), &meta).expect("analyzes");
+            black_box(build_plan(&a, &meta).expect("plans"))
+        })
+    });
+    let a = analyze(&stmt, &meta).expect("analyzes");
+    let plan = build_plan(&a, &meta).expect("plans");
+    // The per-chunk work the master repeats ~9000 times for a full-sky
+    // query: render + hash. This is the dispatch_s_per_chunk analogue.
+    g.bench_function("render_chunk_message", |b| {
+        b.iter(|| {
+            let msg = render_chunk_message(&plan, &meta, black_box(4321), &[]);
+            black_box(md5_hex(msg.as_bytes()))
+        })
+    });
+    g.finish();
+}
+
+fn partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioning");
+    let chunker = Chunker::paper_default();
+    g.bench_function("locate_point", |b| {
+        let p = LonLat::from_degrees(123.456, -42.0);
+        b.iter(|| black_box(chunker.locate(black_box(&p))))
+    });
+    g.bench_function("chunks_for_1deg_box", |b| {
+        let bx = SphericalBox::from_degrees(100.0, 10.0, 101.0, 11.0);
+        b.iter(|| black_box(chunker.chunks_intersecting(black_box(&bx))))
+    });
+    g.bench_function("chunks_for_full_sky", |b| {
+        let bx = SphericalBox::full_sky();
+        b.iter(|| black_box(chunker.chunks_intersecting(black_box(&bx))))
+    });
+    g.bench_function("htm_id_level8", |b| {
+        let p = LonLat::from_degrees(123.456, -42.0);
+        b.iter(|| black_box(htm::htm_id(black_box(&p), 8)))
+    });
+    g.finish();
+}
+
+fn engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    // A chunk-sized table: 20k rows of (id, ra, decl, flux).
+    let mut t = Table::new(Schema::new(vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra_PS", ColumnType::Float),
+        ColumnDef::new("decl_PS", ColumnType::Float),
+        ColumnDef::new("zFlux_PS", ColumnType::Float),
+    ]));
+    for i in 0..20_000i64 {
+        t.push_row(vec![
+            Value::Int(i),
+            Value::Float((i % 360) as f64),
+            Value::Float((i % 170) as f64 - 85.0),
+            Value::Float(100.0 + (i % 997) as f64),
+        ])
+        .expect("row fits");
+    }
+    t.build_index("objectId").expect("indexable");
+    let mut db = qserv_engine::db::Database::new();
+    db.create_table("Object", t);
+
+    let scan = parse_select("SELECT COUNT(*) FROM Object WHERE fluxToAbMag(zFlux_PS) < 26")
+        .expect("parses");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("filtered_scan_20k_rows", |b| {
+        b.iter(|| black_box(execute(&db, black_box(&scan)).expect("scans")))
+    });
+    let point = parse_select("SELECT * FROM Object WHERE objectId = 12345").expect("parses");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("index_point_lookup", |b| {
+        b.iter(|| black_box(execute(&db, black_box(&point)).expect("looks up")))
+    });
+    let agg =
+        parse_select("SELECT ra_PS, COUNT(*), AVG(zFlux_PS) FROM Object GROUP BY ra_PS")
+            .expect("parses");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("group_by_360_groups", |b| {
+        b.iter(|| black_box(execute(&db, black_box(&agg)).expect("groups")))
+    });
+    g.finish();
+}
+
+fn transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer");
+    let mut t = Table::new(Schema::new(vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra", ColumnType::Float),
+        ColumnDef::new("decl", ColumnType::Float),
+    ]));
+    for i in 0..10_000i64 {
+        t.push_row(vec![
+            Value::Int(i),
+            Value::Float(i as f64 * 0.001),
+            Value::Float(-i as f64 * 0.0005),
+        ])
+        .expect("row fits");
+    }
+    let text = dump_table("result", &t);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("dump_10k_rows", |b| {
+        b.iter(|| black_box(dump_table("result", black_box(&t))))
+    });
+    g.bench_function("load_10k_rows", |b| {
+        b.iter(|| black_box(load_dump(black_box(&text)).expect("loads")))
+    });
+    g.bench_function("md5_result_text", |b| {
+        b.iter(|| black_box(md5_hex(black_box(text.as_bytes()))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parsing, partitioning, engine, transfer);
+criterion_main!(benches);

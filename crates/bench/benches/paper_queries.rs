@@ -1,0 +1,43 @@
+//! Criterion benchmarks over the real distributed pipeline: one bench per
+//! paper query class (§6.2), on the laptop-scale fixture. Absolute times
+//! are not comparable to the 150-node testbed — the *relative* structure
+//! (LV ≪ HV1 < HV2, SHV dominated by join work) is what must hold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qserv_bench::fixtures::{bench_cluster, queries};
+use std::hint::black_box;
+
+fn paper_queries(c: &mut Criterion) {
+    let q = bench_cluster();
+    let mut g = c.benchmark_group("paper_queries");
+    g.sample_size(10);
+
+    g.bench_function("lv1_point_lookup", |b| {
+        b.iter(|| black_box(q.query(&queries::lv1(777)).expect("lv1")))
+    });
+    g.bench_function("lv2_time_series", |b| {
+        b.iter(|| black_box(q.query(&queries::lv2(777)).expect("lv2")))
+    });
+    g.bench_function("lv3_spatial_filter", |b| {
+        b.iter(|| black_box(q.query(queries::LV3).expect("lv3")))
+    });
+    g.bench_function("hv1_full_sky_count", |b| {
+        b.iter(|| black_box(q.query(queries::HV1).expect("hv1")))
+    });
+    g.bench_function("hv2_full_sky_filter", |b| {
+        b.iter(|| black_box(q.query(queries::HV2).expect("hv2")))
+    });
+    g.bench_function("hv3_density_group_by", |b| {
+        b.iter(|| black_box(q.query(queries::HV3).expect("hv3")))
+    });
+    g.bench_function("shv1_near_neighbor", |b| {
+        b.iter(|| black_box(q.query(queries::SHV1).expect("shv1")))
+    });
+    g.bench_function("shv2_displacement_join", |b| {
+        b.iter(|| black_box(q.query(queries::SHV2).expect("shv2")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, paper_queries);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! Paper-scale workload builders for the simulator.
+//!
+//! Each builder produces the [`QueryJob`] a query class generates on the
+//! §6 testbed. Node assignment uses the same round-robin-over-chunk-ids
+//! placement the loader uses, so weak-scaling sweeps only change the node
+//! count. The "nuisance effects" the paper annotates (cluster
+//! interference in some runs, cold caches in others) are modeled
+//! explicitly through [`Nuisance`], never through randomness — every
+//! series the harness prints is deterministic.
+
+use qserv_sim::{ChunkTask, QueryJob, SimConfig, Simulator};
+
+/// Chunk count of the paper's partitioning (85 stripes × 12 sub-stripes).
+pub const PAPER_CHUNKS: usize = 8983;
+/// Object-table bytes per chunk (§6.2: 1.824e12 bytes total).
+pub const OBJECT_BYTES_PER_CHUNK: u64 = 1_824_000_000_000 / PAPER_CHUNKS as u64;
+/// Source-table bytes per chunk (§6.1.2: 30 TB total).
+pub const SOURCE_BYTES_PER_CHUNK: u64 = 30_000_000_000_000 / PAPER_CHUNKS as u64;
+/// HV2's result volume: ≈70k rows × ~100 B of dump text (§6.2).
+pub const HV2_RESULT_BYTES: u64 = 70_000 * 100;
+
+/// The chunk count when only `nodes` of the 150-node placement is
+/// simulated — the paper's weak-scaling methodology: "the frontend was
+/// configured to only dispatch queries for partitions belonging to the
+/// desired set of cluster nodes", keeping data per node constant (§6.3).
+pub fn chunks_for_nodes(nodes: usize) -> usize {
+    PAPER_CHUNKS * nodes / 150
+}
+
+/// Explicitly-modeled measurement artifacts the paper annotates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Nuisance {
+    /// Competing cluster activity (the ~9 s LV runs; Figure 2 Runs 1/4):
+    /// a background job occupies this node's slots when the query
+    /// arrives.
+    pub interference: bool,
+    /// Cold caches (Figure 2 Run 5's 8 s first execution): the first
+    /// index lookup pays this many extra seeks.
+    pub cold_cache_seeks: u32,
+}
+
+/// LV1 — objectId point retrieval: one chunk, a few index seeks, a ~2 kB
+/// row shipped back.
+pub fn lv1(nodes: usize, target_chunk: usize, nuisance: Nuisance) -> Vec<QueryJob> {
+    let node = target_chunk % nodes;
+    let mut jobs = Vec::new();
+    if nuisance.interference {
+        jobs.push(background_load(node, 6.0));
+    }
+    jobs.push(QueryJob {
+        label: "LV1".to_string(),
+        // Under interference the probe arrives while the background job
+        // already owns the node's execution slots.
+        submit_s: if nuisance.interference { 1.0 } else { 0.0 },
+        tasks: vec![ChunkTask {
+            node,
+            seeks: 3 + nuisance.cold_cache_seeks,
+            result_bytes: 2_048,
+            ..Default::default()
+        }],
+    });
+    jobs
+}
+
+/// LV2 — Source time series by objectId: one chunk, index seeks into the
+/// much larger Source chunk, ~50 detection rows back.
+pub fn lv2(nodes: usize, target_chunk: usize, nuisance: Nuisance) -> Vec<QueryJob> {
+    let node = target_chunk % nodes;
+    let mut jobs = Vec::new();
+    if nuisance.interference {
+        jobs.push(background_load(node, 6.0));
+    }
+    jobs.push(QueryJob {
+        label: "LV2".to_string(),
+        // Under interference the probe arrives while the background job
+        // already owns the node's execution slots.
+        submit_s: if nuisance.interference { 1.0 } else { 0.0 },
+        tasks: vec![ChunkTask {
+            node,
+            seeks: 5 + nuisance.cold_cache_seeks,
+            result_bytes: 50 * 650,
+            ..Default::default()
+        }],
+    });
+    jobs
+}
+
+/// LV3 — 1 deg² spatially-restricted count: the box hits 1–2 chunks; the
+/// needed slice of each chunk is warm after the first touch (the paper
+/// randomized boxes within ±20° of the equator over repeated runs), so
+/// most bytes come from cache.
+pub fn lv3(nodes: usize, target_chunk: usize, nuisance: Nuisance) -> Vec<QueryJob> {
+    let node = target_chunk % nodes;
+    let mut jobs = Vec::new();
+    if nuisance.interference {
+        jobs.push(background_load(node, 6.0));
+    }
+    jobs.push(QueryJob {
+        label: "LV3".to_string(),
+        // Under interference the probe arrives while the background job
+        // already owns the node's execution slots.
+        submit_s: if nuisance.interference { 1.0 } else { 0.0 },
+        tasks: vec![ChunkTask {
+            node,
+            disk_bytes: OBJECT_BYTES_PER_CHUNK / 10,
+            cached_bytes: OBJECT_BYTES_PER_CHUNK * 9 / 10,
+            seeks: 2,
+            result_bytes: 64,
+            ..Default::default()
+        }],
+    });
+    jobs
+}
+
+/// HV1 — full-sky COUNT(*): one trivial task per chunk; entirely
+/// dispatch/merge bound (Figure 5, and the linear curve of Figure 11).
+pub fn hv1(nodes: usize) -> QueryJob {
+    let chunks = chunks_for_nodes(nodes);
+    QueryJob {
+        label: "HV1".to_string(),
+        submit_s: 0.0,
+        tasks: (0..chunks)
+            .map(|i| ChunkTask {
+                node: i % nodes,
+                seeks: 1,
+                result_bytes: 96,
+                ..Default::default()
+            })
+            .collect(),
+    }
+}
+
+/// HV2 — full-sky filter scan of Object. `cached_fraction` models the
+/// page-cache state: the paper's ~160 s runs rode a warm cache, Run 3's
+/// ~420 s is the honest uncached number (§6.2).
+pub fn hv2(nodes: usize, cached_fraction: f64) -> QueryJob {
+    let chunks = chunks_for_nodes(nodes);
+    let cached = (OBJECT_BYTES_PER_CHUNK as f64 * cached_fraction) as u64;
+    QueryJob {
+        label: "HV2".to_string(),
+        submit_s: 0.0,
+        tasks: (0..chunks)
+            .map(|i| ChunkTask {
+                node: i % nodes,
+                disk_bytes: OBJECT_BYTES_PER_CHUNK - cached,
+                cached_bytes: cached,
+                result_bytes: HV2_RESULT_BYTES / chunks as u64,
+                ..Default::default()
+            })
+            .collect(),
+    }
+}
+
+/// HV3 — GROUP BY chunkId density: the same scan as HV2 but with tiny
+/// per-chunk results, so overhead (and caching) dominates sooner — the
+/// paper saw it faster than HV2 and trending like HV1 once cached.
+pub fn hv3(nodes: usize, cached_fraction: f64) -> QueryJob {
+    let mut job = hv2(nodes, cached_fraction);
+    job.label = "HV3".to_string();
+    for t in &mut job.tasks {
+        t.result_bytes = 120;
+    }
+    job
+}
+
+/// SHV1 — near-neighbour self-join over `area_deg2` of sky: ~4.5 deg² per
+/// chunk, heavy on-the-fly subchunk join CPU per chunk (calibration note
+/// in the crate docs).
+pub fn shv1(nodes: usize, area_deg2: f64) -> QueryJob {
+    let chunks = (area_deg2 / 4.5).round().max(1.0) as usize;
+    QueryJob {
+        label: "SHV1".to_string(),
+        submit_s: 0.0,
+        tasks: (0..chunks)
+            .map(|i| ChunkTask {
+                // Spread over the cluster the way round-robin placement
+                // spreads sky-adjacent chunks (§4.4).
+                node: (i * 7) % nodes,
+                disk_bytes: OBJECT_BYTES_PER_CHUNK,
+                seeks: 12 * 16, // subchunk table generation
+                cpu_s: 620.0,
+                result_bytes: 96,
+                ..Default::default()
+            })
+            .collect(),
+    }
+}
+
+/// SHV2 — Object ⋈ Source displacement join over `area_deg2`: reads both
+/// tables' chunks and pays MySQL's observed join throughput (hours over
+/// 150 deg²; §6.2 quotes 2.1–5.3 h with density-driven variance, modeled
+/// by `density_factor` ∈ [0.7, 1.8]).
+pub fn shv2(nodes: usize, area_deg2: f64, density_factor: f64) -> QueryJob {
+    let chunks = (area_deg2 / 4.5).round().max(1.0) as usize;
+    QueryJob {
+        label: "SHV2".to_string(),
+        submit_s: 0.0,
+        tasks: (0..chunks)
+            .map(|i| ChunkTask {
+                node: (i * 11) % nodes,
+                disk_bytes: OBJECT_BYTES_PER_CHUNK + SOURCE_BYTES_PER_CHUNK,
+                seeks: 32,
+                cpu_s: 9_000.0 * density_factor,
+                result_bytes: 10_000 * 120 / chunks as u64,
+                ..Default::default()
+            })
+            .collect(),
+    }
+}
+
+/// A background job that keeps one node's slots busy — the "competing
+/// tasks in the cluster" of the paper's slow runs. Submitted at t=0, its
+/// tasks hold all four slots of `node` for ~`hold_s` seconds.
+pub fn background_load(node: usize, hold_s: f64) -> QueryJob {
+    QueryJob {
+        label: "background".to_string(),
+        submit_s: 0.0,
+        tasks: (0..4)
+            .map(|_| ChunkTask {
+                node,
+                cpu_s: hold_s,
+                ..Default::default()
+            })
+            .collect(),
+    }
+}
+
+/// Runs a set of jobs on a fresh simulator and returns the elapsed time
+/// of the job labeled `label`.
+pub fn run_labeled(cfg: &SimConfig, jobs: Vec<QueryJob>, label: &str) -> f64 {
+    let mut sim = Simulator::new(cfg.clone());
+    for j in jobs {
+        sim.submit(j);
+    }
+    sim.run()
+        .iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("no job labeled {label}"))
+        .elapsed_s
+}
+
+/// Runs one job alone and returns its elapsed time.
+pub fn run_single(cfg: &SimConfig, job: QueryJob) -> f64 {
+    let label = job.label.clone();
+    run_labeled(cfg, vec![job], &label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SimConfig {
+        SimConfig::paper_cluster()
+    }
+
+    #[test]
+    fn lv1_lands_in_paper_band() {
+        let t = run_labeled(&paper(), lv1(150, 17, Nuisance::default()), "LV1");
+        assert!((3.5..=5.0).contains(&t), "LV1 {t} s, paper ~4 s");
+    }
+
+    #[test]
+    fn lv1_interference_roughly_doubles() {
+        let t = run_labeled(
+            &paper(),
+            lv1(150, 17, Nuisance { interference: true, cold_cache_seeks: 0 }),
+            "LV1",
+        );
+        assert!((7.5..=11.0).contains(&t), "LV1 w/ interference {t} s, paper ~9 s");
+    }
+
+    #[test]
+    fn lv1_cold_cache_near_eight_seconds() {
+        let t = run_labeled(
+            &paper(),
+            lv1(150, 17, Nuisance { interference: false, cold_cache_seeks: 480 }),
+            "LV1",
+        );
+        assert!((6.5..=9.5).contains(&t), "cold LV1 {t} s, paper ~8 s");
+    }
+
+    #[test]
+    fn lv2_lv3_flat_four_seconds() {
+        let t2 = run_labeled(&paper(), lv2(150, 40, Nuisance::default()), "LV2");
+        let t3 = run_labeled(&paper(), lv3(150, 40, Nuisance::default()), "LV3");
+        assert!((3.5..=5.5).contains(&t2), "LV2 {t2} s");
+        assert!((3.5..=6.5).contains(&t3), "LV3 {t3} s");
+    }
+
+    #[test]
+    fn hv1_in_paper_band() {
+        let t = run_single(&paper(), hv1(150));
+        assert!((18.0..=32.0).contains(&t), "HV1 {t} s, paper 20–30 s");
+    }
+
+    #[test]
+    fn hv2_cold_and_warm_match_figure_6() {
+        let cold = run_single(&paper(), hv2(150, 0.0));
+        let warm = run_single(&paper(), hv2(150, 0.65));
+        assert!((350.0..=500.0).contains(&cold), "HV2 cold {cold} s, paper ~420 s");
+        assert!((130.0..=210.0).contains(&warm), "HV2 warm {warm} s, paper 150–180 s");
+        assert!(cold > warm * 2.0);
+    }
+
+    #[test]
+    fn hv3_faster_than_hv2() {
+        let hv2_t = run_single(&paper(), hv2(150, 0.65));
+        let hv3_t = run_single(&paper(), hv3(150, 0.75));
+        assert!(hv3_t < hv2_t, "HV3 {hv3_t} should beat HV2 {hv2_t} (Figure 7)");
+    }
+
+    #[test]
+    fn shv1_near_eleven_minutes() {
+        let t = run_single(&paper(), shv1(150, 100.0));
+        assert!((550.0..=800.0).contains(&t), "SHV1 {t} s, paper ~660 s");
+    }
+
+    #[test]
+    fn shv2_in_hours_band() {
+        let fast = run_single(&paper(), shv2(150, 150.0, 0.7));
+        let slow = run_single(&paper(), shv2(150, 150.0, 1.8));
+        assert!((5_000.0..=26_000.0).contains(&fast), "SHV2 fast {fast} s");
+        assert!(slow > fast);
+        assert!(slow <= 6.0 * 3600.0, "SHV2 slow {slow} s, paper max 5.3 h");
+    }
+
+    #[test]
+    fn weak_scaling_hv1_is_linear_in_chunks() {
+        // Figure 11's HV1 curve: time grows with cluster size because the
+        // chunk count grows while the frontend stays serial.
+        let t40 = run_single(&SimConfig::paper_cluster().with_nodes(40), hv1(40));
+        let t150 = run_single(&paper(), hv1(150));
+        let ratio = t150 / t40;
+        assert!(
+            (2.0..=4.5).contains(&ratio),
+            "HV1 should scale ~linearly with chunks: {t40} → {t150} (×{ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_hv2_is_flat() {
+        // Figure 11's HV2 curve: constant data per node ⇒ flat.
+        let t40 = run_single(&SimConfig::paper_cluster().with_nodes(40), hv2(40, 0.65));
+        let t150 = run_single(&paper(), hv2(150, 0.65));
+        assert!(
+            (t150 - t40).abs() / t40 < 0.25,
+            "HV2 weak scaling should be flat: {t40} vs {t150}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_lv_flat() {
+        // Figures 8–10: LV latency independent of node count.
+        for nodes in [40, 100, 150] {
+            let cfg = SimConfig::paper_cluster().with_nodes(nodes);
+            let t = run_labeled(&cfg, lv1(nodes, 7, Nuisance::default()), "LV1");
+            assert!((3.5..=5.0).contains(&t), "LV1 at {nodes} nodes: {t} s");
+        }
+    }
+}

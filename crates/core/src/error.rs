@@ -1,0 +1,60 @@
+//! The crate-wide error type.
+
+use qserv_engine::exec::ExecError;
+use qserv_sqlparse::parser::ParseError;
+use qserv_xrd::cluster::XrdError;
+use std::fmt;
+
+/// Everything that can go wrong answering a user query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QservError {
+    /// The SQL failed to parse.
+    Parse(ParseError),
+    /// Query analysis rejected the statement (message explains).
+    Analysis(String),
+    /// A worker-side execution failure, tagged with the chunk.
+    Worker {
+        /// Chunk whose physical query failed.
+        chunk: i32,
+        /// Worker error text.
+        message: String,
+    },
+    /// A fabric (dispatch/result transfer) failure.
+    Fabric(String),
+    /// Result merging or final aggregation failed.
+    Merge(String),
+}
+
+impl fmt::Display for QservError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QservError::Parse(e) => write!(f, "parse: {e}"),
+            QservError::Analysis(m) => write!(f, "analysis: {m}"),
+            QservError::Worker { chunk, message } => {
+                write!(f, "worker (chunk {chunk}): {message}")
+            }
+            QservError::Fabric(m) => write!(f, "fabric: {m}"),
+            QservError::Merge(m) => write!(f, "merge: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QservError {}
+
+impl From<ParseError> for QservError {
+    fn from(e: ParseError) -> QservError {
+        QservError::Parse(e)
+    }
+}
+
+impl From<XrdError> for QservError {
+    fn from(e: XrdError) -> QservError {
+        QservError::Fabric(e.to_string())
+    }
+}
+
+impl From<ExecError> for QservError {
+    fn from(e: ExecError) -> QservError {
+        QservError::Merge(e.to_string())
+    }
+}

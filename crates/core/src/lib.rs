@@ -1,0 +1,66 @@
+//! # qserv — a distributed shared-nothing SQL query system
+//!
+//! A from-scratch Rust reproduction of **Qserv** (Wang, Monkewitz, Lim,
+//! Becla: *Qserv: a distributed shared-nothing database for the LSST
+//! catalog*, SC'11): the coordination layer that turns a single user SQL
+//! query over sky-sized astronomical tables into thousands of per-chunk
+//! physical queries, dispatches them over a data-addressed file fabric to
+//! autonomous workers, and merges the results.
+//!
+//! ## Architecture (paper Figure 1)
+//!
+//! ```text
+//!  user ──SQL──▶ [Qserv master/frontend]
+//!                  │  parse → analyze → generate chunk queries   (§5.3)
+//!                  │  write /query2/CC ─────────────┐            (§5.4)
+//!                  ▼                                ▼
+//!             [xrd fabric: redirector]      [worker = data server + plugin]
+//!                  ▲                                │ build subchunk tables
+//!                  │  read /result/md5(query) ◀─────┘ execute on engine
+//!                  ▼                                   dump result as SQL
+//!             merge + final aggregation (§5.4)
+//! ```
+//!
+//! * [`meta`] — which tables are spatially partitioned and on which
+//!   columns, which are replicated everywhere, and which column carries
+//!   the secondary index.
+//! * [`analysis`] — query analysis (§5.3): spatial restriction detection,
+//!   objectId index opportunities, table references, join classification.
+//! * [`rewrite`] — physical query generation: aggregate splitting
+//!   (`AVG → SUM/COUNT`), `qserv_areaspec_box` → worker UDF predicates,
+//!   chunk/subchunk table substitution, and the master's merge query.
+//! * [`worker`] — the ofs-plugin worker: parses the chunk-query message,
+//!   builds subchunk/overlap tables on demand, executes on the embedded
+//!   engine, deposits a mysqldump-style result.
+//! * [`loader`] — builds worker databases from synthesized catalog rows:
+//!   chunk tables, overlap stores, per-chunk objectId indexes, and the
+//!   frontend's secondary index.
+//! * [`master`] — the [`Qserv`] frontend: end-to-end `query(sql)` with a
+//!   multithreaded dispatcher over the fabric and result merging.
+//! * [`sharedscan`] — shared scanning (§4.3; "planned" in the paper,
+//!   implemented here): concurrent full-scan queries share one pass over
+//!   each chunk.
+//! * [`multimaster`] — §7.6's multi-master deployment: several frontends
+//!   load-balanced over one worker fleet.
+
+pub mod analysis;
+pub mod error;
+pub mod loader;
+pub mod master;
+pub mod meta;
+pub mod multimaster;
+pub mod rewrite;
+pub mod sharedscan;
+pub mod worker;
+
+pub use error::QservError;
+pub use loader::ClusterBuilder;
+pub use master::{Qserv, QueryStats};
+pub use multimaster::MasterPool;
+pub use meta::CatalogMeta;
+
+// Re-export the pieces users need to drive the public API.
+pub use qserv_engine::exec::ResultTable;
+pub use qserv_engine::value::Value;
+pub use qserv_partition::chunker::Chunker;
+pub use qserv_partition::placement::PlacementStrategy;

@@ -1,0 +1,407 @@
+//! Cluster construction: partitioning catalog rows onto workers.
+//!
+//! [`ClusterBuilder`] takes synthesized catalog rows ([`ObjectRow`] /
+//! [`SourceRow`]) and materializes a running cluster: per-chunk tables
+//! with `chunkId`/`subChunkId` columns and per-chunk objectId indexes
+//! (paper §5.5), overlap stores (§4.4), chunk placement over worker nodes
+//! (round-robin by default), path exports on the fabric, and the
+//! frontend's secondary index.
+//!
+//! Child-table co-location: Source rows are partitioned by *their
+//! object's* position, so a time series lives in exactly the chunk its
+//! object owns — "Large tables are partitioned on the same spatial
+//! boundaries where possible to enable joining between them" (§5.2).
+
+use crate::master::Qserv;
+use crate::meta::CatalogMeta;
+use crate::worker::Worker;
+use qserv_datagen::generate::{ObjectRow, SourceRow};
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_partition::chunker::Chunker;
+use qserv_partition::index::SecondaryIndex;
+use qserv_partition::placement::{Placement, PlacementStrategy};
+use qserv_sphgeom::{LonLat, SphericalBox};
+use qserv_xrd::cluster::{query_path, XrdCluster};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The Object chunk-table schema (a realistic subset of the PT1.1 schema:
+/// the columns every evaluation query touches, plus the partitioning
+/// bookkeeping columns Qserv appends).
+pub fn object_schema() -> Schema {
+    let mut cols = vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra_PS", ColumnType::Float),
+        ColumnDef::new("decl_PS", ColumnType::Float),
+    ];
+    for band in qserv_datagen::generate::BANDS {
+        cols.push(ColumnDef::new(&format!("{band}Flux_PS"), ColumnType::Float));
+    }
+    cols.push(ColumnDef::new("uFlux_SG", ColumnType::Float));
+    cols.push(ColumnDef::new("uRadius_PS", ColumnType::Float));
+    cols.push(ColumnDef::new("chunkId", ColumnType::Int));
+    cols.push(ColumnDef::new("subChunkId", ColumnType::Int));
+    Schema::new(cols)
+}
+
+/// The Source chunk-table schema.
+pub fn source_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("sourceId", ColumnType::Int),
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra", ColumnType::Float),
+        ColumnDef::new("decl", ColumnType::Float),
+        ColumnDef::new("taiMidPoint", ColumnType::Float),
+        ColumnDef::new("psfFlux", ColumnType::Float),
+        ColumnDef::new("psfFluxErr", ColumnType::Float),
+        ColumnDef::new("chunkId", ColumnType::Int),
+        ColumnDef::new("subChunkId", ColumnType::Int),
+    ])
+}
+
+fn object_values(o: &ObjectRow, chunk: i32, subchunk: i32) -> Vec<Value> {
+    let mut row = vec![
+        Value::Int(o.object_id),
+        Value::Float(o.ra_ps),
+        Value::Float(o.decl_ps),
+    ];
+    for f in o.flux_ps {
+        row.push(Value::Float(f));
+    }
+    row.push(Value::Float(o.u_flux_sg));
+    row.push(Value::Float(o.u_radius_ps));
+    row.push(Value::Int(chunk as i64));
+    row.push(Value::Int(subchunk as i64));
+    row
+}
+
+fn source_values(s: &SourceRow, chunk: i32, subchunk: i32) -> Vec<Value> {
+    vec![
+        Value::Int(s.source_id),
+        Value::Int(s.object_id),
+        Value::Float(s.ra),
+        Value::Float(s.decl),
+        Value::Float(s.tai_mid_point),
+        Value::Float(s.psf_flux),
+        Value::Float(s.psf_flux_err),
+        Value::Int(chunk as i64),
+        Value::Int(subchunk as i64),
+    ]
+}
+
+/// Builds a loaded, query-ready cluster.
+pub struct ClusterBuilder {
+    chunker: Chunker,
+    meta: CatalogMeta,
+    nodes: usize,
+    replication: usize,
+    strategy: PlacementStrategy,
+    cache_subchunks: bool,
+}
+
+impl ClusterBuilder {
+    /// Defaults: the small test chunker (18 stripes × 10 sub-stripes,
+    /// 0.1° overlap), the LSST catalog layout, no replication,
+    /// round-robin placement.
+    pub fn new(nodes: usize) -> ClusterBuilder {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        ClusterBuilder {
+            chunker: Chunker::test_small(),
+            meta: CatalogMeta::lsst(),
+            nodes,
+            replication: 1,
+            strategy: PlacementStrategy::RoundRobin,
+            cache_subchunks: false,
+        }
+    }
+
+    /// Uses a specific partitioning.
+    pub fn chunker(mut self, chunker: Chunker) -> ClusterBuilder {
+        self.chunker = chunker;
+        self
+    }
+
+    /// Sets the chunk replication factor.
+    pub fn replication(mut self, replication: usize) -> ClusterBuilder {
+        self.replication = replication;
+        self
+    }
+
+    /// Sets the chunk→node placement strategy.
+    pub fn placement(mut self, strategy: PlacementStrategy) -> ClusterBuilder {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Makes workers cache on-demand subchunk tables (ablation of §5.4's
+    /// "does not cache them").
+    pub fn cache_subchunks(mut self, cache: bool) -> ClusterBuilder {
+        self.cache_subchunks = cache;
+        self
+    }
+
+    /// Partitions `objects` and `sources`, loads workers, and returns the
+    /// running frontend.
+    pub fn build(self, objects: &[ObjectRow], sources: &[SourceRow]) -> Qserv {
+        let chunker = &self.chunker;
+        let overlap = chunker.overlap();
+
+        // --- Partition objects (owned + overlap stores) ------------------
+        let mut obj_owned: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        let mut obj_overlap: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        let mut obj_loc: HashMap<i64, (f64, f64)> = HashMap::new();
+        let mut secondary = SecondaryIndex::new();
+        for o in objects {
+            let p = LonLat::from_degrees(o.ra_ps, o.decl_ps);
+            let loc = chunker.locate(&p);
+            obj_owned
+                .entry(loc.chunk_id)
+                .or_default()
+                .push(object_values(o, loc.chunk_id, loc.subchunk_id));
+            secondary.insert(o.object_id, loc);
+            obj_loc.insert(o.object_id, (o.ra_ps, o.decl_ps));
+            // Overlap membership: chunks whose dilated bounds contain p.
+            let probe = SphericalBox::from_degrees(o.ra_ps, o.decl_ps, o.ra_ps, o.decl_ps)
+                .dilated(overlap);
+            for c in chunker.chunks_intersecting(&probe) {
+                if c != loc.chunk_id && chunker.in_overlap(c, &p).unwrap_or(false) {
+                    obj_overlap
+                        .entry(c)
+                        .or_default()
+                        .push(object_values(o, loc.chunk_id, loc.subchunk_id));
+                }
+            }
+        }
+
+        // --- Partition sources, co-located with their objects ------------
+        let mut src_owned: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        let mut src_overlap: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        for s in sources {
+            let (ra, decl) = obj_loc
+                .get(&s.object_id)
+                .copied()
+                .unwrap_or((s.ra, s.decl));
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = chunker.locate(&p);
+            src_owned
+                .entry(loc.chunk_id)
+                .or_default()
+                .push(source_values(s, loc.chunk_id, loc.subchunk_id));
+            let probe = SphericalBox::from_degrees(ra, decl, ra, decl).dilated(overlap);
+            for c in chunker.chunks_intersecting(&probe) {
+                if c != loc.chunk_id && chunker.in_overlap(c, &p).unwrap_or(false) {
+                    src_overlap
+                        .entry(c)
+                        .or_default()
+                        .push(source_values(s, loc.chunk_id, loc.subchunk_id));
+                }
+            }
+        }
+
+        // --- Placement over the populated chunk set ----------------------
+        let mut chunks: Vec<i32> = obj_owned
+            .keys()
+            .chain(src_owned.keys())
+            .chain(obj_overlap.keys())
+            .chain(src_overlap.keys())
+            .copied()
+            .collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        let placement = Placement::new(&chunks, self.nodes, self.replication, self.strategy);
+
+        // --- Materialize workers over the fabric -------------------------
+        let cluster = XrdCluster::with_servers(self.nodes);
+        let mut workers: Vec<Arc<Worker>> = Vec::with_capacity(self.nodes);
+        for node in 0..self.nodes {
+            let mut w = Worker::new(node, chunker.clone(), self.meta.clone());
+            w.cache_generated = self.cache_subchunks;
+            let w = Arc::new(w);
+            cluster.servers()[node].install_plugin(Arc::clone(&w) as Arc<dyn qserv_xrd::OfsPlugin>);
+            workers.push(w);
+        }
+
+        let build_table = |schema: Schema, rows: Option<&Vec<Vec<Value>>>, index: bool| -> Table {
+            let mut t = Table::new(schema);
+            if let Some(rows) = rows {
+                for r in rows {
+                    t.push_row(r.clone()).expect("loader rows match schema");
+                }
+            }
+            if index {
+                t.build_index("objectId").expect("objectId is an int column");
+            }
+            t
+        };
+
+        for &chunk in &chunks {
+            for &node in placement.nodes_of(chunk).expect("chunk was placed") {
+                let worker = &workers[node];
+                worker.install_chunk(
+                    "Object",
+                    chunk,
+                    build_table(object_schema(), obj_owned.get(&chunk), true),
+                    build_table(object_schema(), obj_overlap.get(&chunk), false),
+                );
+                worker.install_chunk(
+                    "Source",
+                    chunk,
+                    build_table(source_schema(), src_owned.get(&chunk), true),
+                    build_table(source_schema(), src_overlap.get(&chunk), false),
+                );
+                cluster.servers()[node].export(&query_path(chunk));
+            }
+        }
+
+        Qserv::assemble(
+            cluster,
+            self.chunker,
+            self.meta,
+            placement,
+            secondary,
+            workers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserv_datagen::generate::{CatalogConfig, Patch};
+    use qserv_sphgeom::region::Region;
+
+    fn patch() -> Patch {
+        Patch::generate(&CatalogConfig::small(300, 55))
+    }
+
+    #[test]
+    fn every_object_stored_exactly_once_as_owned() {
+        let p = patch();
+        let q = ClusterBuilder::new(3).build(&p.objects, &p.sources);
+        let total = q
+            .query("SELECT COUNT(*) FROM Object")
+            .expect("count runs")
+            .scalar()
+            .and_then(|v| v.as_i64())
+            .expect("integer count");
+        assert_eq!(total as usize, p.objects.len());
+    }
+
+    #[test]
+    fn border_objects_populate_neighbor_overlap_stores() {
+        // Craft an object just inside a chunk's eastern border: it must
+        // appear in the eastern neighbour's overlap store.
+        let chunker = Chunker::test_small();
+        let bounds = chunker
+            .chunk_bounds(chunker.locate(&LonLat::from_degrees(15.0, 5.0)).chunk_id)
+            .expect("valid chunk");
+        let edge_ra = bounds.lon_max_deg() - 0.01; // within 0.1° overlap
+        let o = ObjectRow {
+            object_id: 1,
+            ra_ps: edge_ra,
+            decl_ps: 5.0,
+            flux_ps: [1.0; 6],
+            u_flux_sg: 1.0,
+            u_radius_ps: 0.0,
+        };
+        let q = ClusterBuilder::new(1).build(&[o], &[]);
+        let worker = &q.workers()[0];
+        let names = worker.table_names();
+        // Owned row in its own chunk…
+        let own = chunker.locate(&LonLat::from_degrees(edge_ra, 5.0)).chunk_id;
+        assert!(names.contains(&format!("Object_{own}")));
+        // …and a copy in the neighbouring chunk's overlap store.
+        let neighbor = chunker
+            .locate(&LonLat::from_degrees(bounds.lon_max_deg() + 0.01, 5.0))
+            .chunk_id;
+        let overlap_rows = {
+            // The overlap table exists and carries exactly this row.
+            let msg = format!(
+                "-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{neighbor} AS o;"
+            );
+            worker
+                .execute_message(neighbor, &msg)
+                .expect("union over neighbor")
+                .get_by_name(0, "c")
+                .and_then(|v| v.as_i64())
+                .expect("count")
+        };
+        assert_eq!(overlap_rows, 1, "border row must be in the neighbour's overlap");
+    }
+
+    #[test]
+    fn interior_objects_do_not_leak_into_overlap_stores() {
+        // An object at a chunk center is nobody's overlap row.
+        let o = ObjectRow {
+            object_id: 1,
+            ra_ps: 15.0,
+            decl_ps: 5.0,
+            flux_ps: [1.0; 6],
+            u_flux_sg: 1.0,
+            u_radius_ps: 0.0,
+        };
+        let q = ClusterBuilder::new(1).build(&[o], &[]);
+        let chunker = Chunker::test_small();
+        let own = chunker.locate(&LonLat::from_degrees(15.0, 5.0)).chunk_id;
+        // Only the owned chunk was materialized (placement covers
+        // populated chunks only), and its overlap store is empty.
+        let worker = &q.workers()[0];
+        let msg = format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{own} AS o;");
+        let union_rows = worker
+            .execute_message(own, &msg)
+            .expect("union executes")
+            .get_by_name(0, "c")
+            .and_then(|v| v.as_i64())
+            .expect("count");
+        assert_eq!(union_rows, 1, "union = owned row only, no overlap copies");
+    }
+
+    #[test]
+    fn sources_colocate_with_their_objects() {
+        let p = patch();
+        let q = ClusterBuilder::new(4).build(&p.objects, &p.sources);
+        let chunker = q.chunker();
+        // For a sample of sources: the worker holding the object's chunk
+        // must answer the per-object Source query entirely locally.
+        for s in p.sources.iter().step_by(97) {
+            let o = &p.objects[(s.object_id - 1) as usize];
+            let loc = chunker.locate(&LonLat::from_degrees(o.ra_ps, o.decl_ps));
+            let (r, stats) = q
+                .query_with_stats(&format!(
+                    "SELECT sourceId FROM Source WHERE objectId = {}",
+                    s.object_id
+                ))
+                .expect("time series");
+            assert_eq!(stats.chunks_dispatched, 1);
+            assert!(
+                r.rows.iter().any(|row| row[0].as_i64() == Some(s.source_id)),
+                "source {} missing from chunk {}",
+                s.source_id,
+                loc.chunk_id
+            );
+        }
+    }
+
+    #[test]
+    fn schemas_match_datagen_rows() {
+        assert!(object_schema().index_of("objectId").is_some());
+        assert!(object_schema().index_of("yFlux_PS").is_some());
+        assert!(object_schema().index_of("subChunkId").is_some());
+        assert_eq!(object_schema().len(), 3 + 6 + 2 + 2);
+        assert_eq!(source_schema().len(), 9);
+        // A generated row must fit the schema.
+        let p = patch();
+        let o = &p.objects[0];
+        assert_eq!(object_values(o, 1, 2).len(), object_schema().len());
+        let s = &p.sources[0];
+        assert_eq!(source_values(s, 1, 2).len(), source_schema().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ClusterBuilder::new(0);
+    }
+}

@@ -1,0 +1,461 @@
+//! The Qserv master (frontend): end-to-end distributed query execution.
+//!
+//! `query(sql)` runs the full paper pipeline: parse → analyze (§5.3) →
+//! select the chunk set (spatial restriction and/or secondary index) →
+//! generate per-chunk physical queries → dispatch each as two file
+//! transactions on the fabric (§5.4) from a pool of dispatcher threads →
+//! read back mysqldump-style results → merge into a local `result` table →
+//! run the merge/aggregation query → return rows to the caller.
+
+use crate::analysis::{analyze, Analysis, JoinClass};
+use crate::error::QservError;
+use crate::meta::CatalogMeta;
+use crate::rewrite::{build_plan, render_chunk_message, PhysicalPlan};
+use crate::worker::Worker;
+use parking_lot::Mutex;
+use qserv_engine::db::Database;
+use qserv_engine::dump::load_dump;
+use qserv_engine::exec::{execute, ResultTable};
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_partition::chunker::Chunker;
+use qserv_partition::index::SecondaryIndex;
+use qserv_partition::placement::Placement;
+use qserv_sqlparse::parse_select;
+use qserv_xrd::cluster::{query_path, result_path, XrdCluster};
+use qserv_xrd::md5_hex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide dispatch counter: tags every chunk-query message with a
+/// unique `-- QID:` line so identical concurrent queries hash to distinct
+/// result paths (the paper's raw MD5-of-query addressing collides there).
+static NEXT_QID: AtomicU64 = AtomicU64::new(1);
+
+/// Prefixes a rendered chunk message with a unique query-instance id.
+pub(crate) fn tag_message(message: String) -> String {
+    let qid = NEXT_QID.fetch_add(1, Ordering::Relaxed);
+    format!("-- QID: {qid}\n{message}")
+}
+
+/// Per-query execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Chunk queries dispatched.
+    pub chunks_dispatched: usize,
+    /// Rows accumulated into the master's merge table.
+    pub rows_merged: usize,
+    /// Bytes of result text transferred from workers.
+    pub result_bytes: u64,
+    /// True when the secondary index restricted the chunk set (§5.5).
+    pub used_secondary_index: bool,
+    /// True when the spatial restriction narrowed the chunk set (§5.3).
+    pub used_spatial_restriction: bool,
+}
+
+/// What `explain` reports without executing.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The chunks that would be dispatched.
+    pub chunks: Vec<i32>,
+    /// Join classification.
+    pub join: JoinClass,
+    /// Whether results need two-phase aggregation.
+    pub aggregated: bool,
+    /// Whether the objectId secondary index restricts the chunk set.
+    pub uses_secondary_index: bool,
+    /// One rendered chunk-query message (for the first chunk), for
+    /// inspection.
+    pub sample_message: Option<String>,
+}
+
+/// The running system: fabric + workers + frontend state.
+pub struct Qserv {
+    cluster: XrdCluster,
+    chunker: Chunker,
+    meta: CatalogMeta,
+    placement: Placement,
+    secondary: SecondaryIndex,
+    workers: Vec<Arc<Worker>>,
+    /// Dispatcher thread-pool width.
+    pub dispatch_width: usize,
+}
+
+/// A prepared (analyzed + planned) query, reusable by the shared-scan
+/// scheduler.
+pub(crate) struct Prepared {
+    pub analysis: Analysis,
+    pub plan: PhysicalPlan,
+    pub chunks: Vec<i32>,
+}
+
+impl Qserv {
+    /// Assembles a frontend over already-loaded workers (used by
+    /// [`crate::loader::ClusterBuilder`]).
+    pub(crate) fn assemble(
+        cluster: XrdCluster,
+        chunker: Chunker,
+        meta: CatalogMeta,
+        placement: Placement,
+        secondary: SecondaryIndex,
+        workers: Vec<Arc<Worker>>,
+    ) -> Qserv {
+        Qserv {
+            cluster,
+            chunker,
+            meta,
+            placement,
+            secondary,
+            workers,
+            dispatch_width: 8,
+        }
+    }
+
+    /// Clones this frontend into an independent master over the same
+    /// worker fleet — the building block of §7.6 multi-master deployment
+    /// (see [`crate::multimaster::MasterPool`]). Frontend state (chunker,
+    /// metadata, placement, secondary index) is copied; workers and the
+    /// fabric are shared.
+    pub fn clone_frontend(&self) -> Qserv {
+        Qserv {
+            cluster: self.cluster.clone(),
+            chunker: self.chunker.clone(),
+            meta: self.meta.clone(),
+            placement: self.placement.clone(),
+            secondary: self.secondary.clone(),
+            workers: self.workers.clone(),
+            dispatch_width: self.dispatch_width,
+        }
+    }
+
+    /// The partitioning in effect.
+    pub fn chunker(&self) -> &Chunker {
+        &self.chunker
+    }
+
+    /// The catalog metadata.
+    pub fn meta(&self) -> &CatalogMeta {
+        &self.meta
+    }
+
+    /// The workers (for stats inspection and fault injection in tests).
+    pub fn workers(&self) -> &[Arc<Worker>] {
+        &self.workers
+    }
+
+    /// The underlying fabric (for fault injection in tests).
+    pub fn cluster(&self) -> &XrdCluster {
+        &self.cluster
+    }
+
+    /// The chunk placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Executes a query, returning just the rows.
+    pub fn query(&self, sql: &str) -> Result<ResultTable, QservError> {
+        self.query_with_stats(sql).map(|(r, _)| r)
+    }
+
+    /// Executes a query, returning rows plus execution statistics.
+    pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
+        let stmt = parse_select(sql)?;
+        // FROM-less statements run locally on the frontend.
+        if stmt.from.is_empty() {
+            let local = execute(&Database::new(), &stmt)?;
+            return Ok((local, QueryStats::default()));
+        }
+        let prepared = self.prepare_stmt(&stmt)?;
+        let mut stats = QueryStats {
+            chunks_dispatched: prepared.chunks.len(),
+            used_secondary_index: prepared.analysis.index_ids.is_some(),
+            used_spatial_restriction: prepared.analysis.spatial.is_some(),
+            ..QueryStats::default()
+        };
+        let parts = self.dispatch_all(&prepared, &mut stats)?;
+        let result = self.merge(&prepared.plan, parts, &mut stats)?;
+        Ok((result, stats))
+    }
+
+    /// Plans a query without executing it.
+    pub fn explain(&self, sql: &str) -> Result<Explain, QservError> {
+        let stmt = parse_select(sql)?;
+        let prepared = self.prepare_stmt(&stmt)?;
+        let sample_message = prepared.chunks.first().map(|&c| {
+            let subs = self.subchunks_for(&prepared, c);
+            render_chunk_message(&prepared.plan, &self.meta, c, &subs)
+        });
+        Ok(Explain {
+            chunks: prepared.chunks.clone(),
+            join: prepared.plan.join,
+            aggregated: prepared.analysis.aggregated,
+            uses_secondary_index: prepared.analysis.index_ids.is_some(),
+            sample_message,
+        })
+    }
+
+    pub(crate) fn prepare_stmt(
+        &self,
+        stmt: &qserv_sqlparse::ast::SelectStatement,
+    ) -> Result<Prepared, QservError> {
+        let analysis = analyze(stmt, &self.meta)?;
+        let plan = build_plan(&analysis, &self.meta)?;
+        let mut chunks = self.chunk_set(&analysis);
+        // A fully-restricted-away chunk set still dispatches one chunk:
+        // its (empty) result gives the merge query real input columns, so
+        // aggregates keep SQL semantics — COUNT over nothing is 0, not the
+        // NULL that SUM-of-no-partials would produce.
+        if chunks.is_empty() {
+            chunks = self.placement.chunks().into_iter().take(1).collect();
+        }
+        if chunks.is_empty() {
+            return Err(QservError::Analysis(
+                "the cluster stores no chunks; load data before querying".to_string(),
+            ));
+        }
+        Ok(Prepared {
+            analysis,
+            plan,
+            chunks,
+        })
+    }
+
+    /// Computes the chunk set: all stored chunks, narrowed by the spatial
+    /// restriction and/or the secondary index.
+    fn chunk_set(&self, analysis: &Analysis) -> Vec<i32> {
+        let mut chunks = self.placement.chunks();
+        if let Some(spec) = &analysis.spatial {
+            let selected = self.chunker.chunks_intersecting(&spec.bounding_box());
+            chunks.retain(|c| selected.binary_search(c).is_ok());
+        }
+        if let Some(ids) = &analysis.index_ids {
+            let selected = self.secondary.chunks_for(ids);
+            chunks.retain(|c| selected.binary_search(c).is_ok());
+        }
+        chunks
+    }
+
+    /// The subchunk list for one chunk of a near-neighbour query: the
+    /// subchunks intersecting the spatial restriction, or all of them.
+    pub(crate) fn subchunks_for(&self, prepared: &Prepared, chunk: i32) -> Vec<i32> {
+        if prepared.plan.join != JoinClass::SubchunkNear {
+            return Vec::new();
+        }
+        match &prepared.plan.spatial {
+            Some(spec) => self
+                .chunker
+                .subchunks_intersecting(chunk, &spec.bounding_box())
+                .unwrap_or_default(),
+            None => self.chunker.subchunks_of(chunk).unwrap_or_default(),
+        }
+    }
+
+    /// Dispatches every chunk query from a pool of threads; returns the
+    /// per-chunk result tables in ascending chunk order (deterministic).
+    fn dispatch_all(
+        &self,
+        prepared: &Prepared,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<Table>, QservError> {
+        let jobs: Vec<(i32, String)> = prepared
+            .chunks
+            .iter()
+            .map(|&c| {
+                let subs = self.subchunks_for(prepared, c);
+                (
+                    c,
+                    tag_message(render_chunk_message(&prepared.plan, &self.meta, c, &subs)),
+                )
+            })
+            .collect();
+
+        /// Per-chunk dispatch outcome: the loaded result table plus the
+        /// transferred byte count.
+        type ChunkOutcome = Result<(Table, u64), QservError>;
+        let queue = Mutex::new(jobs.into_iter());
+        let results: Mutex<Vec<(i32, ChunkOutcome)>> =
+            Mutex::new(Vec::with_capacity(prepared.chunks.len()));
+        let width = self.dispatch_width.max(1).min(prepared.chunks.len().max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|_| loop {
+                    let job = queue.lock().next();
+                    let Some((chunk, message)) = job else { break };
+                    let outcome = self.dispatch_one(chunk, &message);
+                    results.lock().push((chunk, outcome));
+                });
+            }
+        })
+        .map_err(|_| QservError::Fabric("dispatcher thread panicked".to_string()))?;
+
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(c, _)| *c);
+        let mut tables = Vec::with_capacity(collected.len());
+        for (_, outcome) in collected {
+            let (table, bytes) = outcome?;
+            stats.result_bytes += bytes;
+            tables.push(table);
+        }
+        Ok(tables)
+    }
+
+    /// The two file transactions of §5.4 for one chunk, plus result
+    /// parsing.
+    fn dispatch_one(&self, chunk: i32, message: &str) -> Result<(Table, u64), QservError> {
+        let worker = self
+            .cluster
+            .write_file(&query_path(chunk), message.as_bytes().to_vec())?;
+        let rp = result_path(&md5_hex(message.as_bytes()));
+        let payload = self.cluster.read_file(worker, &rp)?;
+        self.cluster.unlink(worker, &rp)?;
+        let bytes = payload.len() as u64;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| QservError::Fabric(format!("chunk {chunk}: result is not UTF-8")))?;
+        if let Some(err) = text.strip_prefix("ERROR:") {
+            return Err(QservError::Worker {
+                chunk,
+                message: err.trim().to_string(),
+            });
+        }
+        let (_, table) = load_dump(text).map_err(|e| QservError::Merge(e.to_string()))?;
+        Ok((table, bytes))
+    }
+
+    /// Accumulates per-chunk tables into `result` and runs the merge
+    /// query.
+    pub(crate) fn merge(
+        &self,
+        plan: &PhysicalPlan,
+        parts: Vec<Table>,
+        stats: &mut QueryStats,
+    ) -> Result<ResultTable, QservError> {
+        let merged = merge_tables(parts)?;
+        stats.rows_merged = merged.num_rows();
+        let mut db = Database::new();
+        db.create_table("result", merged);
+        execute(&db, &plan.merge_stmt).map_err(QservError::from)
+    }
+}
+
+/// Concatenates per-chunk result tables, unifying schemas by widening
+/// (Int + Float ⇒ Float; an empty chunk's all-NULL "Float" columns adopt
+/// the populated chunks' types).
+pub(crate) fn merge_tables(parts: Vec<Table>) -> Result<Table, QservError> {
+    let Some(first) = parts.first() else {
+        return Ok(Table::new(Schema::new(vec![])));
+    };
+    let names: Vec<String> = first
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    // Widen column types across parts. Empty parts carry no evidence
+    // (their dump schemas default all-NULL columns to Float), so only
+    // populated parts vote; columns never populated stay Float.
+    let mut types: Vec<Option<ColumnType>> = vec![None; names.len()];
+    for part in &parts {
+        let cols = part.schema().columns();
+        if cols.len() != names.len() || cols.iter().zip(&names).any(|(c, n)| &c.name != n) {
+            return Err(QservError::Merge(format!(
+                "chunk results disagree on columns: {:?} vs {:?}",
+                names,
+                cols.iter().map(|c| &c.name).collect::<Vec<_>>()
+            )));
+        }
+        if part.num_rows() == 0 {
+            continue;
+        }
+        for (i, c) in cols.iter().enumerate() {
+            types[i] = Some(match (types[i], c.ty) {
+                (None, t) => t,
+                (Some(a), b) if a == b => a,
+                (Some(ColumnType::Int), ColumnType::Float)
+                | (Some(ColumnType::Float), ColumnType::Int) => ColumnType::Float,
+                (Some(a), b) => {
+                    return Err(QservError::Merge(format!(
+                        "column {} has incompatible types across chunks: {a} vs {b}",
+                        names[i]
+                    )))
+                }
+            });
+        }
+    }
+    let types: Vec<ColumnType> = types
+        .into_iter()
+        .map(|t| t.unwrap_or(ColumnType::Float))
+        .collect();
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&types)
+            .map(|(n, t)| ColumnDef::new(n, *t))
+            .collect(),
+    );
+    let mut out = Table::new(schema);
+    for part in &parts {
+        for r in 0..part.num_rows() {
+            let row: Vec<Value> = part
+                .row(r)
+                .into_iter()
+                .zip(&types)
+                .map(|(v, t)| match (t, v) {
+                    (ColumnType::Float, Value::Int(x)) => Value::Float(x as f64),
+                    (_, v) => v,
+                })
+                .collect();
+            out.push_row(row)
+                .map_err(|e| QservError::Merge(e.to_string()))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(cols: &[(&str, ColumnType)], rows: Vec<Vec<Value>>) -> Table {
+        let schema = Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect());
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.push_row(r).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn merge_tables_widens_int_to_float() {
+        let a = table_of(&[("x", ColumnType::Int)], vec![vec![Value::Int(1)]]);
+        let b = table_of(&[("x", ColumnType::Float)], vec![vec![Value::Float(2.5)]]);
+        let m = merge_tables(vec![a, b]).unwrap();
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.get(0, 0), Value::Float(1.0));
+        assert_eq!(m.get(1, 0), Value::Float(2.5));
+    }
+
+    #[test]
+    fn merge_tables_empty_part_adopts_other_schema() {
+        let empty = table_of(&[("x", ColumnType::Float)], vec![]);
+        let full = table_of(&[("x", ColumnType::Int)], vec![vec![Value::Int(3)]]);
+        let m = merge_tables(vec![empty, full]).unwrap();
+        assert_eq!(m.schema().columns()[0].ty, ColumnType::Int);
+        assert_eq!(m.num_rows(), 1);
+    }
+
+    #[test]
+    fn merge_tables_rejects_mismatched_columns() {
+        let a = table_of(&[("x", ColumnType::Int)], vec![]);
+        let b = table_of(&[("y", ColumnType::Int)], vec![]);
+        assert!(merge_tables(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn merge_tables_no_parts_is_empty() {
+        let m = merge_tables(vec![]).unwrap();
+        assert_eq!(m.num_rows(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Catalog metadata: the frontend's knowledge about tables.
+//!
+//! The frontend must know, per table: is it spatially partitioned (and on
+//! which position columns), is it small and replicated to every worker
+//! instead, and does it carry the secondary-indexed column (paper §5.3
+//! "Detect database and table references — Not all tables are
+//! partitioned"; §5.5 objectId indexing).
+
+use std::collections::BTreeMap;
+
+/// Partitioning info for one spatially-sharded table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Longitude (right ascension) column used for sharding.
+    pub lon_col: String,
+    /// Latitude (declination) column used for sharding.
+    pub lat_col: String,
+}
+
+/// How a table is stored across the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableDistribution {
+    /// Sharded into chunk tables `T_CC` with an overlap store.
+    Partitioned(PartitionInfo),
+    /// Fully replicated on every worker under its own name.
+    Replicated,
+}
+
+/// Per-table metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Distribution scheme.
+    pub distribution: TableDistribution,
+    /// Column covered by the frontend's secondary index, when any
+    /// (always `objectId` in the paper).
+    pub index_col: Option<String>,
+}
+
+/// The frontend's table catalog.
+#[derive(Clone, Debug, Default)]
+pub struct CatalogMeta {
+    database: String,
+    tables: BTreeMap<String, TableMeta>,
+}
+
+impl CatalogMeta {
+    /// An empty catalog for database `database` (the paper's is `LSST`).
+    pub fn new(database: &str) -> CatalogMeta {
+        CatalogMeta {
+            database: database.to_string(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// The LSST catalog layout used throughout the paper: `Object`
+    /// partitioned on (`ra_PS`, `decl_PS`) with the objectId index,
+    /// `Source` partitioned on (`ra`, `decl`) with objectId indexed, and a
+    /// small replicated `Filter` table.
+    pub fn lsst() -> CatalogMeta {
+        let mut m = CatalogMeta::new("LSST");
+        m.add_partitioned("Object", "ra_PS", "decl_PS", Some("objectId"));
+        m.add_partitioned("Source", "ra", "decl", Some("objectId"));
+        m.add_replicated("Filter");
+        m
+    }
+
+    /// The default database name queries run against.
+    pub fn database(&self) -> &str {
+        &self.database
+    }
+
+    /// Registers a partitioned table.
+    pub fn add_partitioned(
+        &mut self,
+        table: &str,
+        lon_col: &str,
+        lat_col: &str,
+        index_col: Option<&str>,
+    ) {
+        self.tables.insert(
+            table.to_string(),
+            TableMeta {
+                distribution: TableDistribution::Partitioned(PartitionInfo {
+                    lon_col: lon_col.to_string(),
+                    lat_col: lat_col.to_string(),
+                }),
+                index_col: index_col.map(str::to_string),
+            },
+        );
+    }
+
+    /// Registers a replicated table.
+    pub fn add_replicated(&mut self, table: &str) {
+        self.tables.insert(
+            table.to_string(),
+            TableMeta {
+                distribution: TableDistribution::Replicated,
+                index_col: None,
+            },
+        );
+    }
+
+    /// Metadata for `table`, when known.
+    pub fn table(&self, table: &str) -> Option<&TableMeta> {
+        self.tables.get(table)
+    }
+
+    /// True when `table` is known and partitioned.
+    pub fn is_partitioned(&self, table: &str) -> bool {
+        matches!(
+            self.table(table),
+            Some(TableMeta {
+                distribution: TableDistribution::Partitioned(_),
+                ..
+            })
+        )
+    }
+
+    /// Partitioning info for `table`, when partitioned.
+    pub fn partition_info(&self, table: &str) -> Option<&PartitionInfo> {
+        match self.table(table) {
+            Some(TableMeta {
+                distribution: TableDistribution::Partitioned(p),
+                ..
+            }) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// All known table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsst_layout() {
+        let m = CatalogMeta::lsst();
+        assert_eq!(m.database(), "LSST");
+        assert!(m.is_partitioned("Object"));
+        assert!(m.is_partitioned("Source"));
+        assert!(!m.is_partitioned("Filter"));
+        assert!(!m.is_partitioned("Unknown"));
+        let p = m.partition_info("Object").unwrap();
+        assert_eq!(p.lon_col, "ra_PS");
+        assert_eq!(p.lat_col, "decl_PS");
+        let s = m.partition_info("Source").unwrap();
+        assert_eq!(s.lon_col, "ra");
+        assert_eq!(m.table("Object").unwrap().index_col.as_deref(), Some("objectId"));
+        assert_eq!(m.table("Filter").unwrap().index_col, None);
+    }
+
+    #[test]
+    fn partition_info_none_for_replicated() {
+        let m = CatalogMeta::lsst();
+        assert!(m.partition_info("Filter").is_none());
+        assert!(m.partition_info("Nope").is_none());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let m = CatalogMeta::lsst();
+        assert_eq!(m.table_names(), vec!["Filter", "Object", "Source"]);
+    }
+}

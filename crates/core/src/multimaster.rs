@@ -1,0 +1,149 @@
+//! Multi-master dispatch (paper §7.6).
+//!
+//! A Qserv instance at full LSST scale "may have a million fragment
+//! queries in flight, and … managing millions from a single point is
+//! likely to be problematic. One way to distribute the management load is
+//! to launch multiple master instances. This is simple and requires no
+//! code changes other than some logic in the MySQL proxy to load-balance
+//! between different Qserv masters."
+//!
+//! [`MasterPool`] is exactly that proxy logic: it holds several
+//! [`Qserv`] frontends over the *same* worker fleet and routes each
+//! incoming query to the next master round-robin. Because workers are
+//! stateless request servers (the fabric addresses them by chunk, results
+//! by content hash), masters need no coordination — the paper's claim,
+//! which the tests verify by running concurrent queries through the pool
+//! and comparing against single-master answers.
+
+use crate::error::QservError;
+use crate::master::{Qserv, QueryStats};
+use qserv_engine::exec::ResultTable;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A load-balancing pool of master frontends sharing one cluster.
+pub struct MasterPool {
+    masters: Vec<Arc<Qserv>>,
+    next: AtomicUsize,
+}
+
+impl MasterPool {
+    /// Builds a pool from master instances. All masters must serve the
+    /// same cluster (the constructor checks the worker fleet matches).
+    ///
+    /// # Panics
+    /// Panics when `masters` is empty or the masters disagree on the
+    /// worker fleet.
+    pub fn new(masters: Vec<Arc<Qserv>>) -> MasterPool {
+        assert!(!masters.is_empty(), "a master pool needs at least one master");
+        let fleet: Vec<usize> = masters[0].workers().iter().map(|w| w.node_id()).collect();
+        for m in &masters[1..] {
+            let other: Vec<usize> = m.workers().iter().map(|w| w.node_id()).collect();
+            assert_eq!(fleet, other, "all masters must front the same worker fleet");
+        }
+        MasterPool {
+            masters,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of masters in the pool.
+    pub fn len(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// True when the pool is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.masters.is_empty()
+    }
+
+    /// The master the next query will use (round-robin), exposed for
+    /// tests.
+    pub fn next_master(&self) -> &Arc<Qserv> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.masters.len();
+        &self.masters[i]
+    }
+
+    /// Routes one query to the next master.
+    pub fn query(&self, sql: &str) -> Result<ResultTable, QservError> {
+        self.next_master().query(sql)
+    }
+
+    /// Routes one query, returning stats too.
+    pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
+        self.next_master().query_with_stats(sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::ClusterBuilder;
+    use qserv_datagen::generate::{CatalogConfig, Patch};
+
+    fn pool_of(masters: usize) -> (MasterPool, Arc<Qserv>) {
+        let patch = Patch::generate(&CatalogConfig::small(300, 81));
+        let primary = Arc::new(ClusterBuilder::new(3).build(&patch.objects, &patch.sources));
+        // Additional masters share the same fabric, placement, metadata
+        // and secondary index — no worker-side state is duplicated.
+        let mut ms = vec![Arc::clone(&primary)];
+        for _ in 1..masters {
+            ms.push(Arc::new(primary.clone_frontend()));
+        }
+        (MasterPool::new(ms), primary)
+    }
+
+    #[test]
+    fn pool_answers_match_single_master() {
+        let (pool, primary) = pool_of(3);
+        assert_eq!(pool.len(), 3);
+        for sql in [
+            "SELECT COUNT(*) FROM Object",
+            "SELECT objectId FROM Object WHERE objectId = 42",
+            "SELECT count(*) AS n, chunkId FROM Object GROUP BY chunkId ORDER BY chunkId",
+        ] {
+            // Several times, so every master in the rotation serves it.
+            for _ in 0..3 {
+                assert_eq!(
+                    pool.query(sql).unwrap(),
+                    primary.query(sql).unwrap(),
+                    "{sql}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let (pool, _primary) = pool_of(2);
+        let a = Arc::as_ptr(pool.next_master());
+        let b = Arc::as_ptr(pool.next_master());
+        let c = Arc::as_ptr(pool.next_master());
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn concurrent_queries_through_pool() {
+        let (pool, _primary) = pool_of(4);
+        let expected = pool.query("SELECT COUNT(*) FROM Object").unwrap();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = &pool;
+                let expected = &expected;
+                scope.spawn(move |_| {
+                    for _ in 0..4 {
+                        assert_eq!(&pool.query("SELECT COUNT(*) FROM Object").unwrap(), expected);
+                    }
+                });
+            }
+        })
+        .expect("no thread panics");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_pool_rejected() {
+        MasterPool::new(vec![]);
+    }
+}

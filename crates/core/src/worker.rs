@@ -1,0 +1,585 @@
+//! The Qserv worker: Xrootd data server + ofs plugin + SQL engine.
+//!
+//! "Xrootd data servers become Qserv workers by plugging custom code into
+//! Xrootd as a custom file system ('ofs plugin') implementation" (paper
+//! §5.1.2). A [`Worker`] owns the node's chunk tables in an embedded
+//! [`Database`]; when the master writes a chunk query to `/query2/CC`, the
+//! plugin fires:
+//!
+//! 1. parse the `-- SUBCHUNKS:` header and the SQL statements (§5.4);
+//! 2. **generate the appropriate subchunk/union tables prior to executing
+//!    the SQL statements** (§5.4) — from the chunk's owned rows and its
+//!    overlap store;
+//! 3. execute each statement on the engine, concatenating results;
+//! 4. dump the result table as SQL text and deposit it at
+//!    `/result/md5(query)` for the master's read transaction;
+//! 5. drop the generated tables ("the current implementation does not
+//!    cache them", §5.4 — caching is available behind a flag and measured
+//!    by an ablation bench).
+
+use crate::meta::CatalogMeta;
+use crate::rewrite;
+use parking_lot::RwLock;
+use qserv_engine::db::Database;
+use qserv_engine::dump::dump_table;
+use qserv_engine::exec::{execute, ResultTable};
+use qserv_engine::table::Table;
+use qserv_partition::chunker::Chunker;
+use qserv_sphgeom::region::Region;
+use qserv_sphgeom::LonLat;
+use qserv_sqlparse::parse_select;
+use qserv_xrd::cluster::result_path;
+use qserv_xrd::md5_hex;
+use qserv_xrd::server::{DataServer, OfsPlugin};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Observable worker counters (used by tests and ablation benches).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Chunk-query messages processed.
+    pub chunk_queries: AtomicU64,
+    /// Individual SQL statements executed.
+    pub statements: AtomicU64,
+    /// On-demand tables (subchunk/full-overlap/union) generated.
+    pub tables_built: AtomicU64,
+    /// Messages that ended in an error deposit.
+    pub errors: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Snapshot of `(chunk_queries, statements, tables_built, errors)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.chunk_queries.load(Ordering::Relaxed),
+            self.statements.load(Ordering::Relaxed),
+            self.tables_built.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One worker node.
+pub struct Worker {
+    node_id: usize,
+    db: RwLock<Database>,
+    chunker: Chunker,
+    meta: CatalogMeta,
+    /// Keep generated subchunk tables for reuse instead of dropping them
+    /// (§5.4 notes caching as an option the original does not implement).
+    pub cache_generated: bool,
+    /// Execution counters.
+    pub stats: WorkerStats,
+}
+
+impl Worker {
+    /// Creates an empty worker.
+    pub fn new(node_id: usize, chunker: Chunker, meta: CatalogMeta) -> Worker {
+        Worker {
+            node_id,
+            db: RwLock::new(Database::new()),
+            chunker,
+            meta,
+            cache_generated: false,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// This worker's node id.
+    pub fn node_id(&self) -> usize {
+        self.node_id
+    }
+
+    /// Installs a chunk of a partitioned table: the owned rows as `T_CC`
+    /// and the overlap-store rows as `TOverlap_CC`.
+    pub fn install_chunk(&self, table: &str, chunk: i32, owned: Table, overlap: Table) {
+        let mut db = self.db.write();
+        db.create_table(&rewrite::chunk_table(table, chunk), owned);
+        db.create_table(&rewrite::overlap_table(table, chunk), overlap);
+    }
+
+    /// Installs a replicated table under its plain name.
+    pub fn install_replicated(&self, name: &str, table: Table) {
+        self.db.write().create_table(name, table);
+    }
+
+    /// Names of tables currently stored (for tests).
+    pub fn table_names(&self) -> Vec<String> {
+        self.db.read().table_names().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Total estimated bytes stored on this worker.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.db.read().footprint_bytes()
+    }
+
+    /// Executes one chunk-query message (header + statements) against this
+    /// worker's store, returning the concatenated result table.
+    pub fn execute_message(&self, chunk: i32, message: &str) -> Result<Table, String> {
+        self.stats.chunk_queries.fetch_add(1, Ordering::Relaxed);
+        let (_subchunks, statements) = parse_message(message)?;
+
+        let mut combined: Option<ResultTable> = None;
+        let mut generated: Vec<String> = Vec::new();
+        for stmt_text in &statements {
+            let stmt = parse_select(stmt_text)
+                .map_err(|e| format!("worker parse error: {e} in {stmt_text:?}"))?;
+            // Generate referenced on-demand tables, then snapshot the
+            // database atomically so concurrent drops cannot hurt us.
+            let snapshot = {
+                let mut db = self.db.write();
+                for tref in &stmt.from {
+                    if let Some(name) = self.ensure_table(&mut db, &tref.table, chunk)? {
+                        generated.push(name);
+                    }
+                }
+                db.clone()
+            };
+            let result =
+                execute(&snapshot, &stmt).map_err(|e| format!("worker exec error: {e}"))?;
+            self.stats.statements.fetch_add(1, Ordering::Relaxed);
+            combined = Some(match combined {
+                None => result,
+                Some(mut acc) => {
+                    if acc.columns != result.columns {
+                        return Err(format!(
+                            "statement results disagree on columns: {:?} vs {:?}",
+                            acc.columns, result.columns
+                        ));
+                    }
+                    acc.rows.extend(result.rows);
+                    acc
+                }
+            });
+        }
+        if !self.cache_generated && !generated.is_empty() {
+            let mut db = self.db.write();
+            for name in generated {
+                db.drop_table(&name);
+            }
+        }
+        let combined = combined.ok_or_else(|| "empty chunk query".to_string())?;
+        Ok(combined.into_table())
+    }
+
+    /// Ensures `name` exists, generating on-demand tables as needed.
+    /// Returns `Some(name)` when this call generated the table (so the
+    /// caller can drop it afterwards), `None` when it already existed.
+    fn ensure_table(&self, db: &mut Database, name: &str, chunk: i32) -> Result<Option<String>, String> {
+        if db.has_table(name) {
+            return Ok(None);
+        }
+        for base in self.meta.table_names() {
+            let Some(pinfo) = self.meta.partition_info(base) else {
+                continue;
+            };
+            let owned_name = rewrite::chunk_table(base, chunk);
+            let overlap_name = rewrite::overlap_table(base, chunk);
+
+            // TUnion_CC = owned ∪ overlap.
+            if name == rewrite::union_table(base, chunk) {
+                let owned = db
+                    .table(&owned_name)
+                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .clone();
+                let mut union = owned.empty_like();
+                for r in 0..owned.num_rows() {
+                    union.push_row(owned.row(r)).expect("same schema");
+                }
+                if let Some(overlap) = db.table(&overlap_name) {
+                    for r in 0..overlap.num_rows() {
+                        union.push_row(overlap.row(r)).expect("same schema");
+                    }
+                }
+                db.create_table(name, union);
+                self.stats.tables_built.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(name.to_string()));
+            }
+
+            // T_CC_SS: owned rows of one subchunk (by stored subChunkId).
+            if let Some(ss) = parse_suffixed(name, &format!("{base}_{chunk}_")) {
+                let owned = db
+                    .table(&owned_name)
+                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .clone();
+                let sc_col = owned
+                    .schema()
+                    .index_of("subChunkId")
+                    .ok_or_else(|| format!("{owned_name} lacks subChunkId"))?;
+                let filtered = owned.filter_rows(|r| {
+                    owned.get(r, sc_col) == qserv_engine::value::Value::Int(ss as i64)
+                });
+                db.create_table(name, filtered);
+                self.stats.tables_built.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(name.to_string()));
+            }
+
+            // TFullOverlap_CC_SS: all rows (owned + overlap store) within
+            // the subchunk's bounds dilated by the partition overlap.
+            if let Some(ss) = parse_suffixed(name, &format!("{base}FullOverlap_{chunk}_")) {
+                let bounds = self
+                    .chunker
+                    .subchunk_bounds_with_overlap(chunk, ss)
+                    .map_err(|e| e.to_string())?;
+                let owned = db
+                    .table(&owned_name)
+                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .clone();
+                let lon = owned
+                    .schema()
+                    .index_of(&pinfo.lon_col)
+                    .ok_or_else(|| format!("{owned_name} lacks {}", pinfo.lon_col))?;
+                let lat = owned
+                    .schema()
+                    .index_of(&pinfo.lat_col)
+                    .ok_or_else(|| format!("{owned_name} lacks {}", pinfo.lat_col))?;
+                let in_bounds = |t: &Table, r: usize| -> bool {
+                    match (t.get(r, lon).as_f64(), t.get(r, lat).as_f64()) {
+                        (Some(x), Some(y)) => bounds.contains(&LonLat::from_degrees(x, y)),
+                        _ => false,
+                    }
+                };
+                let mut full = owned.empty_like();
+                for r in 0..owned.num_rows() {
+                    if in_bounds(&owned, r) {
+                        full.push_row(owned.row(r)).expect("same schema");
+                    }
+                }
+                if let Some(overlap) = db.table(&overlap_name) {
+                    let overlap = overlap.clone();
+                    for r in 0..overlap.num_rows() {
+                        if in_bounds(&overlap, r) {
+                            full.push_row(overlap.row(r)).expect("same schema");
+                        }
+                    }
+                }
+                db.create_table(name, full);
+                self.stats.tables_built.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(name.to_string()));
+            }
+        }
+        Err(format!(
+            "node {} has no table {name} and cannot derive it for chunk {chunk}",
+            self.node_id
+        ))
+    }
+}
+
+impl OfsPlugin for Worker {
+    fn on_file_closed(&self, server: &DataServer, path: &str, data: &[u8]) {
+        let Some(chunk) = path
+            .strip_prefix("/query2/")
+            .and_then(|s| s.parse::<i32>().ok())
+        else {
+            return; // not a chunk-query path
+        };
+        let text = match std::str::from_utf8(data) {
+            Ok(t) => t,
+            Err(_) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                server.put_file(
+                    &result_path(&md5_hex(data)),
+                    b"ERROR: chunk query is not UTF-8".to_vec(),
+                );
+                return;
+            }
+        };
+        let deposit = match self.execute_message(chunk, text) {
+            Ok(table) => dump_table("result", &table).into_bytes(),
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                format!("ERROR: {e}").into_bytes()
+            }
+        };
+        server.put_file(&result_path(&md5_hex(data)), deposit);
+    }
+}
+
+/// Parses `prefix<int>` names, returning the integer suffix.
+fn parse_suffixed(name: &str, prefix: &str) -> Option<i32> {
+    name.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Splits a chunk-query message into its subchunk list and statements.
+///
+/// The message may carry additional leading `--` comment lines (the
+/// master tags each dispatch with a unique `-- QID:` line so that two
+/// identical concurrent queries get distinct MD5 result paths); the
+/// `-- SUBCHUNKS:` line is required among them.
+pub fn parse_message(message: &str) -> Result<(Vec<i32>, Vec<String>), String> {
+    let mut rest = message;
+    let mut subchunks_line: Option<&str> = None;
+    while rest.starts_with("--") {
+        let (line, tail) = match rest.split_once('\n') {
+            Some((l, t)) => (l, t),
+            None => (rest, ""),
+        };
+        if let Some(list) = line.strip_prefix("-- SUBCHUNKS:") {
+            if subchunks_line.is_some() {
+                return Err("duplicate SUBCHUNKS header".to_string());
+            }
+            subchunks_line = Some(list);
+        }
+        rest = tail;
+    }
+    let Some(list) = subchunks_line else {
+        return Err("missing SUBCHUNKS header".to_string());
+    };
+    let mut subchunks = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        subchunks.push(
+            part.parse::<i32>()
+                .map_err(|_| format!("bad subchunk id {part:?}"))?,
+        );
+    }
+    // Split statements on ';' outside single-quoted strings.
+    let mut statements = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in rest.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ';' if !in_str => {
+                let s = cur.trim().to_string();
+                if !s.is_empty() {
+                    statements.push(s);
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let tail = cur.trim().to_string();
+    if !tail.is_empty() {
+        statements.push(tail);
+    }
+    if statements.is_empty() {
+        return Err("chunk query contains no statements".to_string());
+    }
+    Ok((subchunks, statements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+    use qserv_engine::value::Value;
+
+    fn object_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("objectId", ColumnType::Int),
+            ColumnDef::new("ra_PS", ColumnType::Float),
+            ColumnDef::new("decl_PS", ColumnType::Float),
+            ColumnDef::new("chunkId", ColumnType::Int),
+            ColumnDef::new("subChunkId", ColumnType::Int),
+        ])
+    }
+
+    /// Builds a worker holding one Object chunk with a few rows placed by
+    /// the real chunker.
+    fn worker_with_chunk() -> (Worker, i32) {
+        let chunker = Chunker::test_small();
+        let meta = CatalogMeta::lsst();
+        let worker = Worker::new(0, chunker.clone(), meta);
+
+        // Pick the chunk containing (15, 5).
+        let probe = LonLat::from_degrees(15.0, 5.0);
+        let chunk = chunker.locate(&probe).chunk_id;
+        let bounds = chunker.chunk_bounds(chunk).unwrap();
+        let mut owned = Table::new(object_schema());
+        // A handful of objects inside the chunk.
+        for (i, (dlon, dlat)) in [(0.1, 0.1), (0.2, 0.2), (0.5, 0.5), (0.21, 0.2)]
+            .iter()
+            .enumerate()
+        {
+            let ra = bounds.lon_min_deg() + dlon;
+            let decl = bounds.lat_min_deg() + dlat;
+            let loc = chunker.locate(&LonLat::from_degrees(ra, decl));
+            assert_eq!(loc.chunk_id, chunk);
+            owned
+                .push_row(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Float(ra),
+                    Value::Float(decl),
+                    Value::Int(chunk as i64),
+                    Value::Int(loc.subchunk_id as i64),
+                ])
+                .unwrap();
+        }
+        owned.build_index("objectId").unwrap();
+        // One overlap row: just outside the chunk's west edge.
+        let mut overlap = Table::new(object_schema());
+        overlap
+            .push_row(vec![
+                Value::Int(100),
+                Value::Float(bounds.lon_min_deg() - 0.05),
+                Value::Float(bounds.lat_min_deg() + 0.1),
+                Value::Int(0),
+                Value::Int(0),
+            ])
+            .unwrap();
+        worker.install_chunk("Object", chunk, owned, overlap);
+        (worker, chunk)
+    }
+
+    #[test]
+    fn message_parsing() {
+        let (subs, stmts) =
+            parse_message("-- SUBCHUNKS: 1, 2, 3\nSELECT 1;\nSELECT 'a;b';").unwrap();
+        assert_eq!(subs, vec![1, 2, 3]);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[1], "SELECT 'a;b'");
+        let (subs, stmts) = parse_message("-- SUBCHUNKS:\nSELECT 1;").unwrap();
+        assert!(subs.is_empty());
+        assert_eq!(stmts.len(), 1);
+        assert!(parse_message("SELECT 1;").is_err());
+        assert!(parse_message("-- SUBCHUNKS: x\nSELECT 1;").is_err());
+        assert!(parse_message("-- SUBCHUNKS: 1\n").is_err());
+    }
+
+    #[test]
+    fn execute_simple_chunk_query() {
+        let (worker, chunk) = worker_with_chunk();
+        let msg = format!(
+            "-- SUBCHUNKS:\nSELECT COUNT(*) AS `COUNT(*)` FROM LSST.Object_{chunk} AS Object;"
+        );
+        let t = worker.execute_message(chunk, &msg).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get_by_name(0, "COUNT(*)"), Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn union_table_generated_and_dropped() {
+        let (worker, chunk) = worker_with_chunk();
+        let msg = format!(
+            "-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS Object;"
+        );
+        let t = worker.execute_message(chunk, &msg).unwrap();
+        // 4 owned + 1 overlap row.
+        assert_eq!(t.get_by_name(0, "c"), Some(Value::Int(5)));
+        let (_q, _s, built, _e) = worker.stats.snapshot();
+        assert_eq!(built, 1);
+        // Dropped afterwards (no caching by default, §5.4).
+        assert!(!worker
+            .table_names()
+            .contains(&format!("ObjectUnion_{chunk}")));
+    }
+
+    #[test]
+    fn cached_generated_tables_stay() {
+        let (mut worker, chunk) = {
+            let (w, c) = worker_with_chunk();
+            (w, c)
+        };
+        worker.cache_generated = true;
+        let msg =
+            format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS o;");
+        worker.execute_message(chunk, &msg).unwrap();
+        assert!(worker
+            .table_names()
+            .contains(&format!("ObjectUnion_{chunk}")));
+        // Second run reuses it: no new build.
+        worker.execute_message(chunk, &msg).unwrap();
+        let (_q, _s, built, _e) = worker.stats.snapshot();
+        assert_eq!(built, 1);
+    }
+
+    #[test]
+    fn subchunk_tables_partition_owned_rows() {
+        let (worker, chunk) = worker_with_chunk();
+        // Count rows across every subchunk: must equal the owned total.
+        let subchunks = worker.chunker.subchunks_of(chunk).unwrap();
+        let mut msg = String::from("-- SUBCHUNKS:");
+        msg.push_str(
+            &subchunks
+                .iter()
+                .map(|s| format!(" {s}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        msg.push('\n');
+        for ss in &subchunks {
+            msg.push_str(&format!(
+                "SELECT COUNT(*) AS c FROM LSST.Object_{chunk}_{ss} AS o1;\n"
+            ));
+        }
+        let t = worker.execute_message(chunk, &msg).unwrap();
+        let total: i64 = (0..t.num_rows())
+            .map(|r| t.get_by_name(r, "c").unwrap().as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 4, "subchunks must exactly partition the chunk");
+    }
+
+    #[test]
+    fn full_overlap_subchunk_includes_overlap_rows() {
+        let (worker, chunk) = worker_with_chunk();
+        // The overlap row sits just west of the chunk: the first subchunk
+        // column's dilated bounds must include it.
+        let bounds = worker.chunker.chunk_bounds(chunk).unwrap();
+        let probe = LonLat::from_degrees(bounds.lon_min_deg() + 0.01, bounds.lat_min_deg() + 0.1);
+        let ss = worker.chunker.locate(&probe).subchunk_id;
+        let msg = format!(
+            "-- SUBCHUNKS: {ss}\nSELECT COUNT(*) AS c FROM LSST.ObjectFullOverlap_{chunk}_{ss} AS o2;"
+        );
+        let t = worker.execute_message(chunk, &msg).unwrap();
+        let c = t.get_by_name(0, "c").unwrap().as_i64().unwrap();
+        assert!(
+            c >= 1,
+            "dilated subchunk must see the overlap row (got {c} rows)"
+        );
+    }
+
+    #[test]
+    fn missing_chunk_is_an_error() {
+        let (worker, chunk) = worker_with_chunk();
+        let other = chunk + 1;
+        let msg = format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.Object_{other} AS o;");
+        let err = worker.execute_message(other, &msg).unwrap_err();
+        assert!(err.contains("no table"), "{err}");
+    }
+
+    #[test]
+    fn plugin_deposits_result_at_md5_path() {
+        let (worker, chunk) = worker_with_chunk();
+        let server = DataServer::new(0);
+        let msg = format!(
+            "-- SUBCHUNKS:\nSELECT COUNT(*) AS `COUNT(*)` FROM LSST.Object_{chunk} AS Object;"
+        );
+        worker.on_file_closed(&server, &format!("/query2/{chunk}"), msg.as_bytes());
+        let deposited = server
+            .get_file(&result_path(&md5_hex(msg.as_bytes())))
+            .expect("result deposited");
+        let text = String::from_utf8(deposited.to_vec()).unwrap();
+        assert!(text.contains("CREATE TABLE"), "{text}");
+        let (_, table) = qserv_engine::dump::load_dump(&text).unwrap();
+        assert_eq!(table.get_by_name(0, "COUNT(*)"), Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn plugin_deposits_error_text_on_failure() {
+        let (worker, chunk) = worker_with_chunk();
+        let server = DataServer::new(0);
+        let msg = "-- SUBCHUNKS:\nSELECT broken syntax here;";
+        worker.on_file_closed(&server, &format!("/query2/{chunk}"), msg.as_bytes());
+        let deposited = server
+            .get_file(&result_path(&md5_hex(msg.as_bytes())))
+            .expect("error deposited");
+        assert!(deposited.starts_with(b"ERROR:"));
+        let (_q, _s, _b, errors) = worker.stats.snapshot();
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn non_query_paths_ignored() {
+        let (worker, _chunk) = worker_with_chunk();
+        let server = DataServer::new(0);
+        worker.on_file_closed(&server, "/meta/whatever", b"data");
+        assert_eq!(server.num_files(), 0);
+    }
+}

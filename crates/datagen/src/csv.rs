@@ -1,0 +1,241 @@
+//! CSV import/export for catalog rows.
+//!
+//! The original Qserv ingested delimited text dumps of the PT1.1 catalog
+//! (its duplicator tooling read and wrote CSV-ish files). This module
+//! gives a downstream user the same on-ramp: write a synthesized catalog
+//! out, or bring their own objects/sources as CSV and load them into a
+//! cluster via `ClusterBuilder`.
+//!
+//! Format: a header line naming the columns, comma-separated numeric
+//! fields, `\N` for NULL (none of our columns are nullable, but the
+//! convention is MySQL's). No quoting is needed — all fields are numeric.
+
+use crate::generate::{ObjectRow, SourceRow};
+use std::fmt;
+
+/// A malformed CSV line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// The Object CSV header.
+pub const OBJECT_HEADER: &str = "objectId,ra_PS,decl_PS,uFlux_PS,gFlux_PS,rFlux_PS,iFlux_PS,zFlux_PS,yFlux_PS,uFlux_SG,uRadius_PS";
+
+/// The Source CSV header.
+pub const SOURCE_HEADER: &str =
+    "sourceId,objectId,ra,decl,taiMidPoint,psfFlux,psfFluxErr";
+
+/// Serializes object rows as CSV (with header).
+pub fn objects_to_csv(objects: &[ObjectRow]) -> String {
+    let mut out = String::with_capacity(objects.len() * 96 + OBJECT_HEADER.len() + 1);
+    out.push_str(OBJECT_HEADER);
+    out.push('\n');
+    for o in objects {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            o.object_id,
+            o.ra_ps,
+            o.decl_ps,
+            o.flux_ps[0],
+            o.flux_ps[1],
+            o.flux_ps[2],
+            o.flux_ps[3],
+            o.flux_ps[4],
+            o.flux_ps[5],
+            o.u_flux_sg,
+            o.u_radius_ps,
+        ));
+    }
+    out
+}
+
+/// Serializes source rows as CSV (with header).
+pub fn sources_to_csv(sources: &[SourceRow]) -> String {
+    let mut out = String::with_capacity(sources.len() * 64 + SOURCE_HEADER.len() + 1);
+    out.push_str(SOURCE_HEADER);
+    out.push('\n');
+    for s in sources {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            s.source_id, s.object_id, s.ra, s.decl, s.tai_mid_point, s.psf_flux, s.psf_flux_err,
+        ));
+    }
+    out
+}
+
+fn split_checked<'a>(
+    line: &'a str,
+    expected: usize,
+    lineno: usize,
+) -> Result<Vec<&'a str>, CsvError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != expected {
+        return Err(CsvError {
+            line: lineno,
+            message: format!("expected {expected} fields, got {}", fields.len()),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_f64(field: &str, lineno: usize) -> Result<f64, CsvError> {
+    field.trim().parse().map_err(|_| CsvError {
+        line: lineno,
+        message: format!("bad float {field:?}"),
+    })
+}
+
+fn parse_i64(field: &str, lineno: usize) -> Result<i64, CsvError> {
+    field.trim().parse().map_err(|_| CsvError {
+        line: lineno,
+        message: format!("bad integer {field:?}"),
+    })
+}
+
+/// Parses an Object CSV produced by [`objects_to_csv`] (or hand-written
+/// with the same header).
+pub fn objects_from_csv(text: &str) -> Result<Vec<ObjectRow>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == OBJECT_HEADER => {}
+        other => {
+            return Err(CsvError {
+                line: 1,
+                message: format!(
+                    "expected header {OBJECT_HEADER:?}, got {:?}",
+                    other.map(|(_, h)| h).unwrap_or("")
+                ),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_checked(line, 11, lineno)?;
+        out.push(ObjectRow {
+            object_id: parse_i64(f[0], lineno)?,
+            ra_ps: parse_f64(f[1], lineno)?,
+            decl_ps: parse_f64(f[2], lineno)?,
+            flux_ps: [
+                parse_f64(f[3], lineno)?,
+                parse_f64(f[4], lineno)?,
+                parse_f64(f[5], lineno)?,
+                parse_f64(f[6], lineno)?,
+                parse_f64(f[7], lineno)?,
+                parse_f64(f[8], lineno)?,
+            ],
+            u_flux_sg: parse_f64(f[9], lineno)?,
+            u_radius_ps: parse_f64(f[10], lineno)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a Source CSV produced by [`sources_to_csv`].
+pub fn sources_from_csv(text: &str) -> Result<Vec<SourceRow>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == SOURCE_HEADER => {}
+        other => {
+            return Err(CsvError {
+                line: 1,
+                message: format!(
+                    "expected header {SOURCE_HEADER:?}, got {:?}",
+                    other.map(|(_, h)| h).unwrap_or("")
+                ),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_checked(line, 7, lineno)?;
+        out.push(SourceRow {
+            source_id: parse_i64(f[0], lineno)?,
+            object_id: parse_i64(f[1], lineno)?,
+            ra: parse_f64(f[2], lineno)?,
+            decl: parse_f64(f[3], lineno)?,
+            tai_mid_point: parse_f64(f[4], lineno)?,
+            psf_flux: parse_f64(f[5], lineno)?,
+            psf_flux_err: parse_f64(f[6], lineno)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{CatalogConfig, Patch};
+
+    #[test]
+    fn objects_round_trip_exactly() {
+        let p = Patch::generate(&CatalogConfig::small(200, 5));
+        let text = objects_to_csv(&p.objects);
+        let back = objects_from_csv(&text).unwrap();
+        // `{}` float formatting round-trips f64 exactly.
+        assert_eq!(back, p.objects);
+    }
+
+    #[test]
+    fn sources_round_trip_exactly() {
+        let p = Patch::generate(&CatalogConfig::small(100, 6));
+        let text = sources_to_csv(&p.sources);
+        let back = sources_from_csv(&text).unwrap();
+        assert_eq!(back, p.sources);
+    }
+
+    #[test]
+    fn empty_catalogs_round_trip() {
+        assert!(objects_from_csv(&objects_to_csv(&[])).unwrap().is_empty());
+        assert!(sources_from_csv(&sources_to_csv(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let p = Patch::generate(&CatalogConfig::small(3, 7));
+        let mut text = objects_to_csv(&p.objects);
+        text.push_str("\n\n");
+        assert_eq!(objects_from_csv(&text).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        assert!(objects_from_csv("id,ra\n1,2\n").is_err());
+        assert!(sources_from_csv("").is_err());
+        // Object header on a source parse and vice versa.
+        assert!(sources_from_csv(OBJECT_HEADER).is_err());
+        assert!(objects_from_csv(SOURCE_HEADER).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let text = format!("{OBJECT_HEADER}\n1,2,3\n");
+        let err = objects_from_csv(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("11 fields"));
+
+        let text = format!("{SOURCE_HEADER}\n1,2,x,4,5,6,7\n");
+        let err = sources_from_csv(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad float"));
+    }
+}

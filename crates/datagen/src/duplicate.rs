@@ -1,0 +1,283 @@
+//! The sky duplicator.
+//!
+//! Paper §6.1.2: "This patch was treated as a spherical rectangle and
+//! replicated over the sky by transforming duplicate rows' RA and
+//! declination columns, taking care to maintain spatial distance and
+//! density by a non-linear transformation of right-ascension as a function
+//! of declination." That transformation is the key: a patch copied to a
+//! higher declination must be *stretched in RA* by `cos(δ_src)/cos(δ_dst)`
+//! so angular distances (and hence densities and near-neighbour structure)
+//! survive the move.
+//!
+//! [`SkyDuplicator`] tiles a target region with transformed copies of the
+//! source patch and remaps object/source ids so every copy gets a disjoint
+//! id range.
+
+use crate::generate::{ObjectRow, Patch, SourceRow};
+use qserv_sphgeom::SphericalBox;
+
+/// One placement of the patch on the sky.
+#[derive(Clone, Copy, Debug)]
+pub struct CopyTransform {
+    /// Index of this copy (0 = the original patch location).
+    pub copy: usize,
+    /// Declination of the copy's band center, degrees.
+    pub decl_center: f64,
+    /// Declination offset added to rows, degrees.
+    pub decl_offset: f64,
+    /// RA of the copy's west edge, degrees.
+    pub ra_start: f64,
+    /// RA stretch factor `cos(δ_src)/cos(δ_dst)` applied to in-patch RA
+    /// offsets.
+    pub ra_scale: f64,
+    /// Id offset added to object and source ids.
+    pub id_offset: i64,
+}
+
+/// Tiles a declination range of the sky with transformed patch copies.
+pub struct SkyDuplicator {
+    patch_width_deg: f64,
+    patch_height_deg: f64,
+    patch_ra0: f64,
+    patch_decl0: f64,
+}
+
+impl SkyDuplicator {
+    /// Creates a duplicator for a patch covering `patch_box`.
+    pub fn new(patch_box: &SphericalBox) -> SkyDuplicator {
+        SkyDuplicator {
+            patch_width_deg: patch_box.lon_extent_deg(),
+            patch_height_deg: patch_box.lat_extent_deg(),
+            patch_ra0: patch_box.lon_min_deg(),
+            patch_decl0: patch_box.lat_min_deg(),
+        }
+    }
+
+    /// Computes the copy placements tiling declinations
+    /// `[decl_min, decl_max]` (the paper clips Source to ±54° for disk
+    /// space; Object covers the full sky).
+    ///
+    /// Rows: one band of copies per patch height. Within a band at center
+    /// declination δ, the patch's *effective* width is
+    /// `width · cos(δ_src)/cos(δ)`, so the number of copies around the
+    /// circle shrinks toward the poles — keeping density constant instead
+    /// of piling distorted copies near the poles.
+    pub fn copies(&self, decl_min: f64, decl_max: f64) -> Vec<CopyTransform> {
+        let mut out = Vec::new();
+        let src_center = self.patch_decl0 + self.patch_height_deg / 2.0;
+        let cos_src = src_center.to_radians().cos();
+
+        let bands = ((decl_max - decl_min) / self.patch_height_deg).floor() as usize;
+        let mut copy = 0usize;
+        let mut id_offset: i64 = 0;
+        // Large enough to keep every copy's ids disjoint for any
+        // realistically sized patch.
+        const ID_STRIDE: i64 = 1 << 40;
+
+        for b in 0..bands {
+            let band_lo = decl_min + b as f64 * self.patch_height_deg;
+            let band_center = band_lo + self.patch_height_deg / 2.0;
+            let cos_dst = band_center.to_radians().cos();
+            if cos_dst < 1e-3 {
+                continue; // skip degenerate polar band
+            }
+            let ra_scale = cos_src / cos_dst;
+            let width_here = self.patch_width_deg * ra_scale;
+            let n_copies = (360.0 / width_here).floor().max(1.0) as usize;
+            for c in 0..n_copies {
+                out.push(CopyTransform {
+                    copy,
+                    decl_center: band_center,
+                    decl_offset: band_lo - self.patch_decl0,
+                    ra_start: c as f64 * (360.0 / n_copies as f64),
+                    ra_scale,
+                    id_offset,
+                });
+                copy += 1;
+                id_offset += ID_STRIDE;
+            }
+        }
+        out
+    }
+
+    /// Applies a transform to one object row.
+    pub fn transform_object(&self, t: &CopyTransform, o: &ObjectRow) -> ObjectRow {
+        let (ra, decl) = self.transform_pos(t, o.ra_ps, o.decl_ps);
+        ObjectRow {
+            object_id: o.object_id + t.id_offset,
+            ra_ps: ra,
+            decl_ps: decl,
+            ..o.clone()
+        }
+    }
+
+    /// Applies a transform to one source row.
+    pub fn transform_source(&self, t: &CopyTransform, s: &SourceRow) -> SourceRow {
+        let (ra, decl) = self.transform_pos(t, s.ra, s.decl);
+        SourceRow {
+            source_id: s.source_id + t.id_offset,
+            object_id: s.object_id + t.id_offset,
+            ra,
+            decl,
+            ..s.clone()
+        }
+    }
+
+    /// The positional transform: RA offset within the patch is scaled by
+    /// `ra_scale`, declination is shifted by a constant.
+    fn transform_pos(&self, t: &CopyTransform, ra: f64, decl: f64) -> (f64, f64) {
+        // In-patch RA offset, handling the wrap of the source patch.
+        let mut d_ra = ra - self.patch_ra0;
+        if d_ra < 0.0 {
+            d_ra += 360.0;
+        }
+        let new_ra = (t.ra_start + d_ra * t.ra_scale).rem_euclid(360.0);
+        let new_decl = (decl + t.decl_offset).clamp(-90.0, 90.0);
+        (new_ra, new_decl)
+    }
+
+    /// Materializes the full duplicated Object catalog over
+    /// `[decl_min, decl_max]` (convenience for tests and small runs; the
+    /// paper-scale harness works with [`SkyDuplicator::copies`] lazily).
+    pub fn duplicate_objects(
+        &self,
+        patch: &Patch,
+        decl_min: f64,
+        decl_max: f64,
+    ) -> Vec<ObjectRow> {
+        let mut out = Vec::new();
+        for t in self.copies(decl_min, decl_max) {
+            for o in &patch.objects {
+                out.push(self.transform_object(&t, o));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{pt11_footprint, CatalogConfig};
+    use qserv_sphgeom::angular_separation_deg;
+
+    fn duplicator() -> SkyDuplicator {
+        SkyDuplicator::new(&pt11_footprint())
+    }
+
+    #[test]
+    fn full_sky_copy_count_matches_paper_scale() {
+        // PT1.1 is ~7°x14°: ~98 deg². Full sphere is 41253 deg², so the
+        // duplicator should produce on the order of 41253/98 ≈ 420 copies
+        // (fewer: polar bands hold fewer copies and edges are floored).
+        let copies = duplicator().copies(-90.0, 90.0);
+        assert!(
+            (250..=460).contains(&copies.len()),
+            "got {} copies",
+            copies.len()
+        );
+    }
+
+    #[test]
+    fn band_copy_counts_shrink_toward_poles() {
+        let copies = duplicator().copies(-90.0, 90.0);
+        let count_at = |decl: f64| {
+            copies
+                .iter()
+                .filter(|c| (c.decl_center - decl).abs() < 7.0)
+                .count()
+        };
+        assert!(count_at(0.0) > count_at(60.0));
+        assert!(count_at(60.0) > count_at(80.0));
+    }
+
+    #[test]
+    fn ra_scale_preserves_distances() {
+        // Two objects 0.1 deg apart in RA at the equator must stay
+        // ~0.1 deg apart (in arc) after being copied to decl 60.
+        let d = duplicator();
+        let copies = d.copies(-90.0, 90.0);
+        let high = copies
+            .iter()
+            .find(|c| (55.0..65.0).contains(&c.decl_center))
+            .expect("a band near decl 60 exists");
+        let a = ObjectRow {
+            object_id: 1,
+            ra_ps: 0.0,
+            decl_ps: 0.0,
+            flux_ps: [1.0; 6],
+            u_flux_sg: 1.0,
+            u_radius_ps: 0.0,
+        };
+        let mut b = a.clone();
+        b.object_id = 2;
+        b.ra_ps = 0.1;
+        let orig = angular_separation_deg(a.ra_ps, a.decl_ps, b.ra_ps, b.decl_ps);
+        let ta = d.transform_object(high, &a);
+        let tb = d.transform_object(high, &b);
+        let moved = angular_separation_deg(ta.ra_ps, ta.decl_ps, tb.ra_ps, tb.decl_ps);
+        assert!(
+            (moved - orig).abs() / orig < 0.05,
+            "distance {orig} became {moved} after transform"
+        );
+    }
+
+    #[test]
+    fn density_roughly_uniform_across_declination() {
+        let patch = Patch::generate(&CatalogConfig::small(2000, 1));
+        let d = duplicator();
+        let all = d.duplicate_objects(&patch, -60.0, 60.0);
+        // Compare density in an equatorial vs a mid-latitude band.
+        let density = |lo: f64, hi: f64| {
+            let count = all
+                .iter()
+                .filter(|o| o.decl_ps >= lo && o.decl_ps < hi)
+                .count() as f64;
+            let area = SphericalBox::from_degrees(0.0, lo, 360.0, hi).area_deg2();
+            count / area
+        };
+        let eq = density(-7.0, 7.0);
+        let mid = density(42.0, 56.0);
+        assert!(
+            (mid - eq).abs() / eq < 0.25,
+            "density should be ~uniform: equator {eq}, mid {mid}"
+        );
+    }
+
+    #[test]
+    fn ids_disjoint_across_copies() {
+        let patch = Patch::generate(&CatalogConfig::small(50, 2));
+        let d = duplicator();
+        let all = d.duplicate_objects(&patch, -20.0, 20.0);
+        let mut ids: Vec<i64> = all.iter().map(|o| o.object_id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicated ids must stay unique");
+    }
+
+    #[test]
+    fn source_transform_follows_object_transform() {
+        let patch = Patch::generate(&CatalogConfig::small(20, 3));
+        let d = duplicator();
+        let copies = d.copies(-90.0, 90.0);
+        let t = &copies[copies.len() / 2];
+        for s in patch.sources.iter().take(20) {
+            let o = &patch.objects[(s.object_id - 1) as usize];
+            let to = d.transform_object(t, o);
+            let ts = d.transform_source(t, s);
+            assert_eq!(ts.object_id, to.object_id);
+            let sep = angular_separation_deg(ts.ra, ts.decl, to.ra_ps, to.decl_ps);
+            assert!(sep < 0.002, "transformed source strayed {sep} deg");
+        }
+    }
+
+    #[test]
+    fn clipped_declination_range_like_source_table() {
+        // The paper clips Source to ±54 deg.
+        let copies = duplicator().copies(-54.0, 54.0);
+        for c in &copies {
+            assert!(c.decl_center > -54.0 && c.decl_center < 54.0);
+        }
+    }
+}

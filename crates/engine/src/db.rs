@@ -1,0 +1,105 @@
+//! A named collection of tables — one `Database` per worker MySQL instance
+//! in the original system.
+//!
+//! Chunk tables are named `Object_CC` and subchunk tables `Object_CC_SS`
+//! (paper §5.2). Subchunk tables are *generated on demand* from chunk
+//! tables for spatial-join queries and may be dropped afterwards (§5.4
+//! "Chunk Query Representation"); [`Database::create_table`] /
+//! [`Database::drop_table`] support that lifecycle.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named table catalog.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Registers `table` under `name`, replacing any previous table of that
+    /// name (matching `CREATE OR REPLACE` semantics, which is what subchunk
+    /// regeneration wants).
+    pub fn create_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), Arc::new(table));
+    }
+
+    /// Registers an already-shared table.
+    pub fn create_table_shared(&mut self, name: &str, table: Arc<Table>) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Removes a table; true when it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    /// True when `name` exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total estimated footprint of all tables in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.tables.values().map(|t| t.footprint_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType, Schema};
+    use crate::value::Value;
+
+    fn tiny() -> Table {
+        let mut t = Table::new(Schema::new(vec![ColumnDef::new("x", ColumnType::Int)]));
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut db = Database::new();
+        assert!(!db.has_table("Object_123"));
+        db.create_table("Object_123", tiny());
+        assert!(db.has_table("Object_123"));
+        assert_eq!(db.table("Object_123").unwrap().num_rows(), 1);
+        assert!(db.drop_table("Object_123"));
+        assert!(!db.drop_table("Object_123"));
+    }
+
+    #[test]
+    fn create_replaces() {
+        let mut db = Database::new();
+        db.create_table("T", tiny());
+        let mut bigger = tiny();
+        bigger.push_row(vec![Value::Int(2)]).unwrap();
+        db.create_table("T", bigger);
+        assert_eq!(db.table("T").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn names_sorted_and_footprint() {
+        let mut db = Database::new();
+        db.create_table("b", tiny());
+        db.create_table("a", tiny());
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert_eq!(db.footprint_bytes(), 16);
+    }
+}

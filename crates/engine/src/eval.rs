@@ -1,0 +1,403 @@
+//! Expression evaluation over row bindings.
+//!
+//! A [`Bindings`] maps FROM-list binding names (table names or aliases) to
+//! a current row in a table; [`eval`] computes an expression against it
+//! with SQL three-valued logic. Aggregates never reach this layer — the
+//! executor unwraps them and evaluates only their argument expressions
+//! here.
+
+use crate::functions;
+use crate::table::Table;
+use crate::value::Value;
+use qserv_sqlparse::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use std::fmt;
+
+/// Errors from expression evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Column not found in any binding.
+    UnknownColumn(String),
+    /// Unqualified column name matches more than one binding.
+    AmbiguousColumn(String),
+    /// Qualifier does not name a bound table.
+    UnknownBinding(String),
+    /// A scalar function failed.
+    Function(String),
+    /// `*` used outside COUNT(*)/projection position.
+    MisplacedStar,
+    /// An aggregate call reached scalar evaluation.
+    MisplacedAggregate(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            EvalError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            EvalError::UnknownBinding(b) => write!(f, "unknown table or alias {b}"),
+            EvalError::Function(m) => write!(f, "function error: {m}"),
+            EvalError::MisplacedStar => write!(f, "'*' is only valid in COUNT(*) or SELECT *"),
+            EvalError::MisplacedAggregate(a) => {
+                write!(f, "aggregate {a} not valid in this context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// True when `name` is one of the aggregate functions the executor
+/// implements (paper §5.3 rewrites exactly these for distributed
+/// execution).
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max"
+    )
+}
+
+/// The current row of each FROM-list binding.
+pub struct Bindings<'a> {
+    entries: Vec<(&'a str, &'a Table, usize)>,
+}
+
+impl<'a> Bindings<'a> {
+    /// Creates bindings over `(name, table, row)` triples. Join executors
+    /// update rows via [`Bindings::set_row`].
+    pub fn new(entries: Vec<(&'a str, &'a Table, usize)>) -> Bindings<'a> {
+        Bindings { entries }
+    }
+
+    /// Single-table convenience.
+    pub fn single(name: &'a str, table: &'a Table, row: usize) -> Bindings<'a> {
+        Bindings {
+            entries: vec![(name, table, row)],
+        }
+    }
+
+    /// Moves binding `i` to a different row.
+    pub fn set_row(&mut self, i: usize, row: usize) {
+        self.entries[i].2 = row;
+    }
+
+    /// Resolves a column reference to a value.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, EvalError> {
+        match qualifier {
+            Some(q) => {
+                let (_, table, row) = self
+                    .entries
+                    .iter()
+                    .find(|(b, _, _)| *b == q)
+                    .ok_or_else(|| EvalError::UnknownBinding(q.to_string()))?;
+                table
+                    .get_by_name(*row, name)
+                    .ok_or_else(|| EvalError::UnknownColumn(format!("{q}.{name}")))
+            }
+            None => {
+                let mut found: Option<Value> = None;
+                for (_, table, row) in &self.entries {
+                    if let Some(v) = table.get_by_name(*row, name) {
+                        if found.is_some() {
+                            return Err(EvalError::AmbiguousColumn(name.to_string()));
+                        }
+                        found = Some(v);
+                    }
+                }
+                found.ok_or_else(|| EvalError::UnknownColumn(name.to_string()))
+            }
+        }
+    }
+}
+
+/// Kleene three-valued logic encoded as `Value`: 1, 0 or NULL.
+fn tv(b: Option<bool>) -> Value {
+    match b {
+        Some(true) => Value::Int(1),
+        Some(false) => Value::Int(0),
+        None => Value::Null,
+    }
+}
+
+/// The three-valued truth of a value: NULL → unknown.
+fn truth(v: &Value) -> Option<bool> {
+    if v.is_null() {
+        None
+    } else {
+        Some(v.is_truthy())
+    }
+}
+
+/// Evaluates `expr` against `bindings`.
+pub fn eval(expr: &Expr, bindings: &Bindings<'_>) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Literal(l) => Ok(match l {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Float(v) => Value::Float(*v),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Null => Value::Null,
+        }),
+        Expr::Column {
+            qualifier, name, ..
+        } => bindings.resolve(qualifier.as_deref(), name),
+        Expr::Star => Err(EvalError::MisplacedStar),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, bindings)?;
+            Ok(match op {
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Not => tv(truth(&v).map(|b| !b)),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            match op {
+                // Kleene AND/OR can short-circuit on a determining side.
+                BinaryOp::And => {
+                    let l = truth(&eval(lhs, bindings)?);
+                    if l == Some(false) {
+                        return Ok(Value::Int(0));
+                    }
+                    let r = truth(&eval(rhs, bindings)?);
+                    Ok(tv(match (l, r) {
+                        (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    }))
+                }
+                BinaryOp::Or => {
+                    let l = truth(&eval(lhs, bindings)?);
+                    if l == Some(true) {
+                        return Ok(Value::Int(1));
+                    }
+                    let r = truth(&eval(rhs, bindings)?);
+                    Ok(tv(match (l, r) {
+                        (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    }))
+                }
+                _ => {
+                    let l = eval(lhs, bindings)?;
+                    let r = eval(rhs, bindings)?;
+                    Ok(match op {
+                        BinaryOp::Add => l.add(&r),
+                        BinaryOp::Sub => l.sub(&r),
+                        BinaryOp::Mul => l.mul(&r),
+                        BinaryOp::Div => l.div(&r),
+                        BinaryOp::Mod => l.rem(&r),
+                        BinaryOp::Eq => tv(l.sql_eq(&r)),
+                        BinaryOp::NotEq => tv(l.sql_eq(&r).map(|b| !b)),
+                        BinaryOp::Lt => tv(l.sql_cmp(&r).map(|o| o.is_lt())),
+                        BinaryOp::LtEq => tv(l.sql_cmp(&r).map(|o| o.is_le())),
+                        BinaryOp::Gt => tv(l.sql_cmp(&r).map(|o| o.is_gt())),
+                        BinaryOp::GtEq => tv(l.sql_cmp(&r).map(|o| o.is_ge())),
+                        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+                    })
+                }
+            }
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval(expr, bindings)?;
+            let lo = eval(low, bindings)?;
+            let hi = eval(high, bindings)?;
+            let inside = match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => Some(a.is_ge() && b.is_le()),
+                _ => None,
+            };
+            Ok(tv(if *negated { inside.map(|b| !b) } else { inside }))
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval(expr, bindings)?;
+            let mut saw_null = false;
+            let mut found = false;
+            for item in list {
+                let it = eval(item, bindings)?;
+                match v.sql_eq(&it) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            let r = if found {
+                Some(true)
+            } else if saw_null || v.is_null() {
+                None
+            } else {
+                Some(false)
+            };
+            Ok(tv(if *negated { r.map(|b| !b) } else { r }))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, bindings)?;
+            Ok(tv(Some(v.is_null() != *negated)))
+        }
+        Expr::Function { name, args } => {
+            if is_aggregate(name) {
+                return Err(EvalError::MisplacedAggregate(name.clone()));
+            }
+            let vals: Result<Vec<Value>, EvalError> =
+                args.iter().map(|a| eval(a, bindings)).collect();
+            functions::call(name, &vals?).map_err(|e| EvalError::Function(e.to_string()))
+        }
+    }
+}
+
+/// Evaluates a WHERE predicate: the row passes only when the result is
+/// definitely true (NULL filters the row out, per SQL).
+pub fn eval_predicate(expr: &Expr, bindings: &Bindings<'_>) -> Result<bool, EvalError> {
+    Ok(truth(&eval(expr, bindings)?) == Some(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType, Schema};
+    use qserv_sqlparse::parse_select;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            ColumnDef::new("objectId", ColumnType::Int),
+            ColumnDef::new("ra_PS", ColumnType::Float),
+            ColumnDef::new("zFlux_PS", ColumnType::Float),
+        ]));
+        t.push_row(vec![Value::Int(7), Value::Float(10.0), Value::Float(100.0)])
+            .unwrap();
+        t.push_row(vec![Value::Int(8), Value::Float(20.0), Value::Null])
+            .unwrap();
+        t
+    }
+
+    /// Parses `SELECT <expr> FROM T` and returns the expression.
+    fn expr(s: &str) -> Expr {
+        parse_select(&format!("SELECT {s} FROM T"))
+            .unwrap()
+            .projections
+            .remove(0)
+            .expr
+    }
+
+    fn eval_row(s: &str, row: usize) -> Result<Value, EvalError> {
+        let t = table();
+        let b = Bindings::single("T", &t, row);
+        eval(&expr(s), &b)
+    }
+
+    #[test]
+    fn column_resolution() {
+        assert_eq!(eval_row("objectId", 0).unwrap(), Value::Int(7));
+        assert_eq!(eval_row("T.ra_PS", 1).unwrap(), Value::Float(20.0));
+        assert!(matches!(
+            eval_row("nope", 0),
+            Err(EvalError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            eval_row("U.ra_PS", 0),
+            Err(EvalError::UnknownBinding(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_in_self_join() {
+        let t = table();
+        let b = Bindings::new(vec![("o1", &t, 0), ("o2", &t, 1)]);
+        assert!(matches!(
+            eval(&expr("objectId"), &b),
+            Err(EvalError::AmbiguousColumn(_))
+        ));
+        assert_eq!(eval(&expr("o2.objectId"), &b).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(eval_row("1 + 2 * 3", 0).unwrap(), Value::Int(7));
+        assert_eq!(eval_row("ra_PS / 4", 0).unwrap(), Value::Float(2.5));
+        assert_eq!(eval_row("objectId = 7", 0).unwrap(), Value::Int(1));
+        assert_eq!(eval_row("objectId != 7", 0).unwrap(), Value::Int(0));
+        assert_eq!(eval_row("ra_PS >= 10", 0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn null_comparisons_are_null() {
+        assert_eq!(eval_row("zFlux_PS > 0", 1).unwrap(), Value::Null);
+        assert_eq!(eval_row("zFlux_PS = NULL", 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        // NULL AND false = false; NULL AND true = NULL.
+        assert_eq!(eval_row("zFlux_PS > 0 AND 1 = 2", 1).unwrap(), Value::Int(0));
+        assert_eq!(eval_row("zFlux_PS > 0 AND 1 = 1", 1).unwrap(), Value::Null);
+        // NULL OR true = true; NULL OR false = NULL.
+        assert_eq!(eval_row("zFlux_PS > 0 OR 1 = 1", 1).unwrap(), Value::Int(1));
+        assert_eq!(eval_row("zFlux_PS > 0 OR 1 = 2", 1).unwrap(), Value::Null);
+        // NOT NULL = NULL.
+        assert_eq!(eval_row("NOT zFlux_PS > 0", 1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert_eq!(eval_row("ra_PS BETWEEN 5 AND 15", 0).unwrap(), Value::Int(1));
+        assert_eq!(eval_row("ra_PS NOT BETWEEN 5 AND 15", 0).unwrap(), Value::Int(0));
+        assert_eq!(eval_row("zFlux_PS BETWEEN 0 AND 1", 1).unwrap(), Value::Null);
+        assert_eq!(eval_row("objectId IN (1, 7, 9)", 0).unwrap(), Value::Int(1));
+        assert_eq!(eval_row("objectId IN (1, 2)", 0).unwrap(), Value::Int(0));
+        // x IN (..., NULL) with no match is NULL, not false.
+        assert_eq!(eval_row("objectId IN (1, NULL)", 0).unwrap(), Value::Null);
+        assert_eq!(eval_row("objectId NOT IN (1, 2)", 0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn is_null() {
+        assert_eq!(eval_row("zFlux_PS IS NULL", 1).unwrap(), Value::Int(1));
+        assert_eq!(eval_row("zFlux_PS IS NOT NULL", 1).unwrap(), Value::Int(0));
+        assert_eq!(eval_row("zFlux_PS IS NULL", 0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn scalar_functions_dispatch() {
+        let m = eval_row("fluxToAbMag(zFlux_PS)", 0).unwrap();
+        assert!((m.as_f64().unwrap() - (31.4 - 2.5 * 2.0)).abs() < 1e-12);
+        // NULL flux -> NULL magnitude.
+        assert_eq!(eval_row("fluxToAbMag(zFlux_PS)", 1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn aggregates_rejected_here() {
+        assert!(matches!(
+            eval_row("SUM(ra_PS)", 0),
+            Err(EvalError::MisplacedAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn star_rejected_here() {
+        let t = table();
+        let b = Bindings::single("T", &t, 0);
+        assert!(matches!(eval(&Expr::Star, &b), Err(EvalError::MisplacedStar)));
+    }
+
+    #[test]
+    fn predicate_semantics_null_is_false() {
+        let t = table();
+        let b = Bindings::single("T", &t, 1);
+        assert!(!eval_predicate(&expr("zFlux_PS > 0"), &b).unwrap());
+        assert!(eval_predicate(&expr("objectId = 8"), &b).unwrap());
+    }
+
+    #[test]
+    fn unary_negation() {
+        assert_eq!(eval_row("-objectId", 0).unwrap(), Value::Int(-7));
+        assert_eq!(eval_row("-(ra_PS)", 0).unwrap(), Value::Float(-10.0));
+        assert!(eval_row("-zFlux_PS", 1).unwrap().is_null());
+    }
+}

@@ -1,0 +1,323 @@
+//! Scalar UDFs installed on every worker engine.
+//!
+//! The paper's workers run with user-defined functions installed on their
+//! MySQL instances (§5.3: `qserv_areaspec_box` is rewritten to
+//! `qserv_ptInSphericalBox(ra_PS, decl_PS, ...) = 1` which "is rewritten to
+//! operate using a user-defined function installed on worker database
+//! instances"). This module is that UDF library:
+//!
+//! * `fluxToAbMag(flux)` / `abMagToFlux(mag)` — the photometric conversions
+//!   used by every filter query in the evaluation (§6.2).
+//! * `qserv_angSep(ra1, decl1, ra2, decl2)` — great-circle distance in
+//!   degrees (the near-neighbour predicate).
+//! * `qserv_ptInSphericalBox(ra, decl, lon1, lat1, lon2, lat2)` — 1/0
+//!   containment test against a spherical box.
+//! * Standard numeric helpers (`ABS`, `SQRT`, `FLOOR`, `CEIL`, `POW`,
+//!   `LOG10`, `LN`, `LEAST`, `GREATEST`).
+
+use crate::value::Value;
+use qserv_sphgeom::region::Region;
+use qserv_sphgeom::{angular_separation_deg, LonLat, SphericalBox};
+use std::fmt;
+
+/// Error from a scalar function invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionError {
+    /// Function name as invoked.
+    pub name: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for FunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.message)
+    }
+}
+
+impl std::error::Error for FunctionError {}
+
+/// The AB-magnitude zero point used by our synthetic catalog: fluxes are
+/// stored in nanojansky, for which `m_AB = 31.4 - 2.5·log10(f_nJy)` (the
+/// modern LSST convention).
+pub const AB_ZEROPOINT_NJY: f64 = 31.4;
+
+/// `fluxToAbMag`: converts a flux in nJy to AB magnitude. NULL (and
+/// non-positive flux, which has no magnitude) yields NULL.
+pub fn flux_to_ab_mag(flux: f64) -> Option<f64> {
+    if flux > 0.0 && flux.is_finite() {
+        Some(AB_ZEROPOINT_NJY - 2.5 * flux.log10())
+    } else {
+        None
+    }
+}
+
+/// `abMagToFlux`: inverse of [`flux_to_ab_mag`].
+pub fn ab_mag_to_flux(mag: f64) -> f64 {
+    10f64.powf((AB_ZEROPOINT_NJY - mag) / 2.5)
+}
+
+/// True when `name` is a scalar function this registry can evaluate.
+/// Matching is case-insensitive, as in MySQL.
+pub fn is_known(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "fluxtoabmag"
+            | "abmagtoflux"
+            | "qserv_angsep"
+            | "scisql_angsep"
+            | "qserv_ptinsphericalbox"
+            | "scisql_s2ptinbox"
+            | "abs"
+            | "sqrt"
+            | "floor"
+            | "ceil"
+            | "pow"
+            | "power"
+            | "log10"
+            | "ln"
+            | "least"
+            | "greatest"
+    )
+}
+
+/// Evaluates scalar function `name` on `args`.
+///
+/// NULL inputs yield NULL (MySQL UDF convention). Unknown functions and
+/// wrong arities are errors — the analyzer should have rejected them, so
+/// reaching here is a dispatch bug worth surfacing.
+pub fn call(name: &str, args: &[Value]) -> Result<Value, FunctionError> {
+    let lname = name.to_ascii_lowercase();
+    let err = |message: String| FunctionError {
+        name: name.to_string(),
+        message,
+    };
+    let arity = |n: usize| -> Result<(), FunctionError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("expected {n} arguments, got {}", args.len())))
+        }
+    };
+    // NULL propagation: any NULL argument makes the result NULL.
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    // All supported functions are numeric; coerce every argument once.
+    let nums: Result<Vec<f64>, FunctionError> = args
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| err(format!("non-numeric argument {v}")))
+        })
+        .collect();
+    let nums = nums?;
+
+    let out = match lname.as_str() {
+        "fluxtoabmag" => {
+            arity(1)?;
+            return Ok(match flux_to_ab_mag(nums[0]) {
+                Some(m) => Value::Float(m),
+                None => Value::Null,
+            });
+        }
+        "abmagtoflux" => {
+            arity(1)?;
+            ab_mag_to_flux(nums[0])
+        }
+        "qserv_angsep" | "scisql_angsep" => {
+            arity(4)?;
+            angular_separation_deg(nums[0], nums[1], nums[2], nums[3])
+        }
+        "qserv_ptinsphericalbox" | "scisql_s2ptinbox" => {
+            arity(6)?;
+            let b = SphericalBox::from_degrees(nums[2], nums[3], nums[4], nums[5]);
+            let inside = b.contains(&LonLat::from_degrees(nums[0], nums[1]));
+            return Ok(Value::Int(inside as i64));
+        }
+        "abs" => {
+            arity(1)?;
+            // Preserve integer-ness of ABS.
+            if let Value::Int(v) = args[0] {
+                return Ok(Value::Int(v.saturating_abs()));
+            }
+            nums[0].abs()
+        }
+        "sqrt" => {
+            arity(1)?;
+            if nums[0] < 0.0 {
+                return Ok(Value::Null);
+            }
+            nums[0].sqrt()
+        }
+        "floor" => {
+            arity(1)?;
+            return Ok(Value::Int(nums[0].floor() as i64));
+        }
+        "ceil" => {
+            arity(1)?;
+            return Ok(Value::Int(nums[0].ceil() as i64));
+        }
+        "pow" | "power" => {
+            arity(2)?;
+            nums[0].powf(nums[1])
+        }
+        "log10" => {
+            arity(1)?;
+            if nums[0] <= 0.0 {
+                return Ok(Value::Null);
+            }
+            nums[0].log10()
+        }
+        "ln" => {
+            arity(1)?;
+            if nums[0] <= 0.0 {
+                return Ok(Value::Null);
+            }
+            nums[0].ln()
+        }
+        "least" => {
+            if args.is_empty() {
+                return Err(err("LEAST needs at least one argument".into()));
+            }
+            nums.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+        "greatest" => {
+            if args.is_empty() {
+                return Err(err("GREATEST needs at least one argument".into()));
+            }
+            nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        }
+        _ => return Err(err("unknown function".into())),
+    };
+    Ok(Value::Float(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_mag_round_trip() {
+        for f in [1.0, 100.0, 3631e9 * 1e-9] {
+            let m = flux_to_ab_mag(f).unwrap();
+            let back = ab_mag_to_flux(m);
+            assert!((back - f).abs() / f < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flux_to_ab_mag_rejects_nonpositive() {
+        assert!(flux_to_ab_mag(0.0).is_none());
+        assert!(flux_to_ab_mag(-1.0).is_none());
+        assert_eq!(
+            call("fluxToAbMag", &[Value::Float(-1.0)]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn brighter_flux_means_smaller_magnitude() {
+        let faint = flux_to_ab_mag(10.0).unwrap();
+        let bright = flux_to_ab_mag(1000.0).unwrap();
+        assert!(bright < faint);
+        assert!((faint - bright - 5.0).abs() < 1e-12); // 100x flux = 5 mag
+    }
+
+    #[test]
+    fn angsep_matches_sphgeom() {
+        let v = call(
+            "qserv_angSep",
+            &[
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(90.0),
+                Value::Float(0.0),
+            ],
+        )
+        .unwrap();
+        assert!((v.as_f64().unwrap() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pt_in_spherical_box() {
+        let inside = call(
+            "qserv_ptInSphericalBox",
+            &[
+                Value::Float(5.0),
+                Value::Float(5.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(10.0),
+                Value::Float(10.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(inside, Value::Int(1));
+        let outside = call(
+            "qserv_ptInSphericalBox",
+            &[
+                Value::Float(15.0),
+                Value::Float(5.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(10.0),
+                Value::Float(10.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(outside, Value::Int(0));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            call("qserv_angSep", &[Value::Null, Value::Float(0.0), Value::Float(0.0), Value::Float(0.0)])
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(call("qserv_angSep", &[Value::Float(0.0)]).is_err());
+        assert!(call("fluxToAbMag", &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert!(call("nope", &[Value::Int(1)]).is_err());
+        assert!(!is_known("nope"));
+        assert!(is_known("FluxToAbMag"));
+        assert!(is_known("QSERV_ANGSEP"));
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        assert_eq!(call("ABS", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(call("FLOOR", &[Value::Float(2.7)]).unwrap(), Value::Int(2));
+        assert_eq!(call("CEIL", &[Value::Float(2.2)]).unwrap(), Value::Int(3));
+        assert_eq!(
+            call("SQRT", &[Value::Float(-1.0)]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            call("LEAST", &[Value::Int(3), Value::Float(1.5), Value::Int(2)]).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            call("GREATEST", &[Value::Int(3), Value::Float(1.5)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(call("LOG10", &[Value::Float(0.0)]).unwrap(), Value::Null);
+        assert_eq!(
+            call("POW", &[Value::Float(2.0), Value::Float(10.0)]).unwrap(),
+            Value::Float(1024.0)
+        );
+    }
+
+    #[test]
+    fn string_argument_rejected() {
+        assert!(call("sqrt", &[Value::Str("x".into())]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Embedded per-worker SQL execution engine — the MySQL substitute.
+//!
+//! The original Qserv delegates per-chunk query execution to a MySQL server
+//! on each worker (paper §5.1.1), deliberately staying loosely coupled:
+//! "Qserv's design and implementation do not depend on specifics of MySQL
+//! beyond glue code facilitating results transmission." This crate is that
+//! pluggable engine, built from scratch:
+//!
+//! * [`value`] — the dynamic [`value::Value`] type with SQL (three-valued)
+//!   comparison and arithmetic semantics.
+//! * [`schema`] — column types and table schemas.
+//! * [`table`] — columnar table storage with an optional integer
+//!   primary-key index (the per-chunk `objectId` index of paper §5.5).
+//! * [`functions`] — scalar UDFs installed on every worker: `fluxToAbMag`,
+//!   `abMagToFlux`, `qserv_angSep`, `qserv_ptInSphericalBox` (paper §5.3).
+//! * [`eval`] — expression evaluation over row bindings.
+//! * [`exec`] — the query executor: filtered scans, index lookups,
+//!   hash-equi-joins and nested-loop spatial joins, grouping/aggregation,
+//!   ordering, projection.
+//! * [`dump`] — `mysqldump`-style result serialization: result tables
+//!   travel from worker to master as SQL text and are re-loaded by
+//!   executing it (paper §5.4 "Query Results Transfer").
+//! * [`db`] — a named collection of tables (one per worker in Qserv;
+//!   chunk tables are named `Object_CC`, subchunk tables
+//!   `Object_CC_SS`, exactly as in paper §5.2).
+
+pub mod db;
+pub mod dump;
+pub mod eval;
+pub mod exec;
+pub mod functions;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use exec::{execute, ExecError, ResultTable};
+pub use schema::{ColumnDef, ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,188 @@
+//! Column types and table schemas.
+
+use crate::value::Value;
+use std::fmt;
+
+/// The storage type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer (`BIGINT`).
+    Int,
+    /// 64-bit float (`DOUBLE`).
+    Float,
+    /// Variable-length string (`VARCHAR`).
+    Str,
+}
+
+impl ColumnType {
+    /// Bytes one value of this type occupies in our columnar storage
+    /// (strings are estimated at their in-catalog average below; callers
+    /// needing exact string footprints measure the data).
+    pub fn fixed_width(&self) -> usize {
+        match self {
+            ColumnType::Int | ColumnType::Float => 8,
+            ColumnType::Str => 16, // Estimated average; catalog tables are numeric.
+        }
+    }
+
+    /// True when `v` can be stored in a column of this type (NULL fits
+    /// everywhere).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_)) // widened on insert
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColumnType::Int => "BIGINT",
+            ColumnType::Float => "DOUBLE",
+            ColumnType::Str => "VARCHAR",
+        })
+    }
+}
+
+/// One column's definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive, as LSST schemas are).
+    pub name: String,
+    /// Storage type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, ty: ColumnType) -> ColumnDef {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema; panics on duplicate column names (a schema is
+    /// developer input, not user input).
+    pub fn new(columns: Vec<ColumnDef>) -> Schema {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by exact name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Estimated bytes per row (fixed-width accounting; paper Table 1
+    /// footprints are computed this way, "neglecting compression and
+    /// database overheads").
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|c| c.ty.fixed_width()).sum()
+    }
+
+    /// Appends a column; panics on duplicates.
+    pub fn push(&mut self, def: ColumnDef) {
+        assert!(
+            self.index_of(&def.name).is_none(),
+            "duplicate column name {:?}",
+            def.name
+        );
+        self.columns.push(def);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("objectId", ColumnType::Int),
+            ColumnDef::new("ra_PS", ColumnType::Float),
+            ColumnDef::new("tag", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = demo();
+        assert_eq!(s.index_of("ra_PS"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.column("objectId").unwrap().ty, ColumnType::Int);
+    }
+
+    #[test]
+    fn case_sensitive_names() {
+        let s = demo();
+        assert_eq!(s.index_of("RA_ps"), None);
+    }
+
+    #[test]
+    fn row_width_counts_fixed_bytes() {
+        assert_eq!(demo().row_width(), 8 + 8 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_rejected() {
+        Schema::new(vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("a", ColumnType::Float),
+        ]);
+    }
+
+    #[test]
+    fn admits_widens_int_to_float() {
+        assert!(ColumnType::Float.admits(&Value::Int(1)));
+        assert!(!ColumnType::Int.admits(&Value::Float(1.0)));
+        assert!(ColumnType::Str.admits(&Value::Null));
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut s = demo();
+        s.push(ColumnDef::new("chunkId", ColumnType::Int));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("chunkId"), Some(3));
+    }
+}

@@ -1,0 +1,658 @@
+//! The stripe/sub-stripe two-level chunker.
+//!
+//! The sphere is cut into `num_stripes` equal-height declination stripes.
+//! Each stripe is cut into right-ascension segments ("chunks") whose count is
+//! chosen per stripe so chunk *area* stays roughly constant: stripes near the
+//! poles get fewer, wider segments. Every stripe is further cut into
+//! `num_substripes` sub-stripes, and each chunk into subchunk RA segments the
+//! same way — the fine level used for on-the-fly near-neighbour join tables
+//! (paper §4.4 "Two-level partitions").
+//!
+//! Chunk ids are `stripe * stride + ra_index` with a fixed stride (the
+//! maximum chunk count of any stripe), so `chunk_id / stride` recovers the
+//! stripe. Subchunk ids use the same construction within a chunk.
+
+use qserv_sphgeom::region::Region;
+use qserv_sphgeom::{Angle, LonLat, SphericalBox};
+use std::fmt;
+
+/// Errors produced by [`Chunker`] construction and lookups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkerError {
+    /// Constructor arguments out of range.
+    BadConfig(String),
+    /// A chunk or subchunk id that does not exist in this partitioning.
+    NoSuchChunk(i32),
+    /// A subchunk id that does not exist within the given chunk.
+    NoSuchSubchunk { chunk: i32, subchunk: i32 },
+}
+
+impl fmt::Display for ChunkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkerError::BadConfig(m) => write!(f, "bad chunker config: {m}"),
+            ChunkerError::NoSuchChunk(c) => write!(f, "no such chunk: {c}"),
+            ChunkerError::NoSuchSubchunk { chunk, subchunk } => {
+                write!(f, "no such subchunk {subchunk} in chunk {chunk}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkerError {}
+
+/// Where a point lands in the two-level partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChunkLocation {
+    /// First-level fragment id (the `CC` of `Object_CC`).
+    pub chunk_id: i32,
+    /// Second-level fragment id within the chunk (the `SS` of
+    /// `Object_CC_SS`).
+    pub subchunk_id: i32,
+}
+
+/// The two-level spherical partition map.
+///
+/// Immutable after construction; cheap to clone (a few `Vec`s of per-stripe
+/// metadata) and `Sync`, so the frontend and all workers can share one.
+#[derive(Clone, Debug)]
+pub struct Chunker {
+    num_stripes: usize,
+    num_substripes: usize, // per stripe
+    overlap: Angle,
+    stripe_height_deg: f64,
+    substripe_height_deg: f64,
+    /// Number of chunks in each stripe.
+    chunks_per_stripe: Vec<usize>,
+    /// Chunk id stride between stripes (max chunks in any stripe).
+    stride: usize,
+    /// Per stripe: number of subchunks per (substripe, chunk) column, and
+    /// the subchunk stride within chunks of that stripe.
+    subchunks_per_substripe: Vec<Vec<usize>>,
+    sub_stride: Vec<usize>,
+}
+
+impl Chunker {
+    /// Creates the partitioning used throughout the paper's evaluation:
+    /// 85 stripes, 12 sub-stripes per stripe, 1 arcminute of overlap
+    /// (§6.1.2).
+    pub fn paper_default() -> Chunker {
+        Chunker::new(85, 12, Angle::from_arcmin(1.0)).expect("paper parameters are valid")
+    }
+
+    /// A small partitioning convenient for tests: 18 stripes (10° each),
+    /// 10 sub-stripes, 0.1° overlap.
+    pub fn test_small() -> Chunker {
+        Chunker::new(18, 10, Angle::from_degrees(0.1)).expect("test parameters are valid")
+    }
+
+    /// Creates a chunker with `num_stripes` declination stripes, each with
+    /// `num_substripes` sub-stripes, and the given overlap radius.
+    pub fn new(
+        num_stripes: usize,
+        num_substripes: usize,
+        overlap: Angle,
+    ) -> Result<Chunker, ChunkerError> {
+        if num_stripes == 0 || num_stripes > 10_000 {
+            return Err(ChunkerError::BadConfig(format!(
+                "num_stripes must be in 1..=10000, got {num_stripes}"
+            )));
+        }
+        if num_substripes == 0 || num_substripes > 1_000 {
+            return Err(ChunkerError::BadConfig(format!(
+                "num_substripes must be in 1..=1000, got {num_substripes}"
+            )));
+        }
+        if !overlap.is_finite() || overlap.radians() < 0.0 || overlap.degrees() > 10.0 {
+            return Err(ChunkerError::BadConfig(format!(
+                "overlap must be in [0°, 10°], got {overlap}"
+            )));
+        }
+        let stripe_height_deg = 180.0 / num_stripes as f64;
+        let substripe_height_deg = stripe_height_deg / num_substripes as f64;
+
+        // Chunks per stripe: enough RA segments that each segment's width at
+        // the stripe's widest declination is at least the stripe height
+        // (i.e. chunks are no taller than wide at their widest point),
+        // yielding roughly equal-area chunks.
+        let mut chunks_per_stripe = Vec::with_capacity(num_stripes);
+        for s in 0..num_stripes {
+            chunks_per_stripe.push(segments_for_band(
+                stripe_lat_min(s, stripe_height_deg),
+                stripe_height_deg,
+                stripe_height_deg,
+            ));
+        }
+        let stride = *chunks_per_stripe.iter().max().expect("num_stripes > 0");
+
+        // Subchunks: within each stripe, each chunk column is cut per
+        // sub-stripe into RA segments of roughly substripe height.
+        let mut subchunks_per_substripe = Vec::with_capacity(num_stripes);
+        let mut sub_stride = Vec::with_capacity(num_stripes);
+        for (s, &n_chunks) in chunks_per_stripe.iter().enumerate() {
+            let chunk_width_deg = 360.0 / n_chunks as f64;
+            let mut counts = Vec::with_capacity(num_substripes);
+            for ss in 0..num_substripes {
+                let lat_min =
+                    stripe_lat_min(s, stripe_height_deg) + ss as f64 * substripe_height_deg;
+                counts.push(segments_for_band_width(
+                    lat_min,
+                    substripe_height_deg,
+                    substripe_height_deg,
+                    chunk_width_deg,
+                ));
+            }
+            let st = *counts.iter().max().expect("num_substripes > 0");
+            subchunks_per_substripe.push(counts);
+            sub_stride.push(st);
+        }
+
+        Ok(Chunker {
+            num_stripes,
+            num_substripes,
+            overlap,
+            stripe_height_deg,
+            substripe_height_deg,
+            chunks_per_stripe,
+            stride,
+            subchunks_per_substripe,
+            sub_stride,
+        })
+    }
+
+    /// The configured overlap radius (paper §4.4 "Overlap").
+    pub fn overlap(&self) -> Angle {
+        self.overlap
+    }
+
+    /// Number of declination stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.num_stripes
+    }
+
+    /// Number of sub-stripes per stripe.
+    pub fn num_substripes(&self) -> usize {
+        self.num_substripes
+    }
+
+    /// Stripe height in degrees (the paper's ≈2.11° for 85 stripes).
+    pub fn stripe_height_deg(&self) -> f64 {
+        self.stripe_height_deg
+    }
+
+    /// Sub-stripe height in degrees (the paper's ≈0.176°).
+    pub fn substripe_height_deg(&self) -> f64 {
+        self.substripe_height_deg
+    }
+
+    /// Total number of chunks over the full sky.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks_per_stripe.iter().sum()
+    }
+
+    /// Every chunk id, in ascending order.
+    pub fn all_chunks(&self) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.num_chunks());
+        for (s, &n) in self.chunks_per_stripe.iter().enumerate() {
+            for c in 0..n {
+                out.push((s * self.stride + c) as i32);
+            }
+        }
+        out
+    }
+
+    /// True when `chunk_id` names a chunk of this partitioning.
+    pub fn is_valid_chunk(&self, chunk_id: i32) -> bool {
+        if chunk_id < 0 {
+            return false;
+        }
+        let (s, c) = (
+            chunk_id as usize / self.stride,
+            chunk_id as usize % self.stride,
+        );
+        s < self.num_stripes && c < self.chunks_per_stripe[s]
+    }
+
+    /// The stripe index of a chunk.
+    pub fn stripe_of(&self, chunk_id: i32) -> Result<usize, ChunkerError> {
+        if !self.is_valid_chunk(chunk_id) {
+            return Err(ChunkerError::NoSuchChunk(chunk_id));
+        }
+        Ok(chunk_id as usize / self.stride)
+    }
+
+    /// Locates a point: which chunk and subchunk contain it.
+    pub fn locate(&self, p: &LonLat) -> ChunkLocation {
+        let (s, c) = self.stripe_chunk_of(p);
+        let subchunk_id = self.subchunk_within(s, c, p);
+        ChunkLocation {
+            chunk_id: (s * self.stride + c) as i32,
+            subchunk_id,
+        }
+    }
+
+    fn stripe_chunk_of(&self, p: &LonLat) -> (usize, usize) {
+        let s = (((p.decl_deg() + 90.0) / self.stripe_height_deg) as usize)
+            .min(self.num_stripes - 1);
+        let n = self.chunks_per_stripe[s];
+        let c = ((p.ra_deg() / 360.0 * n as f64) as usize).min(n - 1);
+        (s, c)
+    }
+
+    fn subchunk_within(&self, s: usize, c: usize, p: &LonLat) -> i32 {
+        let stripe_lat0 = stripe_lat_min(s, self.stripe_height_deg);
+        let ss = (((p.decl_deg() - stripe_lat0) / self.substripe_height_deg) as usize)
+            .min(self.num_substripes - 1);
+        let n = self.chunks_per_stripe[s];
+        let chunk_width = 360.0 / n as f64;
+        let chunk_lon0 = c as f64 * chunk_width;
+        let nsc = self.subchunks_per_substripe[s][ss];
+        let sc = (((p.ra_deg() - chunk_lon0) / chunk_width * nsc as f64) as usize).min(nsc - 1);
+        (ss * self.sub_stride[s] + sc) as i32
+    }
+
+    /// Bounding box of a chunk (without overlap).
+    pub fn chunk_bounds(&self, chunk_id: i32) -> Result<SphericalBox, ChunkerError> {
+        let s = self.stripe_of(chunk_id)?;
+        let c = chunk_id as usize % self.stride;
+        let n = self.chunks_per_stripe[s];
+        let w = 360.0 / n as f64;
+        let lat0 = stripe_lat_min(s, self.stripe_height_deg);
+        Ok(SphericalBox::from_degrees(
+            c as f64 * w,
+            lat0,
+            (c + 1) as f64 * w,
+            lat0 + self.stripe_height_deg,
+        ))
+    }
+
+    /// Bounding box of a chunk *including* its overlap margin: the region of
+    /// rows stored with the chunk so spatial joins within `overlap` of the
+    /// border need no other node's data.
+    pub fn chunk_bounds_with_overlap(&self, chunk_id: i32) -> Result<SphericalBox, ChunkerError> {
+        Ok(self.chunk_bounds(chunk_id)?.dilated(self.overlap))
+    }
+
+    /// All subchunk ids of a chunk, ascending.
+    pub fn subchunks_of(&self, chunk_id: i32) -> Result<Vec<i32>, ChunkerError> {
+        let s = self.stripe_of(chunk_id)?;
+        let mut out = Vec::new();
+        for (ss, &n) in self.subchunks_per_substripe[s].iter().enumerate() {
+            for sc in 0..n {
+                out.push((ss * self.sub_stride[s] + sc) as i32);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bounding box of a subchunk within a chunk (without overlap).
+    pub fn subchunk_bounds(
+        &self,
+        chunk_id: i32,
+        subchunk_id: i32,
+    ) -> Result<SphericalBox, ChunkerError> {
+        let s = self.stripe_of(chunk_id)?;
+        if subchunk_id < 0 {
+            return Err(ChunkerError::NoSuchSubchunk {
+                chunk: chunk_id,
+                subchunk: subchunk_id,
+            });
+        }
+        let ss = subchunk_id as usize / self.sub_stride[s];
+        let sc = subchunk_id as usize % self.sub_stride[s];
+        if ss >= self.num_substripes || sc >= self.subchunks_per_substripe[s][ss] {
+            return Err(ChunkerError::NoSuchSubchunk {
+                chunk: chunk_id,
+                subchunk: subchunk_id,
+            });
+        }
+        let chunk = self.chunk_bounds(chunk_id)?;
+        let nsc = self.subchunks_per_substripe[s][ss];
+        let scw = chunk.lon_extent_deg() / nsc as f64;
+        let lat0 = chunk.lat_min_deg() + ss as f64 * self.substripe_height_deg;
+        Ok(SphericalBox::from_degrees(
+            chunk.lon_min_deg() + sc as f64 * scw,
+            lat0,
+            chunk.lon_min_deg() + (sc + 1) as f64 * scw,
+            lat0 + self.substripe_height_deg,
+        ))
+    }
+
+    /// Subchunk bounds dilated by the overlap radius.
+    pub fn subchunk_bounds_with_overlap(
+        &self,
+        chunk_id: i32,
+        subchunk_id: i32,
+    ) -> Result<SphericalBox, ChunkerError> {
+        Ok(self.subchunk_bounds(chunk_id, subchunk_id)?.dilated(self.overlap))
+    }
+
+    /// True when `p` belongs to `chunk_id`'s *overlap* region: inside the
+    /// dilated bounds but not the chunk proper. Such rows are stored in the
+    /// chunk's overlap table (paper §4.4).
+    pub fn in_overlap(&self, chunk_id: i32, p: &LonLat) -> Result<bool, ChunkerError> {
+        let own = self.chunk_bounds(chunk_id)?;
+        if own.contains(p) {
+            return Ok(false);
+        }
+        Ok(self.chunk_bounds_with_overlap(chunk_id)?.contains(p))
+    }
+
+    /// The chunks whose bounds intersect `region` — the spatial-restriction
+    /// step of query analysis (paper §5.3 "Detect spatial restrictions").
+    /// Conservative: may include a chunk that only touches the region's
+    /// bounding box, never omits a chunk containing matching rows.
+    pub fn chunks_intersecting(&self, region: &SphericalBox) -> Vec<i32> {
+        let mut out = Vec::new();
+        // Only stripes overlapping the region's declination range.
+        let s_lo = (((region.lat_min_deg() + 90.0) / self.stripe_height_deg).floor() as isize)
+            .clamp(0, self.num_stripes as isize - 1) as usize;
+        let s_hi = (((region.lat_max_deg() + 90.0) / self.stripe_height_deg).ceil() as isize)
+            .clamp(0, self.num_stripes as isize - 1) as usize;
+        for s in s_lo..=s_hi {
+            let n = self.chunks_per_stripe[s];
+            let w = 360.0 / n as f64;
+            let lat0 = stripe_lat_min(s, self.stripe_height_deg);
+            let stripe_box =
+                SphericalBox::from_degrees(0.0, lat0, 360.0, lat0 + self.stripe_height_deg);
+            if !region.intersects(&stripe_box) {
+                continue;
+            }
+            if region.is_full_lon() {
+                for c in 0..n {
+                    out.push((s * self.stride + c) as i32);
+                }
+                continue;
+            }
+            // Chunk RA columns covering [lon_min, lon_min + extent].
+            let lo = region.lon_min_deg();
+            let extent = region.lon_extent_deg();
+            let c_lo = (lo / w).floor() as usize;
+            let c_hi = ((lo + extent) / w).floor() as usize; // may exceed n: wraps
+            for ci in c_lo..=c_hi {
+                out.push((s * self.stride + ci % n) as i32);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The subchunks of `chunk_id` whose bounds intersect `region`.
+    pub fn subchunks_intersecting(
+        &self,
+        chunk_id: i32,
+        region: &SphericalBox,
+    ) -> Result<Vec<i32>, ChunkerError> {
+        let all = self.subchunks_of(chunk_id)?;
+        let mut out = Vec::new();
+        for sc in all {
+            if self.subchunk_bounds(chunk_id, sc)?.intersects(region) {
+                out.push(sc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-chunk areas in deg² (for partition-skew statistics; Ablation C).
+    pub fn chunk_areas_deg2(&self) -> Vec<f64> {
+        self.all_chunks()
+            .iter()
+            .map(|&c| self.chunk_bounds(c).expect("all_chunks are valid").area_deg2())
+            .collect()
+    }
+}
+
+/// Declination (degrees) of the bottom of stripe `s`.
+fn stripe_lat_min(s: usize, stripe_height_deg: f64) -> f64 {
+    -90.0 + s as f64 * stripe_height_deg
+}
+
+/// Number of RA segments for a latitude band so each segment's arc width at
+/// the band's widest latitude is at least `target_width_deg`.
+fn segments_for_band(lat_min_deg: f64, height_deg: f64, target_width_deg: f64) -> usize {
+    segments_for_band_width(lat_min_deg, height_deg, target_width_deg, 360.0)
+}
+
+/// As [`segments_for_band`], but cutting a band of RA extent
+/// `ra_extent_deg` instead of the whole circle.
+fn segments_for_band_width(
+    lat_min_deg: f64,
+    height_deg: f64,
+    target_width_deg: f64,
+    ra_extent_deg: f64,
+) -> usize {
+    let lat_max_deg = lat_min_deg + height_deg;
+    // Widest point of the band: the latitude of smallest |lat|.
+    let widest = if lat_min_deg <= 0.0 && lat_max_deg >= 0.0 {
+        0.0
+    } else {
+        lat_min_deg.abs().min(lat_max_deg.abs())
+    };
+    let cos = widest.to_radians().cos();
+    let n = (ra_extent_deg * cos / target_width_deg).floor() as usize;
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qserv_sphgeom::region::Region;
+
+    #[test]
+    fn paper_default_matches_section_6_1_2() {
+        let c = Chunker::paper_default();
+        // 85 stripes -> stripe height ~2.1176, substripe ~0.1765.
+        assert!((c.stripe_height_deg() - 2.1176).abs() < 1e-3);
+        assert!((c.substripe_height_deg() - 0.17647).abs() < 1e-4);
+        // The paper reports 8983 chunks; our per-stripe rounding must land
+        // in the same regime (equal-area partitions of ~4.5 deg^2).
+        let n = c.num_chunks();
+        assert!(
+            (8000..=10000).contains(&n),
+            "expected ~9000 chunks, got {n}"
+        );
+        // Median chunk area near 4.5 deg^2.
+        let mut areas = c.chunk_areas_deg2();
+        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = areas[areas.len() / 2];
+        assert!(
+            (3.5..=5.5).contains(&median),
+            "median chunk area {median} deg^2"
+        );
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(Chunker::new(0, 12, Angle::ZERO).is_err());
+        assert!(Chunker::new(85, 0, Angle::ZERO).is_err());
+        assert!(Chunker::new(85, 12, Angle::from_degrees(-1.0)).is_err());
+        assert!(Chunker::new(85, 12, Angle::from_degrees(99.0)).is_err());
+        assert!(Chunker::new(85, 12, Angle::from_radians(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn locate_agrees_with_chunk_bounds() {
+        let c = Chunker::test_small();
+        for &(ra, decl) in &[
+            (0.0, 0.0),
+            (359.9, 89.9),
+            (180.0, -89.9),
+            (42.0, 13.7),
+            (0.0001, -0.0001),
+            (275.5, 54.3),
+        ] {
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = c.locate(&p);
+            let b = c.chunk_bounds(loc.chunk_id).unwrap();
+            assert!(b.contains(&p), "({ra},{decl}) not in its chunk bounds");
+            let sb = c.subchunk_bounds(loc.chunk_id, loc.subchunk_id).unwrap();
+            assert!(sb.contains(&p), "({ra},{decl}) not in its subchunk bounds");
+        }
+    }
+
+    #[test]
+    fn chunk_ids_decompose() {
+        let c = Chunker::test_small();
+        for id in c.all_chunks() {
+            assert!(c.is_valid_chunk(id));
+            assert!(c.chunk_bounds(id).is_ok());
+        }
+        assert!(!c.is_valid_chunk(-1));
+        assert!(!c.is_valid_chunk(i32::MAX));
+        assert!(c.chunk_bounds(i32::MAX).is_err());
+    }
+
+    #[test]
+    fn subchunks_tile_chunk() {
+        let c = Chunker::test_small();
+        let chunk = c.all_chunks()[5];
+        let subs = c.subchunks_of(chunk).unwrap();
+        let chunk_area = c.chunk_bounds(chunk).unwrap().area_deg2();
+        let sub_area: f64 = subs
+            .iter()
+            .map(|&s| c.subchunk_bounds(chunk, s).unwrap().area_deg2())
+            .sum();
+        assert!(
+            (chunk_area - sub_area).abs() / chunk_area < 1e-9,
+            "subchunks must exactly tile the chunk: {chunk_area} vs {sub_area}"
+        );
+    }
+
+    #[test]
+    fn polar_stripes_have_fewer_chunks() {
+        let c = Chunker::paper_default();
+        let equator_chunk = c.locate(&LonLat::from_degrees(10.0, 0.0)).chunk_id;
+        let polar_chunk = c.locate(&LonLat::from_degrees(10.0, 89.0)).chunk_id;
+        let s_eq = c.stripe_of(equator_chunk).unwrap();
+        let s_po = c.stripe_of(polar_chunk).unwrap();
+        assert!(c.chunks_per_stripe[s_po] < c.chunks_per_stripe[s_eq] / 10);
+    }
+
+    #[test]
+    fn overlap_membership() {
+        let c = Chunker::test_small();
+        // A point just outside a chunk border must be in that chunk's
+        // overlap.
+        let chunk = c.locate(&LonLat::from_degrees(15.0, 5.0)).chunk_id;
+        let b = c.chunk_bounds(chunk).unwrap();
+        let outside = LonLat::from_degrees(b.lon_max_deg() + 0.05, 5.0);
+        assert!(!b.contains(&outside));
+        assert!(c.in_overlap(chunk, &outside).unwrap());
+        // A point well away is in neither.
+        let far = LonLat::from_degrees(b.lon_max_deg() + 5.0, 5.0);
+        assert!(!c.in_overlap(chunk, &far).unwrap());
+        // A point inside the chunk is not "overlap".
+        assert!(!c.in_overlap(chunk, &LonLat::from_degrees(15.0, 5.0)).unwrap());
+    }
+
+    #[test]
+    fn chunks_intersecting_small_box() {
+        let c = Chunker::paper_default();
+        // A 1 deg^2 box should hit only a handful of ~4.5 deg^2 chunks.
+        let b = SphericalBox::from_degrees(100.0, 10.0, 101.0, 11.0);
+        let hits = c.chunks_intersecting(&b);
+        assert!(!hits.is_empty() && hits.len() <= 9, "got {}", hits.len());
+        // And the located chunk of an interior point must be among them.
+        let loc = c.locate(&LonLat::from_degrees(100.5, 10.5));
+        assert!(hits.contains(&loc.chunk_id));
+    }
+
+    #[test]
+    fn chunks_intersecting_full_sky_is_all() {
+        let c = Chunker::test_small();
+        let hits = c.chunks_intersecting(&SphericalBox::full_sky());
+        assert_eq!(hits, c.all_chunks());
+    }
+
+    #[test]
+    fn chunks_intersecting_wrapping_box() {
+        let c = Chunker::paper_default();
+        // The PT1.1 footprint wraps through RA 0.
+        let b = SphericalBox::from_degrees(358.0, -7.0, 5.0, 7.0);
+        let hits = c.chunks_intersecting(&b);
+        assert!(!hits.is_empty());
+        for &(ra, decl) in &[(358.5, 0.0), (0.0, 6.9), (4.9, -6.9)] {
+            let loc = c.locate(&LonLat::from_degrees(ra, decl));
+            assert!(hits.contains(&loc.chunk_id), "missing chunk for ({ra},{decl})");
+        }
+    }
+
+    #[test]
+    fn subchunks_intersecting_restricts() {
+        let c = Chunker::test_small();
+        let chunk = c.locate(&LonLat::from_degrees(15.0, 5.0)).chunk_id;
+        let all = c.subchunks_of(chunk).unwrap();
+        let tiny = SphericalBox::from_degrees(15.0, 5.0, 15.01, 5.01);
+        let some = c.subchunks_intersecting(chunk, &tiny).unwrap();
+        assert!(!some.is_empty());
+        assert!(some.len() < all.len());
+    }
+
+    #[test]
+    fn invalid_subchunk_rejected() {
+        let c = Chunker::test_small();
+        let chunk = c.all_chunks()[0];
+        assert!(c.subchunk_bounds(chunk, -1).is_err());
+        assert!(c.subchunk_bounds(chunk, i32::MAX).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn every_point_locates_consistently(ra in 0.0f64..360.0, decl in -90.0f64..90.0) {
+            let c = Chunker::test_small();
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = c.locate(&p);
+            prop_assert!(c.is_valid_chunk(loc.chunk_id));
+            prop_assert!(c.chunk_bounds(loc.chunk_id).unwrap().contains(&p));
+            prop_assert!(c.subchunk_bounds(loc.chunk_id, loc.subchunk_id).unwrap().contains(&p));
+        }
+
+        #[test]
+        fn chunk_selection_never_misses(
+            ra in 0.0f64..360.0, decl in -89.0f64..89.0,
+            w in 0.01f64..30.0, h in 0.01f64..10.0,
+        ) {
+            let c = Chunker::test_small();
+            let b = SphericalBox::from_degrees(ra, decl, ra + w, (decl + h).min(90.0));
+            let hits = c.chunks_intersecting(&b);
+            // Any point inside the box must live in a selected chunk.
+            for (fx, fy) in [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (0.99, 0.01)] {
+                let p = LonLat::from_degrees(ra + fx * w, (decl + fy * h).min(90.0));
+                if b.contains(&p) {
+                    prop_assert!(hits.contains(&c.locate(&p).chunk_id));
+                }
+            }
+        }
+
+        #[test]
+        fn points_in_two_chunks_never(ra in 0.0f64..360.0, decl in -90.0f64..90.0) {
+            // Chunks partition the sphere: locate is a function, and the
+            // located chunk's *un-dilated* bounds contain the point, so two
+            // different chunks can't both claim it as their own row.
+            let c = Chunker::test_small();
+            let p = LonLat::from_degrees(ra, decl);
+            let own = c.locate(&p).chunk_id;
+            let mut owners = 0;
+            for id in c.chunks_intersecting(
+                &SphericalBox::from_degrees(ra - 0.2, decl - 0.2, ra + 0.2, decl + 0.2),
+            ) {
+                // Interior points: strictly inside (not on a boundary).
+                let b = c.chunk_bounds(id).unwrap();
+                let strictly_inside = p.ra_deg() > b.lon_min_deg() + 1e-9
+                    && p.ra_deg() < b.lon_max_deg() - 1e-9
+                    && p.decl_deg() > b.lat_min_deg() + 1e-9
+                    && p.decl_deg() < b.lat_max_deg() - 1e-9
+                    && !b.wraps();
+                if strictly_inside {
+                    owners += 1;
+                    prop_assert_eq!(id, own);
+                }
+            }
+            prop_assert!(owners <= 1);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! HTM-based two-level partitioning — the §7.5 alternative.
+//!
+//! The paper's discussion: "The rectangular fragmentation in right
+//! ascension and declination … is problematic due to severe distortion
+//! near the poles. We are exploring the use of a hierarchical scheme,
+//! such as the hierarchical triangular mesh (HTM) for partitioning and
+//! spatial indexing. These schemes can produce partitions with less
+//! variation in area, and map spherical points to integer identifiers
+//! encoding the points' partitions at many subdivision levels."
+//!
+//! [`HtmChunker`] realizes that design: chunks are HTM trixels at a
+//! coarse level, subchunks are their descendants `sub_depth` levels
+//! deeper, and — the bonus §7.5 calls out — a subchunk id *is* the
+//! chunk id's bit-prefix extension, so "interactive queries with very
+//! small spatial extent can be rewritten to operate over a small set of
+//! fine partition IDs" without any lookup table.
+//!
+//! The API mirrors [`crate::chunker::Chunker`] so the two schemes can be
+//! compared side by side (Ablation C); chunk ids are the trixel ids
+//! themselves (which never collide with stripe-scheme ids in tests
+//! because both are used with their own cluster).
+
+use crate::chunker::{ChunkLocation, ChunkerError};
+use qserv_sphgeom::htm::{self, Trixel};
+use qserv_sphgeom::{Angle, LonLat, SphericalBox};
+
+/// Two-level HTM partitioning: chunks at `chunk_level`, subchunks
+/// `sub_depth` levels deeper.
+#[derive(Clone, Debug)]
+pub struct HtmChunker {
+    chunk_level: u8,
+    sub_depth: u8,
+    overlap: Angle,
+}
+
+impl HtmChunker {
+    /// Creates an HTM chunker. `chunk_level` 4 gives 2048 chunks of
+    /// ~20 deg²; level 5 gives 8192 of ~5 deg² (closest to the paper's
+    /// 4.5 deg² stripe chunks). `sub_depth` 2 gives 16 subchunks per
+    /// chunk.
+    pub fn new(chunk_level: u8, sub_depth: u8, overlap: Angle) -> Result<HtmChunker, ChunkerError> {
+        if chunk_level > 10 {
+            return Err(ChunkerError::BadConfig(format!(
+                "chunk_level must be ≤ 10, got {chunk_level}"
+            )));
+        }
+        if sub_depth == 0 || chunk_level + sub_depth > htm::MAX_LEVEL {
+            return Err(ChunkerError::BadConfig(format!(
+                "sub_depth must be ≥ 1 with chunk_level + sub_depth ≤ {}, got {sub_depth}",
+                htm::MAX_LEVEL
+            )));
+        }
+        if !overlap.is_finite() || overlap.radians() < 0.0 || overlap.degrees() > 10.0 {
+            return Err(ChunkerError::BadConfig(format!(
+                "overlap must be in [0°, 10°], got {overlap}"
+            )));
+        }
+        Ok(HtmChunker {
+            chunk_level,
+            sub_depth,
+            overlap,
+        })
+    }
+
+    /// A paper-comparable configuration: level-5 chunks (8192 × ~5 deg²),
+    /// 16 subchunks each, 1 arcminute overlap.
+    pub fn paper_comparable() -> HtmChunker {
+        HtmChunker::new(5, 2, Angle::from_arcmin(1.0)).expect("constants are valid")
+    }
+
+    /// The chunk subdivision level.
+    pub fn chunk_level(&self) -> u8 {
+        self.chunk_level
+    }
+
+    /// Levels between chunk and subchunk.
+    pub fn sub_depth(&self) -> u8 {
+        self.sub_depth
+    }
+
+    /// The overlap radius.
+    pub fn overlap(&self) -> Angle {
+        self.overlap
+    }
+
+    /// Subchunks per chunk (4^sub_depth).
+    pub fn subchunks_per_chunk(&self) -> usize {
+        1usize << (2 * self.sub_depth)
+    }
+
+    /// Total chunks (8·4^chunk_level).
+    pub fn num_chunks(&self) -> usize {
+        8usize << (2 * self.chunk_level)
+    }
+
+    /// Locates a point. The subchunk id is the *local* child index — the
+    /// low `2·sub_depth` bits of the fine trixel id — so the full fine
+    /// trixel id is recoverable as `chunk_id << (2·sub_depth) | subchunk`.
+    pub fn locate(&self, p: &LonLat) -> ChunkLocation {
+        let fine = htm::htm_id(p, self.chunk_level + self.sub_depth);
+        let chunk = fine >> (2 * self.sub_depth);
+        let sub = fine & ((1 << (2 * self.sub_depth)) - 1);
+        ChunkLocation {
+            chunk_id: chunk as i32,
+            subchunk_id: sub as i32,
+        }
+    }
+
+    /// True when `chunk_id` is a valid level-`chunk_level` trixel id.
+    pub fn is_valid_chunk(&self, chunk_id: i32) -> bool {
+        chunk_id >= 0 && {
+            let id = chunk_id as u64;
+            id >= (8 << (2 * self.chunk_level)) && id < (16 << (2 * self.chunk_level))
+        }
+    }
+
+    fn trixel_of(&self, chunk_id: i32) -> Result<Trixel, ChunkerError> {
+        if !self.is_valid_chunk(chunk_id) {
+            return Err(ChunkerError::NoSuchChunk(chunk_id));
+        }
+        // Walk from the root following the id's 2-bit path.
+        let id = chunk_id as u64;
+        let root_index = (id >> (2 * self.chunk_level)) - 8;
+        let mut t = Trixel::roots()[root_index as usize];
+        for level in (0..self.chunk_level).rev() {
+            let child = ((id >> (2 * level)) & 3) as usize;
+            t = t.children()[child];
+        }
+        Ok(t)
+    }
+
+    /// Conservative bounding box of a chunk.
+    pub fn chunk_bounds(&self, chunk_id: i32) -> Result<SphericalBox, ChunkerError> {
+        Ok(self.trixel_of(chunk_id)?.bounding_box())
+    }
+
+    /// Chunk bounds dilated by the overlap.
+    pub fn chunk_bounds_with_overlap(&self, chunk_id: i32) -> Result<SphericalBox, ChunkerError> {
+        Ok(self.chunk_bounds(chunk_id)?.dilated(self.overlap))
+    }
+
+    /// All subchunk (local child) ids of a chunk: `0..4^sub_depth`.
+    pub fn subchunks_of(&self, chunk_id: i32) -> Result<Vec<i32>, ChunkerError> {
+        if !self.is_valid_chunk(chunk_id) {
+            return Err(ChunkerError::NoSuchChunk(chunk_id));
+        }
+        Ok((0..self.subchunks_per_chunk() as i32).collect())
+    }
+
+    /// Bounding box of one subchunk.
+    pub fn subchunk_bounds(
+        &self,
+        chunk_id: i32,
+        subchunk_id: i32,
+    ) -> Result<SphericalBox, ChunkerError> {
+        let max = self.subchunks_per_chunk() as i32;
+        if !(0..max).contains(&subchunk_id) {
+            return Err(ChunkerError::NoSuchSubchunk {
+                chunk: chunk_id,
+                subchunk: subchunk_id,
+            });
+        }
+        let mut t = self.trixel_of(chunk_id)?;
+        for level in (0..self.sub_depth).rev() {
+            let child = ((subchunk_id as u64 >> (2 * level)) & 3) as usize;
+            t = t.children()[child];
+        }
+        Ok(t.bounding_box())
+    }
+
+    /// The chunks whose (conservative) bounds intersect `region`.
+    pub fn chunks_intersecting(&self, region: &SphericalBox) -> Vec<i32> {
+        htm::cover_box(region, self.chunk_level)
+            .into_iter()
+            .map(|id| id as i32)
+            .collect()
+    }
+
+    /// Per-chunk areas in deg² (for Ablation C statistics).
+    pub fn chunk_areas_deg2(&self) -> Vec<f64> {
+        let sr_to_deg2 = (180.0 / std::f64::consts::PI).powi(2);
+        htm::all_trixels(self.chunk_level)
+            .iter()
+            .map(|t| t.area_sr() * sr_to_deg2)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qserv_sphgeom::region::Region;
+
+    fn small() -> HtmChunker {
+        HtmChunker::new(3, 2, Angle::from_degrees(0.1)).expect("valid")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HtmChunker::new(11, 2, Angle::ZERO).is_err());
+        assert!(HtmChunker::new(5, 0, Angle::ZERO).is_err());
+        assert!(HtmChunker::new(5, 30, Angle::ZERO).is_err());
+        assert!(HtmChunker::new(5, 2, Angle::from_degrees(-1.0)).is_err());
+        assert!(HtmChunker::paper_comparable().is_valid_chunk(8 << 10));
+    }
+
+    #[test]
+    fn chunk_counts() {
+        assert_eq!(small().num_chunks(), 8 * 64);
+        assert_eq!(small().subchunks_per_chunk(), 16);
+        assert_eq!(HtmChunker::paper_comparable().num_chunks(), 8192);
+    }
+
+    #[test]
+    fn locate_agrees_with_htm_ids() {
+        let c = small();
+        let p = LonLat::from_degrees(123.4, -31.2);
+        let loc = c.locate(&p);
+        assert!(c.is_valid_chunk(loc.chunk_id));
+        // The chunk id is the level-3 trixel id.
+        assert_eq!(loc.chunk_id as u64, htm::htm_id(&p, 3));
+        // Recombining chunk and subchunk gives the level-5 id.
+        let fine = (loc.chunk_id as u64) << 4 | loc.subchunk_id as u64;
+        assert_eq!(fine, htm::htm_id(&p, 5));
+    }
+
+    #[test]
+    fn bounds_contain_their_points() {
+        let c = small();
+        for &(ra, decl) in &[
+            (0.0, 0.0),
+            (359.9, 89.0),
+            (180.0, -89.0),
+            (42.0, 13.7),
+            (275.5, 54.3),
+        ] {
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = c.locate(&p);
+            assert!(
+                c.chunk_bounds(loc.chunk_id).unwrap().contains(&p),
+                "({ra},{decl}) outside its chunk bounds"
+            );
+            assert!(
+                c.subchunk_bounds(loc.chunk_id, loc.subchunk_id)
+                    .unwrap()
+                    .contains(&p),
+                "({ra},{decl}) outside its subchunk bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let c = small();
+        assert!(c.chunk_bounds(-1).is_err());
+        assert!(c.chunk_bounds(3).is_err()); // below the level-3 id range
+        assert!(c.chunk_bounds(i32::MAX).is_err());
+        let chunk = c.locate(&LonLat::from_degrees(10.0, 10.0)).chunk_id;
+        assert!(c.subchunk_bounds(chunk, -1).is_err());
+        assert!(c.subchunk_bounds(chunk, 16).is_err());
+        assert!(c.subchunks_of(-5).is_err());
+    }
+
+    #[test]
+    fn area_variation_beats_fixed_grid() {
+        // §7.5's quantitative claim, at the paper-comparable level.
+        let areas = HtmChunker::paper_comparable().chunk_areas_deg2();
+        let max = areas.iter().cloned().fold(0.0f64, f64::max);
+        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 2.5,
+            "HTM area ratio {} should be bounded (fixed grids reach ~54x)",
+            max / min
+        );
+        // Total area is the full sphere.
+        let total: f64 = areas.iter().sum();
+        assert!((total - 41_252.96).abs() / 41_252.96 < 1e-6);
+    }
+
+    #[test]
+    fn cover_selects_conservatively() {
+        let c = small();
+        let b = SphericalBox::from_degrees(10.0, 10.0, 14.0, 14.0);
+        let cover = c.chunks_intersecting(&b);
+        assert!(!cover.is_empty());
+        // Any interior point's chunk must be in the cover.
+        for &(ra, decl) in &[(10.5, 10.5), (12.0, 12.0), (13.9, 13.9)] {
+            let loc = c.locate(&LonLat::from_degrees(ra, decl));
+            assert!(cover.contains(&loc.chunk_id), "missing chunk for ({ra},{decl})");
+        }
+        // And it should be far from the full sky.
+        assert!(cover.len() < c.num_chunks() / 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_point_locates(ra in 0.0f64..360.0, decl in -89.5f64..89.5) {
+            let c = small();
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = c.locate(&p);
+            prop_assert!(c.is_valid_chunk(loc.chunk_id));
+            prop_assert!((0..16).contains(&loc.subchunk_id));
+            prop_assert!(c.chunk_bounds(loc.chunk_id).unwrap().contains(&p));
+        }
+
+        #[test]
+        fn cover_never_misses(
+            ra in 0.0f64..360.0, decl in -80.0f64..75.0,
+            w in 0.5f64..20.0, h in 0.5f64..10.0,
+        ) {
+            let c = small();
+            let b = SphericalBox::from_degrees(ra, decl, ra + w, decl + h);
+            let cover = c.chunks_intersecting(&b);
+            let p = LonLat::from_degrees(ra + w / 2.0, decl + h / 2.0);
+            if b.contains(&p) {
+                prop_assert!(cover.contains(&c.locate(&p).chunk_id));
+            }
+        }
+
+        #[test]
+        fn subchunks_nest_in_chunks(ra in 0.0f64..360.0, decl in -85.0f64..85.0) {
+            let c = small();
+            let p = LonLat::from_degrees(ra, decl);
+            let loc = c.locate(&p);
+            let sub = c.subchunk_bounds(loc.chunk_id, loc.subchunk_id).unwrap();
+            prop_assert!(sub.contains(&p));
+        }
+    }
+}

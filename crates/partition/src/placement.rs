@@ -1,0 +1,219 @@
+//! Chunk → worker-node placement.
+//!
+//! In a shared-nothing cluster each chunk lives on (at least) one node. The
+//! paper (§4.4 "Two-level partitions") argues for many more chunks than
+//! nodes so that adding a node means *moving some chunks*, not
+//! re-partitioning, and so that density-induced skew spreads across nodes
+//! when chunks are assigned in a non-area-based scheme. Round-robin over
+//! chunk id order interleaves sky-adjacent chunks onto different nodes,
+//! which is exactly that scheme.
+
+use std::collections::BTreeMap;
+
+/// How chunks are distributed over nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Chunk `i` (in id order) goes to node `i mod n`: spreads sky-adjacent
+    /// chunks across nodes, the paper's skew-spreading choice.
+    RoundRobin,
+    /// Contiguous blocks of chunks per node: keeps sky locality per node
+    /// (useful as a *bad* baseline to show skew in benchmarks).
+    Block,
+    /// Multiplicative hash of the chunk id: placement independent of id
+    /// order.
+    Hash,
+}
+
+/// An immutable chunk → node assignment for a fixed node count, with the
+/// inverse (node → chunks) precomputed.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    nodes: usize,
+    replication: usize,
+    chunk_to_nodes: BTreeMap<i32, Vec<usize>>,
+}
+
+impl Placement {
+    /// Assigns every chunk in `chunks` to `nodes` nodes using `strategy`,
+    /// with `replication` replicas per chunk (1 = no replication). Replicas
+    /// land on consecutive distinct nodes.
+    ///
+    /// # Panics
+    /// Panics when `nodes == 0`, `replication == 0`, or
+    /// `replication > nodes`.
+    pub fn new(
+        chunks: &[i32],
+        nodes: usize,
+        replication: usize,
+        strategy: PlacementStrategy,
+    ) -> Placement {
+        assert!(nodes > 0, "placement requires at least one node");
+        assert!(
+            (1..=nodes).contains(&replication),
+            "replication must be in 1..=nodes"
+        );
+        let mut chunk_to_nodes = BTreeMap::new();
+        let per_node_block = chunks.len().div_ceil(nodes).max(1);
+        for (i, &c) in chunks.iter().enumerate() {
+            let primary = match strategy {
+                PlacementStrategy::RoundRobin => i % nodes,
+                PlacementStrategy::Block => (i / per_node_block).min(nodes - 1),
+                PlacementStrategy::Hash => {
+                    // Fibonacci hashing of the chunk id.
+                    (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % nodes
+                }
+            };
+            let replicas: Vec<usize> = (0..replication).map(|r| (primary + r) % nodes).collect();
+            chunk_to_nodes.insert(c, replicas);
+        }
+        Placement {
+            nodes,
+            replication,
+            chunk_to_nodes,
+        }
+    }
+
+    /// Number of nodes in the placement.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Nodes holding `chunk` (primary first), or `None` for an unknown
+    /// chunk.
+    pub fn nodes_of(&self, chunk: i32) -> Option<&[usize]> {
+        self.chunk_to_nodes.get(&chunk).map(|v| v.as_slice())
+    }
+
+    /// The primary node of `chunk`.
+    pub fn primary_of(&self, chunk: i32) -> Option<usize> {
+        self.nodes_of(chunk).map(|ns| ns[0])
+    }
+
+    /// Chunks whose primary is `node`, ascending.
+    pub fn chunks_on(&self, node: usize) -> Vec<i32> {
+        self.chunk_to_nodes
+            .iter()
+            .filter(|(_, ns)| ns[0] == node)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Chunks stored on `node` counting replicas, ascending.
+    pub fn chunks_stored_on(&self, node: usize) -> Vec<i32> {
+        self.chunk_to_nodes
+            .iter()
+            .filter(|(_, ns)| ns.contains(&node))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Every known chunk id, ascending.
+    pub fn chunks(&self) -> Vec<i32> {
+        self.chunk_to_nodes.keys().copied().collect()
+    }
+
+    /// Max/min primary-chunk counts across nodes — a balance measure.
+    pub fn balance(&self) -> (usize, usize) {
+        let mut counts = vec![0usize; self.nodes];
+        for ns in self.chunk_to_nodes.values() {
+            counts[ns[0]] += 1;
+        }
+        (
+            counts.iter().copied().max().unwrap_or(0),
+            counts.iter().copied().min().unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: i32) -> Vec<i32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let p = Placement::new(&ids(100), 10, 1, PlacementStrategy::RoundRobin);
+        let (max, min) = p.balance();
+        assert_eq!((max, min), (10, 10));
+    }
+
+    #[test]
+    fn round_robin_uneven_remainder() {
+        let p = Placement::new(&ids(101), 10, 1, PlacementStrategy::RoundRobin);
+        let (max, min) = p.balance();
+        assert_eq!(max - min, 1);
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let p = Placement::new(&ids(100), 4, 1, PlacementStrategy::Block);
+        assert_eq!(p.chunks_on(0), (0..25).collect::<Vec<_>>());
+        assert_eq!(p.chunks_on(3), (75..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_covers_all_nodes() {
+        let p = Placement::new(&ids(1000), 16, 1, PlacementStrategy::Hash);
+        for n in 0..16 {
+            assert!(!p.chunks_on(n).is_empty(), "node {n} got no chunks");
+        }
+    }
+
+    #[test]
+    fn replication_uses_distinct_nodes() {
+        let p = Placement::new(&ids(50), 5, 3, PlacementStrategy::RoundRobin);
+        for c in p.chunks() {
+            let ns = p.nodes_of(c).unwrap();
+            assert_eq!(ns.len(), 3);
+            let mut sorted = ns.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replica_sets_include_primary() {
+        let p = Placement::new(&ids(50), 5, 2, PlacementStrategy::Hash);
+        for c in p.chunks() {
+            assert_eq!(p.nodes_of(c).unwrap()[0], p.primary_of(c).unwrap());
+            assert!(p.chunks_stored_on(p.primary_of(c).unwrap()).contains(&c));
+        }
+    }
+
+    #[test]
+    fn unknown_chunk_is_none() {
+        let p = Placement::new(&ids(10), 2, 1, PlacementStrategy::RoundRobin);
+        assert!(p.nodes_of(999).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        Placement::new(&ids(10), 0, 1, PlacementStrategy::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn over_replication_panics() {
+        Placement::new(&ids(10), 2, 3, PlacementStrategy::RoundRobin);
+    }
+
+    #[test]
+    fn round_robin_interleaves_adjacent_chunks() {
+        // Sky-adjacent chunks (consecutive ids) land on different nodes —
+        // the paper's density-skew spreading argument.
+        let p = Placement::new(&ids(100), 10, 1, PlacementStrategy::RoundRobin);
+        for c in 0..99 {
+            assert_ne!(p.primary_of(c), p.primary_of(c + 1));
+        }
+    }
+}

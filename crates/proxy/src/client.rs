@@ -1,0 +1,172 @@
+//! The proxy client: submits SQL, parses frames back into rows.
+
+use crate::protocol::{decode_value, ProtocolError};
+use qserv_engine::exec::ResultTable;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server sent a malformed frame.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Per-query statistics echoed by the server's `OK` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Rows in the result.
+    pub rows: usize,
+    /// Chunk queries the master dispatched.
+    pub chunks_dispatched: usize,
+    /// Worker result bytes transferred inside the cluster.
+    pub result_bytes: u64,
+}
+
+/// A connected proxy session. One outstanding query at a time (the
+/// protocol is strictly request/response), matching how the paper's
+/// `mysql` CLI sessions drive the system.
+pub struct ProxyClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ProxyClient {
+    /// Connects to a proxy.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ProxyClient> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(ProxyClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Submits one query and reads the full response.
+    pub fn query(&mut self, sql: &str) -> Result<(ResultTable, RemoteStats), ClientError> {
+        writeln!(self.writer, "{};", sql.trim_end_matches(';'))?;
+        self.writer.flush()?;
+
+        let mut line = String::new();
+        let mut read_frame = |reader: &mut BufReader<TcpStream>| -> Result<String, ClientError> {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                )));
+            }
+            Ok(line.trim_end_matches(['\n', '\r']).to_string())
+        };
+
+        let first = read_frame(&mut self.reader)?;
+        if let Some(msg) = first.strip_prefix("ERR ") {
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        let cols_line = first
+            .strip_prefix("COLS")
+            .ok_or_else(|| ClientError::Protocol(ProtocolError {
+                message: format!("expected COLS, got {first:?}"),
+            }))?;
+        let columns: Vec<String> = split_frame(cols_line);
+
+        let types_frame = read_frame(&mut self.reader)?;
+        let types_line = types_frame
+            .strip_prefix("TYPES")
+            .ok_or_else(|| ClientError::Protocol(ProtocolError {
+                message: format!("expected TYPES, got {types_frame:?}"),
+            }))?;
+        let types: Vec<String> = split_frame(types_line);
+        if types.len() != columns.len() {
+            return Err(ClientError::Protocol(ProtocolError {
+                message: format!("{} columns but {} types", columns.len(), types.len()),
+            }));
+        }
+
+        let mut rows = Vec::new();
+        loop {
+            let frame = read_frame(&mut self.reader)?;
+            if let Some(rest) = frame.strip_prefix("ROW") {
+                let cells = split_frame(rest);
+                if cells.len() != columns.len() {
+                    return Err(ClientError::Protocol(ProtocolError {
+                        message: format!(
+                            "row has {} cells, expected {}",
+                            cells.len(),
+                            columns.len()
+                        ),
+                    }));
+                }
+                let mut row = Vec::with_capacity(cells.len());
+                for (cell, ty) in cells.iter().zip(&types) {
+                    row.push(decode_value(cell, ty)?);
+                }
+                rows.push(row);
+            } else if let Some(rest) = frame.strip_prefix("OK ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let stats = match parts.as_slice() {
+                    [r, c, b] => RemoteStats {
+                        rows: r.parse().map_err(|_| bad_ok(rest))?,
+                        chunks_dispatched: c.parse().map_err(|_| bad_ok(rest))?,
+                        result_bytes: b.parse().map_err(|_| bad_ok(rest))?,
+                    },
+                    _ => return Err(bad_ok(rest)),
+                };
+                if stats.rows != rows.len() {
+                    return Err(ClientError::Protocol(ProtocolError {
+                        message: format!("OK says {} rows, received {}", stats.rows, rows.len()),
+                    }));
+                }
+                return Ok((ResultTable { columns, rows }, stats));
+            } else {
+                return Err(ClientError::Protocol(ProtocolError {
+                    message: format!("unexpected frame {frame:?}"),
+                }));
+            }
+        }
+    }
+}
+
+fn bad_ok(rest: &str) -> ClientError {
+    ClientError::Protocol(ProtocolError {
+        message: format!("malformed OK frame {rest:?}"),
+    })
+}
+
+/// Splits a frame body on tabs, tolerating the leading space after the
+/// frame tag. An empty body means zero fields.
+fn split_frame(body: &str) -> Vec<String> {
+    let body = body.strip_prefix(' ').unwrap_or(body);
+    if body.is_empty() {
+        return Vec::new();
+    }
+    body.split('\t').map(str::to_string).collect()
+}

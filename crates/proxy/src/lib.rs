@@ -1,0 +1,32 @@
+//! TCP front door — the MySQL Proxy stand-in.
+//!
+//! Paper §5.4: "A MySQL Proxy wraps the qserv frontend so that queries
+//! can be submitted using any MySQL-compatible client or library."
+//! Speaking the real MySQL wire protocol would reproduce an artifact of
+//! the prototyping shortcut rather than the design; this crate provides
+//! the equivalent *capability* — submit SQL over a socket from any
+//! process — through a small self-describing line protocol:
+//!
+//! ```text
+//! client:  <sql terminated by ';' and newline>
+//! server:  COLS  <name>\t<name>…
+//!          TYPES <int|float|str>\t…
+//!          ROW   <value>\t<value>…          (one line per row)
+//!          OK <row count> <chunks dispatched> <result bytes>
+//!    or:   ERR <message>
+//! ```
+//!
+//! Values are TSV-escaped (`\t`, `\n`, `\\`); SQL NULL is `\N`, MySQL's
+//! batch-output convention. [`server::ProxyServer`] runs one thread per
+//! connection over a shared frontend (which is `Sync`; concurrent queries
+//! exercise the same dispatcher paths the paper's concurrency test does);
+//! [`client::ProxyClient`] turns the stream back into a typed
+//! [`ResultTable`].
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::ProxyClient;
+pub use qserv_engine::exec::ResultTable;
+pub use server::ProxyServer;

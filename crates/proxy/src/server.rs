@@ -1,0 +1,134 @@
+//! The proxy server: one thread per connection over a shared frontend.
+
+use crate::protocol::{encode_value, type_tag};
+use qserv::Qserv;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running proxy listening on a TCP socket.
+pub struct ProxyServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ProxyServer {
+    /// Starts a proxy over `qserv`, listening on `bind` (use port 0 for
+    /// an ephemeral port; [`ProxyServer::addr`] reports the actual one).
+    pub fn start(qserv: Arc<Qserv>, bind: &str) -> std::io::Result<ProxyServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let qserv = Arc::clone(&qserv);
+                std::thread::spawn(move || {
+                    // A dropped/failed connection only ends that session.
+                    let _ = serve_connection(&qserv, stream);
+                });
+            }
+        });
+        Ok(ProxyServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the proxy is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Existing
+    /// sessions run to completion on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads `;`-terminated queries off one connection until EOF.
+fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut pending = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        pending.push_str(&line);
+        // Serve every complete (';'-terminated) statement accumulated.
+        while let Some(pos) = pending.find(';') {
+            let sql: String = pending.drain(..=pos).collect();
+            let sql = sql.trim_end_matches(';').trim();
+            if sql.is_empty() {
+                continue;
+            }
+            match qserv.query_with_stats(sql) {
+                Ok((result, stats)) => {
+                    // Column types: widened over all rows, `null` when a
+                    // column never carries a value.
+                    let mut types = vec!["null"; result.columns.len()];
+                    for row in &result.rows {
+                        for (i, v) in row.iter().enumerate() {
+                            let t = type_tag(v);
+                            types[i] = match (types[i], t) {
+                                (cur, "null") => cur,
+                                ("null", t) => t,
+                                ("int", "float") | ("float", "int") => "float",
+                                (cur, t) if cur == t => cur,
+                                _ => "str",
+                            };
+                        }
+                    }
+                    writeln!(writer, "COLS {}", result.columns.join("\t"))?;
+                    writeln!(writer, "TYPES {}", types.join("\t"))?;
+                    for row in &result.rows {
+                        let cells: Vec<String> = row.iter().map(encode_value).collect();
+                        writeln!(writer, "ROW {}", cells.join("\t"))?;
+                    }
+                    writeln!(
+                        writer,
+                        "OK {} {} {}",
+                        result.num_rows(),
+                        stats.chunks_dispatched,
+                        stats.result_bytes
+                    )?;
+                }
+                Err(e) => {
+                    // Errors are single-line by protocol.
+                    let msg = e.to_string().replace('\n', " ");
+                    writeln!(writer, "ERR {msg}")?;
+                }
+            }
+            writer.flush()?;
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Simulator configuration, calibrated to the paper's testbed.
+
+/// Cluster cost model parameters.
+///
+/// [`SimConfig::paper_cluster`] reproduces the SC'11 testbed (§6.1.1);
+/// every knob is documented with the measurement it is calibrated against.
+/// EXPERIMENTS.md records the calibration in one place.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of worker nodes (the paper tests 40, 100, 150).
+    pub nodes: usize,
+    /// Queries a node executes in parallel (paper: "each node was
+    /// configured to execute up to 4 queries in parallel").
+    pub slots_per_node: usize,
+    /// Sequential disk bandwidth, bytes/s, for a single uncontended stream
+    /// (WD RE2 spec sheet: 98 MB/s, §6.2 HV2).
+    pub disk_bw: f64,
+    /// Disk bandwidth degradation per additional concurrent stream:
+    /// aggregate = `disk_bw / (1 + alpha * (k - 1))`. Calibrated so 4-way
+    /// contention lands near the paper's 27 MB/s effective scan rate.
+    pub disk_contention_alpha: f64,
+    /// Average random-seek time, seconds (7200 RPM SATA: ~8.5 ms).
+    pub disk_seek_s: f64,
+    /// Bandwidth for page-cache hits, bytes/s (memory-speed reads).
+    pub cache_bw: f64,
+    /// Master work per chunk query dispatched, seconds: query generation,
+    /// path write, bookkeeping. Calibrated against HV1: ~9000 chunks in
+    /// 20–30 s ⇒ ~2.2 ms/chunk of serial frontend work (§6.2, §7.1).
+    pub dispatch_s_per_chunk: f64,
+    /// Master work per chunk *result* merged, seconds, on top of byte
+    /// costs: transaction overhead of the mysqldump/reload path (§5.4).
+    pub merge_s_per_chunk: f64,
+    /// Master result-ingest throughput, bytes/s: mysqldump text parse +
+    /// reload into the merge table. Well below wire speed (§7.1 calls the
+    /// method heavyweight).
+    pub merge_bw: f64,
+    /// Network bandwidth per link, bytes/s (gigabit Ethernet ≈ 117 MB/s
+    /// effective).
+    pub net_bw: f64,
+    /// Fixed frontend latency per query, seconds: proxy, parse, metadata
+    /// and objectId-index lookups. Calibrated against the flat ~4 s floor
+    /// of every Low Volume query (Figures 2–4, 8–10).
+    pub frontend_base_s: f64,
+}
+
+impl SimConfig {
+    /// The paper's 150-node testbed.
+    pub fn paper_cluster() -> SimConfig {
+        SimConfig {
+            nodes: 150,
+            slots_per_node: 4,
+            disk_bw: 98.0e6,
+            disk_contention_alpha: 0.88,
+            disk_seek_s: 0.0085,
+            cache_bw: 2.0e9,
+            dispatch_s_per_chunk: 0.0022,
+            merge_s_per_chunk: 0.0003,
+            merge_bw: 30.0e6,
+            net_bw: 117.0e6,
+            frontend_base_s: 3.8,
+        }
+    }
+
+    /// Same cost model with a different node count (the weak-scaling
+    /// configurations of §6.3).
+    pub fn with_nodes(mut self, nodes: usize) -> SimConfig {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Effective aggregate disk bandwidth with `k` concurrent uncached
+    /// streams.
+    pub fn disk_aggregate_bw(&self, k: usize) -> f64 {
+        if k == 0 {
+            return self.disk_bw;
+        }
+        self.disk_bw / (1.0 + self.disk_contention_alpha * (k as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_testbed() {
+        let c = SimConfig::paper_cluster();
+        assert_eq!(c.nodes, 150);
+        assert_eq!(c.slots_per_node, 4);
+        // 4-way contention lands near the paper's 27 MB/s measurement.
+        let bw4 = c.disk_aggregate_bw(4);
+        assert!(
+            (25.0e6..30.0e6).contains(&bw4),
+            "4-way aggregate {bw4} should be ~27 MB/s"
+        );
+        // Single stream keeps most of the spec bandwidth.
+        assert!(c.disk_aggregate_bw(1) == c.disk_bw);
+    }
+
+    #[test]
+    fn contention_monotonically_degrades() {
+        let c = SimConfig::paper_cluster();
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let bw = c.disk_aggregate_bw(k);
+            assert!(bw < prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn with_nodes_preserves_cost_model() {
+        let c = SimConfig::paper_cluster().with_nodes(40);
+        assert_eq!(c.nodes, 40);
+        assert_eq!(c.slots_per_node, 4);
+    }
+}

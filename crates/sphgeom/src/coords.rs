@@ -1,0 +1,226 @@
+//! Points on the unit sphere.
+//!
+//! Catalog positions are (right ascension, declination) pairs — spherical
+//! longitude/latitude. Distance computations and HTM indexing are easier on
+//! Cartesian unit vectors, so both representations are provided with lossless
+//! conversion between them (up to floating-point rounding).
+
+use crate::angle::Angle;
+
+/// A point on the unit sphere in longitude/latitude form.
+///
+/// In astronomical terms, `lon` is right ascension (α) in `[0°, 360°)` and
+/// `lat` is declination (δ) in `[-90°, +90°]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LonLat {
+    lon: Angle,
+    lat: Angle,
+}
+
+impl LonLat {
+    /// Creates a point, normalizing longitude to `[0, 2π)` and clamping
+    /// latitude to `[-π/2, π/2]`.
+    pub fn new(lon: Angle, lat: Angle) -> LonLat {
+        LonLat {
+            lon: lon.normalized_positive(),
+            lat: lat.clamp(-Angle::HALF_TURN / 2.0, Angle::HALF_TURN / 2.0),
+        }
+    }
+
+    /// Creates a point from degrees: `ra` ∈ ℝ (normalized), `decl` clamped to
+    /// `[-90, 90]`.
+    pub fn from_degrees(ra: f64, decl: f64) -> LonLat {
+        LonLat::new(Angle::from_degrees(ra), Angle::from_degrees(decl))
+    }
+
+    /// Longitude (right ascension), in `[0, 2π)`.
+    #[inline]
+    pub fn lon(&self) -> Angle {
+        self.lon
+    }
+
+    /// Latitude (declination), in `[-π/2, π/2]`.
+    #[inline]
+    pub fn lat(&self) -> Angle {
+        self.lat
+    }
+
+    /// Right ascension in degrees.
+    #[inline]
+    pub fn ra_deg(&self) -> f64 {
+        self.lon.degrees()
+    }
+
+    /// Declination in degrees.
+    #[inline]
+    pub fn decl_deg(&self) -> f64 {
+        self.lat.degrees()
+    }
+
+    /// Converts to a Cartesian unit vector.
+    pub fn to_vector(&self) -> UnitVector3 {
+        let (sin_lon, cos_lon) = (self.lon.sin(), self.lon.cos());
+        let (sin_lat, cos_lat) = (self.lat.sin(), self.lat.cos());
+        UnitVector3 {
+            x: cos_lat * cos_lon,
+            y: cos_lat * sin_lon,
+            z: sin_lat,
+        }
+    }
+}
+
+/// A 3-D unit vector: the Cartesian form of a point on the sphere.
+///
+/// Constructors normalize, so the invariant `‖v‖ = 1` (to rounding) holds for
+/// every value produced by this API.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitVector3 {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl UnitVector3 {
+    /// Builds a unit vector from arbitrary (non-zero, finite) components by
+    /// normalizing them. Returns `None` for a zero or non-finite input.
+    pub fn new(x: f64, y: f64, z: f64) -> Option<UnitVector3> {
+        let n2 = x * x + y * y + z * z;
+        if !n2.is_finite() || n2 == 0.0 {
+            return None;
+        }
+        let inv = n2.sqrt().recip();
+        Some(UnitVector3 {
+            x: x * inv,
+            y: y * inv,
+            z: z * inv,
+        })
+    }
+
+    /// The x component.
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+    /// The y component.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+    /// The z component.
+    #[inline]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &UnitVector3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product (not normalized; zero for parallel inputs).
+    pub fn cross_raw(&self, o: &UnitVector3) -> (f64, f64, f64) {
+        (
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Normalized cross product, `None` when the inputs are (anti)parallel.
+    pub fn cross(&self, o: &UnitVector3) -> Option<UnitVector3> {
+        let (x, y, z) = self.cross_raw(o);
+        UnitVector3::new(x, y, z)
+    }
+
+    /// Converts back to longitude/latitude form.
+    pub fn to_lonlat(&self) -> LonLat {
+        let lon = f64::atan2(self.y, self.x);
+        let lat = self.z.clamp(-1.0, 1.0).asin();
+        LonLat::new(Angle::from_radians(lon), Angle::from_radians(lat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn poles_map_to_z_axis() {
+        let n = LonLat::from_degrees(0.0, 90.0).to_vector();
+        assert!(close(n.z(), 1.0) && close(n.x(), 0.0) && close(n.y(), 0.0));
+        let s = LonLat::from_degrees(123.0, -90.0).to_vector();
+        assert!(close(s.z(), -1.0));
+    }
+
+    #[test]
+    fn equator_prime_meridian() {
+        let v = LonLat::from_degrees(0.0, 0.0).to_vector();
+        assert!(close(v.x(), 1.0) && close(v.y(), 0.0) && close(v.z(), 0.0));
+    }
+
+    #[test]
+    fn longitude_normalizes() {
+        let p = LonLat::from_degrees(-30.0, 10.0);
+        assert!(close(p.ra_deg(), 330.0));
+    }
+
+    #[test]
+    fn latitude_clamps() {
+        let p = LonLat::from_degrees(0.0, 95.0);
+        assert!(close(p.decl_deg(), 90.0));
+        let q = LonLat::from_degrees(0.0, -95.0);
+        assert!(close(q.decl_deg(), -90.0));
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        assert!(UnitVector3::new(0.0, 0.0, 0.0).is_none());
+        assert!(UnitVector3::new(f64::NAN, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn cross_of_parallel_is_none() {
+        let v = UnitVector3::new(1.0, 2.0, 3.0).unwrap();
+        assert!(v.cross(&v).is_none());
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = UnitVector3::new(1.0, 0.0, 0.0).unwrap();
+        let b = UnitVector3::new(0.0, 1.0, 0.0).unwrap();
+        let c = a.cross(&b).unwrap();
+        assert!(close(c.z(), 1.0));
+        assert!(close(a.dot(&c), 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_lonlat_vector(ra in 0.0f64..360.0, decl in -89.9f64..89.9) {
+            let p = LonLat::from_degrees(ra, decl);
+            let q = p.to_vector().to_lonlat();
+            // Compare via chord distance to avoid the ra wrap at 0/360.
+            let d = p.to_vector().dot(&q.to_vector());
+            prop_assert!(d > 1.0 - 1e-12);
+        }
+
+        #[test]
+        fn vectors_are_unit(ra in 0.0f64..360.0, decl in -90.0f64..90.0) {
+            let v = LonLat::from_degrees(ra, decl).to_vector();
+            let n = v.dot(&v);
+            prop_assert!((n - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn normalization_makes_unit(x in -10.0f64..10.0, y in -10.0f64..10.0, z in -10.0f64..10.0) {
+            prop_assume!(x*x + y*y + z*z > 1e-6);
+            let v = UnitVector3::new(x, y, z).unwrap();
+            prop_assert!((v.dot(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Angular separation — the paper's `qserv_angSep` UDF.
+//!
+//! Near-neighbour queries (Super High Volume 1/2, paper §6.2) are predicated
+//! on the great-circle distance between two catalog positions. The distance
+//! is computed with the haversine-like vector formulation
+//! `2·asin(‖a − b‖ / 2)`, which is numerically stable for the *small*
+//! separations near-neighbour joins care about (where the naive
+//! `acos(a·b)` form loses half its digits).
+
+use crate::angle::Angle;
+use crate::coords::LonLat;
+
+/// Great-circle separation between two points.
+pub fn angular_separation(a: &LonLat, b: &LonLat) -> Angle {
+    let va = a.to_vector();
+    let vb = b.to_vector();
+    let dx = va.x() - vb.x();
+    let dy = va.y() - vb.y();
+    let dz = va.z() - vb.z();
+    let chord_half = 0.5 * (dx * dx + dy * dy + dz * dz).sqrt();
+    Angle::from_radians(2.0 * chord_half.clamp(0.0, 1.0).asin())
+}
+
+/// Great-circle separation in degrees between two (ra, decl) pairs given in
+/// degrees. This is the exact signature of the worker UDF `qserv_angSep(ra1,
+/// decl1, ra2, decl2)` from paper §6.2.
+pub fn angular_separation_deg(ra1: f64, decl1: f64, ra2: f64, decl2: f64) -> f64 {
+    angular_separation(
+        &LonLat::from_degrees(ra1, decl1),
+        &LonLat::from_degrees(ra2, decl2),
+    )
+    .degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_points_zero() {
+        assert_eq!(angular_separation_deg(10.0, 20.0, 10.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn antipodal_points_180() {
+        let d = angular_separation_deg(0.0, 0.0, 180.0, 0.0);
+        assert!((d - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_turn_on_equator() {
+        let d = angular_separation_deg(0.0, 0.0, 90.0, 0.0);
+        assert!((d - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pole_to_equator() {
+        let d = angular_separation_deg(45.0, 90.0, 200.0, 0.0);
+        assert!((d - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_along_meridian_is_decl_difference() {
+        let d = angular_separation_deg(30.0, 10.0, 30.0, 12.5);
+        assert!((d - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_separation_is_accurate() {
+        // 1 milli-arcsecond apart along the equator; acos-based formulas
+        // typically return garbage here.
+        let mas = 1.0 / 3_600_000.0;
+        let d = angular_separation_deg(0.0, 0.0, mas, 0.0);
+        assert!((d - mas).abs() / mas < 1e-6);
+    }
+
+    #[test]
+    fn ra_compression_at_high_decl() {
+        // At decl=60°, one degree of RA is only cos(60°)=0.5 degrees of arc.
+        let d = angular_separation_deg(0.0, 60.0, 1.0, 60.0);
+        assert!((d - 0.49998).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(ra1 in 0.0f64..360.0, d1 in -90.0f64..90.0,
+                     ra2 in 0.0f64..360.0, d2 in -90.0f64..90.0) {
+            let a = angular_separation_deg(ra1, d1, ra2, d2);
+            let b = angular_separation_deg(ra2, d2, ra1, d1);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn bounded(ra1 in 0.0f64..360.0, d1 in -90.0f64..90.0,
+                   ra2 in 0.0f64..360.0, d2 in -90.0f64..90.0) {
+            let a = angular_separation_deg(ra1, d1, ra2, d2);
+            prop_assert!((0.0..=180.0 + 1e-9).contains(&a));
+        }
+
+        #[test]
+        fn triangle_inequality(ra1 in 0.0f64..360.0, d1 in -80.0f64..80.0,
+                               ra2 in 0.0f64..360.0, d2 in -80.0f64..80.0,
+                               ra3 in 0.0f64..360.0, d3 in -80.0f64..80.0) {
+            let ab = angular_separation_deg(ra1, d1, ra2, d2);
+            let bc = angular_separation_deg(ra2, d2, ra3, d3);
+            let ac = angular_separation_deg(ra1, d1, ra3, d3);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+}

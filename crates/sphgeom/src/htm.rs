@@ -1,0 +1,434 @@
+//! Hierarchical Triangular Mesh (HTM) indexing.
+//!
+//! Paper §7.5 discusses replacing the rectangular RA/decl stripe
+//! partitioning with a hierarchical scheme such as HTM (Szalay et al.),
+//! which produces partitions with far less area variation and maps spherical
+//! points to integer ids encoding their partition at every subdivision
+//! level. This module implements classic HTM: the sphere is split into 8
+//! spherical triangles (4 per hemisphere) which are subdivided recursively,
+//! each triangle into 4 children through the edge midpoints.
+//!
+//! Trixel ids use the standard encoding: root trixels are `8..=15`
+//! (`0b1000 + k`), and each subdivision level appends two bits selecting the
+//! child, so a level-`L` id occupies `4 + 2L` bits. Ablation C
+//! (`figures ablate-htm`) compares HTM partition-area variance with the
+//! stripe chunker's.
+
+use crate::coords::{LonLat, UnitVector3};
+use crate::region::SphericalBox;
+
+/// Maximum supported subdivision level. Level 20 trixels are ~0.3
+/// arcsecond across, far below catalog astrometry; ids still fit in `u64`.
+pub const MAX_LEVEL: u8 = 20;
+
+/// The 6 axis vertices from which the 8 root trixels are built.
+fn axis(i: usize) -> UnitVector3 {
+    let v = [
+        (0.0, 0.0, 1.0),  // v0: north pole
+        (1.0, 0.0, 0.0),  // v1
+        (0.0, 1.0, 0.0),  // v2
+        (-1.0, 0.0, 0.0), // v3
+        (0.0, -1.0, 0.0), // v4
+        (0.0, 0.0, -1.0), // v5: south pole
+    ][i];
+    UnitVector3::new(v.0, v.1, v.2).expect("axis vertices are non-zero")
+}
+
+/// Vertex index triplets for the 8 root trixels, in id order 8..=15:
+/// S0,S1,S2,S3,N0,N1,N2,N3 (the ordering used by the original HTM code).
+const ROOTS: [[usize; 3]; 8] = [
+    [1, 5, 2], // S0 -> id 8
+    [2, 5, 3], // S1 -> id 9
+    [3, 5, 4], // S2 -> id 10
+    [4, 5, 1], // S3 -> id 11
+    [1, 0, 4], // N0 -> id 12
+    [4, 0, 3], // N1 -> id 13
+    [3, 0, 2], // N2 -> id 14
+    [2, 0, 1], // N3 -> id 15
+];
+
+/// A trixel: a spherical triangle at some HTM level, identified by `id`.
+#[derive(Clone, Copy, Debug)]
+pub struct Trixel {
+    id: u64,
+    level: u8,
+    v: [UnitVector3; 3],
+}
+
+impl Trixel {
+    /// The eight level-0 root trixels.
+    pub fn roots() -> Vec<Trixel> {
+        ROOTS
+            .iter()
+            .enumerate()
+            .map(|(k, idx)| Trixel {
+                id: 8 + k as u64,
+                level: 0,
+                v: [axis(idx[0]), axis(idx[1]), axis(idx[2])],
+            })
+            .collect()
+    }
+
+    /// The trixel's HTM id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The trixel's subdivision level (0 for roots).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The trixel's corner vertices.
+    pub fn vertices(&self) -> &[UnitVector3; 3] {
+        &self.v
+    }
+
+    fn midpoint(a: &UnitVector3, b: &UnitVector3) -> UnitVector3 {
+        UnitVector3::new(a.x() + b.x(), a.y() + b.y(), a.z() + b.z())
+            .expect("trixel edge midpoints are never antipodal")
+    }
+
+    /// The four children of this trixel. Child `i` has id `4*id + i`.
+    pub fn children(&self) -> [Trixel; 4] {
+        let [v0, v1, v2] = self.v;
+        let w0 = Self::midpoint(&v1, &v2);
+        let w1 = Self::midpoint(&v0, &v2);
+        let w2 = Self::midpoint(&v0, &v1);
+        let mk = |i: u64, a, b, c| Trixel {
+            id: self.id * 4 + i,
+            level: self.level + 1,
+            v: [a, b, c],
+        };
+        [
+            mk(0, v0, w2, w1),
+            mk(1, v1, w0, w2),
+            mk(2, v2, w1, w0),
+            mk(3, w0, w1, w2),
+        ]
+    }
+
+    /// True when the unit vector `p` lies inside this trixel. A point on a
+    /// shared edge is reported inside the first sibling tested, which keeps
+    /// [`htm_id`] deterministic.
+    pub fn contains_vec(&self, p: &UnitVector3) -> bool {
+        // p is inside iff it is on the non-negative side of all three
+        // half-spaces (v_i × v_{i+1}) · p >= 0, with a tolerance so edge
+        // points are not lost to rounding.
+        const EDGE_EPS: f64 = -1e-12;
+        for i in 0..3 {
+            let a = &self.v[i];
+            let b = &self.v[(i + 1) % 3];
+            let (cx, cy, cz) = a.cross_raw(b);
+            if cx * p.x() + cy * p.y() + cz * p.z() < EDGE_EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate solid angle of the trixel (steradians), via the planar
+    /// triangle of its vertices scaled by the spherical excess at this size.
+    /// Exact for the uses here (variance statistics); Girard's theorem is
+    /// used for accuracy.
+    pub fn area_sr(&self) -> f64 {
+        // Girard: E = A + B + C - pi, with angles from dihedral formulas.
+        let mut angles = [0.0f64; 3];
+        for (i, slot) in angles.iter_mut().enumerate() {
+            let a = self.v[i];
+            let b = self.v[(i + 1) % 3];
+            let c = self.v[(i + 2) % 3];
+            let ab = a.cross(&b);
+            let ac = a.cross(&c);
+            match (ab, ac) {
+                (Some(n1), Some(n2)) => {
+                    *slot = n1.dot(&n2).clamp(-1.0, 1.0).acos();
+                }
+                _ => return 0.0,
+            }
+        }
+        (angles[0] + angles[1] + angles[2] - std::f64::consts::PI).max(0.0)
+    }
+
+    /// A latitude/longitude bounding box of the trixel (conservative).
+    ///
+    /// Great-circle edges bulge past the vertices' lon/lat extremes —
+    /// severely so at high latitude, where an edge's longitude span can
+    /// exceed the vertices' by many degrees. The box is therefore built
+    /// from `EDGE_SAMPLES` points along every edge, padded by a bound on
+    /// the deviation between consecutive samples.
+    pub fn bounding_box(&self) -> SphericalBox {
+        const EDGE_SAMPLES: usize = 24;
+        // A trixel containing a pole covers all longitudes.
+        let north = UnitVector3::new(0.0, 0.0, 1.0).expect("unit axis");
+        let south = UnitVector3::new(0.0, 0.0, -1.0).expect("unit axis");
+        let mut lat_min = 90.0f64;
+        let mut lat_max = -90.0f64;
+        let mut lons: Vec<f64> = Vec::with_capacity(3 * EDGE_SAMPLES);
+        for i in 0..3 {
+            let a = &self.v[i];
+            let b = &self.v[(i + 1) % 3];
+            for k in 0..EDGE_SAMPLES {
+                let t = k as f64 / EDGE_SAMPLES as f64;
+                let p = UnitVector3::new(
+                    a.x() * (1.0 - t) + b.x() * t,
+                    a.y() * (1.0 - t) + b.y() * t,
+                    a.z() * (1.0 - t) + b.z() * t,
+                )
+                .expect("edge interpolants are non-zero")
+                .to_lonlat();
+                lat_min = lat_min.min(p.decl_deg());
+                lat_max = lat_max.max(p.decl_deg());
+                lons.push(p.ra_deg());
+            }
+        }
+        if self.contains_vec(&north) {
+            return SphericalBox::from_degrees(0.0, lat_min - 0.01, 360.0, 90.0);
+        }
+        if self.contains_vec(&south) {
+            return SphericalBox::from_degrees(0.0, -90.0, 360.0, lat_max + 0.01);
+        }
+        let (lo, hi) = smallest_lon_interval(&lons);
+        // Deviation between consecutive edge samples is bounded by the
+        // inter-sample arc; in longitude it further scales with 1/cos(lat).
+        let edge_deg = 90.0 / (1u64 << self.level) as f64;
+        let lat_pad = edge_deg / EDGE_SAMPLES as f64 + 0.01;
+        let worst_cos = lat_min
+            .abs()
+            .max(lat_max.abs())
+            .min(89.9)
+            .to_radians()
+            .cos();
+        let lon_pad = lat_pad / worst_cos;
+        SphericalBox::from_degrees(lo - lon_pad, lat_min - lat_pad, hi + lon_pad, lat_max + lat_pad)
+    }
+}
+
+/// Finds the smallest circular interval (degrees) covering all longitudes.
+fn smallest_lon_interval(lons: &[f64]) -> (f64, f64) {
+    debug_assert!(!lons.is_empty());
+    let mut s: Vec<f64> = lons.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    // Find the largest gap between consecutive points on the circle; the
+    // complement of that gap is the smallest covering interval.
+    let mut best_gap = 360.0 - s[n - 1] + s[0];
+    let mut start = 0; // interval starts after the gap
+    for i in 1..n {
+        let gap = s[i] - s[i - 1];
+        if gap > best_gap {
+            best_gap = gap;
+            start = i;
+        }
+    }
+    let lo = s[start];
+    let hi = s[(start + n - 1) % n];
+    (lo, if hi < lo { hi + 360.0 } else { hi })
+}
+
+/// Computes the HTM id of `p` at `level`.
+pub fn htm_id(p: &LonLat, level: u8) -> u64 {
+    assert!(level <= MAX_LEVEL, "HTM level {level} exceeds MAX_LEVEL");
+    let v = p.to_vector();
+    let mut cur = Trixel::roots()
+        .into_iter()
+        .find(|t| t.contains_vec(&v))
+        .expect("every point lies in some root trixel");
+    for _ in 0..level {
+        let children = cur.children();
+        cur = *children
+            .iter()
+            .find(|t| t.contains_vec(&v))
+            .expect("every point lies in some child trixel");
+    }
+    cur.id()
+}
+
+/// The subdivision level encoded in an HTM id.
+pub fn level_of(id: u64) -> u8 {
+    assert!(id >= 8, "invalid HTM id {id}");
+    ((63 - id.leading_zeros() as u8) - 3) / 2
+}
+
+/// The ancestor of `id` at `level` (which must not exceed `id`'s level).
+pub fn ancestor_at(id: u64, level: u8) -> u64 {
+    let l = level_of(id);
+    assert!(level <= l, "requested ancestor level above id level");
+    id >> (2 * (l - level))
+}
+
+/// Returns all trixel ids at `level` whose bounding boxes intersect `region`
+/// — a conservative cover, mirroring how spatially-restricted queries would
+/// select HTM partitions (paper §7.5).
+pub fn cover_box(region: &SphericalBox, level: u8) -> Vec<u64> {
+    assert!(level <= MAX_LEVEL);
+    let mut out = Vec::new();
+    let mut stack: Vec<Trixel> = Trixel::roots();
+    while let Some(t) = stack.pop() {
+        if !region.intersects(&t.bounding_box()) {
+            continue;
+        }
+        if t.level() == level {
+            out.push(t.id());
+        } else {
+            stack.extend(t.children());
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Enumerates every trixel at `level` (for statistics; 8·4^level items).
+pub fn all_trixels(level: u8) -> Vec<Trixel> {
+    assert!(level <= 10, "full enumeration above level 10 is excessive");
+    let mut cur = Trixel::roots();
+    for _ in 0..level {
+        cur = cur.iter().flat_map(|t| t.children()).collect();
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roots_cover_sphere() {
+        // Sum of root areas must be 4π.
+        let total: f64 = Trixel::roots().iter().map(|t| t.area_sr()).sum();
+        assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_ids_are_8_to_15() {
+        let ids: Vec<u64> = Trixel::roots().iter().map(|t| t.id()).collect();
+        assert_eq!(ids, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn children_partition_parent_area() {
+        for root in Trixel::roots() {
+            let child_sum: f64 = root.children().iter().map(|t| t.area_sr()).sum();
+            assert!((child_sum - root.area_sr()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn id_bit_structure() {
+        let id = htm_id(&LonLat::from_degrees(10.0, 20.0), 5);
+        assert_eq!(level_of(id), 5);
+        // Level-5 ids occupy 4 + 10 = 14 bits.
+        assert!((8 << 10..16 << 10).contains(&id));
+    }
+
+    #[test]
+    fn ancestor_is_prefix() {
+        let p = LonLat::from_degrees(123.4, -45.6);
+        let deep = htm_id(&p, 8);
+        for l in 0..=8 {
+            assert_eq!(ancestor_at(deep, l), htm_id(&p, l));
+        }
+    }
+
+    #[test]
+    fn north_pole_in_northern_root() {
+        let id = htm_id(&LonLat::from_degrees(0.0, 90.0), 0);
+        assert!((12..=15).contains(&id), "north pole in N root, got {id}");
+        let id = htm_id(&LonLat::from_degrees(0.0, -90.0), 0);
+        assert!((8..=11).contains(&id), "south pole in S root, got {id}");
+    }
+
+    #[test]
+    fn level_area_variance_is_small() {
+        // HTM partitions have bounded area variation (about 2:1), unlike
+        // RA/decl boxes near poles — the §7.5 motivation.
+        let ts = all_trixels(4);
+        let areas: Vec<f64> = ts.iter().map(|t| t.area_sr()).collect();
+        let max = areas.iter().cloned().fold(0.0, f64::max);
+        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.0, "area ratio {}", max / min);
+    }
+
+    #[test]
+    fn cover_box_finds_containing_trixel() {
+        let p = LonLat::from_degrees(33.0, 12.0);
+        let b = SphericalBox::from_degrees(32.5, 11.5, 33.5, 12.5);
+        for level in 0..=6 {
+            let cover = cover_box(&b, level);
+            assert!(
+                cover.contains(&htm_id(&p, level)),
+                "cover at level {level} must include the point's trixel"
+            );
+        }
+    }
+
+    #[test]
+    fn cover_full_sky_is_everything() {
+        let cover = cover_box(&SphericalBox::full_sky(), 2);
+        assert_eq!(cover.len(), 8 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HTM id")]
+    fn level_of_rejects_small_ids() {
+        level_of(3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_point_has_an_id(ra in 0.0f64..360.0, decl in -90.0f64..90.0) {
+            let id = htm_id(&LonLat::from_degrees(ra, decl), 6);
+            prop_assert_eq!(level_of(id), 6);
+        }
+
+        #[test]
+        fn sibling_ids_disjoint_points(ra in 0.0f64..360.0, decl in -89.0f64..89.0,
+                                       level in 0u8..8) {
+            // A point maps to exactly one id; mapping twice agrees.
+            let p = LonLat::from_degrees(ra, decl);
+            prop_assert_eq!(htm_id(&p, level), htm_id(&p, level));
+        }
+
+        #[test]
+        fn trixel_bbox_contains_its_points(ra in 0.0f64..360.0, decl in -89.9f64..89.9,
+                                           level in 0u8..7) {
+            // The regression class that bit the HTM chunker: points at high
+            // |decl| fell outside their trixel's vertex-only bounding box
+            // because great-circle edges bulge in longitude there.
+            let p = LonLat::from_degrees(ra, decl);
+            let v = p.to_vector();
+            let mut t = Trixel::roots()
+                .into_iter()
+                .find(|t| t.contains_vec(&v))
+                .expect("point in some root");
+            for _ in 0..level {
+                t = *t
+                    .children()
+                    .iter()
+                    .find(|c| c.contains_vec(&v))
+                    .expect("point in some child");
+            }
+            prop_assert!(
+                t.bounding_box().contains(&p),
+                "trixel {} bbox must contain its own point ({ra}, {decl})",
+                t.id()
+            );
+        }
+
+        #[test]
+        fn trixel_bbox_contains_vertices(root in 0usize..8, steps in 0u8..4) {
+            let mut t = Trixel::roots()[root];
+            for s in 0..steps {
+                t = t.children()[(s % 4) as usize];
+            }
+            let bb = t.bounding_box();
+            for v in t.vertices() {
+                prop_assert!(bb.contains(&v.to_lonlat()));
+            }
+        }
+    }
+}

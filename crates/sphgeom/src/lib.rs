@@ -1,0 +1,37 @@
+//! Spherical geometry primitives for the Qserv reproduction.
+//!
+//! The LSST catalog records positions of celestial objects as spherical
+//! coordinates (right ascension / declination). Any spatial partitioning
+//! scheme for such data must therefore work on the sphere (paper §4.4,
+//! "Spherical geometry"). This crate provides the geometry substrate used by
+//! the partitioner, the query analyzer, and the worker SQL engine's spatial
+//! user-defined functions:
+//!
+//! * [`Angle`] — a strongly-typed angle with degree/radian/arcminute
+//!   constructors and normalization helpers.
+//! * [`LonLat`] — a point on the unit sphere in longitude/latitude (RA/decl)
+//!   form, and [`UnitVector3`], its Cartesian counterpart.
+//! * [`SphericalBox`] and [`SphericalCircle`] — the two region kinds Qserv
+//!   queries use (`qserv_areaspec_box`, near-neighbour distance cuts), with
+//!   containment, intersection, dilation (overlap) and area operations.
+//! * [`angular_separation`] — the great-circle distance between two points,
+//!   i.e. the paper's `qserv_angSep` UDF.
+//! * [`htm`] — the Hierarchical Triangular Mesh indexing scheme discussed as
+//!   the alternative partitioning of paper §7.5.
+
+pub mod angle;
+pub mod coords;
+pub mod dist;
+pub mod htm;
+pub mod region;
+
+pub use angle::Angle;
+pub use coords::{LonLat, UnitVector3};
+pub use dist::{angular_separation, angular_separation_deg};
+pub use region::{Region, SphericalBox, SphericalCircle};
+
+/// Machine epsilon-scale tolerance used by geometric predicates in this
+/// crate. Angular quantities are held in radians as `f64`, so a tolerance of
+/// a few ULP around 1.0 (≈ 1e-12 rad ≈ 0.2 micro-arcsecond) is far below any
+/// astrometric precision the catalog carries.
+pub const EPSILON: f64 = 1e-12;

@@ -1,0 +1,449 @@
+//! Spherical regions: boxes and circles.
+//!
+//! Qserv spatial restrictions arrive as `qserv_areaspec_box(lon1, lat1, lon2,
+//! lat2)` pseudo-function calls (paper §5.3). The query analyzer turns the
+//! box into a set of chunk ids; the partitioner dilates chunk bounding boxes
+//! by the overlap radius; the near-neighbour rewriter uses circles for
+//! distance cuts. All of those operations live here.
+
+use crate::angle::Angle;
+use crate::coords::LonLat;
+use crate::dist::angular_separation;
+
+/// A region on the unit sphere supporting point containment and
+/// conservative intersection tests.
+pub trait Region {
+    /// True when `p` lies inside (or on the boundary of) the region.
+    fn contains(&self, p: &LonLat) -> bool;
+
+    /// True when the region *may* intersect `b`. May return true for
+    /// non-intersecting pairs (conservative), but never false for
+    /// intersecting ones — the property chunk selection needs so that no
+    /// chunk holding relevant rows is skipped.
+    fn may_intersect_box(&self, b: &SphericalBox) -> bool;
+
+    /// A bounding box for the region.
+    fn bounding_box(&self) -> SphericalBox;
+}
+
+/// A longitude/latitude box on the sphere.
+///
+/// The latitude range is an ordinary closed interval. The longitude range is
+/// a closed interval *on the circle*: `lon_min > lon_max` denotes a range
+/// that wraps through 0° (e.g. the PT1.1 footprint spans RA 358°–5°,
+/// paper §6.1.2). A box whose longitude span is ≥ 360° is a full ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SphericalBox {
+    lon_min: Angle,
+    lon_max: Angle,
+    lat_min: Angle,
+    lat_max: Angle,
+    /// True when the box covers every longitude.
+    full_lon: bool,
+}
+
+impl SphericalBox {
+    /// Creates a box from degree bounds, in the argument order of
+    /// `qserv_areaspec_box(lonMin, latMin, lonMax, latMax)`.
+    ///
+    /// Longitudes are normalized to `[0, 360)`; `lon_min > lon_max` after
+    /// normalization means the box wraps through RA 0. Latitudes are clamped
+    /// to `[-90, 90]` and swapped if reversed.
+    pub fn from_degrees(lon_min: f64, lat_min: f64, lon_max: f64, lat_max: f64) -> SphericalBox {
+        let full_lon = (lon_max - lon_min).abs() >= 360.0;
+        let lon_min_a = Angle::from_degrees(lon_min).normalized_positive();
+        let lon_max_a = Angle::from_degrees(lon_max).normalized_positive();
+        let (lat_lo, lat_hi) = if lat_min <= lat_max {
+            (lat_min, lat_max)
+        } else {
+            (lat_max, lat_min)
+        };
+        SphericalBox {
+            lon_min: lon_min_a,
+            lon_max: lon_max_a,
+            lat_min: Angle::from_degrees(lat_lo.clamp(-90.0, 90.0)),
+            lat_max: Angle::from_degrees(lat_hi.clamp(-90.0, 90.0)),
+            full_lon,
+        }
+    }
+
+    /// The box covering the entire sphere.
+    pub fn full_sky() -> SphericalBox {
+        SphericalBox::from_degrees(0.0, -90.0, 360.0, 90.0)
+    }
+
+    /// Minimum longitude bound (degrees, `[0, 360)`).
+    pub fn lon_min_deg(&self) -> f64 {
+        self.lon_min.degrees()
+    }
+    /// Maximum longitude bound (degrees, `[0, 360)`).
+    pub fn lon_max_deg(&self) -> f64 {
+        self.lon_max.degrees()
+    }
+    /// Minimum latitude bound (degrees).
+    pub fn lat_min_deg(&self) -> f64 {
+        self.lat_min.degrees()
+    }
+    /// Maximum latitude bound (degrees).
+    pub fn lat_max_deg(&self) -> f64 {
+        self.lat_max.degrees()
+    }
+
+    /// True when the box covers all longitudes.
+    pub fn is_full_lon(&self) -> bool {
+        self.full_lon
+    }
+
+    /// True when the longitude interval wraps through zero.
+    pub fn wraps(&self) -> bool {
+        !self.full_lon && self.lon_min > self.lon_max
+    }
+
+    /// Longitude extent in degrees (360 for a full ring).
+    pub fn lon_extent_deg(&self) -> f64 {
+        if self.full_lon {
+            360.0
+        } else {
+            let d = self.lon_max.degrees() - self.lon_min.degrees();
+            if d < 0.0 {
+                d + 360.0
+            } else {
+                d
+            }
+        }
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_extent_deg(&self) -> f64 {
+        self.lat_max.degrees() - self.lat_min.degrees()
+    }
+
+    /// True when `lon` (degrees, any real) falls in the box's RA range.
+    pub fn contains_lon_deg(&self, lon: f64) -> bool {
+        if self.full_lon {
+            return true;
+        }
+        let l = Angle::from_degrees(lon).normalized_positive().degrees();
+        let (lo, hi) = (self.lon_min.degrees(), self.lon_max.degrees());
+        if self.wraps() {
+            l >= lo || l <= hi
+        } else {
+            l >= lo && l <= hi
+        }
+    }
+
+    /// True when `lat` (degrees) falls in the box's declination range.
+    pub fn contains_lat_deg(&self, lat: f64) -> bool {
+        lat >= self.lat_min.degrees() && lat <= self.lat_max.degrees()
+    }
+
+    /// Solid angle of the box in steradians:
+    /// `Δλ · (sin φ₂ − sin φ₁)`.
+    pub fn area_sr(&self) -> f64 {
+        let dlon = self.lon_extent_deg().to_radians();
+        dlon * (self.lat_max.sin() - self.lat_min.sin())
+    }
+
+    /// Solid angle in square degrees.
+    pub fn area_deg2(&self) -> f64 {
+        self.area_sr() * (180.0 / std::f64::consts::PI).powi(2)
+    }
+
+    /// Expands the box by `radius` in every direction, the operation used to
+    /// build overlap regions (paper §4.4 "Overlap") and to select chunks for
+    /// circle queries. Near the poles the longitude expansion grows with
+    /// `1/cos φ` and degenerates to a full ring when a pole is reached —
+    /// exactly the conservative behaviour chunk selection requires.
+    pub fn dilated(&self, radius: Angle) -> SphericalBox {
+        if radius.radians() <= 0.0 {
+            return *self;
+        }
+        let lat_min = (self.lat_min - radius).max(Angle::from_degrees(-90.0));
+        let lat_max = (self.lat_max + radius).min(Angle::from_degrees(90.0));
+        // Longitude dilation scales with the inverse cosine of the highest
+        // |latitude| in the *dilated* box.
+        let worst_lat = lat_min.abs().max(lat_max.abs());
+        let touches_pole = worst_lat.degrees() >= 90.0 - 1e-9;
+        let cos_lat = worst_lat.cos();
+        let lon_pad_deg = if touches_pole || cos_lat <= 1e-9 {
+            360.0
+        } else {
+            radius.degrees() / cos_lat
+        };
+        let full = self.full_lon || self.lon_extent_deg() + 2.0 * lon_pad_deg >= 360.0;
+        if full {
+            SphericalBox {
+                lon_min: Angle::ZERO,
+                lon_max: Angle::ZERO,
+                lat_min,
+                lat_max,
+                full_lon: true,
+            }
+        } else {
+            SphericalBox {
+                lon_min: (self.lon_min - Angle::from_degrees(lon_pad_deg)).normalized_positive(),
+                lon_max: (self.lon_max + Angle::from_degrees(lon_pad_deg)).normalized_positive(),
+                lat_min,
+                lat_max,
+                full_lon: false,
+            }
+        }
+    }
+
+    /// True when the two boxes share at least one point.
+    pub fn intersects(&self, o: &SphericalBox) -> bool {
+        let lat_ok = self.lat_min.degrees() <= o.lat_max.degrees()
+            && o.lat_min.degrees() <= self.lat_max.degrees();
+        if !lat_ok {
+            return false;
+        }
+        if self.full_lon || o.full_lon {
+            return true;
+        }
+        // Two circular intervals intersect iff either contains the other's
+        // start point.
+        self.contains_lon_deg(o.lon_min.degrees()) || o.contains_lon_deg(self.lon_min.degrees())
+    }
+}
+
+impl Region for SphericalBox {
+    fn contains(&self, p: &LonLat) -> bool {
+        self.contains_lat_deg(p.decl_deg()) && self.contains_lon_deg(p.ra_deg())
+    }
+
+    fn may_intersect_box(&self, b: &SphericalBox) -> bool {
+        self.intersects(b)
+    }
+
+    fn bounding_box(&self) -> SphericalBox {
+        *self
+    }
+}
+
+/// A spherical cap: every point within `radius` of `center`.
+#[derive(Clone, Copy, Debug)]
+pub struct SphericalCircle {
+    center: LonLat,
+    radius: Angle,
+}
+
+impl SphericalCircle {
+    /// Creates a cap. A negative radius yields an empty region; a radius of
+    /// 180° or more covers the sphere.
+    pub fn new(center: LonLat, radius: Angle) -> SphericalCircle {
+        SphericalCircle { center, radius }
+    }
+
+    /// The cap's center.
+    pub fn center(&self) -> LonLat {
+        self.center
+    }
+
+    /// The cap's angular radius.
+    pub fn radius(&self) -> Angle {
+        self.radius
+    }
+
+    /// Solid angle in steradians: `2π(1 − cos r)`.
+    pub fn area_sr(&self) -> f64 {
+        if self.radius.radians() <= 0.0 {
+            0.0
+        } else {
+            2.0 * std::f64::consts::PI * (1.0 - self.radius.min(Angle::HALF_TURN).cos())
+        }
+    }
+}
+
+impl Region for SphericalCircle {
+    fn contains(&self, p: &LonLat) -> bool {
+        angular_separation(&self.center, p) <= self.radius
+    }
+
+    fn may_intersect_box(&self, b: &SphericalBox) -> bool {
+        // Conservative: dilate the box by the radius and test the center.
+        b.dilated(self.radius).contains(&self.center)
+    }
+
+    fn bounding_box(&self) -> SphericalBox {
+        let c = self.center;
+        let point = SphericalBox::from_degrees(
+            c.ra_deg(),
+            c.decl_deg(),
+            c.ra_deg(),
+            c.decl_deg(),
+        );
+        point.dilated(self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_box_contains() {
+        let b = SphericalBox::from_degrees(10.0, -5.0, 20.0, 5.0);
+        assert!(b.contains(&LonLat::from_degrees(15.0, 0.0)));
+        assert!(b.contains(&LonLat::from_degrees(10.0, -5.0)));
+        assert!(!b.contains(&LonLat::from_degrees(25.0, 0.0)));
+        assert!(!b.contains(&LonLat::from_degrees(15.0, 6.0)));
+    }
+
+    #[test]
+    fn wrapping_box_like_pt11_footprint() {
+        // PT1.1 covers RA 358..5, decl -7..7 (paper §6.1.2).
+        let b = SphericalBox::from_degrees(358.0, -7.0, 5.0, 7.0);
+        assert!(b.wraps());
+        assert!(b.contains(&LonLat::from_degrees(359.5, 0.0)));
+        assert!(b.contains(&LonLat::from_degrees(2.0, 0.0)));
+        assert!(!b.contains(&LonLat::from_degrees(180.0, 0.0)));
+        assert!((b.lon_extent_deg() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_sky_area() {
+        let b = SphericalBox::full_sky();
+        assert!(b.is_full_lon());
+        assert!((b.area_sr() - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+        // Full sky is about 41253 square degrees.
+        assert!((b.area_deg2() - 41252.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn box_area_one_square_degree_at_equator() {
+        let b = SphericalBox::from_degrees(0.0, -0.5, 1.0, 0.5);
+        assert!((b.area_deg2() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dilate_grows_all_sides() {
+        let b = SphericalBox::from_degrees(10.0, -5.0, 20.0, 5.0);
+        let d = b.dilated(Angle::from_degrees(1.0));
+        assert!(d.contains(&LonLat::from_degrees(9.5, 0.0)));
+        assert!(d.contains(&LonLat::from_degrees(20.5, 0.0)));
+        assert!(d.contains(&LonLat::from_degrees(15.0, 5.9)));
+        assert!(d.contains(&LonLat::from_degrees(15.0, -5.9)));
+        assert!(!d.contains(&LonLat::from_degrees(15.0, 6.5)));
+    }
+
+    #[test]
+    fn dilate_near_pole_becomes_ring() {
+        let b = SphericalBox::from_degrees(100.0, 88.0, 110.0, 89.0);
+        let d = b.dilated(Angle::from_degrees(2.0));
+        // Dilated box touches the pole, so every longitude is inside.
+        assert!(d.is_full_lon());
+        assert!(d.contains(&LonLat::from_degrees(280.0, 89.0)));
+    }
+
+    #[test]
+    fn dilate_zero_is_identity() {
+        let b = SphericalBox::from_degrees(10.0, -5.0, 20.0, 5.0);
+        assert_eq!(b.dilated(Angle::ZERO), b);
+    }
+
+    #[test]
+    fn intersects_basic_and_wrap() {
+        let a = SphericalBox::from_degrees(10.0, -5.0, 20.0, 5.0);
+        let b = SphericalBox::from_degrees(15.0, 0.0, 30.0, 10.0);
+        let c = SphericalBox::from_degrees(40.0, 0.0, 50.0, 10.0);
+        let w = SphericalBox::from_degrees(355.0, -5.0, 12.0, 5.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(w.intersects(&a));
+        assert!(a.intersects(&w));
+    }
+
+    #[test]
+    fn lat_disjoint_boxes_do_not_intersect() {
+        let a = SphericalBox::from_degrees(0.0, 0.0, 360.0, 10.0);
+        let b = SphericalBox::from_degrees(0.0, 20.0, 360.0, 30.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn circle_contains() {
+        let c = SphericalCircle::new(LonLat::from_degrees(0.0, 0.0), Angle::from_degrees(1.0));
+        assert!(c.contains(&LonLat::from_degrees(0.5, 0.5)));
+        assert!(!c.contains(&LonLat::from_degrees(1.5, 0.0)));
+    }
+
+    #[test]
+    fn circle_area() {
+        let c = SphericalCircle::new(LonLat::from_degrees(0.0, 0.0), Angle::HALF_TURN);
+        assert!((c.area_sr() - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+        let empty = SphericalCircle::new(LonLat::from_degrees(0.0, 0.0), Angle::ZERO);
+        assert_eq!(empty.area_sr(), 0.0);
+    }
+
+    #[test]
+    fn circle_bounding_box_contains_circle_points() {
+        let c = SphericalCircle::new(LonLat::from_degrees(30.0, 40.0), Angle::from_degrees(2.0));
+        let bb = c.bounding_box();
+        for k in 0..64 {
+            let t = k as f64 / 64.0 * std::f64::consts::TAU;
+            // Walk the boundary approximately (planar offset then project).
+            let p = LonLat::from_degrees(
+                30.0 + 2.0 * t.cos() / 40f64.to_radians().cos(),
+                40.0 + 2.0 * t.sin(),
+            );
+            if c.contains(&p) {
+                assert!(bb.contains(&p));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dilated_box_contains_original_points(
+            lon0 in 0.0f64..360.0, lat0 in -80.0f64..70.0,
+            dlon in 0.1f64..20.0, dlat in 0.1f64..10.0,
+            r in 0.0f64..5.0,
+            plon in 0.0f64..1.0, plat in 0.0f64..1.0,
+        ) {
+            let b = SphericalBox::from_degrees(lon0, lat0, lon0 + dlon, lat0 + dlat);
+            let p = LonLat::from_degrees(lon0 + plon * dlon, lat0 + plat * dlat);
+            prop_assert!(b.contains(&p));
+            prop_assert!(b.dilated(Angle::from_degrees(r)).contains(&p));
+        }
+
+        #[test]
+        fn intersection_is_symmetric(
+            a0 in 0.0f64..360.0, a1 in -90.0f64..80.0, aw in 0.1f64..50.0, ah in 0.1f64..10.0,
+            b0 in 0.0f64..360.0, b1 in -90.0f64..80.0, bw in 0.1f64..50.0, bh in 0.1f64..10.0,
+        ) {
+            let a = SphericalBox::from_degrees(a0, a1, a0 + aw, a1 + ah);
+            let b = SphericalBox::from_degrees(b0, b1, b0 + bw, b1 + bh);
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        }
+
+        #[test]
+        fn point_in_both_implies_intersects(
+            a0 in 0.0f64..360.0, a1 in -90.0f64..80.0, aw in 0.1f64..50.0, ah in 0.1f64..10.0,
+            b0 in 0.0f64..360.0, b1 in -90.0f64..80.0, bw in 0.1f64..50.0, bh in 0.1f64..10.0,
+            plon in 0.0f64..360.0, plat in -90.0f64..90.0,
+        ) {
+            let a = SphericalBox::from_degrees(a0, a1, a0 + aw, a1 + ah);
+            let b = SphericalBox::from_degrees(b0, b1, b0 + bw, b1 + bh);
+            let p = LonLat::from_degrees(plon, plat);
+            if a.contains(&p) && b.contains(&p) {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+
+        #[test]
+        fn circle_box_test_is_conservative(
+            clon in 0.0f64..360.0, clat in -85.0f64..85.0, r in 0.01f64..5.0,
+            b0 in 0.0f64..360.0, b1 in -90.0f64..80.0, bw in 1.0f64..60.0, bh in 1.0f64..20.0,
+        ) {
+            let c = SphericalCircle::new(LonLat::from_degrees(clon, clat), Angle::from_degrees(r));
+            let b = SphericalBox::from_degrees(b0, b1, b0 + bw, b1 + bh);
+            // If the circle's center is in the box the regions surely
+            // intersect, so the conservative test must say yes.
+            if b.contains(&c.center()) {
+                prop_assert!(c.may_intersect_box(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! SQL parsing for the Qserv reproduction.
+//!
+//! The original Qserv extended Lubos Vnuk's SqlSQL2 ANTLR grammar to detect
+//! the query characteristics needed to generate chunk queries (paper §5.3):
+//! spatial restrictions, index opportunities, table references, aliases and
+//! joins, and aggregations. This crate implements the equivalent from
+//! scratch: a hand-written lexer ([`lexer`]), an AST ([`ast`]) that can
+//! round-trip back to SQL text ([`ast::Expr::to_sql`] and
+//! [`ast::SelectStatement::to_sql`]), and a recursive-descent parser
+//! ([`parser`]).
+//!
+//! The supported subset is the one Qserv supports in the paper: single
+//! `SELECT` statements (no subqueries, §5.3 "Qserv does not currently
+//! support SQL subqueries") with projections (including aggregates and
+//! expression arithmetic), comma joins with aliases, `WHERE` with
+//! `AND`/`OR`/`NOT`, comparisons, `BETWEEN`, `IN`, `IS [NOT] NULL`,
+//! function calls (including the `qserv_areaspec_box` and `qserv_angSep`
+//! pseudo-functions), `GROUP BY`, `ORDER BY`, and `LIMIT`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, Expr, Literal, OrderItem, Projection, SelectStatement, TableRef, UnaryOp,
+};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse_select, ParseError};

@@ -1,0 +1,266 @@
+//! Client-facing file transactions over the fabric.
+//!
+//! Paper §5.4 describes dispatch as two file-level transactions: (1) open a
+//! partition-addressed path for writing, write the chunk query, close;
+//! (2) open the hash-addressed result path for reading, read until EOF,
+//! close. [`XrdCluster`] exposes exactly those two operations plus the
+//! bookkeeping a master needs (which worker served the write, so the
+//! result read can target it directly).
+
+use crate::redirector::Redirector;
+use crate::server::{DataServer, ServerId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from cluster file transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XrdError {
+    /// No online server exports the path.
+    NoServerForPath(String),
+    /// Direct read addressed a server that does not exist.
+    NoSuchServer(ServerId),
+    /// The addressed server is offline.
+    ServerOffline(ServerId),
+    /// The file does not exist on the addressed server.
+    NoSuchFile {
+        /// Server consulted.
+        server: ServerId,
+        /// Path requested.
+        path: String,
+    },
+}
+
+impl fmt::Display for XrdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrdError::NoServerForPath(p) => write!(f, "no online server exports {p}"),
+            XrdError::NoSuchServer(s) => write!(f, "no such server {s}"),
+            XrdError::ServerOffline(s) => write!(f, "server {s} is offline"),
+            XrdError::NoSuchFile { server, path } => {
+                write!(f, "server {server} has no file {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XrdError {}
+
+/// A handle on the whole fabric: redirector plus servers. Cheap to clone
+/// and `Sync`; every dispatcher thread holds one.
+#[derive(Clone)]
+pub struct XrdCluster {
+    redirector: Arc<Redirector>,
+}
+
+impl XrdCluster {
+    /// Builds a cluster of `n` empty data servers.
+    pub fn with_servers(n: usize) -> XrdCluster {
+        let servers: Vec<Arc<DataServer>> =
+            (0..n).map(|i| Arc::new(DataServer::new(i))).collect();
+        XrdCluster {
+            redirector: Arc::new(Redirector::new(servers)),
+        }
+    }
+
+    /// The redirector.
+    pub fn redirector(&self) -> &Redirector {
+        &self.redirector
+    }
+
+    /// The server set.
+    pub fn servers(&self) -> &[Arc<DataServer>] {
+        self.redirector.servers()
+    }
+
+    /// One server by id.
+    pub fn server(&self, id: ServerId) -> Option<Arc<DataServer>> {
+        self.redirector.server(id)
+    }
+
+    /// **Transaction 1** (paper §5.4): open `path` for writing via the
+    /// redirector, write `data`, close. Returns the id of the server that
+    /// accepted the write (whose plugin has already run, synchronously, by
+    /// the time this returns — our in-process stand-in for the worker
+    /// having picked up the request).
+    pub fn write_file(&self, path: &str, data: Vec<u8>) -> Result<ServerId, XrdError> {
+        let server = self
+            .redirector
+            .resolve(path)
+            .ok_or_else(|| XrdError::NoServerForPath(path.to_string()))?;
+        server.complete_write(path, data);
+        Ok(server.id())
+    }
+
+    /// **Transaction 2** (paper §5.4): open `path` for reading on a
+    /// specific server, read until EOF, close. Qserv reads results from
+    /// the worker that executed the chunk query
+    /// (`xrootd://<worker>/result/H`).
+    pub fn read_file(&self, server: ServerId, path: &str) -> Result<Arc<Vec<u8>>, XrdError> {
+        let s = self
+            .redirector
+            .server(server)
+            .ok_or(XrdError::NoSuchServer(server))?;
+        if !s.is_online() {
+            return Err(XrdError::ServerOffline(server));
+        }
+        s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
+            server,
+            path: path.to_string(),
+        })
+    }
+
+    /// Reads via the redirector instead of a known server (used when the
+    /// path itself is globally addressed).
+    pub fn read_resolved(&self, path: &str) -> Result<Arc<Vec<u8>>, XrdError> {
+        let s = self
+            .redirector
+            .resolve(path)
+            .ok_or_else(|| XrdError::NoServerForPath(path.to_string()))?;
+        s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
+            server: s.id(),
+            path: path.to_string(),
+        })
+    }
+
+    /// Unlinks `path` on `server` (masters clean up consumed results).
+    pub fn unlink(&self, server: ServerId, path: &str) -> Result<bool, XrdError> {
+        let s = self
+            .redirector
+            .server(server)
+            .ok_or(XrdError::NoSuchServer(server))?;
+        Ok(s.delete_file(path))
+    }
+}
+
+/// Formats the partition-addressed dispatch path for a chunk id:
+/// `/query2/CC` (paper §5.4).
+pub fn query_path(chunk_id: i32) -> String {
+    format!("/query2/{chunk_id}")
+}
+
+/// Formats the hash-addressed result path: `/result/H` (paper §5.4).
+pub fn result_path(query_hash: &str) -> String {
+    format!("/result/{query_hash}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5::md5_hex;
+    use crate::server::OfsPlugin;
+
+    /// A worker plugin that "executes" a query by depositing its byte
+    /// length as the result, at the md5-addressed result path.
+    struct LenWorker;
+    impl OfsPlugin for LenWorker {
+        fn on_file_closed(&self, server: &DataServer, _path: &str, data: &[u8]) {
+            let hash = md5_hex(data);
+            server.put_file(&result_path(&hash), data.len().to_string().into_bytes());
+        }
+    }
+
+    fn cluster() -> XrdCluster {
+        let c = XrdCluster::with_servers(4);
+        for (i, s) in c.servers().iter().enumerate() {
+            s.install_plugin(Arc::new(LenWorker));
+            // Chunk i and i+4 on server i.
+            s.export(&query_path(i as i32));
+            s.export(&query_path(i as i32 + 4));
+        }
+        c
+    }
+
+    #[test]
+    fn two_transaction_dispatch() {
+        let c = cluster();
+        let query = b"-- SUBCHUNKS:\nSELECT COUNT(*) FROM Object_5;".to_vec();
+        // Transaction 1: write the chunk query to /query2/5.
+        let worker = c.write_file(&query_path(5), query.clone()).unwrap();
+        assert_eq!(worker, 1); // chunk 5 lives on server 1
+        // Transaction 2: read the result at /result/md5(query) on that worker.
+        let res = c
+            .read_file(worker, &result_path(&md5_hex(&query)))
+            .unwrap();
+        assert_eq!(*res, query.len().to_string().into_bytes());
+    }
+
+    #[test]
+    fn write_to_unexported_path_fails() {
+        let c = cluster();
+        assert_eq!(
+            c.write_file("/query2/999", vec![]),
+            Err(XrdError::NoServerForPath("/query2/999".into()))
+        );
+    }
+
+    #[test]
+    fn read_errors() {
+        let c = cluster();
+        assert!(matches!(
+            c.read_file(99, "/x"),
+            Err(XrdError::NoSuchServer(99))
+        ));
+        assert!(matches!(
+            c.read_file(0, "/missing"),
+            Err(XrdError::NoSuchFile { .. })
+        ));
+        c.servers()[0].set_online(false);
+        assert!(matches!(
+            c.read_file(0, "/x"),
+            Err(XrdError::ServerOffline(0))
+        ));
+    }
+
+    #[test]
+    fn unlink_after_read() {
+        let c = cluster();
+        let q = b"q".to_vec();
+        let w = c.write_file(&query_path(2), q.clone()).unwrap();
+        let rp = result_path(&md5_hex(&q));
+        assert!(c.unlink(w, &rp).unwrap());
+        assert!(!c.unlink(w, &rp).unwrap());
+        assert!(matches!(
+            c.read_file(w, &rp),
+            Err(XrdError::NoSuchFile { .. })
+        ));
+    }
+
+    #[test]
+    fn failover_to_replica_server() {
+        let c = cluster();
+        // Replicate chunk 0 onto server 3 as well.
+        c.servers()[3].export(&query_path(0));
+        c.servers()[0].set_online(false);
+        let w = c.write_file(&query_path(0), b"q".to_vec()).unwrap();
+        assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_threads() {
+        let c = cluster();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = c.clone();
+                scope.spawn(move |_| {
+                    for i in 0..50 {
+                        let chunk = (t * 50 + i) % 8;
+                        let q = format!("SELECT {t} FROM Object_{chunk}").into_bytes();
+                        let w = c.write_file(&query_path(chunk), q.clone()).unwrap();
+                        let r = c.read_file(w, &result_path(&md5_hex(&q))).unwrap();
+                        assert_eq!(*r, q.len().to_string().into_bytes());
+                    }
+                });
+            }
+        })
+        .expect("no worker thread panics");
+    }
+
+    #[test]
+    fn read_resolved_uses_namespace() {
+        let c = cluster();
+        c.servers()[2].export("/meta/schema");
+        c.servers()[2].put_file("/meta/schema", b"v1".to_vec());
+        assert_eq!(*c.read_resolved("/meta/schema").unwrap(), b"v1".to_vec());
+        assert!(c.read_resolved("/meta/none").is_err());
+    }
+}

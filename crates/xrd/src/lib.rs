@@ -1,0 +1,36 @@
+//! Xrootd substitute: the communication fabric of the Qserv reproduction.
+//!
+//! The original system uses Scalla/Xrootd "to provide a distributed,
+//! data-addressed, replicated, fault-tolerant communication facility"
+//! (paper §5.1.2): clients connect to a *redirector*, which is a caching
+//! namespace look-up service that redirects them to *data servers*; Qserv
+//! workers are data servers with custom code plugged in as a file-system
+//! ("ofs") plugin. The master dispatches work by **writing** to
+//! partition-addressed paths (`/query2/CC`) and collects results by
+//! **reading** hash-addressed paths (`/result/H`, `H` = MD5 of the chunk
+//! query, paper §5.4).
+//!
+//! This crate reproduces that architecture in-process:
+//! * [`md5`] — MD5 implemented from scratch (RFC 1321) for result
+//!   addressing.
+//! * [`server`] — a [`server::DataServer`] with an exported-path namespace,
+//!   a file store, and an [`server::OfsPlugin`] hook invoked when a file
+//!   finishes writing (exactly where qserv-worker code hangs off Xrootd).
+//! * [`redirector`] — the caching namespace lookup: path → data server,
+//!   with replica failover when servers go offline.
+//! * [`cluster`] — client-facing file transactions
+//!   (open-write-close / open-read-close) over redirector + servers.
+//!
+//! Everything is `Sync`: many dispatcher threads can run transactions
+//! concurrently, as the Qserv master does with thousands of chunk queries
+//! in flight.
+
+pub mod cluster;
+pub mod md5;
+pub mod redirector;
+pub mod server;
+
+pub use cluster::{XrdCluster, XrdError};
+pub use md5::md5_hex;
+pub use redirector::Redirector;
+pub use server::{DataServer, OfsPlugin, ServerId};

@@ -1,0 +1,187 @@
+//! Data servers and the ofs-plugin hook.
+//!
+//! "In Qserv, Xrootd data servers become Qserv workers by plugging custom
+//! code into Xrootd as a custom file system ('ofs plugin') implementation"
+//! (paper §5.1.2). A [`DataServer`] stores named files and *exports* a set
+//! of paths into the cluster namespace; when a client finishes writing an
+//! exported file, the server's [`OfsPlugin`] is invoked with the path and
+//! payload — that callback is where the Qserv worker executes chunk
+//! queries and deposits result files.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Identifies one data server in a cluster.
+pub type ServerId = usize;
+
+/// The worker-side hook invoked when a client completes a write
+/// transaction on an exported path.
+pub trait OfsPlugin: Send + Sync {
+    /// Called after the written file is closed. `server` grants access to
+    /// the server's local store so the plugin can deposit result files
+    /// (typically under `/result/<md5>`).
+    fn on_file_closed(&self, server: &DataServer, path: &str, data: &[u8]);
+}
+
+/// An Xrootd-style data server: a file store plus exported paths and an
+/// optional plugin.
+pub struct DataServer {
+    id: ServerId,
+    files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    exports: RwLock<Vec<String>>,
+    plugin: RwLock<Option<Arc<dyn OfsPlugin>>>,
+    online: AtomicBool,
+}
+
+impl DataServer {
+    /// Creates an online server with no files or exports.
+    pub fn new(id: ServerId) -> DataServer {
+        DataServer {
+            id,
+            files: RwLock::new(HashMap::new()),
+            exports: RwLock::new(Vec::new()),
+            plugin: RwLock::new(None),
+            online: AtomicBool::new(true),
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Installs the ofs plugin (the Qserv worker logic).
+    pub fn install_plugin(&self, plugin: Arc<dyn OfsPlugin>) {
+        *self.plugin.write() = Some(plugin);
+    }
+
+    /// Adds `path` to the server's exported namespace. Exported paths are
+    /// what the redirector advertises; writing to them triggers the
+    /// plugin.
+    pub fn export(&self, path: &str) {
+        let mut e = self.exports.write();
+        if !e.iter().any(|p| p == path) {
+            e.push(path.to_string());
+        }
+    }
+
+    /// The exported paths (sorted copies).
+    pub fn exports(&self) -> Vec<String> {
+        let mut e = self.exports.read().clone();
+        e.sort();
+        e
+    }
+
+    /// True when this server currently exports `path`.
+    pub fn exports_path(&self, path: &str) -> bool {
+        self.exports.read().iter().any(|p| p == path)
+    }
+
+    /// Marks the server offline (fault injection) or back online.
+    pub fn set_online(&self, online: bool) {
+        self.online.store(online, Ordering::SeqCst);
+    }
+
+    /// True when the server answers requests.
+    pub fn is_online(&self) -> bool {
+        self.online.load(Ordering::SeqCst)
+    }
+
+    /// Stores a file locally (used by plugins to deposit results, and by
+    /// completed client writes).
+    pub fn put_file(&self, path: &str, data: Vec<u8>) {
+        self.files.write().insert(path.to_string(), Arc::new(data));
+    }
+
+    /// Reads a file, if present.
+    pub fn get_file(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        self.files.read().get(path).cloned()
+    }
+
+    /// Deletes a file; true when it existed. (The master unlinks result
+    /// files after reading them.)
+    pub fn delete_file(&self, path: &str) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    /// Number of stored files.
+    pub fn num_files(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Completes a client write transaction: stores the file and fires the
+    /// plugin when the path is exported.
+    pub fn complete_write(&self, path: &str, data: Vec<u8>) {
+        self.put_file(path, data.clone());
+        let plugin = self.plugin.read().clone();
+        if let Some(p) = plugin {
+            if self.exports_path(path) {
+                p.on_file_closed(self, path, &data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl OfsPlugin for Echo {
+        fn on_file_closed(&self, server: &DataServer, path: &str, data: &[u8]) {
+            // Deposit an uppercased copy under /result/<path tail>.
+            let tail = path.rsplit('/').next().expect("split always yields one item");
+            server.put_file(
+                &format!("/result/{tail}"),
+                data.to_ascii_uppercase(),
+            );
+        }
+    }
+
+    #[test]
+    fn files_store_and_delete() {
+        let s = DataServer::new(3);
+        assert_eq!(s.id(), 3);
+        s.put_file("/a", vec![1, 2]);
+        assert_eq!(*s.get_file("/a").unwrap(), vec![1, 2]);
+        assert!(s.delete_file("/a"));
+        assert!(!s.delete_file("/a"));
+        assert!(s.get_file("/a").is_none());
+    }
+
+    #[test]
+    fn exports_deduplicate() {
+        let s = DataServer::new(0);
+        s.export("/query2/5");
+        s.export("/query2/5");
+        s.export("/query2/1");
+        assert_eq!(s.exports(), vec!["/query2/1", "/query2/5"]);
+        assert!(s.exports_path("/query2/5"));
+        assert!(!s.exports_path("/query2/9"));
+    }
+
+    #[test]
+    fn plugin_fires_on_exported_write_only() {
+        let s = DataServer::new(0);
+        s.install_plugin(Arc::new(Echo));
+        s.export("/query2/7");
+        s.complete_write("/query2/7", b"select".to_vec());
+        assert_eq!(*s.get_file("/result/7").unwrap(), b"SELECT".to_vec());
+        // Non-exported path: stored but no plugin action.
+        s.complete_write("/scratch/x", b"noop".to_vec());
+        assert_eq!(s.num_files(), 3);
+        assert!(s.get_file("/result/x").is_none());
+    }
+
+    #[test]
+    fn online_toggle() {
+        let s = DataServer::new(0);
+        assert!(s.is_online());
+        s.set_online(false);
+        assert!(!s.is_online());
+        s.set_online(true);
+        assert!(s.is_online());
+    }
+}

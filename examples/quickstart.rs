@@ -1,0 +1,84 @@
+//! Quickstart: synthesize a sky catalog, stand up a shared-nothing
+//! cluster, and run SQL against it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qserv::ClusterBuilder;
+use qserv_datagen::generate::{CatalogConfig, Patch};
+
+fn main() {
+    // 1. Synthesize a PT1.1-like catalog patch: 2000 objects with ~5
+    //    detections each over RA 358°–5°, decl −7°–+7°.
+    let patch = Patch::generate(&CatalogConfig::small(2000, 7));
+    println!(
+        "catalog: {} objects, {} sources over {:.0} deg² ({:.1} objects/deg²)",
+        patch.objects.len(),
+        patch.sources.len(),
+        patch.footprint.area_deg2(),
+        patch.object_density_per_deg2(),
+    );
+
+    // 2. Build a 6-node cluster: spatial partitioning into chunks with
+    //    overlap margins, per-chunk objectId indexes, round-robin chunk
+    //    placement, and an Xrootd-style dispatch fabric.
+    let qserv = ClusterBuilder::new(6).build(&patch.objects, &patch.sources);
+    println!(
+        "cluster: {} nodes, {} chunks",
+        qserv.workers().len(),
+        qserv.placement().chunks().len()
+    );
+
+    // 3. Interactive point query — the frontend's secondary index finds
+    //    the one chunk holding objectId 1234 (paper §5.5).
+    let (rows, stats) = qserv
+        .query_with_stats("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 1234")
+        .expect("point query");
+    println!(
+        "\nLV1 point lookup: {} row(s) from {} chunk(s) [secondary index: {}]",
+        rows.num_rows(),
+        stats.chunks_dispatched,
+        stats.used_secondary_index
+    );
+    for row in &rows.rows {
+        println!("  objectId={} ra={} decl={}", row[0], row[1], row[2]);
+    }
+
+    // 4. Full-sky aggregation — every chunk contributes, the master
+    //    recombines partial aggregates (paper §5.3).
+    let (count, stats) = qserv
+        .query_with_stats("SELECT COUNT(*) FROM Object")
+        .expect("full-sky count");
+    println!(
+        "\nHV1 full-sky count: {} (dispatched {} chunk queries)",
+        count.scalar().expect("scalar result"),
+        stats.chunks_dispatched
+    );
+
+    // 5. The paper's §5.3 example: a spatially-restricted AVG. The
+    //    areaspec box keeps dispatch off most of the sky; AVG is split
+    //    into SUM/COUNT per chunk and recombined.
+    let (avg, stats) = qserv
+        .query_with_stats(
+            "SELECT AVG(uFlux_SG) FROM Object \
+             WHERE qserv_areaspec_box(0.0, 0.0, 4.0, 6.0) AND uRadius_PS > 0.04",
+        )
+        .expect("avg query");
+    println!(
+        "\n§5.3 example AVG(uFlux_SG) = {} over {} chunk(s)",
+        avg.scalar().expect("scalar result"),
+        stats.chunks_dispatched
+    );
+
+    // 6. Inspect what the frontend generates without running it.
+    let plan = qserv
+        .explain("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0.0, 0.0, 4.0, 6.0)")
+        .expect("explain");
+    println!(
+        "\nexplain: {} chunk(s), aggregated={}, sample chunk query:\n{}",
+        plan.chunks.len(),
+        plan.aggregated,
+        plan.sample_message.unwrap_or_default()
+    );
+}

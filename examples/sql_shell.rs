@@ -1,0 +1,89 @@
+//! An interactive SQL shell over a running cluster — the stand-in for the
+//! paper's MySQL Proxy front door (§5.4): "queries can be submitted using
+//! any MySQL-compatible client".
+//!
+//! ```sh
+//! cargo run --release --example sql_shell
+//! qserv> SELECT COUNT(*) FROM Object;
+//! qserv> EXPLAIN SELECT count(*) FROM Object o1, Object o2 WHERE ...;
+//! qserv> \q
+//! ```
+
+use qserv::ClusterBuilder;
+use qserv_datagen::generate::{CatalogConfig, Patch};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let patch = Patch::generate(&CatalogConfig::small(3000, 99));
+    let qserv = ClusterBuilder::new(6).build(&patch.objects, &patch.sources);
+    println!(
+        "qserv shell — {} objects / {} sources over {} chunks on {} nodes",
+        patch.objects.len(),
+        patch.sources.len(),
+        qserv.placement().chunks().len(),
+        qserv.workers().len()
+    );
+    println!("tables: Object(objectId, ra_PS, decl_PS, uFlux_PS..yFlux_PS, uFlux_SG, uRadius_PS, chunkId, subChunkId)");
+    println!("        Source(sourceId, objectId, ra, decl, taiMidPoint, psfFlux, psfFluxErr, chunkId, subChunkId)");
+    println!("type SQL (\\q to quit, EXPLAIN <query> to see the plan)\n");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("qserv> ");
+        std::io::stdout().flush().expect("stdout flush");
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let input = line.trim().trim_end_matches(';').trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == "\\q" || input.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        if let Some(rest) = input
+            .strip_prefix("EXPLAIN ")
+            .or_else(|| input.strip_prefix("explain "))
+        {
+            match qserv.explain(rest) {
+                Ok(e) => {
+                    println!(
+                        "join={:?} aggregated={} secondary_index={} chunks={}",
+                        e.join,
+                        e.aggregated,
+                        e.uses_secondary_index,
+                        e.chunks.len()
+                    );
+                    if let Some(msg) = e.sample_message {
+                        println!("sample chunk query:\n{msg}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        match qserv.query_with_stats(input) {
+            Ok((result, stats)) => {
+                println!("{}", result.columns.join(" | "));
+                for row in result.rows.iter().take(40) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                if result.num_rows() > 40 {
+                    println!("… {} more rows", result.num_rows() - 40);
+                }
+                println!(
+                    "({} rows; {} chunks; {} B transferred; {:.1} ms)",
+                    result.num_rows(),
+                    stats.chunks_dispatched,
+                    stats.result_bytes,
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

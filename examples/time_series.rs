@@ -1,0 +1,79 @@
+//! Time-series analysis: the paper's Low Volume 2 and Super High
+//! Volume 2 workloads over the Object/Source pair.
+//!
+//! Pulls one object's photometric history (LV2), then hunts for sources
+//! displaced from their objects across a sky region (SHV2's join shape),
+//! and finishes with a variability screen built from grouped aggregates.
+//!
+//! ```sh
+//! cargo run --release --example time_series
+//! ```
+
+use qserv::ClusterBuilder;
+use qserv_datagen::generate::{CatalogConfig, Patch};
+
+fn main() {
+    // A catalog with paper-like Source multiplicity (~41 rows/object).
+    let patch = Patch::generate(&CatalogConfig {
+        objects: 800,
+        mean_sources_per_object: 41.0,
+        seed: 23,
+        footprint: qserv_datagen::generate::pt11_footprint(),
+    });
+    let qserv = ClusterBuilder::new(6).build(&patch.objects, &patch.sources);
+    println!(
+        "catalog: {} objects, {} sources (k ≈ {:.1})",
+        patch.objects.len(),
+        patch.sources.len(),
+        patch.sources.len() as f64 / patch.objects.len() as f64
+    );
+
+    // --- LV2: the light curve of one object --------------------------------
+    let oid = 321;
+    let (series, stats) = qserv
+        .query_with_stats(&format!(
+            "SELECT taiMidPoint, fluxToAbMag(psfFlux), fluxToAbMag(psfFluxErr), ra, decl \
+             FROM Source WHERE objectId = {oid} ORDER BY taiMidPoint"
+        ))
+        .expect("LV2 time series");
+    println!(
+        "\nLV2: objectId {oid} has {} detections (from {} chunk)",
+        series.num_rows(),
+        stats.chunks_dispatched
+    );
+    for row in series.rows.iter().take(5) {
+        println!("  t={}  mag={}", row[0], row[1]);
+    }
+    if series.num_rows() > 5 {
+        println!("  … {} more", series.num_rows() - 5);
+    }
+
+    // --- SHV2: sources displaced from their objects -------------------------
+    let cut_deg = 0.1 / 3600.0; // 0.1 arcsec
+    let (moved, _) = qserv
+        .query_with_stats(&format!(
+            "SELECT o.objectId, s.sourceId, s.ra, s.decl, o.ra_PS, o.decl_PS \
+             FROM Object o, Source s \
+             WHERE qserv_areaspec_box(358.0, -7.0, 5.0, 7.0) \
+             AND o.objectId = s.objectId \
+             AND qserv_angSep(s.ra, s.decl, o.ra_PS, o.decl_PS) > {cut_deg}"
+        ))
+        .expect("SHV2 displacement join");
+    println!(
+        "\nSHV2: {} detections displaced > 0.1\" from their object",
+        moved.num_rows()
+    );
+
+    // --- Variability screen: grouped aggregates over the join key -----------
+    let stats_per_object = qserv
+        .query(
+            "SELECT objectId, COUNT(*) AS nobs, MIN(psfFlux), MAX(psfFlux), AVG(psfFlux) \
+             FROM Source GROUP BY objectId ORDER BY nobs DESC LIMIT 5",
+        )
+        .expect("variability screen");
+    println!("\nmost-observed objects:");
+    println!("  objectId      nobs  min(flux)        max(flux)");
+    for row in &stats_per_object.rows {
+        println!("  {:<12}  {:>4}  {:<15}  {}", row[0], row[1], row[2], row[3]);
+    }
+}

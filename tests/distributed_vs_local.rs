@@ -1,0 +1,177 @@
+//! Distributed-vs-local equivalence: every supported query class must
+//! return exactly the rows a single monolithic engine returns over the
+//! same data. This is the strongest end-to-end property the system has —
+//! partitioning, overlap, dispatch, transfer and two-phase aggregation
+//! must all be invisible to the user.
+
+mod common;
+
+use common::{approx_eq, cluster_from, monolithic_db, small_patch, sorted_rows};
+use qserv_engine::exec::execute;
+use qserv_sqlparse::parse_select;
+
+/// Runs `sql` both ways and compares (order-insensitively unless the
+/// query orders, approximately for float aggregates).
+fn check(sql: &str, objects: usize, seed: u64) {
+    let patch = small_patch(objects, seed);
+    let q = cluster_from(&patch, 4);
+    let distributed = q.query(sql).unwrap_or_else(|e| panic!("distributed {sql}: {e}"));
+
+    let db = monolithic_db(&patch);
+    let stmt = parse_select(sql).unwrap();
+    let local = execute(&db, &stmt).unwrap_or_else(|e| panic!("local {sql}: {e}"));
+
+    assert_eq!(
+        distributed.columns.len(),
+        local.columns.len(),
+        "column arity differs for {sql}"
+    );
+    assert_eq!(
+        distributed.num_rows(),
+        local.num_rows(),
+        "row count differs for {sql}: distributed {} vs local {}",
+        distributed.num_rows(),
+        local.num_rows()
+    );
+    let ordered = sql.to_ascii_uppercase().contains("ORDER BY");
+    let (d_rows, l_rows) = if ordered {
+        (distributed.rows.clone(), local.rows.clone())
+    } else {
+        (sorted_rows(&distributed.rows), sorted_rows(&local.rows))
+    };
+    for (i, (d, l)) in d_rows.iter().zip(&l_rows).enumerate() {
+        for (j, (dv, lv)) in d.iter().zip(l).enumerate() {
+            assert!(
+                approx_eq(dv, lv, 1e-9),
+                "{sql}: row {i} col {j} differs: {dv:?} vs {lv:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn point_select() {
+    check("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 17", 300, 41);
+}
+
+#[test]
+fn full_scan_projection() {
+    check("SELECT objectId, ra_PS FROM Object", 400, 42);
+}
+
+#[test]
+fn filter_with_udf() {
+    check(
+        "SELECT objectId FROM Object WHERE fluxToAbMag(zFlux_PS) BETWEEN 20 AND 24",
+        500,
+        43,
+    );
+}
+
+#[test]
+fn arithmetic_filter() {
+    check(
+        "SELECT objectId, uFlux_PS - gFlux_PS FROM Object WHERE ra_PS / 2 > 100",
+        300,
+        44,
+    );
+}
+
+#[test]
+fn global_aggregates() {
+    check(
+        "SELECT COUNT(*), SUM(uFlux_SG), AVG(ra_PS), MIN(decl_PS), MAX(decl_PS) FROM Object",
+        600,
+        45,
+    );
+}
+
+#[test]
+fn aggregate_expression() {
+    check("SELECT SUM(uFlux_SG) / COUNT(*) FROM Object", 400, 46);
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    check(
+        "SELECT chunkId, COUNT(*), AVG(ra_PS) FROM Object GROUP BY chunkId ORDER BY chunkId",
+        800,
+        47,
+    );
+}
+
+#[test]
+fn group_by_unprojected_key() {
+    check("SELECT COUNT(*) FROM Object GROUP BY chunkId", 500, 48);
+}
+
+#[test]
+fn order_by_limit() {
+    check(
+        "SELECT objectId, decl_PS FROM Object ORDER BY decl_PS, objectId LIMIT 11",
+        300,
+        49,
+    );
+}
+
+#[test]
+fn count_with_in_list() {
+    check(
+        "SELECT objectId FROM Object WHERE objectId IN (3, 5, 250, 9999) ORDER BY objectId",
+        300,
+        50,
+    );
+}
+
+#[test]
+fn source_scan_and_aggregate() {
+    check("SELECT COUNT(*), AVG(psfFlux) FROM Source", 250, 51);
+    check(
+        "SELECT taiMidPoint, psfFlux FROM Source WHERE objectId = 9 ORDER BY taiMidPoint",
+        250,
+        52,
+    );
+}
+
+#[test]
+fn equi_join_object_source() {
+    check(
+        "SELECT o.objectId, s.sourceId FROM Object o, Source s \
+         WHERE o.objectId = s.objectId AND s.psfFlux > 1000 \
+         ORDER BY s.sourceId",
+        200,
+        53,
+    );
+}
+
+#[test]
+fn near_neighbor_self_join_count() {
+    check(
+        "SELECT count(*) FROM Object o1, Object o2 \
+         WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.06 \
+         AND o1.objectId != o2.objectId",
+        600,
+        54,
+    );
+}
+
+#[test]
+fn near_neighbor_projected_pairs() {
+    check(
+        "SELECT o1.objectId, o2.objectId FROM Object o1, Object o2 \
+         WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.05 \
+         AND o1.objectId != o2.objectId \
+         ORDER BY o1.objectId, o2.objectId",
+        500,
+        55,
+    );
+}
+
+#[test]
+fn is_null_and_not() {
+    check(
+        "SELECT COUNT(*) FROM Object WHERE zFlux_PS IS NOT NULL AND NOT objectId = 1",
+        200,
+        56,
+    );
+}

@@ -1,0 +1,333 @@
+//! End-to-end integration: parse → analyze → rewrite → dispatch over the
+//! fabric → worker execution → result transfer → merge, across all crates.
+
+mod common;
+
+use common::{cluster_from, small_patch};
+use qserv::analysis::JoinClass;
+use qserv::Value;
+
+#[test]
+fn point_query_round_trip() {
+    let patch = small_patch(300, 1);
+    let q = cluster_from(&patch, 4);
+    let (r, stats) = q
+        .query_with_stats("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 42")
+        .unwrap();
+    assert_eq!(r.num_rows(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(42));
+    let o = &patch.objects[41];
+    assert_eq!(r.rows[0][1], Value::Float(o.ra_ps));
+    // The secondary index narrowed dispatch to a single chunk (§5.5).
+    assert!(stats.used_secondary_index);
+    assert_eq!(stats.chunks_dispatched, 1);
+}
+
+#[test]
+fn missing_object_yields_zero_rows() {
+    let patch = small_patch(50, 2);
+    let q = cluster_from(&patch, 2);
+    let r = q.query("SELECT * FROM Object WHERE objectId = 999999").unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn full_sky_count_matches_catalog() {
+    let patch = small_patch(500, 3);
+    let q = cluster_from(&patch, 5);
+    let (r, stats) = q.query_with_stats("SELECT COUNT(*) FROM Object").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(500)));
+    // Full-sky: every stored chunk dispatched, no index, no restriction.
+    assert!(!stats.used_secondary_index);
+    assert!(!stats.used_spatial_restriction);
+    assert!(stats.chunks_dispatched > 1);
+    assert_eq!(r.columns, vec!["COUNT(*)"]);
+}
+
+#[test]
+fn source_count_matches_catalog() {
+    let patch = small_patch(200, 4);
+    let q = cluster_from(&patch, 3);
+    let r = q.query("SELECT COUNT(*) FROM Source").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(patch.sources.len() as i64)));
+}
+
+#[test]
+fn spatial_restriction_narrows_dispatch() {
+    let patch = small_patch(500, 5);
+    let q = cluster_from(&patch, 4);
+    let (_all, full) = q.query_with_stats("SELECT COUNT(*) FROM Object").unwrap();
+    let (_r, restricted) = q
+        .query_with_stats(
+            "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0.5, 0.5, 2.0, 3.0)",
+        )
+        .unwrap();
+    assert!(restricted.used_spatial_restriction);
+    assert!(
+        restricted.chunks_dispatched < full.chunks_dispatched,
+        "spatial restriction must avoid full-sky dispatch: {} vs {}",
+        restricted.chunks_dispatched,
+        full.chunks_dispatched
+    );
+}
+
+#[test]
+fn spatial_count_is_exact_not_just_chunk_granular() {
+    // The UDF predicate must filter rows inside partially-covered chunks.
+    let patch = small_patch(1000, 6);
+    let q = cluster_from(&patch, 4);
+    let r = q
+        .query("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0.0, 0.0, 3.0, 5.0)")
+        .unwrap();
+    let expected = patch
+        .objects
+        .iter()
+        .filter(|o| (0.0..=3.0).contains(&o.ra_ps) && (0.0..=5.0).contains(&o.decl_ps))
+        .count() as i64;
+    assert_eq!(r.scalar(), Some(&Value::Int(expected)));
+    assert!(expected > 0, "fixture must cover the box");
+}
+
+#[test]
+fn avg_example_from_paper_5_3() {
+    let patch = small_patch(800, 7);
+    let q = cluster_from(&patch, 4);
+    let r = q
+        .query(
+            "SELECT AVG(uFlux_SG) FROM Object \
+             WHERE qserv_areaspec_box(358.0, -7.0, 5.0, 7.0) AND uRadius_PS > 0.04",
+        )
+        .unwrap();
+    let selected: Vec<f64> = patch
+        .objects
+        .iter()
+        .filter(|o| o.u_radius_ps > 0.04)
+        .map(|o| o.u_flux_sg)
+        .collect();
+    let expected = selected.iter().sum::<f64>() / selected.len() as f64;
+    let got = r.scalar().unwrap().as_f64().unwrap();
+    assert!(
+        (got - expected).abs() / expected < 1e-9,
+        "AVG mismatch: {got} vs {expected}"
+    );
+    assert_eq!(r.columns, vec!["AVG(uFlux_SG)"]);
+}
+
+#[test]
+fn group_by_density_like_hv3() {
+    let patch = small_patch(600, 8);
+    let q = cluster_from(&patch, 4);
+    let r = q
+        .query(
+            "SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId \
+             FROM Object GROUP BY chunkId ORDER BY chunkId",
+        )
+        .unwrap();
+    // n sums to the catalog total.
+    let total: i64 = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_i64().expect("n is integral"))
+        .sum();
+    assert_eq!(total, 600);
+    assert_eq!(r.columns, vec!["n", "AVG(ra_PS)", "AVG(decl_PS)", "chunkId"]);
+    // chunkIds ascend and are distinct.
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[3].as_i64().unwrap()).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    // AVG(decl_PS) of each group must sit inside that chunk's decl band.
+    let chunker = q.chunker();
+    for row in &r.rows {
+        let chunk = row[3].as_i64().unwrap() as i32;
+        let avg_decl = row[2].as_f64().unwrap();
+        let b = chunker.chunk_bounds(chunk).unwrap();
+        assert!(
+            avg_decl >= b.lat_min_deg() - 1e-9 && avg_decl <= b.lat_max_deg() + 1e-9,
+            "AVG(decl) {avg_decl} outside chunk {chunk} band"
+        );
+    }
+}
+
+#[test]
+fn order_by_and_limit_across_chunks() {
+    let patch = small_patch(300, 9);
+    let q = cluster_from(&patch, 4);
+    let r = q
+        .query("SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC LIMIT 7")
+        .unwrap();
+    assert_eq!(r.num_rows(), 7);
+    // Must be the true global top 7, not a per-chunk artifact.
+    let mut ras: Vec<f64> = patch.objects.iter().map(|o| o.ra_ps).collect();
+    ras.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    for (i, row) in r.rows.iter().enumerate() {
+        assert_eq!(row[1].as_f64().unwrap(), ras[i], "rank {i} mismatch");
+    }
+}
+
+#[test]
+fn time_series_join_by_object_id() {
+    let patch = small_patch(150, 10);
+    let q = cluster_from(&patch, 3);
+    let (r, stats) = q
+        .query_with_stats(
+            "SELECT taiMidPoint, fluxToAbMag(psfFlux), ra, decl \
+             FROM Source WHERE objectId = 77 ORDER BY taiMidPoint",
+        )
+        .unwrap();
+    let expected = patch.sources.iter().filter(|s| s.object_id == 77).count();
+    assert_eq!(r.num_rows(), expected);
+    assert!(expected > 0);
+    assert_eq!(
+        stats.chunks_dispatched, 1,
+        "secondary index localizes Source too"
+    );
+    // Time series is sorted.
+    let times: Vec<f64> = r.rows.iter().map(|row| row[0].as_f64().unwrap()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn explain_reports_plan_shape() {
+    let patch = small_patch(100, 11);
+    let q = cluster_from(&patch, 2);
+    let e = q
+        .explain(
+            "SELECT count(*) FROM Object o1, Object o2 \
+             WHERE qserv_areaspec_box(0.0, 0.0, 2.0, 2.0) \
+             AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.05",
+        )
+        .unwrap();
+    assert_eq!(e.join, JoinClass::SubchunkNear);
+    assert!(e.aggregated);
+    assert!(!e.uses_secondary_index);
+    let msg = e.sample_message.unwrap();
+    assert!(msg.starts_with("-- SUBCHUNKS:"), "{msg}");
+    assert!(msg.contains("FullOverlap"), "{msg}");
+}
+
+#[test]
+fn tableless_select_runs_on_frontend() {
+    let patch = small_patch(10, 12);
+    let q = cluster_from(&patch, 1);
+    let (r, stats) = q.query_with_stats("SELECT 2 + 3").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+    assert_eq!(stats.chunks_dispatched, 0);
+}
+
+#[test]
+fn errors_surface_with_context() {
+    let patch = small_patch(10, 13);
+    let q = cluster_from(&patch, 1);
+    // Unknown table.
+    assert!(q.query("SELECT * FROM Nope").is_err());
+    // Unknown column: reported as a worker-side execution error.
+    let err = q.query("SELECT nonexistent FROM Object").unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("worker"), "{text}");
+    assert!(text.contains("nonexistent"), "{text}");
+}
+
+#[test]
+fn in_list_index_dispatch() {
+    let patch = small_patch(400, 14);
+    let q = cluster_from(&patch, 4);
+    let (r, stats) = q
+        .query_with_stats(
+            "SELECT objectId FROM Object WHERE objectId IN (1, 2, 3, 399) ORDER BY objectId",
+        )
+        .unwrap();
+    assert_eq!(r.num_rows(), 4);
+    assert!(stats.used_secondary_index);
+    assert!(
+        stats.chunks_dispatched <= 4,
+        "dispatch limited to the ids' chunks, got {}",
+        stats.chunks_dispatched
+    );
+}
+
+#[test]
+fn worker_stats_accumulate() {
+    let patch = small_patch(200, 15);
+    let q = cluster_from(&patch, 3);
+    q.query("SELECT COUNT(*) FROM Object").unwrap();
+    let total_queries: u64 = q.workers().iter().map(|w| w.stats.snapshot().0).sum();
+    assert_eq!(total_queries as usize, q.placement().chunks().len());
+}
+
+#[test]
+fn replicated_deployment_answers_queries() {
+    let patch = small_patch(300, 16);
+    let q = qserv::ClusterBuilder::new(4)
+        .replication(2)
+        .build(&patch.objects, &patch.sources);
+    let r = q.query("SELECT COUNT(*) FROM Object").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(300)));
+}
+
+#[test]
+fn circle_restriction_matches_explicit_predicate() {
+    // qserv_areaspec_circle (the box's companion pseudo-function) must
+    // select exactly the objects within the radius.
+    let patch = small_patch(900, 17);
+    let q = cluster_from(&patch, 4);
+    let (ra0, decl0, r0) = (2.5, 3.5, 1.0);
+    let (circle, stats) = q
+        .query_with_stats(&format!(
+            "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_circle({ra0}, {decl0}, {r0})"
+        ))
+        .unwrap();
+    let expected = patch
+        .objects
+        .iter()
+        .filter(|o| {
+            qserv_sphgeom::angular_separation_deg(o.ra_ps, o.decl_ps, ra0, decl0) <= r0
+        })
+        .count() as i64;
+    assert_eq!(circle.scalar(), Some(&Value::Int(expected)));
+    assert!(expected > 0, "fixture must cover the circle");
+    assert!(stats.used_spatial_restriction);
+    // And it must have avoided full-sky dispatch.
+    let (_, full) = q.query_with_stats("SELECT COUNT(*) FROM Object").unwrap();
+    assert!(stats.chunks_dispatched < full.chunks_dispatched);
+}
+
+#[test]
+fn circle_rejects_bad_arguments() {
+    let patch = small_patch(20, 18);
+    let q = cluster_from(&patch, 1);
+    assert!(q
+        .query("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_circle(0, 0)")
+        .is_err());
+    assert!(q
+        .query("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_circle(0, 0, -1)")
+        .is_err());
+    assert!(q
+        .query("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_circle(0, 0, 500)")
+        .is_err());
+}
+
+#[test]
+fn aggregates_over_empty_chunk_set_keep_sql_semantics() {
+    // A restriction that selects no chunks at all (unknown objectId via
+    // the secondary index) must still aggregate like SQL: COUNT(*) = 0,
+    // SUM/AVG/MIN = NULL — not an all-NULL row from merging nothing.
+    let patch = small_patch(60, 19);
+    let q = cluster_from(&patch, 2);
+    let r = q
+        .query("SELECT COUNT(*) FROM Object WHERE objectId = 987654321")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    let r = q
+        .query("SELECT SUM(ra_PS), AVG(ra_PS), MIN(ra_PS) FROM Object WHERE objectId = 987654321")
+        .unwrap();
+    assert_eq!(r.rows[0], vec![Value::Null, Value::Null, Value::Null]);
+    // Plain selections stay empty.
+    let r = q
+        .query("SELECT objectId FROM Object WHERE objectId = 987654321")
+        .unwrap();
+    assert_eq!(r.num_rows(), 0);
+    // GROUP BY over nothing yields no groups.
+    let r = q
+        .query("SELECT chunkId, COUNT(*) FROM Object WHERE objectId = 987654321 GROUP BY chunkId")
+        .unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
