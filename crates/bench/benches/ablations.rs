@@ -104,5 +104,11 @@ fn placement(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, shared_scan, subchunk_join, subchunk_caching, placement);
+criterion_group!(
+    benches,
+    shared_scan,
+    subchunk_join,
+    subchunk_caching,
+    placement
+);
 criterion_main!(benches);

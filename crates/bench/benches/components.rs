@@ -104,9 +104,8 @@ fn engine(c: &mut Criterion) {
     g.bench_function("index_point_lookup", |b| {
         b.iter(|| black_box(execute(&db, black_box(&point)).expect("looks up")))
     });
-    let agg =
-        parse_select("SELECT ra_PS, COUNT(*), AVG(zFlux_PS) FROM Object GROUP BY ra_PS")
-            .expect("parses");
+    let agg = parse_select("SELECT ra_PS, COUNT(*), AVG(zFlux_PS) FROM Object GROUP BY ra_PS")
+        .expect("parses");
     g.throughput(Throughput::Elements(20_000));
     g.bench_function("group_by_360_groups", |b| {
         b.iter(|| black_box(execute(&db, black_box(&agg)).expect("groups")))

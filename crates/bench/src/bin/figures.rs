@@ -58,9 +58,7 @@ fn main() {
         ran = true;
     }
     if !ran {
-        eprintln!(
-            "unknown selector {arg:?}; use all | table1 | fig2..fig14 | ablations"
-        );
+        eprintln!("unknown selector {arg:?}; use all | table1 | fig2..fig14 | ablations");
         std::process::exit(2);
     }
 }
@@ -83,7 +81,10 @@ fn fmt_series(times: &[f64]) -> String {
 
 fn table1() {
     println!("== Table 1: estimates for LSST's final data release ==");
-    println!("{:<14} {:>10} {:>10} {:>14} {:>14}", "table", "rows", "row size", "computed", "paper");
+    println!(
+        "{:<14} {:>10} {:>10} {:>14} {:>14}",
+        "table", "rows", "row size", "computed", "paper"
+    );
     for t in qserv_datagen::estimate::lsst_final_release() {
         println!(
             "{:<14} {:>10.2e} {:>9.0}B {:>13.1}TB {:>13.1}TB",
@@ -164,7 +165,13 @@ fn fig4() {
 // Figures 5–7 — High Volume latency series
 // ---------------------------------------------------------------------------
 
-fn hv_series(label: &str, runs: usize, execs: usize, slow_run: Option<usize>, job: impl Fn(bool) -> qserv_sim::QueryJob) {
+fn hv_series(
+    label: &str,
+    runs: usize,
+    execs: usize,
+    slow_run: Option<usize>,
+    job: impl Fn(bool) -> qserv_sim::QueryJob,
+) {
     for run in 1..=runs {
         let mut times = Vec::with_capacity(execs);
         for _ in 0..execs {
@@ -210,7 +217,9 @@ fn fig7() {
 // ---------------------------------------------------------------------------
 
 fn lv_scaling(fignum: usize, label: &str) {
-    println!("== Figure {fignum}: {label} mean execution time vs node count (constant data per node) ==");
+    println!(
+        "== Figure {fignum}: {label} mean execution time vs node count (constant data per node) =="
+    );
     println!("-- paper: flat ~4 s at 40, 100, 150 nodes");
     for nodes in [40, 100, 150] {
         let cfg = SimConfig::paper_cluster().with_nodes(nodes);
@@ -333,8 +342,13 @@ fn fig14() {
 /// convoy; naive execution scans per query.
 fn ablate_shared_scan() {
     println!("== Ablation A: shared scanning (§4.3), k concurrent HV2-class scans, 150 nodes ==");
-    println!("-- paper's design claim: many scans in \"little more than the time for a single\" scan");
-    println!("{:>2}  {:>10}  {:>10}  {:>7}", "k", "naive", "shared", "speedup");
+    println!(
+        "-- paper's design claim: many scans in \"little more than the time for a single\" scan"
+    );
+    println!(
+        "{:>2}  {:>10}  {:>10}  {:>7}",
+        "k", "naive", "shared", "speedup"
+    );
     for k in [1usize, 2, 4, 8] {
         // Naive: k uncached scans in flight at once.
         let mut sim = qserv_sim::Simulator::new(paper());
@@ -356,7 +370,10 @@ fn ablate_shared_scan() {
             t.cpu_s += 0.01 * (k as f64 - 1.0);
         }
         let shared = wl::run_single(&paper(), convoy);
-        println!("{k:>2}  {naive:>9.1}s  {shared:>9.1}s  {:>6.2}×", naive / shared);
+        println!(
+            "{k:>2}  {naive:>9.1}s  {shared:>9.1}s  {:>6.2}×",
+            naive / shared
+        );
     }
     // Real-execution equivalence spot check: the convoy returns the same
     // rows as independent execution, and visits each chunk once.
@@ -370,7 +387,10 @@ fn ablate_shared_scan() {
     let report = scanner.run(&queries).expect("convoy runs");
     for (sql, shared_result) in queries.iter().zip(&report.results) {
         let solo = q.query(sql).expect("solo runs");
-        assert_eq!(&solo, shared_result, "convoy result must match solo for {sql}");
+        assert_eq!(
+            &solo, shared_result,
+            "convoy result must match solo for {sql}"
+        );
     }
     println!(
         "real execution: convoy visited {} chunks vs {} naive chunk passes; results identical ✓",
@@ -381,7 +401,9 @@ fn ablate_shared_scan() {
 /// Ablation B (§4.4): the O(n²) → O(kn) pair reduction from two-level
 /// partitioning, measured on real data via candidate-pair counts.
 fn ablate_subchunk() {
-    println!("== Ablation B: near-neighbour candidate pairs, chunk-level vs subchunk-level (§4.4) ==");
+    println!(
+        "== Ablation B: near-neighbour candidate pairs, chunk-level vs subchunk-level (§4.4) =="
+    );
     let patch = qserv_bench::fixtures::bench_patch();
     let chunker = qserv::Chunker::test_small();
     use std::collections::HashMap;
@@ -498,7 +520,8 @@ fn ablate_caching() {
             .cache_subchunks(cache)
             .build(&patch.objects, &patch.sources);
         for _ in 0..3 {
-            q.query(qserv_bench::fixtures::queries::SHV1).expect("SHV1 runs");
+            q.query(qserv_bench::fixtures::queries::SHV1)
+                .expect("SHV1 runs");
         }
         let built: u64 = q.workers().iter().map(|w| w.stats.snapshot().2).sum();
         println!(

@@ -263,17 +263,34 @@ mod tests {
     fn lv1_interference_roughly_doubles() {
         let t = run_labeled(
             &paper(),
-            lv1(150, 17, Nuisance { interference: true, cold_cache_seeks: 0 }),
+            lv1(
+                150,
+                17,
+                Nuisance {
+                    interference: true,
+                    cold_cache_seeks: 0,
+                },
+            ),
             "LV1",
         );
-        assert!((7.5..=11.0).contains(&t), "LV1 w/ interference {t} s, paper ~9 s");
+        assert!(
+            (7.5..=11.0).contains(&t),
+            "LV1 w/ interference {t} s, paper ~9 s"
+        );
     }
 
     #[test]
     fn lv1_cold_cache_near_eight_seconds() {
         let t = run_labeled(
             &paper(),
-            lv1(150, 17, Nuisance { interference: false, cold_cache_seeks: 480 }),
+            lv1(
+                150,
+                17,
+                Nuisance {
+                    interference: false,
+                    cold_cache_seeks: 480,
+                },
+            ),
             "LV1",
         );
         assert!((6.5..=9.5).contains(&t), "cold LV1 {t} s, paper ~8 s");
@@ -297,8 +314,14 @@ mod tests {
     fn hv2_cold_and_warm_match_figure_6() {
         let cold = run_single(&paper(), hv2(150, 0.0));
         let warm = run_single(&paper(), hv2(150, 0.65));
-        assert!((350.0..=500.0).contains(&cold), "HV2 cold {cold} s, paper ~420 s");
-        assert!((130.0..=210.0).contains(&warm), "HV2 warm {warm} s, paper 150–180 s");
+        assert!(
+            (350.0..=500.0).contains(&cold),
+            "HV2 cold {cold} s, paper ~420 s"
+        );
+        assert!(
+            (130.0..=210.0).contains(&warm),
+            "HV2 warm {warm} s, paper 150–180 s"
+        );
         assert!(cold > warm * 2.0);
     }
 
@@ -306,7 +329,10 @@ mod tests {
     fn hv3_faster_than_hv2() {
         let hv2_t = run_single(&paper(), hv2(150, 0.65));
         let hv3_t = run_single(&paper(), hv3(150, 0.75));
-        assert!(hv3_t < hv2_t, "HV3 {hv3_t} should beat HV2 {hv2_t} (Figure 7)");
+        assert!(
+            hv3_t < hv2_t,
+            "HV3 {hv3_t} should beat HV2 {hv2_t} (Figure 7)"
+        );
     }
 
     #[test]

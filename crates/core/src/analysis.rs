@@ -39,10 +39,11 @@ impl SpatialSpec {
     pub fn bounding_box(&self) -> SphericalBox {
         match self {
             SpatialSpec::Box(b) => *b,
-            SpatialSpec::Circle { ra, decl, radius } => {
-                SphericalCircle::new(LonLat::from_degrees(*ra, *decl), Angle::from_degrees(*radius))
-                    .bounding_box()
-            }
+            SpatialSpec::Circle { ra, decl, radius } => SphericalCircle::new(
+                LonLat::from_degrees(*ra, *decl),
+                Angle::from_degrees(*radius),
+            )
+            .bounding_box(),
         }
     }
 }
@@ -193,9 +194,7 @@ fn is_areaspec(name: &str) -> bool {
 
 /// Removes top-level `qserv_areaspec_*` conjuncts from a WHERE
 /// expression, returning the residual predicate and the extracted specs.
-fn extract_areaspec(
-    where_clause: Expr,
-) -> Result<(Option<Expr>, Vec<SpatialSpec>), QservError> {
+fn extract_areaspec(where_clause: Expr) -> Result<(Option<Expr>, Vec<SpatialSpec>), QservError> {
     fn numeric_args(name: &str, args: &[Expr], n: usize) -> Result<Vec<f64>, QservError> {
         if args.len() != n {
             return Err(QservError::Analysis(format!(
@@ -340,10 +339,7 @@ fn find_index_ids(
 }
 
 /// Classifies a join between partitioned tables.
-fn classify_join(
-    stmt: &SelectStatement,
-    partitioned: &[usize],
-) -> Result<JoinClass, QservError> {
+fn classify_join(stmt: &SelectStatement, partitioned: &[usize]) -> Result<JoinClass, QservError> {
     if partitioned.len() < 2 {
         return Ok(JoinClass::None);
     }
@@ -517,16 +513,15 @@ mod tests {
 
     #[test]
     fn misplaced_areaspec_rejected() {
-        assert!(analyze_sql(
-            "SELECT * FROM Object WHERE qserv_areaspec_box(0,0,1,1) OR ra_PS > 0"
-        )
-        .is_err());
+        assert!(
+            analyze_sql("SELECT * FROM Object WHERE qserv_areaspec_box(0,0,1,1) OR ra_PS > 0")
+                .is_err()
+        );
         assert!(analyze_sql("SELECT qserv_areaspec_box(0,0,1,1) FROM Object").is_err());
         assert!(analyze_sql("SELECT * FROM Object WHERE qserv_areaspec_box(1,2,3)").is_err());
-        assert!(analyze_sql(
-            "SELECT * FROM Object WHERE qserv_areaspec_box(ra_PS, 0, 1, 1)"
-        )
-        .is_err());
+        assert!(
+            analyze_sql("SELECT * FROM Object WHERE qserv_areaspec_box(ra_PS, 0, 1, 1)").is_err()
+        );
         assert!(analyze_sql(
             "SELECT * FROM Object WHERE qserv_areaspec_box(0,0,1,1) AND qserv_areaspec_box(2,2,3,3)"
         )
@@ -550,21 +545,30 @@ mod tests {
     #[test]
     fn unconstrained_cross_product_rejected() {
         assert!(analyze_sql("SELECT count(*) FROM Object o1, Object o2").is_err());
-        assert!(analyze_sql("SELECT count(*) FROM Object o1, Object o2 WHERE o1.ra_PS > 0")
-            .is_err());
+        assert!(
+            analyze_sql("SELECT count(*) FROM Object o1, Object o2 WHERE o1.ra_PS > 0").is_err()
+        );
     }
 
     #[test]
     fn aggregation_detected() {
-        assert!(analyze_sql("SELECT COUNT(*) FROM Object").unwrap().aggregated);
-        assert!(analyze_sql("SELECT ra_PS FROM Object GROUP BY ra_PS")
-            .unwrap()
-            .aggregated);
+        assert!(
+            analyze_sql("SELECT COUNT(*) FROM Object")
+                .unwrap()
+                .aggregated
+        );
+        assert!(
+            analyze_sql("SELECT ra_PS FROM Object GROUP BY ra_PS")
+                .unwrap()
+                .aggregated
+        );
         assert!(!analyze_sql("SELECT ra_PS FROM Object").unwrap().aggregated);
         // Aggregates nested in expressions count.
-        assert!(analyze_sql("SELECT SUM(ra_PS) / COUNT(*) FROM Object")
-            .unwrap()
-            .aggregated);
+        assert!(
+            analyze_sql("SELECT SUM(ra_PS) / COUNT(*) FROM Object")
+                .unwrap()
+                .aggregated
+        );
     }
 
     #[test]

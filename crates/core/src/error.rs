@@ -21,6 +21,15 @@ pub enum QservError {
     },
     /// A fabric (dispatch/result transfer) failure.
     Fabric(String),
+    /// The query's wall-clock deadline expired before every chunk was
+    /// dispatched and collected (see
+    /// [`crate::master::RetryPolicy::deadline`]).
+    Timeout {
+        /// Chunk being dispatched when the deadline expired.
+        chunk: i32,
+        /// Milliseconds elapsed since the query started.
+        elapsed_ms: u64,
+    },
     /// Result merging or final aggregation failed.
     Merge(String),
 }
@@ -34,6 +43,9 @@ impl fmt::Display for QservError {
                 write!(f, "worker (chunk {chunk}): {message}")
             }
             QservError::Fabric(m) => write!(f, "fabric: {m}"),
+            QservError::Timeout { chunk, elapsed_ms } => {
+                write!(f, "timeout: query deadline expired after {elapsed_ms} ms (dispatching chunk {chunk})")
+            }
             QservError::Merge(m) => write!(f, "merge: {m}"),
         }
     }

@@ -55,9 +55,14 @@ pub mod worker;
 
 pub use error::QservError;
 pub use loader::ClusterBuilder;
-pub use master::{Qserv, QueryStats};
-pub use multimaster::MasterPool;
+pub use master::{Qserv, QueryStats, RetryPolicy};
 pub use meta::CatalogMeta;
+pub use multimaster::MasterPool;
+
+// Chaos-testing surface: arm a fault plan at build time
+// (`ClusterBuilder::fault_plan`), inspect what fired via
+// `qserv.cluster().faults().stats()`.
+pub use qserv_xrd::fault::{FabricOp, FaultPlan, FaultStats};
 
 // Re-export the pieces users need to drive the public API.
 pub use qserv_engine::exec::ResultTable;

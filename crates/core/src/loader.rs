@@ -12,7 +12,7 @@
 //! object owns — "Large tables are partitioned on the same spatial
 //! boundaries where possible to enable joining between them" (§5.2).
 
-use crate::master::Qserv;
+use crate::master::{Qserv, RetryPolicy};
 use crate::meta::CatalogMeta;
 use crate::worker::Worker;
 use qserv_datagen::generate::{ObjectRow, SourceRow};
@@ -24,6 +24,7 @@ use qserv_partition::index::SecondaryIndex;
 use qserv_partition::placement::{Placement, PlacementStrategy};
 use qserv_sphgeom::{LonLat, SphericalBox};
 use qserv_xrd::cluster::{query_path, XrdCluster};
+use qserv_xrd::fault::FaultPlan;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -99,6 +100,8 @@ pub struct ClusterBuilder {
     replication: usize,
     strategy: PlacementStrategy,
     cache_subchunks: bool,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl ClusterBuilder {
@@ -114,6 +117,8 @@ impl ClusterBuilder {
             replication: 1,
             strategy: PlacementStrategy::RoundRobin,
             cache_subchunks: false,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -142,6 +147,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Arms the fabric with a fault plan (chaos testing). The plan's
+    /// rules fire on the built cluster's file transactions; its counters
+    /// are reachable via `qserv.cluster().faults()`.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> ClusterBuilder {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the master's chunk-dispatch retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> ClusterBuilder {
+        self.retry = retry;
+        self
+    }
+
     /// Partitions `objects` and `sources`, loads workers, and returns the
     /// running frontend.
     pub fn build(self, objects: &[ObjectRow], sources: &[SourceRow]) -> Qserv {
@@ -163,14 +182,15 @@ impl ClusterBuilder {
             secondary.insert(o.object_id, loc);
             obj_loc.insert(o.object_id, (o.ra_ps, o.decl_ps));
             // Overlap membership: chunks whose dilated bounds contain p.
-            let probe = SphericalBox::from_degrees(o.ra_ps, o.decl_ps, o.ra_ps, o.decl_ps)
-                .dilated(overlap);
+            let probe =
+                SphericalBox::from_degrees(o.ra_ps, o.decl_ps, o.ra_ps, o.decl_ps).dilated(overlap);
             for c in chunker.chunks_intersecting(&probe) {
                 if c != loc.chunk_id && chunker.in_overlap(c, &p).unwrap_or(false) {
-                    obj_overlap
-                        .entry(c)
-                        .or_default()
-                        .push(object_values(o, loc.chunk_id, loc.subchunk_id));
+                    obj_overlap.entry(c).or_default().push(object_values(
+                        o,
+                        loc.chunk_id,
+                        loc.subchunk_id,
+                    ));
                 }
             }
         }
@@ -179,10 +199,7 @@ impl ClusterBuilder {
         let mut src_owned: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
         let mut src_overlap: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
         for s in sources {
-            let (ra, decl) = obj_loc
-                .get(&s.object_id)
-                .copied()
-                .unwrap_or((s.ra, s.decl));
+            let (ra, decl) = obj_loc.get(&s.object_id).copied().unwrap_or((s.ra, s.decl));
             let p = LonLat::from_degrees(ra, decl);
             let loc = chunker.locate(&p);
             src_owned
@@ -192,10 +209,11 @@ impl ClusterBuilder {
             let probe = SphericalBox::from_degrees(ra, decl, ra, decl).dilated(overlap);
             for c in chunker.chunks_intersecting(&probe) {
                 if c != loc.chunk_id && chunker.in_overlap(c, &p).unwrap_or(false) {
-                    src_overlap
-                        .entry(c)
-                        .or_default()
-                        .push(source_values(s, loc.chunk_id, loc.subchunk_id));
+                    src_overlap.entry(c).or_default().push(source_values(
+                        s,
+                        loc.chunk_id,
+                        loc.subchunk_id,
+                    ));
                 }
             }
         }
@@ -213,7 +231,10 @@ impl ClusterBuilder {
         let placement = Placement::new(&chunks, self.nodes, self.replication, self.strategy);
 
         // --- Materialize workers over the fabric -------------------------
-        let cluster = XrdCluster::with_servers(self.nodes);
+        let cluster = XrdCluster::with_servers_and_faults(
+            self.nodes,
+            self.faults.unwrap_or_else(|| FaultPlan::new(0)),
+        );
         let mut workers: Vec<Arc<Worker>> = Vec::with_capacity(self.nodes);
         for node in 0..self.nodes {
             let mut w = Worker::new(node, chunker.clone(), self.meta.clone());
@@ -231,7 +252,8 @@ impl ClusterBuilder {
                 }
             }
             if index {
-                t.build_index("objectId").expect("objectId is an int column");
+                t.build_index("objectId")
+                    .expect("objectId is an int column");
             }
             t
         };
@@ -255,14 +277,16 @@ impl ClusterBuilder {
             }
         }
 
-        Qserv::assemble(
+        let mut qserv = Qserv::assemble(
             cluster,
             self.chunker,
             self.meta,
             placement,
             secondary,
             workers,
-        )
+        );
+        qserv.retry = self.retry;
+        qserv
     }
 }
 
@@ -270,7 +294,6 @@ impl ClusterBuilder {
 mod tests {
     use super::*;
     use qserv_datagen::generate::{CatalogConfig, Patch};
-    use qserv_sphgeom::region::Region;
 
     fn patch() -> Patch {
         Patch::generate(&CatalogConfig::small(300, 55))
@@ -328,7 +351,10 @@ mod tests {
                 .and_then(|v| v.as_i64())
                 .expect("count")
         };
-        assert_eq!(overlap_rows, 1, "border row must be in the neighbour's overlap");
+        assert_eq!(
+            overlap_rows, 1,
+            "border row must be in the neighbour's overlap"
+        );
     }
 
     #[test]
@@ -376,7 +402,9 @@ mod tests {
                 .expect("time series");
             assert_eq!(stats.chunks_dispatched, 1);
             assert!(
-                r.rows.iter().any(|row| row[0].as_i64() == Some(s.source_id)),
+                r.rows
+                    .iter()
+                    .any(|row| row[0].as_i64() == Some(s.source_id)),
                 "source {} missing from chunk {}",
                 s.source_id,
                 loc.chunk_id

@@ -23,21 +23,13 @@ use qserv_partition::chunker::Chunker;
 use qserv_partition::index::SecondaryIndex;
 use qserv_partition::placement::Placement;
 use qserv_sqlparse::parse_select;
-use qserv_xrd::cluster::{query_path, result_path, XrdCluster};
+use qserv_xrd::cluster::{query_path, result_path, XrdCluster, XrdError};
+use qserv_xrd::fault::FabricOp;
 use qserv_xrd::md5_hex;
+use qserv_xrd::server::ServerId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-/// Process-wide dispatch counter: tags every chunk-query message with a
-/// unique `-- QID:` line so identical concurrent queries hash to distinct
-/// result paths (the paper's raw MD5-of-query addressing collides there).
-static NEXT_QID: AtomicU64 = AtomicU64::new(1);
-
-/// Prefixes a rendered chunk message with a unique query-instance id.
-pub(crate) fn tag_message(message: String) -> String {
-    let qid = NEXT_QID.fetch_add(1, Ordering::Relaxed);
-    format!("-- QID: {qid}\n{message}")
-}
+use std::time::{Duration, Instant};
 
 /// Per-query execution statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -52,6 +44,102 @@ pub struct QueryStats {
     pub used_secondary_index: bool,
     /// True when the spatial restriction narrowed the chunk set (§5.3).
     pub used_spatial_restriction: bool,
+    /// Chunks that needed more than one dispatch attempt.
+    pub chunks_retried: usize,
+    /// Retry attempts that landed on a different replica than the
+    /// attempt before them.
+    pub replica_failovers: usize,
+    /// Injected fabric faults ([`XrdError::Injected`]) this query ran
+    /// into (and retried past, when it succeeded).
+    pub injected_faults_observed: u64,
+}
+
+/// How the master retries chunk dispatch over an unreliable fabric.
+///
+/// Transient errors (injected faults, offline servers, unresolvable
+/// paths, corrupt payloads) are retried with exponential backoff, each
+/// retry steering away from the replicas that already failed (the
+/// redirector excludes them); permanent errors (worker SQL failures,
+/// unknown chunks) abort immediately. An optional per-query wall-clock
+/// deadline turns a stuck query into [`QservError::Timeout`] instead of
+/// an unbounded wait.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Dispatch attempts per chunk (≥ 1; the first attempt counts).
+    pub max_attempts: usize,
+    /// Backoff before retry `k` is `backoff_base * 2^(k-1)`.
+    pub backoff_base: Duration,
+    /// Wall-clock budget for the whole query's dispatch phase.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(1),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out (the pre-chaos
+    /// dispatch behavior).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::ZERO,
+            deadline: None,
+        }
+    }
+}
+
+/// Per-chunk retry bookkeeping, folded into [`QueryStats`].
+#[derive(Clone, Copy, Debug, Default)]
+struct ChunkMeta {
+    attempts: usize,
+    failovers: usize,
+    injected_seen: u64,
+    prev_server: Option<ServerId>,
+}
+
+/// Outcome of a single dispatch attempt.
+enum Attempt {
+    Ok(Table, u64),
+    /// Transient failure: worth retrying, optionally excluding `server`
+    /// and (when `reset_exclusions`) forgetting earlier exclusions
+    /// because no replica resolved at all.
+    Retry {
+        server: Option<ServerId>,
+        injected: bool,
+        reset_exclusions: bool,
+        error: QservError,
+    },
+    Fatal(QservError),
+}
+
+/// Sorts an [`XrdError`] into retry-worthy vs. permanent.
+fn classify_xrd(e: XrdError) -> Attempt {
+    let injected = matches!(e, XrdError::Injected { .. });
+    let server = match &e {
+        XrdError::Injected { server, .. } => Some(*server),
+        XrdError::ServerOffline(s) => Some(*s),
+        _ => None,
+    };
+    // An unresolvable path is transient too: every replica may be
+    // excluded or momentarily offline (flapping servers come back).
+    let reset_exclusions = matches!(e, XrdError::NoServerForPath(_));
+    if e.is_transient() || reset_exclusions {
+        Attempt::Retry {
+            server,
+            injected,
+            reset_exclusions,
+            error: QservError::from(e),
+        }
+    } else {
+        Attempt::Fatal(QservError::from(e))
+    }
 }
 
 /// What `explain` reports without executing.
@@ -80,6 +168,15 @@ pub struct Qserv {
     workers: Vec<Arc<Worker>>,
     /// Dispatcher thread-pool width.
     pub dispatch_width: usize,
+    /// Chunk-dispatch retry behavior.
+    pub retry: RetryPolicy,
+    /// Dispatch counter shared by every frontend over this cluster: tags
+    /// each chunk-query message with a unique `-- QID:` line so identical
+    /// concurrent queries hash to distinct result paths (the paper's raw
+    /// MD5-of-query addressing collides there). Scoped to the cluster —
+    /// not the process — so a freshly built cluster replays the same
+    /// result paths, keeping seeded fault schedules reproducible.
+    qid: Arc<AtomicU64>,
 }
 
 /// A prepared (analyzed + planned) query, reusable by the shared-scan
@@ -109,7 +206,15 @@ impl Qserv {
             secondary,
             workers,
             dispatch_width: 8,
+            retry: RetryPolicy::default(),
+            qid: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Prefixes a rendered chunk message with a unique query-instance id.
+    pub(crate) fn tag_message(&self, message: String) -> String {
+        let qid = self.qid.fetch_add(1, Ordering::Relaxed);
+        format!("-- QID: {qid}\n{message}")
     }
 
     /// Clones this frontend into an independent master over the same
@@ -126,6 +231,8 @@ impl Qserv {
             secondary: self.secondary.clone(),
             workers: self.workers.clone(),
             dispatch_width: self.dispatch_width,
+            retry: self.retry.clone(),
+            qid: Arc::clone(&self.qid),
         }
     }
 
@@ -266,25 +373,26 @@ impl Qserv {
                 let subs = self.subchunks_for(prepared, c);
                 (
                     c,
-                    tag_message(render_chunk_message(&prepared.plan, &self.meta, c, &subs)),
+                    self.tag_message(render_chunk_message(&prepared.plan, &self.meta, c, &subs)),
                 )
             })
             .collect();
 
-        /// Per-chunk dispatch outcome: the loaded result table plus the
-        /// transferred byte count.
-        type ChunkOutcome = Result<(Table, u64), QservError>;
+        /// Per-chunk dispatch outcome: the loaded result table, the
+        /// transferred byte count, and retry bookkeeping.
+        type ChunkOutcome = Result<(Table, u64, ChunkMeta), QservError>;
         let queue = Mutex::new(jobs.into_iter());
         let results: Mutex<Vec<(i32, ChunkOutcome)>> =
             Mutex::new(Vec::with_capacity(prepared.chunks.len()));
         let width = self.dispatch_width.max(1).min(prepared.chunks.len().max(1));
+        let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..width {
                 scope.spawn(|_| loop {
                     let job = queue.lock().next();
                     let Some((chunk, message)) = job else { break };
-                    let outcome = self.dispatch_one(chunk, &message);
+                    let outcome = self.dispatch_one(chunk, &message, started);
                     results.lock().push((chunk, outcome));
                 });
             }
@@ -295,33 +403,174 @@ impl Qserv {
         collected.sort_by_key(|(c, _)| *c);
         let mut tables = Vec::with_capacity(collected.len());
         for (_, outcome) in collected {
-            let (table, bytes) = outcome?;
+            let (table, bytes, meta) = outcome?;
             stats.result_bytes += bytes;
+            if meta.attempts > 1 {
+                stats.chunks_retried += 1;
+            }
+            stats.replica_failovers += meta.failovers;
+            stats.injected_faults_observed += meta.injected_seen;
             tables.push(table);
         }
         Ok(tables)
     }
 
-    /// The two file transactions of §5.4 for one chunk, plus result
-    /// parsing.
-    fn dispatch_one(&self, chunk: i32, message: &str) -> Result<(Table, u64), QservError> {
-        let worker = self
-            .cluster
-            .write_file(&query_path(chunk), message.as_bytes().to_vec())?;
+    /// Dispatches one chunk with bounded retry: transient fabric errors
+    /// back off exponentially and steer the next attempt away from the
+    /// replicas that failed; the query-wide deadline turns a stuck chunk
+    /// into [`QservError::Timeout`].
+    fn dispatch_one(
+        &self,
+        chunk: i32,
+        message: &str,
+        started: Instant,
+    ) -> Result<(Table, u64, ChunkMeta), QservError> {
+        let policy = &self.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut meta = ChunkMeta::default();
+        let mut excluded: Vec<ServerId> = Vec::new();
+        let mut last_err = QservError::Fabric(format!("chunk {chunk}: dispatch never attempted"));
+        let mut attempt = 0;
+        while attempt < max_attempts {
+            if attempt > 0 {
+                let mut backoff = policy
+                    .backoff_base
+                    .saturating_mul(1u32 << (attempt - 1).min(16) as u32);
+                if let Some(deadline) = policy.deadline {
+                    backoff = backoff.min(deadline.saturating_sub(started.elapsed()));
+                }
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            if let Some(deadline) = policy.deadline {
+                let elapsed = started.elapsed();
+                if elapsed >= deadline {
+                    return Err(QservError::Timeout {
+                        chunk,
+                        elapsed_ms: elapsed.as_millis() as u64,
+                    });
+                }
+            }
+            match self.dispatch_once(chunk, message, &excluded, &mut meta) {
+                Attempt::Ok(table, bytes) => {
+                    meta.attempts = attempt + 1;
+                    return Ok((table, bytes, meta));
+                }
+                Attempt::Retry {
+                    server,
+                    injected,
+                    reset_exclusions,
+                    error,
+                } => {
+                    if injected {
+                        meta.injected_seen += 1;
+                    }
+                    if reset_exclusions && !excluded.is_empty() {
+                        // Every replica is on the exclusion list: the
+                        // probe touched no server, so re-admit them all
+                        // without charging the attempt budget. (A reset
+                        // can't repeat back-to-back — the next pass runs
+                        // with an empty list — so the loop stays bounded
+                        // by 2×max_attempts iterations.)
+                        excluded.clear();
+                    } else {
+                        if let Some(s) = server {
+                            if !excluded.contains(&s) {
+                                excluded.push(s);
+                            }
+                            meta.prev_server = Some(s);
+                        }
+                        attempt += 1;
+                    }
+                    last_err = error;
+                }
+                Attempt::Fatal(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// One attempt at the two file transactions of §5.4 for one chunk,
+    /// plus result parsing. Result files are consumed (unlinked) on every
+    /// exit path that could leave one behind.
+    fn dispatch_once(
+        &self,
+        chunk: i32,
+        message: &str,
+        excluded: &[ServerId],
+        meta: &mut ChunkMeta,
+    ) -> Attempt {
         let rp = result_path(&md5_hex(message.as_bytes()));
-        let payload = self.cluster.read_file(worker, &rp)?;
-        self.cluster.unlink(worker, &rp)?;
+        let worker = match self.cluster.write_file_excluding(
+            &query_path(chunk),
+            message.as_bytes().to_vec(),
+            excluded,
+        ) {
+            Ok(w) => w,
+            Err(e) => {
+                // A close fault lands after the worker accepted the query
+                // and deposited its result: scrub the orphan.
+                if let XrdError::Injected {
+                    server,
+                    op: FabricOp::Close,
+                    ..
+                } = &e
+                {
+                    let _ = self.cluster.unlink(*server, &rp);
+                }
+                return classify_xrd(e);
+            }
+        };
+        if let Some(prev) = meta.prev_server {
+            if prev != worker {
+                meta.failovers += 1;
+            }
+        }
+        meta.prev_server = Some(worker);
+        let payload = match self.cluster.read_file(worker, &rp) {
+            Ok(p) => p,
+            Err(e) => {
+                // The result file exists on the worker even though we
+                // could not fetch it; consume it before retrying.
+                let _ = self.cluster.unlink(worker, &rp);
+                return classify_xrd(e);
+            }
+        };
+        // Consume the result before parsing, so no exit path below can
+        // leak it. A faulted unlink gets one immediate retry, then is
+        // abandoned (a later dispatch of this chunk query overwrites it).
+        if self.cluster.unlink(worker, &rp).is_err() {
+            let _ = self.cluster.unlink(worker, &rp);
+        }
         let bytes = payload.len() as u64;
-        let text = std::str::from_utf8(&payload)
-            .map_err(|_| QservError::Fabric(format!("chunk {chunk}: result is not UTF-8")))?;
+        let Ok(text) = std::str::from_utf8(&payload) else {
+            // Payload corruption is a fabric problem: retry re-executes
+            // the chunk and re-fetches a clean copy.
+            return Attempt::Retry {
+                server: Some(worker),
+                injected: false,
+                reset_exclusions: false,
+                error: QservError::Fabric(format!("chunk {chunk}: result is not UTF-8")),
+            };
+        };
         if let Some(err) = text.strip_prefix("ERROR:") {
-            return Err(QservError::Worker {
+            return Attempt::Fatal(QservError::Worker {
                 chunk,
                 message: err.trim().to_string(),
             });
         }
-        let (_, table) = load_dump(text).map_err(|e| QservError::Merge(e.to_string()))?;
-        Ok((table, bytes))
+        match load_dump(text) {
+            Ok((_, table)) => Attempt::Ok(table, bytes),
+            // An unparseable dump from a healthy worker means the payload
+            // was mangled in flight — transient, like the UTF-8 case.
+            Err(e) => Attempt::Retry {
+                server: Some(worker),
+                injected: false,
+                reset_exclusions: false,
+                error: QservError::Merge(format!("chunk {chunk}: {e}")),
+            },
+        }
     }
 
     /// Accumulates per-chunk tables into `result` and runs the merge

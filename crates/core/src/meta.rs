@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(p.lat_col, "decl_PS");
         let s = m.partition_info("Source").unwrap();
         assert_eq!(s.lon_col, "ra");
-        assert_eq!(m.table("Object").unwrap().index_col.as_deref(), Some("objectId"));
+        assert_eq!(
+            m.table("Object").unwrap().index_col.as_deref(),
+            Some("objectId")
+        );
         assert_eq!(m.table("Filter").unwrap().index_col, None);
     }
 

@@ -35,7 +35,10 @@ impl MasterPool {
     /// Panics when `masters` is empty or the masters disagree on the
     /// worker fleet.
     pub fn new(masters: Vec<Arc<Qserv>>) -> MasterPool {
-        assert!(!masters.is_empty(), "a master pool needs at least one master");
+        assert!(
+            !masters.is_empty(),
+            "a master pool needs at least one master"
+        );
         let fleet: Vec<usize> = masters[0].workers().iter().map(|w| w.node_id()).collect();
         for m in &masters[1..] {
             let other: Vec<usize> = m.workers().iter().map(|w| w.node_id()).collect();
@@ -72,6 +75,12 @@ impl MasterPool {
     /// Routes one query, returning stats too.
     pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
         self.next_master().query_with_stats(sql)
+    }
+
+    /// Counters of the shared fabric's fault plan (all masters front the
+    /// same cluster, so any master's view is the pool's view).
+    pub fn fault_stats(&self) -> qserv_xrd::fault::FaultStats {
+        self.masters[0].cluster().faults().stats()
     }
 }
 
@@ -133,7 +142,10 @@ mod tests {
                 let expected = &expected;
                 scope.spawn(move |_| {
                     for _ in 0..4 {
-                        assert_eq!(&pool.query("SELECT COUNT(*) FROM Object").unwrap(), expected);
+                        assert_eq!(
+                            &pool.query("SELECT COUNT(*) FROM Object").unwrap(),
+                            expected
+                        );
                     }
                 });
             }

@@ -53,11 +53,13 @@ pub fn build_plan(analysis: &Analysis, meta: &CatalogMeta) -> Result<PhysicalPla
             "query references no partitioned table; nothing to distribute".to_string(),
         ));
     }
-    if matches!(analysis.join, JoinClass::ChunkEqui | JoinClass::SubchunkNear)
-        && chunk_stmt
-            .projections
-            .iter()
-            .any(|p| matches!(p.expr, Expr::Star))
+    if matches!(
+        analysis.join,
+        JoinClass::ChunkEqui | JoinClass::SubchunkNear
+    ) && chunk_stmt
+        .projections
+        .iter()
+        .any(|p| matches!(p.expr, Expr::Star))
     {
         return Err(QservError::Analysis(
             "SELECT * is not supported in joins (duplicate column names); project columns explicitly"
@@ -249,7 +251,10 @@ fn split_aggregates(chunk_stmt: &mut SelectStatement) -> SelectStatement {
                         let lname = name.to_ascii_lowercase();
                         return match (lname.as_str(), args.first()) {
                             ("avg", Some(arg)) => Expr::binary(
-                                Expr::func("SUM", vec![result_col(&format!("SUM({})", arg.to_sql()))]),
+                                Expr::func(
+                                    "SUM",
+                                    vec![result_col(&format!("SUM({})", arg.to_sql()))],
+                                ),
                                 BinaryOp::Div,
                                 Expr::func(
                                     "SUM",
@@ -279,9 +284,9 @@ fn split_aggregates(chunk_stmt: &mut SelectStatement) -> SelectStatement {
     for (i, g) in chunk_stmt.group_by.iter().enumerate() {
         let gsql = g.to_sql();
         // A chunk projection whose expression (or alias target) is this key?
-        let existing = chunk_projs.iter().find(|p| {
-            p.expr.to_sql() == gsql || p.alias.as_deref() == Some(gsql.as_str())
-        });
+        let existing = chunk_projs
+            .iter()
+            .find(|p| p.expr.to_sql() == gsql || p.alias.as_deref() == Some(gsql.as_str()));
         let col_name = match existing {
             Some(p) => p.output_name(),
             None => {
@@ -423,7 +428,9 @@ mod tests {
             "…and COUNT: {chunk_sql}"
         );
         assert!(
-            chunk_sql.contains("qserv_ptInSphericalBox(Object.ra_PS, Object.decl_PS, 0.0, 0.0, 10.0, 10.0) = 1"),
+            chunk_sql.contains(
+                "qserv_ptInSphericalBox(Object.ra_PS, Object.decl_PS, 0.0, 0.0, 10.0, 10.0) = 1"
+            ),
             "areaspec must become the worker UDF predicate: {chunk_sql}"
         );
         assert!(chunk_sql.contains("uRadius_PS > 0.04"));
@@ -585,10 +592,8 @@ mod tests {
     fn star_in_join_rejected() {
         let meta = CatalogMeta::lsst();
         let a = analyze(
-            &parse_select(
-                "SELECT * FROM Object o, Source s WHERE o.objectId = s.objectId",
-            )
-            .unwrap(),
+            &parse_select("SELECT * FROM Object o, Source s WHERE o.objectId = s.objectId")
+                .unwrap(),
             &meta,
         )
         .unwrap();

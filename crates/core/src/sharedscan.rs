@@ -78,7 +78,7 @@ impl<'q> SharedScanner<'q> {
                     continue;
                 }
                 let subs = self.qserv.subchunks_for(p, chunk);
-                let message = crate::master::tag_message(render_chunk_message(
+                let message = self.qserv.tag_message(render_chunk_message(
                     &p.plan,
                     self.qserv.meta(),
                     chunk,

@@ -104,7 +104,12 @@ impl Worker {
 
     /// Names of tables currently stored (for tests).
     pub fn table_names(&self) -> Vec<String> {
-        self.db.read().table_names().iter().map(|s| s.to_string()).collect()
+        self.db
+            .read()
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     /// Total estimated bytes stored on this worker.
@@ -164,7 +169,12 @@ impl Worker {
     /// Ensures `name` exists, generating on-demand tables as needed.
     /// Returns `Some(name)` when this call generated the table (so the
     /// caller can drop it afterwards), `None` when it already existed.
-    fn ensure_table(&self, db: &mut Database, name: &str, chunk: i32) -> Result<Option<String>, String> {
+    fn ensure_table(
+        &self,
+        db: &mut Database,
+        name: &str,
+        chunk: i32,
+    ) -> Result<Option<String>, String> {
         if db.has_table(name) {
             return Ok(None);
         }
@@ -179,7 +189,12 @@ impl Worker {
             if name == rewrite::union_table(base, chunk) {
                 let owned = db
                     .table(&owned_name)
-                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .ok_or_else(|| {
+                        format!(
+                            "chunk {chunk} of {base} not stored on node {}",
+                            self.node_id
+                        )
+                    })?
                     .clone();
                 let mut union = owned.empty_like();
                 for r in 0..owned.num_rows() {
@@ -199,7 +214,12 @@ impl Worker {
             if let Some(ss) = parse_suffixed(name, &format!("{base}_{chunk}_")) {
                 let owned = db
                     .table(&owned_name)
-                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .ok_or_else(|| {
+                        format!(
+                            "chunk {chunk} of {base} not stored on node {}",
+                            self.node_id
+                        )
+                    })?
                     .clone();
                 let sc_col = owned
                     .schema()
@@ -222,7 +242,12 @@ impl Worker {
                     .map_err(|e| e.to_string())?;
                 let owned = db
                     .table(&owned_name)
-                    .ok_or_else(|| format!("chunk {chunk} of {base} not stored on node {}", self.node_id))?
+                    .ok_or_else(|| {
+                        format!(
+                            "chunk {chunk} of {base} not stored on node {}",
+                            self.node_id
+                        )
+                    })?
                     .clone();
                 let lon = owned
                     .schema()
@@ -457,9 +482,8 @@ mod tests {
     #[test]
     fn union_table_generated_and_dropped() {
         let (worker, chunk) = worker_with_chunk();
-        let msg = format!(
-            "-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS Object;"
-        );
+        let msg =
+            format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS Object;");
         let t = worker.execute_message(chunk, &msg).unwrap();
         // 4 owned + 1 overlap row.
         assert_eq!(t.get_by_name(0, "c"), Some(Value::Int(5)));

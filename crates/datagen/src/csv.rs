@@ -34,8 +34,7 @@ impl std::error::Error for CsvError {}
 pub const OBJECT_HEADER: &str = "objectId,ra_PS,decl_PS,uFlux_PS,gFlux_PS,rFlux_PS,iFlux_PS,zFlux_PS,yFlux_PS,uFlux_SG,uRadius_PS";
 
 /// The Source CSV header.
-pub const SOURCE_HEADER: &str =
-    "sourceId,objectId,ra,decl,taiMidPoint,psfFlux,psfFluxErr";
+pub const SOURCE_HEADER: &str = "sourceId,objectId,ra,decl,taiMidPoint,psfFlux,psfFluxErr";
 
 /// Serializes object rows as CSV (with header).
 pub fn objects_to_csv(objects: &[ObjectRow]) -> String {
@@ -75,11 +74,7 @@ pub fn sources_to_csv(sources: &[SourceRow]) -> String {
     out
 }
 
-fn split_checked<'a>(
-    line: &'a str,
-    expected: usize,
-    lineno: usize,
-) -> Result<Vec<&'a str>, CsvError> {
+fn split_checked(line: &str, expected: usize, lineno: usize) -> Result<Vec<&str>, CsvError> {
     let fields: Vec<&str> = line.split(',').collect();
     if fields.len() != expected {
         return Err(CsvError {

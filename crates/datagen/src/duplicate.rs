@@ -139,12 +139,7 @@ impl SkyDuplicator {
     /// Materializes the full duplicated Object catalog over
     /// `[decl_min, decl_max]` (convenience for tests and small runs; the
     /// paper-scale harness works with [`SkyDuplicator::copies`] lazily).
-    pub fn duplicate_objects(
-        &self,
-        patch: &Patch,
-        decl_min: f64,
-        decl_max: f64,
-    ) -> Vec<ObjectRow> {
+    pub fn duplicate_objects(&self, patch: &Patch, decl_min: f64, decl_max: f64) -> Vec<ObjectRow> {
         let mut out = Vec::new();
         for t in self.copies(decl_min, decl_max) {
             for o in &patch.objects {

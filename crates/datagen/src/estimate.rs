@@ -33,8 +33,7 @@ impl TableEstimate {
     /// Relative error between the computed footprint and the paper's
     /// quoted (rounded) figure.
     pub fn quoted_error(&self) -> f64 {
-        (self.footprint_bytes() - self.quoted_footprint_bytes).abs()
-            / self.quoted_footprint_bytes
+        (self.footprint_bytes() - self.quoted_footprint_bytes).abs() / self.quoted_footprint_bytes
     }
 }
 
@@ -133,7 +132,10 @@ mod tests {
     fn forced_source_footprint_near_620tb() {
         let f = &lsst_final_release()[2];
         let tb = f.footprint_bytes() / TB;
-        assert!((540.0..=640.0).contains(&tb), "ForcedSource ~620 TB, got {tb}");
+        assert!(
+            (540.0..=640.0).contains(&tb),
+            "ForcedSource ~620 TB, got {tb}"
+        );
     }
 
     #[test]

@@ -131,8 +131,8 @@ impl Patch {
             // Sources: 1 + Poisson-ish count via a geometric-ish mixture;
             // we use a simple uniform in [1, 2*mean) which preserves the
             // mean and is cheap and deterministic.
-            let n_src = 1 + (rng.gen::<f64>() * (2.0 * config.mean_sources_per_object - 1.0))
-                as usize;
+            let n_src =
+                1 + (rng.gen::<f64>() * (2.0 * config.mean_sources_per_object - 1.0)) as usize;
             for k in 0..n_src {
                 // Detections scatter within ~0.3 arcsec of the object.
                 let scatter = 0.3 / 3600.0;
@@ -193,7 +193,8 @@ mod tests {
         let p = Patch::generate(&CatalogConfig::small(500, 1));
         for o in &p.objects {
             assert!(
-                p.footprint.contains(&LonLat::from_degrees(o.ra_ps, o.decl_ps)),
+                p.footprint
+                    .contains(&LonLat::from_degrees(o.ra_ps, o.decl_ps)),
                 "object at ({}, {}) outside PT1.1 footprint",
                 o.ra_ps,
                 o.decl_ps

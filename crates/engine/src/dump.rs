@@ -296,7 +296,11 @@ mod tests {
         }
         let (_, loaded) = load_dump(&dump_table("f", &t)).unwrap();
         for r in 0..t.num_rows() {
-            assert_eq!(loaded.get(r, 0), t.get(r, 0), "row {r} must round-trip exactly");
+            assert_eq!(
+                loaded.get(r, 0),
+                t.get(r, 0),
+                "row {r} must round-trip exactly"
+            );
         }
     }
 

@@ -335,7 +335,10 @@ mod tests {
     #[test]
     fn three_valued_and_or() {
         // NULL AND false = false; NULL AND true = NULL.
-        assert_eq!(eval_row("zFlux_PS > 0 AND 1 = 2", 1).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_row("zFlux_PS > 0 AND 1 = 2", 1).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(eval_row("zFlux_PS > 0 AND 1 = 1", 1).unwrap(), Value::Null);
         // NULL OR true = true; NULL OR false = NULL.
         assert_eq!(eval_row("zFlux_PS > 0 OR 1 = 1", 1).unwrap(), Value::Int(1));
@@ -346,14 +349,26 @@ mod tests {
 
     #[test]
     fn between_and_in() {
-        assert_eq!(eval_row("ra_PS BETWEEN 5 AND 15", 0).unwrap(), Value::Int(1));
-        assert_eq!(eval_row("ra_PS NOT BETWEEN 5 AND 15", 0).unwrap(), Value::Int(0));
-        assert_eq!(eval_row("zFlux_PS BETWEEN 0 AND 1", 1).unwrap(), Value::Null);
+        assert_eq!(
+            eval_row("ra_PS BETWEEN 5 AND 15", 0).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_row("ra_PS NOT BETWEEN 5 AND 15", 0).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_row("zFlux_PS BETWEEN 0 AND 1", 1).unwrap(),
+            Value::Null
+        );
         assert_eq!(eval_row("objectId IN (1, 7, 9)", 0).unwrap(), Value::Int(1));
         assert_eq!(eval_row("objectId IN (1, 2)", 0).unwrap(), Value::Int(0));
         // x IN (..., NULL) with no match is NULL, not false.
         assert_eq!(eval_row("objectId IN (1, NULL)", 0).unwrap(), Value::Null);
-        assert_eq!(eval_row("objectId NOT IN (1, 2)", 0).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval_row("objectId NOT IN (1, 2)", 0).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -383,7 +398,10 @@ mod tests {
     fn star_rejected_here() {
         let t = table();
         let b = Bindings::single("T", &t, 0);
-        assert!(matches!(eval(&Expr::Star, &b), Err(EvalError::MisplacedStar)));
+        assert!(matches!(
+            eval(&Expr::Star, &b),
+            Err(EvalError::MisplacedStar)
+        ));
     }
 
     #[test]

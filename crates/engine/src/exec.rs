@@ -126,7 +126,8 @@ impl ResultTable {
                     (_, v) => v,
                 })
                 .collect();
-            t.push_row(coerced).expect("inferred schema admits its rows");
+            t.push_row(coerced)
+                .expect("inferred schema admits its rows");
         }
         t
     }
@@ -202,13 +203,7 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, Exe
             }
         }
         2 => {
-            join_two(
-                &bindings,
-                &candidates,
-                &cross,
-                &mut sink,
-                quick_limit,
-            )?;
+            join_two(&bindings, &candidates, &cross, &mut sink, quick_limit)?;
         }
         n => {
             return Err(ExecError::Unsupported(format!(
@@ -266,15 +261,14 @@ fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
 /// Returns `Some(i)` when every column in `expr` resolves to binding `i`
 /// alone; `None` when it references several bindings, none, or is
 /// ambiguous.
-fn sole_binding(
-    expr: &Expr,
-    names: &[&str],
-    bindings: &[(String, Arc<Table>)],
-) -> Option<usize> {
+fn sole_binding(expr: &Expr, names: &[&str], bindings: &[(String, Arc<Table>)]) -> Option<usize> {
     let mut owner: Option<usize> = None;
     let mut bad = false;
     expr.visit(&mut |e| {
-        if let Expr::Column { qualifier, name, .. } = e {
+        if let Expr::Column {
+            qualifier, name, ..
+        } = e
+        {
             let idx = match qualifier {
                 Some(q) => names.iter().position(|n| n == q),
                 None => {
@@ -427,7 +421,11 @@ fn join_two(
             let r = column_of(rhs, &names, bindings)?;
             if l.0 != r.0 {
                 // Orient as (binding0 column, binding1 column).
-                return if l.0 == 0 { Some((l.1, r.1)) } else { Some((r.1, l.1)) };
+                return if l.0 == 0 {
+                    Some((l.1, r.1))
+                } else {
+                    Some((r.1, l.1))
+                };
             }
         }
         None
@@ -489,7 +487,10 @@ fn column_of(
     names: &[&str; 2],
     bindings: &[(String, Arc<Table>)],
 ) -> Option<(usize, usize)> {
-    if let Expr::Column { qualifier, name, .. } = e {
+    if let Expr::Column {
+        qualifier, name, ..
+    } = e
+    {
         match qualifier {
             Some(q) => {
                 let bi = names.iter().position(|n| n == q)?;
@@ -559,9 +560,20 @@ enum AggKind {
 #[derive(Clone)]
 enum AggAcc {
     Count(i64),
-    Sum { int: i64, float: f64, saw_float: bool, saw_any: bool },
-    Avg { sum: f64, n: i64 },
-    MinMax { best: Option<Value>, want_max: bool },
+    Sum {
+        int: i64,
+        float: f64,
+        saw_float: bool,
+        saw_any: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        want_max: bool,
+    },
 }
 
 impl AggAcc {
@@ -894,8 +906,7 @@ impl<'q> RowSink<'q> {
                     }
                 }
                 self.group_order.push(Vec::new());
-                self.groups
-                    .insert(Vec::new(), GroupState { accs, rep });
+                self.groups.insert(Vec::new(), GroupState { accs, rep });
             }
             let mut rows = Vec::with_capacity(self.group_order.len());
             for key in &self.group_order {
@@ -1042,7 +1053,11 @@ mod tests {
                 Value::Int(id),
                 Value::Float(ra),
                 Value::Float(decl),
-                if flux == 0.0 { Value::Null } else { Value::Float(flux) },
+                if flux == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(flux)
+                },
                 Value::Int(chunk),
             ])
             .unwrap();
@@ -1109,10 +1124,7 @@ mod tests {
     #[test]
     fn in_list_uses_index() {
         let r = run("SELECT objectId FROM Object WHERE objectId IN (1, 4, 99) ORDER BY objectId");
-        assert_eq!(
-            r.rows,
-            vec![vec![Value::Int(1)], vec![Value::Int(4)]]
-        );
+        assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(4)]]);
     }
 
     #[test]
@@ -1137,7 +1149,10 @@ mod tests {
     fn sum_avg_min_max() {
         let r = run("SELECT SUM(chunkId), AVG(ra_PS), MIN(ra_PS), MAX(ra_PS) FROM Object");
         assert_eq!(r.rows[0][0], Value::Int(39));
-        assert_eq!(r.rows[0][1], Value::Float((1.0 + 1.5 + 2.5 + 3.0 + 3.5) / 5.0));
+        assert_eq!(
+            r.rows[0][1],
+            Value::Float((1.0 + 1.5 + 2.5 + 3.0 + 3.5) / 5.0)
+        );
         assert_eq!(r.rows[0][2], Value::Float(1.0));
         assert_eq!(r.rows[0][3], Value::Float(3.5));
     }
@@ -1155,8 +1170,14 @@ mod tests {
         );
         assert_eq!(r.columns, vec!["n", "AVG(ra_PS)", "chunkId"]);
         assert_eq!(r.num_rows(), 3);
-        assert_eq!(r.rows[0], vec![Value::Int(2), Value::Float(1.25), Value::Int(7)]);
-        assert_eq!(r.rows[2], vec![Value::Int(1), Value::Float(3.5), Value::Int(9)]);
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(2), Value::Float(1.25), Value::Int(7)]
+        );
+        assert_eq!(
+            r.rows[2],
+            vec![Value::Int(1), Value::Float(3.5), Value::Int(9)]
+        );
     }
 
     #[test]
@@ -1168,9 +1189,8 @@ mod tests {
 
     #[test]
     fn where_with_udf_filter_like_hv2() {
-        let r = run(
-            "SELECT objectId FROM Object WHERE fluxToAbMag(zFlux_PS) < 26 ORDER BY objectId",
-        );
+        let r =
+            run("SELECT objectId FROM Object WHERE fluxToAbMag(zFlux_PS) < 26 ORDER BY objectId");
         // mag(100)=26.4, mag(200)=25.65, mag(50)=27.15, mag(400)=24.9.
         assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(4)]]);
     }
@@ -1183,10 +1203,8 @@ mod tests {
 
     #[test]
     fn equi_join_object_source() {
-        let r = run(
-            "SELECT o.objectId, s.sourceId FROM Object o, Source s \
-             WHERE o.objectId = s.objectId ORDER BY s.sourceId",
-        );
+        let r = run("SELECT o.objectId, s.sourceId FROM Object o, Source s \
+             WHERE o.objectId = s.objectId ORDER BY s.sourceId");
         assert_eq!(r.num_rows(), 3); // orphan source 13 drops out
         assert_eq!(r.rows[0], vec![Value::Int(1), Value::Int(10)]);
         assert_eq!(r.rows[2], vec![Value::Int(2), Value::Int(12)]);
@@ -1205,11 +1223,9 @@ mod tests {
 
     #[test]
     fn self_join_near_neighbor_like_shv1() {
-        let r = run(
-            "SELECT count(*) FROM Object o1, Object o2 \
+        let r = run("SELECT count(*) FROM Object o1, Object o2 \
              WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.8 \
-             AND o1.objectId != o2.objectId",
-        );
+             AND o1.objectId != o2.objectId");
         // Pairs within 0.8 deg (~0.707 separation): (1,2), (3,4), (4,5),
         // each counted in both orders.
         assert_eq!(r.scalar(), Some(&Value::Int(6)));
@@ -1217,9 +1233,7 @@ mod tests {
 
     #[test]
     fn nested_loop_join_without_equi_key() {
-        let r = run(
-            "SELECT count(*) FROM Object o1, Object o2 WHERE o1.ra_PS < o2.ra_PS",
-        );
+        let r = run("SELECT count(*) FROM Object o1, Object o2 WHERE o1.ra_PS < o2.ra_PS");
         assert_eq!(r.scalar(), Some(&Value::Int(10))); // 5 choose 2 ordered
     }
 
@@ -1250,11 +1264,9 @@ mod tests {
 
     #[test]
     fn spatial_box_udf_restriction() {
-        let r = run(
-            "SELECT objectId FROM Object \
+        let r = run("SELECT objectId FROM Object \
              WHERE qserv_ptInSphericalBox(ra_PS, decl_PS, 0.0, 0.0, 2.0, 2.0) = 1 \
-             ORDER BY objectId",
-        );
+             ORDER BY objectId");
         assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }
 

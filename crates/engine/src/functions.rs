@@ -272,8 +272,16 @@ mod tests {
     #[test]
     fn null_propagation() {
         assert_eq!(
-            call("qserv_angSep", &[Value::Null, Value::Float(0.0), Value::Float(0.0), Value::Float(0.0)])
-                .unwrap(),
+            call(
+                "qserv_angSep",
+                &[
+                    Value::Null,
+                    Value::Float(0.0),
+                    Value::Float(0.0),
+                    Value::Float(0.0)
+                ]
+            )
+            .unwrap(),
             Value::Null
         );
     }
@@ -297,10 +305,7 @@ mod tests {
         assert_eq!(call("ABS", &[Value::Int(-3)]).unwrap(), Value::Int(3));
         assert_eq!(call("FLOOR", &[Value::Float(2.7)]).unwrap(), Value::Int(2));
         assert_eq!(call("CEIL", &[Value::Float(2.2)]).unwrap(), Value::Int(3));
-        assert_eq!(
-            call("SQRT", &[Value::Float(-1.0)]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(call("SQRT", &[Value::Float(-1.0)]).unwrap(), Value::Null);
         assert_eq!(
             call("LEAST", &[Value::Int(3), Value::Float(1.5), Value::Int(2)]).unwrap(),
             Value::Float(1.5)

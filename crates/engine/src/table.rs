@@ -79,7 +79,6 @@ impl ColumnData {
             ColumnData::Str(v) => v.push(String::new()),
         }
     }
-
 }
 
 /// A columnar table.
@@ -386,7 +385,8 @@ mod tests {
     #[test]
     fn index_skips_nulls() {
         let mut t = Table::new(obj_schema());
-        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         t.build_index("objectId").unwrap();
         assert!(t.index_lookup(0).is_empty());
     }

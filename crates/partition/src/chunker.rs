@@ -232,8 +232,8 @@ impl Chunker {
     }
 
     fn stripe_chunk_of(&self, p: &LonLat) -> (usize, usize) {
-        let s = (((p.decl_deg() + 90.0) / self.stripe_height_deg) as usize)
-            .min(self.num_stripes - 1);
+        let s =
+            (((p.decl_deg() + 90.0) / self.stripe_height_deg) as usize).min(self.num_stripes - 1);
         let n = self.chunks_per_stripe[s];
         let c = ((p.ra_deg() / 360.0 * n as f64) as usize).min(n - 1);
         (s, c)
@@ -324,7 +324,9 @@ impl Chunker {
         chunk_id: i32,
         subchunk_id: i32,
     ) -> Result<SphericalBox, ChunkerError> {
-        Ok(self.subchunk_bounds(chunk_id, subchunk_id)?.dilated(self.overlap))
+        Ok(self
+            .subchunk_bounds(chunk_id, subchunk_id)?
+            .dilated(self.overlap))
     }
 
     /// True when `p` belongs to `chunk_id`'s *overlap* region: inside the
@@ -398,7 +400,11 @@ impl Chunker {
     pub fn chunk_areas_deg2(&self) -> Vec<f64> {
         self.all_chunks()
             .iter()
-            .map(|&c| self.chunk_bounds(c).expect("all_chunks are valid").area_deg2())
+            .map(|&c| {
+                self.chunk_bounds(c)
+                    .expect("all_chunks are valid")
+                    .area_deg2()
+            })
             .collect()
     }
 }
@@ -544,7 +550,9 @@ mod tests {
         let far = LonLat::from_degrees(b.lon_max_deg() + 5.0, 5.0);
         assert!(!c.in_overlap(chunk, &far).unwrap());
         // A point inside the chunk is not "overlap".
-        assert!(!c.in_overlap(chunk, &LonLat::from_degrees(15.0, 5.0)).unwrap());
+        assert!(!c
+            .in_overlap(chunk, &LonLat::from_degrees(15.0, 5.0))
+            .unwrap());
     }
 
     #[test]
@@ -575,7 +583,10 @@ mod tests {
         assert!(!hits.is_empty());
         for &(ra, decl) in &[(358.5, 0.0), (0.0, 6.9), (4.9, -6.9)] {
             let loc = c.locate(&LonLat::from_degrees(ra, decl));
-            assert!(hits.contains(&loc.chunk_id), "missing chunk for ({ra},{decl})");
+            assert!(
+                hits.contains(&loc.chunk_id),
+                "missing chunk for ({ra},{decl})"
+            );
         }
     }
 

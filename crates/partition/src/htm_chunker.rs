@@ -287,7 +287,10 @@ mod tests {
         // Any interior point's chunk must be in the cover.
         for &(ra, decl) in &[(10.5, 10.5), (12.0, 12.0), (13.9, 13.9)] {
             let loc = c.locate(&LonLat::from_degrees(ra, decl));
-            assert!(cover.contains(&loc.chunk_id), "missing chunk for ({ra},{decl})");
+            assert!(
+                cover.contains(&loc.chunk_id),
+                "missing chunk for ({ra},{decl})"
+            );
         }
         // And it should be far from the full sky.
         assert!(cover.len() < c.num_chunks() / 4);

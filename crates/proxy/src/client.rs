@@ -91,19 +91,19 @@ impl ProxyClient {
         if let Some(msg) = first.strip_prefix("ERR ") {
             return Err(ClientError::Server(msg.to_string()));
         }
-        let cols_line = first
-            .strip_prefix("COLS")
-            .ok_or_else(|| ClientError::Protocol(ProtocolError {
+        let cols_line = first.strip_prefix("COLS").ok_or_else(|| {
+            ClientError::Protocol(ProtocolError {
                 message: format!("expected COLS, got {first:?}"),
-            }))?;
+            })
+        })?;
         let columns: Vec<String> = split_frame(cols_line);
 
         let types_frame = read_frame(&mut self.reader)?;
-        let types_line = types_frame
-            .strip_prefix("TYPES")
-            .ok_or_else(|| ClientError::Protocol(ProtocolError {
+        let types_line = types_frame.strip_prefix("TYPES").ok_or_else(|| {
+            ClientError::Protocol(ProtocolError {
                 message: format!("expected TYPES, got {types_frame:?}"),
-            }))?;
+            })
+        })?;
         let types: Vec<String> = split_frame(types_line);
         if types.len() != columns.len() {
             return Err(ClientError::Protocol(ProtocolError {

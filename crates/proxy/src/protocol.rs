@@ -108,7 +108,14 @@ mod tests {
 
     #[test]
     fn escape_round_trip() {
-        for s in ["", "plain", "tab\there", "line\nbreak", "back\\slash", "\r\n\t\\"] {
+        for s in [
+            "",
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+        ] {
             assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
         }
     }

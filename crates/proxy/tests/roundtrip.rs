@@ -61,7 +61,9 @@ fn errors_cross_the_wire() {
     let text = err.to_string();
     assert!(text.contains("Nonsense"), "{text}");
     // The session survives an error.
-    let (r, _) = client.query("SELECT COUNT(*) FROM Object").expect("recovers");
+    let (r, _) = client
+        .query("SELECT COUNT(*) FROM Object")
+        .expect("recovers");
     assert_eq!(r.scalar().and_then(|v| v.as_i64()), Some(50));
     server.shutdown();
 }
@@ -77,7 +79,9 @@ fn concurrent_clients() {
                 for i in 0..4 {
                     let oid = 1 + (t * 61 + i * 17) % 400;
                     let (r, _) = client
-                        .query(&format!("SELECT objectId FROM Object WHERE objectId = {oid}"))
+                        .query(&format!(
+                            "SELECT objectId FROM Object WHERE objectId = {oid}"
+                        ))
                         .expect("point query");
                     assert_eq!(r.rows[0][0].as_i64(), Some(oid as i64));
                 }

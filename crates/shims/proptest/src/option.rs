@@ -1,0 +1,46 @@
+//! Option strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Option<T>` from an inner `T` strategy.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `proptest::option::of`: `None` a quarter of the time, else `Some`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..100);
+        let mut r = TestRng::from_seed(4);
+        let mut nones = 0;
+        let mut somes = 0;
+        for _ in 0..200 {
+            match s.generate(&mut r) {
+                None => nones += 1,
+                Some(_) => somes += 1,
+            }
+        }
+        assert!(nones > 0 && somes > 0);
+    }
+}

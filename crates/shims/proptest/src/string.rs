@@ -1,0 +1,213 @@
+//! String generation from regex-lite patterns.
+//!
+//! In proptest a `&str` is a strategy generating strings matching it as
+//! a regex. This shim supports the subset the workspace's tests use:
+//! literal characters, `\\`-escapes, character classes (`[a-z0-9_]`,
+//! ranges and escapes, no negation), `.`, and the quantifiers `?`, `*`,
+//! `+`, `{n}`, `{m,n}` (unbounded repeats are capped at 8).
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// One concrete character.
+    Literal(char),
+    /// One character drawn from a class's alternatives.
+    Class(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.below(span);
+        for _ in 0..count {
+            out.push(match &piece.atom {
+                Atom::Literal(c) => *c,
+                Atom::Class(choices) => choices[rng.below(choices.len())],
+            });
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                escape_atom(c)
+            }
+            '[' => {
+                i += 1;
+                let mut choices = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        escape_char(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            escape_char(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        for code in lo as u32..=hi as u32 {
+                            choices.push(char::from_u32(code).unwrap());
+                        }
+                    } else {
+                        choices.push(lo);
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(choices)
+            }
+            '.' => {
+                i += 1;
+                // Any printable ASCII character.
+                Atom::Class((0x20u32..0x7f).map(|c| char::from_u32(c).unwrap()).collect())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                i += 1;
+                let mut lo = 0usize;
+                while chars[i].is_ascii_digit() {
+                    lo = lo * 10 + chars[i].to_digit(10).unwrap() as usize;
+                    i += 1;
+                }
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut h = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        h = h * 10 + chars[i].to_digit(10).unwrap() as usize;
+                        i += 1;
+                    }
+                    h
+                } else {
+                    lo
+                };
+                assert!(chars[i] == '}', "malformed quantifier in pattern {pattern:?}");
+                i += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn escape_atom(c: char) -> Atom {
+    match c {
+        'd' => Atom::Class(('0'..='9').collect()),
+        'w' => {
+            let mut set: Vec<char> = ('a'..='z').collect();
+            set.extend('A'..='Z');
+            set.extend('0'..='9');
+            set.push('_');
+            Atom::Class(set)
+        }
+        's' => Atom::Class(vec![' ', '\t']),
+        other => Atom::Literal(escape_char(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z][a-zA-Z0-9_]{0,10}", &mut r);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "{s:?}");
+            assert!(s.len() <= 11, "{s:?}");
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escape_and_space() {
+        let mut r = rng();
+        for _ in 0..200 {
+            // After Rust unescaping this is the regex [a-z '\\]{0,8}.
+            let s = generate_matching("[a-z '\\\\]{0,8}", &mut r);
+            assert!(s.len() <= 8, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\'' || c == '\\'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_literals() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("ab?c{2}[xy]+", &mut r);
+            assert!(s.starts_with('a'));
+            assert!(s.contains("cc"));
+            let tail = s.trim_start_matches(|c| c != 'x' && c != 'y');
+            assert!(!tail.is_empty() && tail.chars().all(|c| c == 'x' || c == 'y'), "{s:?}");
+        }
+    }
+}

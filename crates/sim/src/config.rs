@@ -41,6 +41,44 @@ pub struct SimConfig {
     /// and objectId-index lookups. Calibrated against the flat ~4 s floor
     /// of every Low Volume query (Figures 2–4, 8–10).
     pub frontend_base_s: f64,
+    /// Optional chaos model: seeded transient task failures with retry
+    /// (`None` = the fault-free cluster the paper's figures assume).
+    pub faults: Option<FaultConfig>,
+}
+
+/// Seeded transient-failure model for simulated chunk tasks.
+///
+/// Each completed task execution fails with `task_failure_prob`, decided
+/// deterministically from `(seed, task, attempt)`; a failed task is
+/// re-enqueued on its node after `retry_delay_s`. After `max_retries`
+/// re-executions the next execution is taken as served by a healthy
+/// replica and always completes (the simulator models latency impact,
+/// not query abort). Retries appear in
+/// [`crate::simulator::QueryReport::retries`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Decision seed: same seed ⇒ same failure schedule.
+    pub seed: u64,
+    /// Probability a task execution fails, in `[0, 1]`.
+    pub task_failure_prob: f64,
+    /// Delay before a failed task re-enters its node's queue, seconds
+    /// (detection + backoff).
+    pub retry_delay_s: f64,
+    /// Maximum re-executions per task.
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// A mild chaos profile: 5% transient failure, 0.5 s retry delay,
+    /// up to 3 retries.
+    pub fn mild(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            task_failure_prob: 0.05,
+            retry_delay_s: 0.5,
+            max_retries: 3,
+        }
+    }
 }
 
 impl SimConfig {
@@ -58,6 +96,7 @@ impl SimConfig {
             merge_bw: 30.0e6,
             net_bw: 117.0e6,
             frontend_base_s: 3.8,
+            faults: None,
         }
     }
 
@@ -65,6 +104,12 @@ impl SimConfig {
     /// configurations of §6.3).
     pub fn with_nodes(mut self, nodes: usize) -> SimConfig {
         self.nodes = nodes;
+        self
+    }
+
+    /// Same cost model with seeded transient task failures.
+    pub fn with_faults(mut self, faults: FaultConfig) -> SimConfig {
+        self.faults = Some(faults);
         self
     }
 

@@ -26,5 +26,5 @@
 pub mod config;
 pub mod simulator;
 
-pub use config::SimConfig;
+pub use config::{FaultConfig, SimConfig};
 pub use simulator::{ChunkTask, QueryJob, QueryReport, Simulator};

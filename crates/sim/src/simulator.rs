@@ -69,6 +69,9 @@ pub struct QueryReport {
     pub tasks: usize,
     /// Total bytes scanned from disk across tasks.
     pub disk_bytes: u64,
+    /// Task re-executions forced by injected transient failures
+    /// ([`crate::config::FaultConfig`]); 0 on a fault-free cluster.
+    pub retries: usize,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -117,6 +120,19 @@ impl Ord for Scheduled {
 struct TaskState {
     spec: ChunkTask,
     query: usize,
+    /// Completed executions (fault retries re-run the task).
+    executions: u32,
+}
+
+/// Deterministic failure verdict for execution `attempt` of `task`.
+fn fault_draw(seed: u64, task: usize, attempt: u32) -> f64 {
+    let mut z = seed
+        ^ (task as u64).wrapping_mul(0xA24BAED4963EE407)
+        ^ (attempt as u64).wrapping_mul(0xD6E8FEB86659FD93);
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 struct ActiveTask {
@@ -183,19 +199,19 @@ impl Simulator {
         let mut queries: Vec<QueryState> = Vec::new();
 
         // Sort jobs by submit time (stable: submission order breaks ties).
-        self.jobs
-            .sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+        self.jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
 
         let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
         let mut seq: u64 = 0;
-        let mut push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
-            *seq += 1;
-            heap.push(Scheduled {
-                time,
-                seq: *seq,
-                event,
-            });
-        };
+        let mut push =
+            |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
+                *seq += 1;
+                heap.push(Scheduled {
+                    time,
+                    seq: *seq,
+                    event,
+                });
+            };
 
         // The master's two serial resources. Dispatch serves *queries*
         // round-robin, one chunk op at a time: each query's dispatcher
@@ -227,6 +243,7 @@ impl Simulator {
                 tasks.push(TaskState {
                     spec: t.clone(),
                     query: qid,
+                    executions: 0,
                 });
                 q_pending.push_back(tid);
             }
@@ -261,7 +278,9 @@ impl Simulator {
             ($now:expr) => {
                 if !dispatch_busy {
                     if let Some(q) = rotation.pop_front() {
-                        let tid = pending[q].pop_front().expect("queries in rotation have work");
+                        let tid = pending[q]
+                            .pop_front()
+                            .expect("queries in rotation have work");
                         dispatch_busy = true;
                         let done = $now + cfg.dispatch_s_per_chunk;
                         push(&mut heap, &mut seq, done, Event::TaskArrive { task: tid });
@@ -274,7 +293,10 @@ impl Simulator {
             };
         }
 
-        while let Some(Scheduled { time: now, event, .. }) = heap.pop() {
+        while let Some(Scheduled {
+            time: now, event, ..
+        }) = heap.pop()
+        {
             match event {
                 Event::QueryReady { query } => {
                     rotation.push_back(query);
@@ -292,8 +314,15 @@ impl Simulator {
                     let node_id = tasks[task].spec.node;
                     nodes[node_id].queue.push_back(task);
                     service_node(
-                        &cfg, &mut nodes[node_id], node_id, &tasks, now, &mut heap, &mut seq,
-                        &mut merge_free_at, &mut push,
+                        &cfg,
+                        &mut nodes[node_id],
+                        node_id,
+                        &mut tasks,
+                        now,
+                        &mut heap,
+                        &mut seq,
+                        &mut merge_free_at,
+                        &mut push,
                     );
                 }
                 Event::NodeWake { node, version } => {
@@ -301,8 +330,15 @@ impl Simulator {
                         continue; // stale wake-up
                     }
                     service_node(
-                        &cfg, &mut nodes[node], node, &tasks, now, &mut heap, &mut seq,
-                        &mut merge_free_at, &mut push,
+                        &cfg,
+                        &mut nodes[node],
+                        node,
+                        &mut tasks,
+                        now,
+                        &mut heap,
+                        &mut seq,
+                        &mut merge_free_at,
+                        &mut push,
                     );
                 }
                 Event::MergeDone { task } => {
@@ -316,9 +352,14 @@ impl Simulator {
         }
 
         debug_assert!(queries.iter().all(|q| q.remaining == 0));
+        let mut retries_per_query = vec![0usize; queries.len()];
+        for t in &tasks {
+            retries_per_query[t.query] += t.executions.saturating_sub(1) as usize;
+        }
         return queries
             .into_iter()
-            .map(|q| QueryReport {
+            .zip(retries_per_query)
+            .map(|(q, retries)| QueryReport {
                 label: q.label,
                 submit_s: q.submit_s,
                 first_task_s: q.first_task_s.unwrap_or(q.submit_s + cfg.frontend_base_s),
@@ -326,6 +367,7 @@ impl Simulator {
                 elapsed_s: q.completion_s - q.submit_s,
                 tasks: q.tasks,
                 disk_bytes: q.disk_bytes,
+                retries,
             })
             .collect();
 
@@ -336,7 +378,7 @@ impl Simulator {
             cfg: &SimConfig,
             node: &mut NodeState,
             node_id: usize,
-            tasks: &[TaskState],
+            tasks: &mut [TaskState],
             now: f64,
             heap: &mut BinaryHeap<Scheduled>,
             seq: &mut u64,
@@ -376,6 +418,29 @@ impl Simulator {
                 _ => true,
             });
             for tid in retired {
+                let execution = {
+                    let t = &mut tasks[tid];
+                    t.executions += 1;
+                    t.executions
+                };
+                // Seeded transient failure: the execution's work is lost
+                // and the task re-enters the queue after the retry delay.
+                // Past `max_retries` re-executions a healthy replica
+                // serves it (the model bounds latency, not success).
+                if let Some(f) = &cfg.faults {
+                    if f.task_failure_prob > 0.0
+                        && execution <= f.max_retries
+                        && fault_draw(f.seed, tid, execution) < f.task_failure_prob
+                    {
+                        push(
+                            heap,
+                            seq,
+                            now + f.retry_delay_s.max(0.0),
+                            Event::TaskArrive { task: tid },
+                        );
+                        continue;
+                    }
+                }
                 let spec = &tasks[tid].spec;
                 let service = cfg.merge_s_per_chunk
                     + spec.result_bytes as f64 / cfg.net_bw
@@ -387,7 +452,9 @@ impl Simulator {
 
             // 4. Admit queued tasks into free slots.
             while node.active.len() < cfg.slots_per_node {
-                let Some(tid) = node.queue.pop_front() else { break };
+                let Some(tid) = node.queue.pop_front() else {
+                    break;
+                };
                 let spec = &tasks[tid].spec;
                 if spec.disk_bytes == 0 {
                     let fixed = spec.seeks as f64 * cfg.disk_seek_s
@@ -456,6 +523,7 @@ mod tests {
             merge_bw: 1_000.0,
             net_bw: 1_000.0,
             frontend_base_s: 1.0,
+            faults: None,
         }
     }
 
@@ -617,12 +685,129 @@ mod tests {
                     .collect();
                 sim.submit(job(&format!("q{q}"), q as f64 * 0.3, tasks));
             }
-            sim.run()
-                .iter()
-                .map(|r| r.completion_s)
-                .collect::<Vec<_>>()
+            sim.run().iter().map(|r| r.completion_s).collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn fault_free_runs_report_zero_retries() {
+        let mut sim = Simulator::new(tiny_config());
+        sim.submit(job(
+            "q",
+            0.0,
+            vec![ChunkTask {
+                node: 0,
+                disk_bytes: 100,
+                ..Default::default()
+            }],
+        ));
+        assert_eq!(sim.run()[0].retries, 0);
+    }
+
+    #[test]
+    fn injected_failures_retry_and_slow_queries() {
+        use crate::config::FaultConfig;
+        let tasks = || -> Vec<ChunkTask> {
+            (0..32)
+                .map(|i| ChunkTask {
+                    node: i % 2,
+                    disk_bytes: 50,
+                    ..Default::default()
+                })
+                .collect()
+        };
+        let mut clean = Simulator::new(tiny_config());
+        clean.submit(job("q", 0.0, tasks()));
+        let clean_r = &clean.run()[0];
+
+        let chaotic_cfg = SimConfig {
+            faults: Some(FaultConfig {
+                seed: 11,
+                task_failure_prob: 0.5,
+                retry_delay_s: 0.5,
+                max_retries: 4,
+            }),
+            ..tiny_config()
+        };
+        let mut chaotic = Simulator::new(chaotic_cfg);
+        chaotic.submit(job("q", 0.0, tasks()));
+        let chaotic_r = &chaotic.run()[0];
+        assert!(
+            chaotic_r.retries > 0,
+            "50% failure over 32 tasks must retry"
+        );
+        assert!(
+            chaotic_r.elapsed_s > clean_r.elapsed_s,
+            "retries cost time: {} vs {}",
+            chaotic_r.elapsed_s,
+            clean_r.elapsed_s
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        use crate::config::FaultConfig;
+        let run_with = |seed: u64| {
+            let cfg = SimConfig {
+                faults: Some(FaultConfig {
+                    seed,
+                    task_failure_prob: 0.3,
+                    retry_delay_s: 0.25,
+                    max_retries: 3,
+                }),
+                ..tiny_config()
+            };
+            let mut sim = Simulator::new(cfg);
+            for q in 0..3 {
+                let tasks: Vec<ChunkTask> = (0..16)
+                    .map(|i| ChunkTask {
+                        node: i % 2,
+                        disk_bytes: 40,
+                        ..Default::default()
+                    })
+                    .collect();
+                sim.submit(job(&format!("q{q}"), q as f64 * 0.2, tasks));
+            }
+            sim.run()
+                .iter()
+                .map(|r| (r.retries, r.completion_s))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with(5), run_with(5), "same seed ⇒ same schedule");
+        assert_ne!(
+            run_with(5),
+            run_with(6),
+            "different seed ⇒ different schedule"
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded_by_max_retries() {
+        use crate::config::FaultConfig;
+        // Failure probability 1.0: every execution that may fail does.
+        // Each task still completes after exactly max_retries re-runs.
+        let cfg = SimConfig {
+            faults: Some(FaultConfig {
+                seed: 1,
+                task_failure_prob: 1.0,
+                retry_delay_s: 0.1,
+                max_retries: 2,
+            }),
+            ..tiny_config()
+        };
+        let mut sim = Simulator::new(cfg);
+        sim.submit(job(
+            "q",
+            0.0,
+            vec![ChunkTask {
+                node: 0,
+                disk_bytes: 10,
+                ..Default::default()
+            }],
+        ));
+        let r = &sim.run()[0];
+        assert_eq!(r.retries, 2);
     }
 
     #[test]

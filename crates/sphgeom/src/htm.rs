@@ -200,7 +200,12 @@ impl Trixel {
             .to_radians()
             .cos();
         let lon_pad = lat_pad / worst_cos;
-        SphericalBox::from_degrees(lo - lon_pad, lat_min - lat_pad, hi + lon_pad, lat_max + lat_pad)
+        SphericalBox::from_degrees(
+            lo - lon_pad,
+            lat_min - lat_pad,
+            hi + lon_pad,
+            lat_max + lat_pad,
+        )
     }
 }
 

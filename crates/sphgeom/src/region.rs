@@ -266,12 +266,7 @@ impl Region for SphericalCircle {
 
     fn bounding_box(&self) -> SphericalBox {
         let c = self.center;
-        let point = SphericalBox::from_degrees(
-            c.ra_deg(),
-            c.decl_deg(),
-            c.ra_deg(),
-            c.decl_deg(),
-        );
+        let point = SphericalBox::from_degrees(c.ra_deg(), c.decl_deg(), c.ra_deg(), c.decl_deg());
         point.dilated(self.radius)
     }
 }

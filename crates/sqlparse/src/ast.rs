@@ -462,7 +462,9 @@ impl Projection {
         match &self.alias {
             Some(a) => {
                 let plain = !a.is_empty()
-                    && a.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && a.chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
                     && a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
                 if plain {
                     format!("{} AS {}", self.expr.to_sql(), a)
@@ -667,7 +669,10 @@ mod tests {
     fn function_and_star() {
         let e = Expr::func("COUNT", vec![Expr::Star]);
         assert_eq!(e.to_sql(), "COUNT(*)");
-        let e = Expr::func("qserv_angSep", vec![Expr::qcol("o1", "ra_PS"), Expr::float(0.5)]);
+        let e = Expr::func(
+            "qserv_angSep",
+            vec![Expr::qcol("o1", "ra_PS"), Expr::float(0.5)],
+        );
         assert_eq!(e.to_sql(), "qserv_angSep(o1.ra_PS, 0.5)");
     }
 
@@ -706,14 +711,16 @@ mod tests {
     #[test]
     fn select_statement_prints() {
         let s = SelectStatement {
-            projections: vec![
-                Projection {
-                    expr: Expr::func("AVG", vec![Expr::col("uFlux_SG")]),
-                    alias: None,
-                },
-            ],
+            projections: vec![Projection {
+                expr: Expr::func("AVG", vec![Expr::col("uFlux_SG")]),
+                alias: None,
+            }],
             from: vec![TableRef::named("Object")],
-            where_clause: Some(Expr::binary(Expr::col("uRadius_PS"), BinaryOp::Gt, Expr::float(0.04))),
+            where_clause: Some(Expr::binary(
+                Expr::col("uRadius_PS"),
+                BinaryOp::Gt,
+                Expr::float(0.04),
+            )),
             group_by: vec![],
             order_by: vec![],
             limit: None,

@@ -106,48 +106,81 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             b'%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -158,22 +191,37 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::LtEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::GtEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -181,16 +229,25 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 // Could be a qualified-name dot or the start of `.5`.
                 if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
                     let (num, next) = lex_number(bytes, i);
-                    tokens.push(Token { kind: TokenKind::Number(num), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Number(num),
+                        offset: i,
+                    });
                     i = next;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'0'..=b'9' => {
                 let (num, next) = lex_number(bytes, i);
-                tokens.push(Token { kind: TokenKind::Number(num), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Number(num),
+                    offset: i,
+                });
                 i = next;
             }
             b'\'' => {
@@ -218,7 +275,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'`' => {
                 let start = i;
@@ -238,7 +298,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     s.push(bytes[i] as char);
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
@@ -250,7 +313,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let word = std::str::from_utf8(&bytes[start..i])
                     .expect("ASCII slice is valid UTF-8")
                     .to_string();
-                tokens.push(Token { kind: TokenKind::Ident(word), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(word),
+                    offset: start,
+                });
             }
             other => {
                 return Err(LexError {

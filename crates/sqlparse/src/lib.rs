@@ -21,8 +21,6 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    BinaryOp, Expr, Literal, OrderItem, Projection, SelectStatement, TableRef, UnaryOp,
-};
+pub use ast::{BinaryOp, Expr, Literal, OrderItem, Projection, SelectStatement, TableRef, UnaryOp};
 pub use lexer::{LexError, Token, TokenKind};
 pub use parser::{parse_select, ParseError};

@@ -557,7 +557,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.projections.len(), 5);
-        assert!(matches!(&s.projections[1].expr, Expr::Function { name, .. } if name == "fluxToAbMag"));
+        assert!(
+            matches!(&s.projections[1].expr, Expr::Function { name, .. } if name == "fluxToAbMag")
+        );
     }
 
     #[test]
@@ -671,8 +673,8 @@ mod tests {
 
     #[test]
     fn not_between_and_not_in() {
-        let s = parse_select("SELECT a FROM T WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (3)")
-            .unwrap();
+        let s =
+            parse_select("SELECT a FROM T WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (3)").unwrap();
         let sql = s.where_clause.unwrap().to_sql();
         assert!(sql.contains("NOT BETWEEN"));
         assert!(sql.contains("NOT IN"));
@@ -694,10 +696,9 @@ mod tests {
     fn quoted_ident_aggregation_merge_query() {
         // The frontend's merge query uses backticked physical column names
         // (paper §5.3): SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`).
-        let s = parse_select(
-            "SELECT SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`) FROM result_table",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`) FROM result_table")
+                .unwrap();
         let sql = s.projections[0].expr.to_sql();
         assert_eq!(sql, "SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`)");
     }
@@ -834,7 +835,11 @@ mod proptests {
                         high: Box::new(hi),
                     }
                 ),
-                (inner.clone(), any::<bool>(), proptest::collection::vec(inner.clone(), 1..3))
+                (
+                    inner.clone(),
+                    any::<bool>(),
+                    proptest::collection::vec(inner.clone(), 1..3)
+                )
                     .prop_map(|(e, neg, list)| Expr::InList {
                         expr: Box::new(e),
                         negated: neg,

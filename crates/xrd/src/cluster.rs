@@ -7,6 +7,7 @@
 //! bookkeeping a master needs (which worker served the write, so the
 //! result read can target it directly).
 
+use crate::fault::{FabricOp, FaultPlan};
 use crate::redirector::Redirector;
 use crate::server::{DataServer, ServerId};
 use std::fmt;
@@ -28,6 +29,25 @@ pub enum XrdError {
         /// Path requested.
         path: String,
     },
+    /// The cluster's [`FaultPlan`] failed this operation (transient by
+    /// construction: a retry draws a fresh verdict).
+    Injected {
+        /// Server the operation addressed.
+        server: ServerId,
+        /// Sub-operation that was failed.
+        op: FabricOp,
+        /// Path involved.
+        path: String,
+    },
+}
+
+impl XrdError {
+    /// True for errors a client may reasonably retry (possibly against
+    /// another replica): injected faults and offline servers. Missing
+    /// paths/files and unknown server ids are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, XrdError::Injected { .. } | XrdError::ServerOffline(_))
+    }
 }
 
 impl fmt::Display for XrdError {
@@ -38,6 +58,9 @@ impl fmt::Display for XrdError {
             XrdError::ServerOffline(s) => write!(f, "server {s} is offline"),
             XrdError::NoSuchFile { server, path } => {
                 write!(f, "server {server} has no file {path}")
+            }
+            XrdError::Injected { server, op, path } => {
+                write!(f, "injected fault: {op} on server {server} for {path}")
             }
         }
     }
@@ -50,16 +73,28 @@ impl std::error::Error for XrdError {}
 #[derive(Clone)]
 pub struct XrdCluster {
     redirector: Arc<Redirector>,
+    faults: Arc<FaultPlan>,
 }
 
 impl XrdCluster {
-    /// Builds a cluster of `n` empty data servers.
+    /// Builds a cluster of `n` empty data servers with an inert fault
+    /// plan (seed 0, no rules armed).
     pub fn with_servers(n: usize) -> XrdCluster {
-        let servers: Vec<Arc<DataServer>> =
-            (0..n).map(|i| Arc::new(DataServer::new(i))).collect();
+        XrdCluster::with_servers_and_faults(n, FaultPlan::new(0))
+    }
+
+    /// Builds a cluster of `n` empty data servers carrying `faults`.
+    pub fn with_servers_and_faults(n: usize, faults: FaultPlan) -> XrdCluster {
+        let servers: Vec<Arc<DataServer>> = (0..n).map(|i| Arc::new(DataServer::new(i))).collect();
         XrdCluster {
             redirector: Arc::new(Redirector::new(servers)),
+            faults: Arc::new(faults),
         }
+    }
+
+    /// The fault plan shared by every clone of this cluster.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The redirector.
@@ -77,18 +112,52 @@ impl XrdCluster {
         self.redirector.server(id)
     }
 
+    /// Checks one fabric sub-operation against the fault plan, failing
+    /// with [`XrdError::Injected`] when the plan says so.
+    fn check(&self, server: ServerId, op: FabricOp, path: &str) -> Result<bool, XrdError> {
+        let d = self.faults.decide(server, op, path);
+        if d.fail {
+            return Err(XrdError::Injected {
+                server,
+                op,
+                path: path.to_string(),
+            });
+        }
+        Ok(d.corrupt)
+    }
+
     /// **Transaction 1** (paper §5.4): open `path` for writing via the
     /// redirector, write `data`, close. Returns the id of the server that
     /// accepted the write (whose plugin has already run, synchronously, by
     /// the time this returns — our in-process stand-in for the worker
     /// having picked up the request).
     pub fn write_file(&self, path: &str, data: Vec<u8>) -> Result<ServerId, XrdError> {
+        self.write_file_excluding(path, data, &[])
+    }
+
+    /// [`XrdCluster::write_file`], but never resolving to a server in
+    /// `exclude` — retrying clients steer away from replicas that already
+    /// failed them.
+    pub fn write_file_excluding(
+        &self,
+        path: &str,
+        mut data: Vec<u8>,
+        exclude: &[ServerId],
+    ) -> Result<ServerId, XrdError> {
         let server = self
             .redirector
-            .resolve(path)
+            .resolve_excluding(path, exclude)
             .ok_or_else(|| XrdError::NoServerForPath(path.to_string()))?;
+        let id = server.id();
+        self.check(id, FabricOp::Open, path)?;
+        if self.check(id, FabricOp::Write, path)? {
+            crate::fault::corrupt(&mut data);
+        }
         server.complete_write(path, data);
-        Ok(server.id())
+        // A close fault lands *after* the server accepted the payload (and
+        // its plugin ran): the client sees failure on work that happened.
+        self.check(id, FabricOp::Close, path)?;
+        Ok(id)
     }
 
     /// **Transaction 2** (paper §5.4): open `path` for reading on a
@@ -103,10 +172,19 @@ impl XrdCluster {
         if !s.is_online() {
             return Err(XrdError::ServerOffline(server));
         }
-        s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
+        self.check(server, FabricOp::Open, path)?;
+        let data = s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
             server,
             path: path.to_string(),
-        })
+        })?;
+        let corrupted = self.check(server, FabricOp::Read, path)?;
+        self.check(server, FabricOp::Close, path)?;
+        if corrupted {
+            let mut copy = (*data).clone();
+            crate::fault::corrupt(&mut copy);
+            return Ok(Arc::new(copy));
+        }
+        Ok(data)
     }
 
     /// Reads via the redirector instead of a known server (used when the
@@ -128,6 +206,7 @@ impl XrdCluster {
             .redirector
             .server(server)
             .ok_or(XrdError::NoSuchServer(server))?;
+        self.check(server, FabricOp::Unlink, path)?;
         Ok(s.delete_file(path))
     }
 }
@@ -177,10 +256,8 @@ mod tests {
         // Transaction 1: write the chunk query to /query2/5.
         let worker = c.write_file(&query_path(5), query.clone()).unwrap();
         assert_eq!(worker, 1); // chunk 5 lives on server 1
-        // Transaction 2: read the result at /result/md5(query) on that worker.
-        let res = c
-            .read_file(worker, &result_path(&md5_hex(&query)))
-            .unwrap();
+                               // Transaction 2: read the result at /result/md5(query) on that worker.
+        let res = c.read_file(worker, &result_path(&md5_hex(&query))).unwrap();
         assert_eq!(*res, query.len().to_string().into_bytes());
     }
 
@@ -253,6 +330,75 @@ mod tests {
             }
         })
         .expect("no worker thread panics");
+    }
+
+    #[test]
+    fn injected_write_fault_fails_before_server_work() {
+        let c = cluster();
+        c.faults()
+            .fail_next(None, Some(crate::fault::FabricOp::Write), 1);
+        let q = b"q".to_vec();
+        let err = c.write_file(&query_path(3), q.clone()).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        // The write was failed *before* the server stored or executed it.
+        assert_eq!(c.servers()[3].num_files(), 0);
+        // Next attempt goes through and excludes nothing.
+        assert!(c.write_file(&query_path(3), q).is_ok());
+        assert_eq!(c.faults().stats().failures_injected, 1);
+    }
+
+    #[test]
+    fn injected_close_fault_fails_after_server_work() {
+        let c = cluster();
+        c.faults()
+            .fail_next(None, Some(crate::fault::FabricOp::Close), 1);
+        let q = b"q".to_vec();
+        let err = c.write_file(&query_path(3), q.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            XrdError::Injected {
+                op: crate::fault::FabricOp::Close,
+                ..
+            }
+        ));
+        // Close failed, but the payload landed and the plugin ran: the
+        // result file exists even though the client saw an error.
+        assert!(c.servers()[3]
+            .get_file(&result_path(&md5_hex(&q)))
+            .is_some());
+    }
+
+    #[test]
+    fn write_excluding_steers_to_replica() {
+        let c = cluster();
+        c.servers()[3].export(&query_path(0));
+        for _ in 0..8 {
+            let w = c
+                .write_file_excluding(&query_path(0), b"q".to_vec(), &[0])
+                .unwrap();
+            assert_eq!(w, 3);
+        }
+        // Excluding every replica leaves nothing to resolve.
+        assert_eq!(
+            c.write_file_excluding(&query_path(0), b"q".to_vec(), &[0, 3]),
+            Err(XrdError::NoServerForPath(query_path(0)))
+        );
+    }
+
+    #[test]
+    fn corrupted_read_returns_mangled_copy_without_touching_store() {
+        let c = cluster();
+        let q = b"0123456789abcdef0123456789abcdef".to_vec();
+        let w = c.write_file(&query_path(1), q.clone()).unwrap();
+        let rp = result_path(&md5_hex(&q));
+        let clean = c.read_file(w, &rp).unwrap();
+        c.faults()
+            .corrupt_payload(None, Some(crate::fault::FabricOp::Read), 1.0);
+        let dirty = c.read_file(w, &rp).unwrap();
+        assert_ne!(*clean, *dirty);
+        c.faults().clear();
+        // The stored file itself was never modified.
+        assert_eq!(*c.read_file(w, &rp).unwrap(), *clean);
     }
 
     #[test]

@@ -20,17 +20,22 @@
 //!   with replica failover when servers go offline.
 //! * [`cluster`] — client-facing file transactions
 //!   (open-write-close / open-read-close) over redirector + servers.
+//! * [`fault`] — a seeded, per-server, per-operation [`fault::FaultPlan`]
+//!   every cluster carries, injecting deterministic transient failures,
+//!   delays and payload corruption for chaos testing.
 //!
 //! Everything is `Sync`: many dispatcher threads can run transactions
 //! concurrently, as the Qserv master does with thousands of chunk queries
 //! in flight.
 
 pub mod cluster;
+pub mod fault;
 pub mod md5;
 pub mod redirector;
 pub mod server;
 
 pub use cluster::{XrdCluster, XrdError};
+pub use fault::{FabricOp, FaultPlan, FaultStats};
 pub use md5::md5_hex;
 pub use redirector::Redirector;
 pub use server::{DataServer, OfsPlugin, ServerId};

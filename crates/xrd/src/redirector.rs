@@ -13,14 +13,24 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// A cached namespace entry: the replicas exporting a path plus that
+/// path's own rotation counter. Keeping the counter per path (rather
+/// than one global counter) still spreads load across replicas, but
+/// makes the replica sequence for a path independent of unrelated
+/// lookups — so concurrent dispatch of other chunks cannot perturb
+/// which replica a given chunk query lands on, and seeded fault
+/// schedules stay reproducible.
+struct PathEntry {
+    ids: Vec<ServerId>,
+    rr: AtomicU64,
+}
+
 /// Path → servers lookup with a cache and failover.
 pub struct Redirector {
     servers: Vec<Arc<DataServer>>,
-    cache: RwLock<HashMap<String, Vec<ServerId>>>,
+    cache: RwLock<HashMap<String, Arc<PathEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    /// Round-robin counter for spreading load across replicas.
-    rr: AtomicU64,
 }
 
 impl Redirector {
@@ -31,7 +41,6 @@ impl Redirector {
             cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            rr: AtomicU64::new(0),
         }
     }
 
@@ -44,11 +53,18 @@ impl Redirector {
     /// cached mapping and rotating across replicas. `None` when no online
     /// server exports the path.
     pub fn resolve(&self, path: &str) -> Option<Arc<DataServer>> {
+        self.resolve_excluding(path, &[])
+    }
+
+    /// [`Redirector::resolve`], but never returning a server in
+    /// `exclude`. Retrying clients pass the replicas that already failed
+    /// them, steering the lookup to a different one.
+    pub fn resolve_excluding(&self, path: &str, exclude: &[ServerId]) -> Option<Arc<DataServer>> {
         let cached = self.cache.read().get(path).cloned();
-        let ids = match cached {
-            Some(ids) => {
+        let entry = match cached {
+            Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                ids
+                entry
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -58,19 +74,33 @@ impl Redirector {
                     .filter(|s| s.exports_path(path))
                     .map(|s| s.id())
                     .collect();
-                if !ids.is_empty() {
-                    self.cache.write().insert(path.to_string(), ids.clone());
+                if ids.is_empty() {
+                    return None;
                 }
-                ids
+                // entry(): concurrent misses must converge on ONE
+                // rotation counter, not race to install two.
+                Arc::clone(
+                    self.cache
+                        .write()
+                        .entry(path.to_string())
+                        .or_insert_with(|| {
+                            Arc::new(PathEntry {
+                                ids,
+                                rr: AtomicU64::new(0),
+                            })
+                        }),
+                )
             }
         };
-        if ids.is_empty() {
-            return None;
-        }
-        // Rotate across replicas, skipping offline servers (failover).
-        let start = self.rr.fetch_add(1, Ordering::Relaxed) as usize;
+        let ids = &entry.ids;
+        // Rotate across this path's replicas, skipping offline and
+        // excluded servers (failover).
+        let start = entry.rr.fetch_add(1, Ordering::Relaxed) as usize;
         for k in 0..ids.len() {
             let id = ids[(start + k) % ids.len()];
+            if exclude.contains(&id) {
+                continue;
+            }
             let server = &self.servers[id];
             if server.is_online() {
                 return Some(Arc::clone(server));
@@ -105,8 +135,7 @@ mod tests {
     use super::*;
 
     fn cluster_of(n: usize) -> (Redirector, Vec<Arc<DataServer>>) {
-        let servers: Vec<Arc<DataServer>> =
-            (0..n).map(|i| Arc::new(DataServer::new(i))).collect();
+        let servers: Vec<Arc<DataServer>> = (0..n).map(|i| Arc::new(DataServer::new(i))).collect();
         (Redirector::new(servers.clone()), servers)
     }
 

@@ -111,6 +111,21 @@ impl DataServer {
         self.files.read().len()
     }
 
+    /// Sorted names of stored files whose path starts with `prefix`
+    /// (pass `""` for all). Tests use this to assert the master leaves no
+    /// `/result/*` residue behind.
+    pub fn file_names(&self, prefix: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .files
+            .read()
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
     /// Completes a client write transaction: stores the file and fires the
     /// plugin when the path is exported.
     pub fn complete_write(&self, path: &str, data: Vec<u8>) {
@@ -132,11 +147,11 @@ mod tests {
     impl OfsPlugin for Echo {
         fn on_file_closed(&self, server: &DataServer, path: &str, data: &[u8]) {
             // Deposit an uppercased copy under /result/<path tail>.
-            let tail = path.rsplit('/').next().expect("split always yields one item");
-            server.put_file(
-                &format!("/result/{tail}"),
-                data.to_ascii_uppercase(),
-            );
+            let tail = path
+                .rsplit('/')
+                .next()
+                .expect("split always yields one item");
+            server.put_file(&format!("/result/{tail}"), data.to_ascii_uppercase());
         }
     }
 

@@ -84,7 +84,7 @@ fn main() {
             .map(|i| ChunkTask {
                 node: (i * 7) % n,
                 disk_bytes: OBJECT_BYTES_PER_CHUNK,
-                cpu_s: 620.0, // subchunk join work per chunk (calibrated)
+                cpu_s: 620.0,   // subchunk join work per chunk (calibrated)
                 seeks: 12 * 16, // on-the-fly subchunk table generation
                 result_bytes: 100,
                 ..Default::default()

@@ -74,6 +74,9 @@ fn main() {
     println!("\nmost-observed objects:");
     println!("  objectId      nobs  min(flux)        max(flux)");
     for row in &stats_per_object.rows {
-        println!("  {:<12}  {:>4}  {:<15}  {}", row[0], row[1], row[2], row[3]);
+        println!(
+            "  {:<12}  {:>4}  {:<15}  {}",
+            row[0], row[1], row[2], row[3]
+        );
     }
 }

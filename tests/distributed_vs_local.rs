@@ -15,7 +15,9 @@ use qserv_sqlparse::parse_select;
 fn check(sql: &str, objects: usize, seed: u64) {
     let patch = small_patch(objects, seed);
     let q = cluster_from(&patch, 4);
-    let distributed = q.query(sql).unwrap_or_else(|e| panic!("distributed {sql}: {e}"));
+    let distributed = q
+        .query(sql)
+        .unwrap_or_else(|e| panic!("distributed {sql}: {e}"));
 
     let db = monolithic_db(&patch);
     let stmt = parse_select(sql).unwrap();
@@ -51,7 +53,11 @@ fn check(sql: &str, objects: usize, seed: u64) {
 
 #[test]
 fn point_select() {
-    check("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 17", 300, 41);
+    check(
+        "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 17",
+        300,
+        41,
+    );
 }
 
 #[test]

@@ -4,9 +4,9 @@
 
 mod common;
 
+use qserv::{ClusterBuilder, Value};
 use qserv_datagen::duplicate::SkyDuplicator;
 use qserv_datagen::generate::{pt11_footprint, CatalogConfig, Patch};
-use qserv::{ClusterBuilder, Value};
 
 /// Builds a mid-declination duplicated catalog (small, but spanning many
 /// more chunks than a single patch).
@@ -114,5 +114,8 @@ fn near_neighbor_correct_in_transformed_copy() {
         }
     }
     assert_eq!(r.scalar(), Some(&Value::Int(expected)));
-    assert!(expected > 0, "the duplicated band must contain neighbour pairs");
+    assert!(
+        expected > 0,
+        "the duplicated band must contain neighbour pairs"
+    );
 }

@@ -25,7 +25,9 @@ fn replicated_cluster_survives_node_loss() {
     );
 
     // Point queries too.
-    let r = q.query("SELECT objectId FROM Object WHERE objectId = 123").unwrap();
+    let r = q
+        .query("SELECT objectId FROM Object WHERE objectId = 123")
+        .unwrap();
     assert_eq!(r.num_rows(), 1);
 }
 
@@ -69,9 +71,7 @@ fn three_way_replication_survives_two_failures() {
 fn worker_error_carries_chunk_id() {
     let patch = small_patch(100, 65);
     let q = cluster_from(&patch, 2);
-    let err = q
-        .query("SELECT no_such_column FROM Object")
-        .unwrap_err();
+    let err = q.query("SELECT no_such_column FROM Object").unwrap_err();
     match err {
         QservError::Worker { chunk, message } => {
             assert!(q.placement().chunks().contains(&chunk));
@@ -92,7 +92,9 @@ fn concurrent_queries_from_many_threads() {
                 for i in 0..5 {
                     let oid = 1 + (t * 37 + i * 11) % 400;
                     let r = q
-                        .query(&format!("SELECT objectId FROM Object WHERE objectId = {oid}"))
+                        .query(&format!(
+                            "SELECT objectId FROM Object WHERE objectId = {oid}"
+                        ))
                         .unwrap();
                     assert_eq!(r.num_rows(), 1);
                     assert_eq!(r.rows[0][0], Value::Int(oid as i64));

@@ -27,7 +27,9 @@ fn point_query_round_trip() {
 fn missing_object_yields_zero_rows() {
     let patch = small_patch(50, 2);
     let q = cluster_from(&patch, 2);
-    let r = q.query("SELECT * FROM Object WHERE objectId = 999999").unwrap();
+    let r = q
+        .query("SELECT * FROM Object WHERE objectId = 999999")
+        .unwrap();
     assert_eq!(r.num_rows(), 0);
 }
 
@@ -130,7 +132,10 @@ fn group_by_density_like_hv3() {
         .map(|row| row[0].as_i64().expect("n is integral"))
         .sum();
     assert_eq!(total, 600);
-    assert_eq!(r.columns, vec!["n", "AVG(ra_PS)", "AVG(decl_PS)", "chunkId"]);
+    assert_eq!(
+        r.columns,
+        vec!["n", "AVG(ra_PS)", "AVG(decl_PS)", "chunkId"]
+    );
     // chunkIds ascend and are distinct.
     let ids: Vec<i64> = r.rows.iter().map(|row| row[3].as_i64().unwrap()).collect();
     assert!(ids.windows(2).all(|w| w[0] < w[1]));
@@ -278,9 +283,7 @@ fn circle_restriction_matches_explicit_predicate() {
     let expected = patch
         .objects
         .iter()
-        .filter(|o| {
-            qserv_sphgeom::angular_separation_deg(o.ra_ps, o.decl_ps, ra0, decl0) <= r0
-        })
+        .filter(|o| qserv_sphgeom::angular_separation_deg(o.ra_ps, o.decl_ps, ra0, decl0) <= r0)
         .count() as i64;
     assert_eq!(circle.scalar(), Some(&Value::Int(expected)));
     assert!(expected > 0, "fixture must cover the circle");

@@ -35,7 +35,10 @@ fn fixture() -> &'static Fixture {
 /// Distributed and local rows must be identical (order-insensitive).
 fn assert_equivalent(sql: &str) {
     let f = fixture();
-    let distributed = f.qserv.query(sql).unwrap_or_else(|e| panic!("distributed {sql}: {e}"));
+    let distributed = f
+        .qserv
+        .query(sql)
+        .unwrap_or_else(|e| panic!("distributed {sql}: {e}"));
     let local = execute(&f.local, &parse_select(sql).expect("parses"))
         .unwrap_or_else(|e| panic!("local {sql}: {e}"));
     assert_eq!(
@@ -133,6 +136,61 @@ proptest! {
             prop_assert_eq!(dg.0, lg.0);
             prop_assert_eq!(dg.1, lg.1);
             prop_assert!((dg.2 - lg.2).abs() <= 1e-9 * dg.2.abs().max(1.0));
+        }
+    }
+}
+
+// Chaos equivalence: whatever patch we load and whatever transient-fault
+// schedule the fabric draws, a replication≥2 cluster must merge results
+// identical to its fault-free twin — fault injection may cost retries,
+// never rows. Each case builds two small clusters, so the case count is
+// kept low.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn replicated_cluster_masks_seeded_faults(
+        objects in 120usize..260,
+        patch_seed in 1u64..10_000,
+        fault_seed in 1u64..10_000,
+        read_p in 0.05f64..0.25,
+        write_p in 0.0f64..0.15,
+    ) {
+        use qserv::{ClusterBuilder, FabricOp, FaultPlan};
+
+        let patch = small_patch(objects, patch_seed);
+        let build = || ClusterBuilder::new(3)
+            .replication(2)
+            .fault_plan(FaultPlan::new(fault_seed))
+            .build(&patch.objects, &patch.sources);
+        let clean = build();
+        let chaotic = build();
+        chaotic.cluster().faults().fail_with_probability(
+            None, Some(FabricOp::Read), read_p);
+        chaotic.cluster().faults().fail_with_probability(
+            None, Some(FabricOp::Write), write_p);
+
+        // Exact-valued queries only: COUNT and row selections merge
+        // identically regardless of chunk completion order.
+        let queries = [
+            "SELECT COUNT(*) FROM Object".to_string(),
+            format!("SELECT objectId, ra_PS, decl_PS FROM Object \
+                     WHERE objectId = {}", 1 + patch_seed as i64 % objects as i64),
+            "SELECT objectId FROM Object \
+             WHERE fluxToAbMag(zFlux_PS) < 24.0".to_string(),
+        ];
+        for sql in &queries {
+            let expected = clean.query(sql).expect("fault-free run");
+            let got = chaotic.query(sql).expect("chaotic run");
+            prop_assert_eq!(
+                sorted_rows(&got.rows),
+                sorted_rows(&expected.rows),
+                "fault seed {} diverged for {}", fault_seed, sql
+            );
+        }
+        // No stranded result transactions on any worker, clean or not.
+        for server in chaotic.cluster().servers() {
+            prop_assert!(server.file_names("/result/").is_empty());
         }
     }
 }
