@@ -1,0 +1,217 @@
+//! Engine execution-path benchmark: interpreted vs vectorized.
+//!
+//! Builds a synthetic per-worker `Object` chunk table, runs a set of
+//! representative single-table workloads through both execution paths of
+//! `qserv-engine`, verifies the results are identical, and writes a
+//! machine-readable summary to `BENCH_engine.json` (rows/sec per path plus
+//! the speedup). The headline number is `scan_filter`: the vectorized path
+//! must beat the interpreter by a wide margin on a plain numeric-range
+//! scan.
+//!
+//! Usage: `engine_bench [--rows N] [--iters K] [--out PATH]`
+
+use qserv_engine::db::Database;
+use qserv_engine::exec::{execute_with_mode, ExecMode, ResultTable};
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_sqlparse::parse_select;
+use std::time::Instant;
+
+/// Splitmix-style generator: deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A synthetic Object chunk: sequential indexed `objectId`, uniform sky
+/// positions, a nullable flux column, and a coarse `chunkId` for GROUP BY.
+fn build_object_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra_PS", ColumnType::Float),
+        ColumnDef::new("decl_PS", ColumnType::Float),
+        ColumnDef::new("zFlux_PS", ColumnType::Float),
+        ColumnDef::new("chunkId", ColumnType::Int),
+    ]);
+    let mut table = Table::new(schema);
+    let mut rng = Rng(0x5eed_cafe);
+    for i in 0..rows {
+        let ra = rng.next_f64() * 360.0;
+        let decl = rng.next_f64() * 20.0 - 10.0;
+        // ~5% NULL fluxes exercise NULL handling on both paths. Magnitudes
+        // land in roughly [13.9, 26.4] for flux in [1e2, 1e6] nJy.
+        let flux = if rng.next_f64() < 0.05 {
+            Value::Null
+        } else {
+            Value::Float(1e2 + rng.next_f64() * (1e6 - 1e2))
+        };
+        let chunk = (ra / 30.0) as i64;
+        table
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::Float(ra),
+                Value::Float(decl),
+                flux,
+                Value::Int(chunk),
+            ])
+            .expect("schema matches");
+    }
+    table.build_index("objectId").expect("objectId is Int");
+    table
+}
+
+struct Workload {
+    name: &'static str,
+    sql: String,
+}
+
+fn workloads(rows: usize) -> Vec<Workload> {
+    // IN keys: a few hits spread through the table plus guaranteed misses.
+    let hit = |frac: f64| ((rows as f64) * frac) as i64;
+    vec![
+        Workload {
+            name: "scan_filter",
+            sql: "SELECT objectId, ra_PS, decl_PS FROM Object \
+                  WHERE ra_PS BETWEEN 30 AND 60 AND decl_PS BETWEEN -5 AND 5"
+                .to_string(),
+        },
+        Workload {
+            name: "spatial_box",
+            sql: "SELECT COUNT(*) FROM Object \
+                  WHERE qserv_ptInSphericalBox(ra_PS, decl_PS, 30, -5, 60, 5) = 1"
+                .to_string(),
+        },
+        Workload {
+            name: "flux_cut",
+            sql: "SELECT objectId FROM Object \
+                  WHERE fluxToAbMag(zFlux_PS) BETWEEN 18 AND 25"
+                .to_string(),
+        },
+        Workload {
+            name: "point_in",
+            sql: format!(
+                "SELECT objectId, ra_PS FROM Object WHERE objectId IN ({}, {}, {}, {})",
+                hit(0.1),
+                hit(0.5),
+                hit(0.9),
+                rows as i64 * 10
+            ),
+        },
+        Workload {
+            name: "agg_global",
+            sql: "SELECT COUNT(*), SUM(zFlux_PS), AVG(ra_PS), MIN(decl_PS), MAX(decl_PS) \
+                  FROM Object WHERE ra_PS < 180"
+                .to_string(),
+        },
+        Workload {
+            name: "agg_group",
+            sql: "SELECT chunkId, COUNT(*), AVG(ra_PS) FROM Object GROUP BY chunkId".to_string(),
+        },
+    ]
+}
+
+/// Best-of-`iters` wall time for one mode, in seconds.
+fn time_mode(
+    db: &Database,
+    stmt: &qserv_sqlparse::ast::SelectStatement,
+    mode: ExecMode,
+    iters: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let r = execute_with_mode(db, stmt, mode).expect("workload executes");
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(r);
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best
+}
+
+fn results_equal(a: &ResultTable, b: &ResultTable) -> bool {
+    a.columns == b.columns && a.rows == b.rows
+}
+
+fn main() {
+    let mut rows: usize = 200_000;
+    let mut iters: usize = 3;
+    let mut out = "BENCH_engine.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--rows" => rows = grab("--rows").parse().expect("integer row count"),
+            "--iters" => iters = grab("--iters").parse().expect("integer iteration count"),
+            "--out" => out = grab("--out"),
+            other => panic!("unknown argument {other:?} (expected --rows/--iters/--out)"),
+        }
+    }
+
+    eprintln!("building Object table with {rows} rows...");
+    let mut db = Database::new();
+    db.create_table("Object", build_object_table(rows));
+
+    let mut lines = Vec::new();
+    let mut headline_speedup = None;
+    for w in workloads(rows) {
+        let stmt = parse_select(&w.sql).expect("workload parses");
+
+        // Correctness gate: the vectorized path must engage (no silent
+        // interpreter fallback) and must agree with the oracle exactly.
+        let (vec_result, _) = execute_with_mode(&db, &stmt, ExecMode::Vectorized)
+            .unwrap_or_else(|e| panic!("{}: not vectorizable: {e}", w.name));
+        let (int_result, _) =
+            execute_with_mode(&db, &stmt, ExecMode::Interpreted).expect("interpreter executes");
+        assert!(
+            results_equal(&vec_result, &int_result),
+            "{}: vectorized and interpreted results differ",
+            w.name
+        );
+
+        let t_int = time_mode(&db, &stmt, ExecMode::Interpreted, iters);
+        let t_vec = time_mode(&db, &stmt, ExecMode::Vectorized, iters);
+        let int_rps = rows as f64 / t_int;
+        let vec_rps = rows as f64 / t_vec;
+        let speedup = vec_rps / int_rps;
+        if w.name == "scan_filter" {
+            headline_speedup = Some(speedup);
+        }
+        eprintln!(
+            "{:<12} interpreted {:>12.0} rows/s   vectorized {:>12.0} rows/s   {:>6.2}x",
+            w.name, int_rps, vec_rps, speedup
+        );
+        lines.push(format!(
+            "    {{\"name\": \"{}\", \"interpreted_rows_per_s\": {:.1}, \
+             \"vectorized_rows_per_s\": {:.1}, \"speedup\": {:.3}}}",
+            w.name, int_rps, vec_rps, speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"iters\": {iters},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    eprintln!("wrote {out}");
+
+    let headline = headline_speedup.expect("scan_filter workload ran");
+    eprintln!("headline scan_filter speedup: {headline:.2}x");
+}

@@ -20,6 +20,7 @@
 use crate::error::QservError;
 use crate::master::{Qserv, QueryStats};
 use crate::rewrite::render_chunk_message;
+use parking_lot::Mutex;
 use qserv_engine::exec::ResultTable;
 use qserv_sqlparse::parse_select;
 use std::collections::BTreeSet;
@@ -70,21 +71,52 @@ impl<'q> SharedScanner<'q> {
         let naive_passes: usize = prepared.iter().map(|p| p.chunks.len()).sum();
 
         // Walk chunk-major: all queries touch chunk c while it is "hot".
+        // Within a chunk the convoy members are independent physical
+        // queries, so they are dispatched from a thread pool; results are
+        // reassembled by query index, keeping per-query chunk order (and
+        // thus merged results) identical to sequential execution.
         let mut parts: Vec<Vec<qserv_engine::table::Table>> =
             (0..prepared.len()).map(|_| Vec::new()).collect();
         for &chunk in &union {
-            for (qi, p) in prepared.iter().enumerate() {
-                if !p.chunks.contains(&chunk) {
-                    continue;
+            // Render + tag sequentially: QID assignment stays
+            // deterministic in (chunk, query) order regardless of which
+            // dispatcher thread later carries each message.
+            let jobs: Vec<(usize, String)> = prepared
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.chunks.contains(&chunk))
+                .map(|(qi, p)| {
+                    let subs = self.qserv.subchunks_for(p, chunk);
+                    let message = self.qserv.tag_message(render_chunk_message(
+                        &p.plan,
+                        self.qserv.meta(),
+                        chunk,
+                        &subs,
+                    ));
+                    (qi, message)
+                })
+                .collect();
+
+            type MemberOutcome = Result<(qserv_engine::table::Table, u64), QservError>;
+            let width = self.qserv.dispatch_width.max(1).min(jobs.len().max(1));
+            let queue = Mutex::new(jobs.into_iter());
+            let done: Mutex<Vec<(usize, MemberOutcome)>> = Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..width {
+                    scope.spawn(|_| loop {
+                        let job = queue.lock().next();
+                        let Some((qi, message)) = job else { break };
+                        let outcome = self.dispatch(chunk, &message);
+                        done.lock().push((qi, outcome));
+                    });
                 }
-                let subs = self.qserv.subchunks_for(p, chunk);
-                let message = self.qserv.tag_message(render_chunk_message(
-                    &p.plan,
-                    self.qserv.meta(),
-                    chunk,
-                    &subs,
-                ));
-                let (table, _bytes) = self.dispatch(chunk, &message)?;
+            })
+            .map_err(|_| QservError::Fabric("convoy dispatcher thread panicked".to_string()))?;
+
+            let mut collected = done.into_inner();
+            collected.sort_by_key(|(qi, _)| *qi);
+            for (qi, outcome) in collected {
+                let (table, _bytes) = outcome?;
                 parts[qi].push(table);
             }
         }

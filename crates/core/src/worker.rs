@@ -22,7 +22,7 @@ use crate::rewrite;
 use parking_lot::RwLock;
 use qserv_engine::db::Database;
 use qserv_engine::dump::dump_table;
-use qserv_engine::exec::{execute, ResultTable};
+use qserv_engine::exec::{execute_traced, ExecPath, ResultTable};
 use qserv_engine::table::Table;
 use qserv_partition::chunker::Chunker;
 use qserv_sphgeom::region::Region;
@@ -40,6 +40,8 @@ pub struct WorkerStats {
     pub chunk_queries: AtomicU64,
     /// Individual SQL statements executed.
     pub statements: AtomicU64,
+    /// Statements served by the vectorized execution path.
+    pub vectorized_statements: AtomicU64,
     /// On-demand tables (subchunk/full-overlap/union) generated.
     pub tables_built: AtomicU64,
     /// Messages that ended in an error deposit.
@@ -55,6 +57,11 @@ impl WorkerStats {
             self.tables_built.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
         )
+    }
+
+    /// Statements that ran on the vectorized path.
+    pub fn vectorized(&self) -> u64 {
+        self.vectorized_statements.load(Ordering::Relaxed)
     }
 }
 
@@ -139,9 +146,14 @@ impl Worker {
                 }
                 db.clone()
             };
-            let result =
-                execute(&snapshot, &stmt).map_err(|e| format!("worker exec error: {e}"))?;
+            let (result, path) =
+                execute_traced(&snapshot, &stmt).map_err(|e| format!("worker exec error: {e}"))?;
             self.stats.statements.fetch_add(1, Ordering::Relaxed);
+            if path == ExecPath::Vectorized {
+                self.stats
+                    .vectorized_statements
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             combined = Some(match combined {
                 None => result,
                 Some(mut acc) => {
@@ -557,6 +569,17 @@ mod tests {
             c >= 1,
             "dilated subchunk must see the overlap row (got {c} rows)"
         );
+    }
+
+    #[test]
+    fn simple_scans_run_vectorized() {
+        let (worker, chunk) = worker_with_chunk();
+        let msg = format!(
+            "-- SUBCHUNKS:\nSELECT o.objectId FROM LSST.Object_{chunk} AS o WHERE o.objectId > 1;"
+        );
+        let t = worker.execute_message(chunk, &msg).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(worker.stats.vectorized(), 1);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl<'a> Bindings<'a> {
 }
 
 /// Kleene three-valued logic encoded as `Value`: 1, 0 or NULL.
-fn tv(b: Option<bool>) -> Value {
+pub(crate) fn tv(b: Option<bool>) -> Value {
     match b {
         Some(true) => Value::Int(1),
         Some(false) => Value::Int(0),
@@ -119,7 +119,7 @@ fn tv(b: Option<bool>) -> Value {
 }
 
 /// The three-valued truth of a value: NULL → unknown.
-fn truth(v: &Value) -> Option<bool> {
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     if v.is_null() {
         None
     } else {

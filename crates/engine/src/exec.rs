@@ -91,39 +91,44 @@ impl ResultTable {
     /// every row and widening: any Str makes the column Str, else any
     /// Float makes it Float, else Int; all-NULL columns become Float.
     pub fn into_table(self) -> Table {
-        let mut defs = Vec::with_capacity(self.columns.len());
-        for (i, name) in self.columns.iter().enumerate() {
-            let mut saw_int = false;
-            let mut saw_float = false;
-            let mut saw_str = false;
-            for r in &self.rows {
-                match &r[i] {
+        // One pass over the rows collects every column's type flags.
+        let ncols = self.columns.len();
+        let mut saw_int = vec![false; ncols];
+        let mut saw_float = vec![false; ncols];
+        let mut saw_str = vec![false; ncols];
+        for r in &self.rows {
+            for (i, v) in r.iter().enumerate() {
+                match v {
                     Value::Null => {}
-                    Value::Int(_) => saw_int = true,
-                    Value::Float(_) => saw_float = true,
-                    Value::Str(_) => saw_str = true,
+                    Value::Int(_) => saw_int[i] = true,
+                    Value::Float(_) => saw_float[i] = true,
+                    Value::Str(_) => saw_str[i] = true,
                 }
             }
-            let ty = if saw_str {
+        }
+        let mut defs = Vec::with_capacity(ncols);
+        let mut widen = vec![false; ncols]; // Int values landing in Float columns
+        for (i, name) in self.columns.iter().enumerate() {
+            let ty = if saw_str[i] {
                 ColumnType::Str
-            } else if saw_float {
+            } else if saw_float[i] {
                 ColumnType::Float
-            } else if saw_int {
+            } else if saw_int[i] {
                 ColumnType::Int
             } else {
                 ColumnType::Float
             };
+            widen[i] = ty == ColumnType::Float;
             defs.push(ColumnDef::new(name, ty));
         }
         let mut t = Table::new(Schema::new(defs));
         for row in self.rows {
-            // Widen ints living in float-typed columns.
             let coerced = row
                 .into_iter()
-                .zip(t.schema().columns().to_vec())
-                .map(|(v, def)| match (&def.ty, v) {
-                    (ColumnType::Float, Value::Int(x)) => Value::Float(x as f64),
-                    (_, v) => v,
+                .zip(&widen)
+                .map(|(v, &w)| match v {
+                    Value::Int(x) if w => Value::Float(x as f64),
+                    v => v,
                 })
                 .collect();
             t.push_row(coerced)
@@ -133,8 +138,48 @@ impl ResultTable {
     }
 }
 
+/// Which execution path [`execute_with_mode`] may take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Vectorize single-table scans when compilable, fall back to the
+    /// interpreter otherwise (the default).
+    Auto,
+    /// Tree-walking interpreter only — the semantic oracle.
+    Interpreted,
+    /// Vectorized only: `Unsupported` when the statement cannot compile.
+    /// Used by benches and equivalence tests to pin the path.
+    Vectorized,
+}
+
+/// Which path actually executed a statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Compiled predicates + columnar kernels ([`crate::vector`]).
+    Vectorized,
+    /// Row-at-a-time tree-walking interpreter.
+    Interpreted,
+}
+
 /// Executes `stmt` against `db`.
 pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, ExecError> {
+    execute_with_mode(db, stmt, ExecMode::Auto).map(|(r, _)| r)
+}
+
+/// Like [`execute`], additionally reporting which path ran (the worker
+/// records this in its scan statistics).
+pub fn execute_traced(
+    db: &Database,
+    stmt: &SelectStatement,
+) -> Result<(ResultTable, ExecPath), ExecError> {
+    execute_with_mode(db, stmt, ExecMode::Auto)
+}
+
+/// Executes `stmt` against `db` on a chosen execution path.
+pub fn execute_with_mode(
+    db: &Database,
+    stmt: &SelectStatement,
+    mode: ExecMode,
+) -> Result<(ResultTable, ExecPath), ExecError> {
     // Resolve FROM bindings.
     let mut bindings: Vec<(String, Arc<Table>)> = Vec::new();
     for tref in &stmt.from {
@@ -148,7 +193,12 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, Exe
         bindings.push((name, Arc::clone(table)));
     }
     if bindings.is_empty() {
-        return execute_tableless(stmt);
+        if mode == ExecMode::Vectorized {
+            return Err(ExecError::Unsupported(
+                "tableless statements are not vectorizable".to_string(),
+            ));
+        }
+        return execute_tableless(stmt).map(|r| (r, ExecPath::Interpreted));
     }
 
     let aggregated = stmt_is_aggregated(stmt);
@@ -170,13 +220,6 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, Exe
         }
     }
 
-    // Candidate rows per binding: index lookup when possible, else a
-    // filtered scan.
-    let mut candidates: Vec<Vec<u32>> = Vec::with_capacity(bindings.len());
-    for (i, (name, table)) in bindings.iter().enumerate() {
-        candidates.push(candidate_rows(name, table, &per_binding[i])?);
-    }
-
     // Early-exit limit for plain (non-aggregated, unordered) selections.
     let quick_limit = if !aggregated && stmt.order_by.is_empty() {
         stmt.limit.map(|l| l as usize)
@@ -185,6 +228,29 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, Exe
     };
 
     let mut sink = RowSink::new(db, stmt, &bindings, aggregated)?;
+
+    // Vectorized path: a single-table scan whose filters and output all
+    // compile runs over columnar kernels; anything else falls through to
+    // the interpreter, which stays the semantic oracle.
+    if bindings.len() == 1 && mode != ExecMode::Interpreted {
+        let (name, table) = &bindings[0];
+        if let Some(plan) = crate::compile::compile_single(stmt, name, table, &sink, &conjuncts) {
+            crate::vector::run(&plan, table, &mut sink, quick_limit);
+            return sink.finish().map(|r| (r, ExecPath::Vectorized));
+        }
+    }
+    if mode == ExecMode::Vectorized {
+        return Err(ExecError::Unsupported(
+            "statement is not vectorizable".to_string(),
+        ));
+    }
+
+    // Candidate rows per binding: index lookup when possible, else a
+    // filtered scan.
+    let mut candidates: Vec<Vec<u32>> = Vec::with_capacity(bindings.len());
+    for (i, (name, table)) in bindings.iter().enumerate() {
+        candidates.push(candidate_rows(name, table, &per_binding[i])?);
+    }
 
     match bindings.len() {
         1 => {
@@ -212,7 +278,7 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultTable, Exe
         }
     }
 
-    sink.finish()
+    sink.finish().map(|r| (r, ExecPath::Interpreted))
 }
 
 /// Executes a FROM-less statement (`SELECT 1 + 1`).
@@ -352,7 +418,7 @@ fn candidate_rows(
 
 /// When `conjunct` is `col = <int literal>` or `col IN (<int literals>)`
 /// over the indexed column, returns the key list.
-fn index_keys(conjunct: &Expr, idx_col: &str) -> Option<Vec<i64>> {
+pub(crate) fn index_keys(conjunct: &Expr, idx_col: &str) -> Option<Vec<i64>> {
     fn col_is(e: &Expr, idx_col: &str) -> bool {
         matches!(e, Expr::Column { name, .. } if name == idx_col)
     }
@@ -537,17 +603,18 @@ fn stmt_is_aggregated(stmt: &SelectStatement) -> bool {
 }
 
 /// One aggregate call found in the projections.
-struct AggSpec {
+pub(crate) struct AggSpec {
     /// Canonical SQL text of the call (the merge key the frontend's
     /// rewriting relies on, paper §5.3).
     sql: String,
-    kind: AggKind,
+    pub(crate) kind: AggKind,
     /// Argument expression (`None` for COUNT(*)).
-    arg: Option<Expr>,
+    pub(crate) arg: Option<Expr>,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum AggKind {
+/// The aggregate functions the executor implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AggKind {
     CountStar,
     Count,
     Sum,
@@ -558,7 +625,7 @@ enum AggKind {
 
 /// A running accumulator for one aggregate in one group.
 #[derive(Clone)]
-enum AggAcc {
+pub(crate) enum AggAcc {
     Count(i64),
     Sum {
         int: i64,
@@ -577,7 +644,7 @@ enum AggAcc {
 }
 
 impl AggAcc {
-    fn new(kind: AggKind) -> AggAcc {
+    pub(crate) fn new(kind: AggKind) -> AggAcc {
         match kind {
             AggKind::CountStar | AggKind::Count => AggAcc::Count(0),
             AggKind::Sum => AggAcc::Sum {
@@ -598,7 +665,7 @@ impl AggAcc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    pub(crate) fn update(&mut self, v: Option<&Value>) {
         match self {
             AggAcc::Count(n) => {
                 // COUNT(*) passes None (count every row); COUNT(expr)
@@ -665,7 +732,7 @@ impl AggAcc {
         }
     }
 
-    fn finish(&self) -> Value {
+    pub(crate) fn finish(&self) -> Value {
         match self {
             AggAcc::Count(n) => Value::Int(*n),
             AggAcc::Sum {
@@ -695,7 +762,7 @@ impl AggAcc {
 }
 
 /// Consumes joined row combinations and produces the result table.
-struct RowSink<'q> {
+pub(crate) struct RowSink<'q> {
     stmt: &'q SelectStatement,
     aggregated: bool,
     /// Expanded output column names.
@@ -883,11 +950,109 @@ impl<'q> RowSink<'q> {
     }
 
     /// True when `limit` is set and at least that many plain rows exist.
-    fn emitted_at_least(&self, limit: Option<usize>) -> bool {
+    pub(crate) fn emitted_at_least(&self, limit: Option<usize>) -> bool {
         match limit {
             Some(l) => !self.aggregated && self.rows.len() >= l,
             None => false,
         }
+    }
+
+    // -- vectorized-path entry points (crate::compile / crate::vector) --
+
+    /// Whether this sink accumulates aggregates.
+    pub(crate) fn is_aggregated(&self) -> bool {
+        self.aggregated
+    }
+
+    /// Star-expanded plain projection expressions.
+    pub(crate) fn plain_exprs(&self) -> &[Expr] {
+        &self.plain_exprs
+    }
+
+    /// Hidden ORDER BY key expressions appended to plain rows.
+    pub(crate) fn hidden_sort(&self) -> &[Expr] {
+        &self.hidden_sort
+    }
+
+    /// The deduplicated aggregate specs.
+    pub(crate) fn agg_specs(&self) -> &[AggSpec] {
+        &self.aggs
+    }
+
+    /// Projections with aggregate calls rewritten to `__agg` references.
+    pub(crate) fn agg_projected(&self) -> &[Expr] {
+        &self.agg_projected
+    }
+
+    /// Accepts one fully evaluated plain output row (visible projections
+    /// followed by hidden sort keys) — the vectorized equivalent of the
+    /// non-aggregated arm of [`RowSink::consume`].
+    pub(crate) fn consume_plain_row(&mut self, row: Vec<Value>) {
+        self.rows.push(row);
+    }
+
+    /// Accepts one evaluated row for aggregation: `key_vals` are the
+    /// GROUP BY key values, `arg_vals` the aggregate arguments (`None`
+    /// for COUNT(*)), and `rep_tail` lazily produces the representative
+    /// projection values captured on a group's first row. Mirrors the
+    /// aggregated arm of [`RowSink::consume`] exactly.
+    pub(crate) fn consume_agg_row(
+        &mut self,
+        key_vals: Vec<Value>,
+        arg_vals: &[Option<Value>],
+        rep_tail: impl FnOnce() -> Vec<Value>,
+    ) {
+        let mut key = Vec::with_capacity(key_vals.len());
+        let mut rep = Vec::with_capacity(key_vals.len());
+        for v in key_vals {
+            key.push(v.group_key());
+            rep.push(v);
+        }
+        let state = match self.groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                self.group_order.push(key.clone());
+                let accs = self.aggs.iter().map(|a| AggAcc::new(a.kind)).collect();
+                self.groups.insert(key.clone(), GroupState { accs, rep });
+                self.groups.get_mut(&key).expect("just inserted")
+            }
+        };
+        for (acc, v) in state.accs.iter_mut().zip(arg_vals) {
+            acc.update(v.as_ref());
+        }
+        if state.rep.len() == self.stmt.group_by.len() {
+            state.rep.extend(rep_tail());
+        }
+    }
+
+    /// Installs the groups of a fused grouped aggregation: per group its
+    /// key value, finished accumulators (one per spec, in exact
+    /// sequential-`update` state), and representative projection values
+    /// captured on the group's first row. Groups arrive in
+    /// first-appearance order, matching `consume`'s `group_order`.
+    pub(crate) fn install_groups(
+        &mut self,
+        key_vals: Vec<Value>,
+        accs: Vec<Vec<AggAcc>>,
+        reps: Vec<Vec<Value>>,
+    ) {
+        for ((key_val, accs), rep_tail) in key_vals.into_iter().zip(accs).zip(reps) {
+            let key = vec![key_val.group_key()];
+            let mut rep = vec![key_val];
+            rep.extend(rep_tail);
+            self.group_order.push(key.clone());
+            self.groups.insert(key, GroupState { accs, rep });
+        }
+    }
+
+    /// Installs the single global group of a fused ungrouped aggregation.
+    /// The accumulators must be in the exact state per-row updates would
+    /// have produced; representative values are NULL placeholders, as in
+    /// the interpreter (every projection references `__agg`).
+    pub(crate) fn install_global_group(&mut self, accs: Vec<AggAcc>) {
+        let rep = vec![Value::Null; self.agg_projected.len()];
+        self.group_order.push(Vec::new());
+        self.groups.insert(Vec::new(), GroupState { accs, rep });
     }
 
     fn finish(mut self) -> Result<ResultTable, ExecError> {
@@ -991,7 +1156,7 @@ impl<'q> RowSink<'q> {
 }
 
 /// True when `expr` references the `__agg` pseudo binding.
-fn references_agg(expr: &Expr) -> bool {
+pub(crate) fn references_agg(expr: &Expr) -> bool {
     let mut found = false;
     expr.visit(&mut |e| {
         if let Expr::Column {

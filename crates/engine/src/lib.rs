@@ -16,7 +16,12 @@
 //! * [`eval`] — expression evaluation over row bindings.
 //! * [`exec`] — the query executor: filtered scans, index lookups,
 //!   hash-equi-joins and nested-loop spatial joins, grouping/aggregation,
-//!   ordering, projection.
+//!   ordering, projection. Single-table scans run on a vectorized path
+//!   ([`compile`] + [`vector`]) when compilable, with the interpreter as
+//!   fallback and semantic oracle.
+//! * [`compile`] — per-query compilation of predicates and projections
+//!   into columnar kernels and flat programs.
+//! * [`vector`] — columnar kernel execution over selection vectors.
 //! * [`dump`] — `mysqldump`-style result serialization: result tables
 //!   travel from worker to master as SQL text and are re-loaded by
 //!   executing it (paper §5.4 "Query Results Transfer").
@@ -24,6 +29,7 @@
 //!   chunk tables are named `Object_CC`, subchunk tables
 //!   `Object_CC_SS`, exactly as in paper §5.2).
 
+pub(crate) mod compile;
 pub mod db;
 pub mod dump;
 pub mod eval;
@@ -32,9 +38,12 @@ pub mod functions;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub(crate) mod vector;
 
 pub use db::Database;
-pub use exec::{execute, ExecError, ResultTable};
+pub use exec::{
+    execute, execute_traced, execute_with_mode, ExecError, ExecMode, ExecPath, ResultTable,
+};
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use table::Table;
 pub use value::Value;

@@ -63,6 +63,19 @@ enum ColumnData {
     Str(Vec<String>),
 }
 
+/// A borrowed view of one column's dense storage. Null slots hold the
+/// column default (0 / 0.0 / ""); callers must consult
+/// [`Table::null_mask`] before trusting a slot.
+#[derive(Clone, Copy, Debug)]
+pub enum ColumnSlice<'a> {
+    /// Integer column.
+    Int(&'a [i64]),
+    /// Float column.
+    Float(&'a [f64]),
+    /// String column.
+    Str(&'a [String]),
+}
+
 impl ColumnData {
     fn new(ty: ColumnType) -> ColumnData {
         match ty {
@@ -217,6 +230,26 @@ impl Table {
             ColumnData::Float(v) => Value::Float(v[row]),
             ColumnData::Str(v) => Value::Str(v[row].clone()),
         }
+    }
+
+    /// Borrows column `col`'s dense storage for vectorized kernels.
+    ///
+    /// # Panics
+    /// Panics when `col` is out of bounds.
+    pub fn column_slice(&self, col: usize) -> ColumnSlice<'_> {
+        match &self.columns[col] {
+            ColumnData::Int(v) => ColumnSlice::Int(v),
+            ColumnData::Float(v) => ColumnSlice::Float(v),
+            ColumnData::Str(v) => ColumnSlice::Str(v),
+        }
+    }
+
+    /// Borrows column `col`'s null mask (`true` = NULL).
+    ///
+    /// # Panics
+    /// Panics when `col` is out of bounds.
+    pub fn null_mask(&self, col: usize) -> &[bool] {
+        &self.nulls[col]
     }
 
     /// Reads one cell by column name; `None` for an unknown column.

@@ -11,12 +11,35 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         assert!(self.size.start < self.size.end, "empty vec size range");
         let len = self.size.start + rng.below(self.size.end - self.size.start);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Shorter vectors first (respecting the minimum length): minimal,
+        // half, one-less.
+        let min = self.size.start;
+        for len in [min, min + (v.len() - min) / 2, v.len().saturating_sub(1)] {
+            if len < v.len() && len >= min && !out.iter().any(|c: &Vec<S::Value>| c.len() == len) {
+                out.push(v[..len].to_vec());
+            }
+        }
+        // Then same-length vectors with one element shrunk.
+        for (i, e) in v.iter().enumerate() {
+            for cand in self.element.shrink(e) {
+                let mut c = v.clone();
+                c[i] = cand;
+                out.push(c);
+            }
+        }
+        out
     }
 }
 

@@ -14,8 +14,11 @@
 //!
 //! Differences from real proptest, deliberate for this environment:
 //! generation is **deterministic** (seeded from the test name, so runs
-//! are reproducible without a persistence file) and failing cases are
-//! reported with their inputs but **not shrunk**.
+//! are reproducible without a persistence file) and shrinking is
+//! **greedy and budgeted** — strategies propose smaller candidates
+//! (toward a range's start, toward zero, shorter vectors) and a failing
+//! case adopts any candidate that still fails, rather than walking
+//! proptest's full value tree.
 
 pub mod collection;
 pub mod option;
@@ -56,6 +59,12 @@ macro_rules! proptest {
 }
 
 /// Internal expansion of [`proptest!`]: one `#[test]` fn per case.
+///
+/// A failing case (assert failure or body panic) is *shrunk* before being
+/// reported: each argument's strategy proposes smaller candidate inputs,
+/// and any candidate on which the test still fails is adopted, greedily,
+/// under a fixed budget. The final panic message carries the minimized
+/// inputs.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_body {
@@ -66,30 +75,22 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let __config = $config;
-            // Bind each strategy once, under its argument's name; the
-            // per-case value bindings below shadow these inside the loop.
-            $(let $arg = $strat;)+
             let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-            let mut __passed: u32 = 0;
-            let mut __attempts: u32 = 0;
-            while __passed < __config.cases {
-                __attempts += 1;
-                assert!(
-                    __attempts <= __config.cases.saturating_mul(32).saturating_add(4096),
-                    "proptest '{}': too many rejected cases ({} attempts for {} passes)",
-                    stringify!($name), __attempts, __passed,
-                );
-                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
-                let __inputs = {
-                    let mut s = String::new();
-                    $(
-                        s.push_str("  ");
-                        s.push_str(stringify!($arg));
-                        s.push_str(" = ");
-                        s.push_str(&format!("{:?}\n", &$arg));
-                    )+
-                    s
-                };
+            // Each argument's strategy, paired with the current candidate
+            // value (rewritten in place between cases and while
+            // shrinking). Seeding the cell with a generated value here
+            // keeps its type concrete for the closures below.
+            $(let $arg = {
+                let __s = $strat;
+                let __v = $crate::strategy::Strategy::generate(&__s, &mut __rng);
+                (__s, ::std::cell::RefCell::new(__v))
+            };)+
+
+            // Runs the body on owned clones of the current values; a body
+            // panic is converted into `Fail` (message preserved) so it
+            // shrinks the same way an assertion failure does.
+            let __run_case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $(let $arg = ::std::clone::Clone::clone(&*$arg.1.borrow());)+
                 let __outcome = ::std::panic::catch_unwind(
                     ::std::panic::AssertUnwindSafe(
                         move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
@@ -99,30 +100,88 @@ macro_rules! __proptest_body {
                     ),
                 );
                 match __outcome {
-                    Ok(Ok(())) => __passed += 1,
-                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {
-                        // prop_assume! miss: try another input.
-                    }
-                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
-                        panic!(
-                            "proptest '{}' failed: {}\ninputs:\n{}",
-                            stringify!($name), msg, __inputs,
-                        );
-                    }
+                    Ok(r) => r,
                     Err(payload) => {
-                        eprintln!(
-                            "proptest '{}' panicked on inputs:\n{}",
-                            stringify!($name), __inputs,
-                        );
-                        ::std::panic::resume_unwind(payload);
+                        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "non-string panic payload".to_string()
+                        };
+                        Err($crate::test_runner::TestCaseError::Fail(format!("panicked: {msg}")))
                     }
                 }
+            };
+            let __render_inputs = || {
+                let mut s = String::new();
+                $(
+                    s.push_str("  ");
+                    s.push_str(stringify!($arg));
+                    s.push_str(" = ");
+                    s.push_str(&format!("{:?}\n", &*$arg.1.borrow()));
+                )+
+                s
+            };
+
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(32).saturating_add(4096),
+                    "proptest '{}': too many rejected cases ({} attempts for {} passes)",
+                    stringify!($name), __attempts, __passed,
+                );
+                match __run_case() {
+                    Ok(()) => __passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        // prop_assume! miss: try another input.
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        let __original = __render_inputs();
+                        let mut __msg = __msg;
+                        // Greedy shrink: one argument at a time, restart
+                        // from the first argument after any improvement.
+                        let mut __budget: u32 = 256;
+                        let mut __improved = true;
+                        while __improved && __budget > 0 {
+                            __improved = false;
+                            $(
+                                let __cands =
+                                    $crate::strategy::Strategy::shrink(&$arg.0, &*$arg.1.borrow());
+                                for __cand in __cands {
+                                    if __budget == 0 { break; }
+                                    __budget -= 1;
+                                    let __prev = $arg.1.replace(__cand);
+                                    match __run_case() {
+                                        Err($crate::test_runner::TestCaseError::Fail(m)) => {
+                                            __msg = m;
+                                            __improved = true;
+                                            // The remaining candidates were
+                                            // derived from the pre-adoption
+                                            // value; recompute from here.
+                                            break;
+                                        }
+                                        _ => { $arg.1.replace(__prev); }
+                                    }
+                                }
+                            )+
+                        }
+                        panic!(
+                            "proptest '{}' failed: {}\ninputs:\n{}originally failing inputs:\n{}",
+                            stringify!($name), __msg, __render_inputs(), __original,
+                        );
+                    }
+                }
+                // Fresh inputs for the next case.
+                $($arg.1.replace($crate::strategy::Strategy::generate(&$arg.0, &mut __rng));)+
             }
         }
     )*};
 }
 
-/// Fails the current case (reported with its inputs, not shrunk).
+/// Fails the current case (reported with its shrunk inputs).
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {

@@ -17,6 +17,15 @@ pub trait Strategy: Clone {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly smaller candidate replacements for a failing
+    /// input, most aggressive first. The runner adopts a candidate only
+    /// when the test still fails on it, so strategies need not prove
+    /// anything about candidates beyond "closer to minimal". The default
+    /// is no shrinking.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O: Debug, F>(self, f: F) -> Map<Self, F>
     where
@@ -75,11 +84,15 @@ pub trait Strategy: Clone {
 /// Object-safe generation, used by [`BoxedStrategy`].
 trait DynStrategy<T> {
     fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    fn shrink_dyn(&self, v: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, v: &S::Value) -> Vec<S::Value> {
+        self.shrink(v)
     }
 }
 
@@ -100,6 +113,9 @@ impl<T: Debug> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.inner.generate_dyn(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        self.inner.shrink_dyn(v)
     }
 }
 
@@ -144,6 +160,14 @@ where
             }
         }
         panic!("prop_filter '{}' rejected 10000 candidates in a row", self.whence);
+    }
+    fn shrink(&self, v: &S::Value) -> Vec<S::Value> {
+        // Candidates must still satisfy the filter.
+        self.inner
+            .shrink(v)
+            .into_iter()
+            .filter(|c| (self.keep)(c))
+            .collect()
     }
 }
 
@@ -211,6 +235,11 @@ impl<T: Clone + Debug> Strategy for Just<T> {
 pub trait Arbitrary: Debug + Sized {
     /// Draws one unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Smaller candidates for a failing value (see [`Strategy::shrink`]).
+    fn arbitrary_shrink(_v: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_int {
@@ -218,6 +247,18 @@ macro_rules! arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn arbitrary_shrink(v: &$t) -> Vec<$t> {
+                // Toward zero: jump there, then halve.
+                let mut out = Vec::new();
+                if *v != 0 {
+                    out.push(0);
+                    let half = *v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -227,6 +268,13 @@ arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn arbitrary_shrink(v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -251,6 +299,17 @@ impl Arbitrary for f64 {
             f64::from_bits(rng.next_u64())
         }
     }
+    fn arbitrary_shrink(v: &f64) -> Vec<f64> {
+        if v.is_nan() || *v == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let half = *v / 2.0;
+        if half != *v && half != 0.0 {
+            out.push(half);
+        }
+        out
+    }
 }
 
 impl Arbitrary for f32 {
@@ -273,6 +332,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        T::arbitrary_shrink(v)
+    }
 }
 
 /// Builds the whole-domain strategy for `T`.
@@ -290,6 +352,35 @@ macro_rules! range_strategy_int {
                 let v = (rng.next_u64() as u128) % span;
                 (self.start as i128 + v as i128) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                // Toward the range start. Candidates are listed in
+                // increasing order — the start, then `v - d` for `d`
+                // halving down, then small steps — so greedy first-failure
+                // adoption behaves like a binary search for the failing
+                // boundary. Every candidate is strictly below `v` and in
+                // range, so adopted candidates always make progress.
+                let mut out: Vec<$t> = Vec::new();
+                let mut push = |c: $t| {
+                    if c >= self.start && c < *v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                };
+                push(self.start);
+                let mut d = (*v as i128 - self.start as i128) / 2;
+                while d > 0 {
+                    push((*v as i128 - d) as $t);
+                    d /= 2;
+                }
+                // Unit steps (the `-2` step preserves parity through
+                // even/odd filters).
+                if *v as i128 - 1 >= self.start as i128 {
+                    push((*v as i128 - 1) as $t);
+                }
+                if *v as i128 - 2 >= self.start as i128 {
+                    push((*v as i128 - 2) as $t);
+                }
+                out
+            }
         }
     )*};
 }
@@ -300,6 +391,17 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *v > self.start {
+            out.push(self.start);
+            let mid = self.start + (*v - self.start) / 2.0;
+            if mid > self.start && mid < *v {
+                out.push(mid);
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,49 @@
+//! The shim's greedy shrinking: failing cases are minimized before being
+//! reported, and the final panic message carries the shrunk inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The minimal failing input for `a <= 10` over 0..1000 is 11; the
+    // bisect/step-down candidates must land exactly there, and the panic
+    // message renders it.
+    #[test]
+    #[should_panic(expected = "a = 11")]
+    fn shrinks_int_to_boundary(a in 0i64..1000) {
+        prop_assert!(a <= 10);
+    }
+
+    // Shrinking respects `prop_filter`: candidates violating the filter
+    // are never adopted, so the reported minimum is the smallest *odd*
+    // failing value.
+    #[test]
+    #[should_panic(expected = "a = 101")]
+    fn shrinks_within_filter(a in (0i64..1000).prop_filter("odd", |v| v % 2 == 1)) {
+        prop_assert!(a < 100);
+    }
+
+    // Vectors shrink toward fewer elements.
+    #[test]
+    #[should_panic(expected = "v = []")]
+    fn shrinks_vec_to_empty(v in proptest::collection::vec(0u8..10, 0..8)) {
+        // Fails on every input, so the minimum is the empty vector.
+        prop_assert!(v.len() > 100);
+    }
+
+    // Plain body panics (not just prop_assert!) shrink too.
+    #[test]
+    #[should_panic(expected = "a = 501")]
+    fn shrinks_panicking_bodies(a in 0i64..1000) {
+        assert!(a <= 500, "too big");
+    }
+}
+
+proptest! {
+    // Passing properties still pass with shrinking machinery in place.
+    #[test]
+    fn passing_property_is_untouched(a in 0i64..100, b in 0i64..100) {
+        prop_assert_eq!(a + b, b + a);
+    }
+}
