@@ -1,0 +1,258 @@
+//! Master merge-pipeline benchmark: barrier (collect-then-merge) vs the
+//! streaming [`Merger`].
+//!
+//! Synthesizes per-chunk worker result tables directly (no cluster — this
+//! isolates the master's merge path), runs each workload through both
+//! paths, verifies the results are identical (the equivalence gate; any
+//! mismatch aborts with a non-zero exit), and writes a machine-readable
+//! summary to `BENCH_master.json`: rows/sec per path, the speedup, and a
+//! peak-memory proxy (barrier: all parts plus the concatenated table;
+//! streaming: the merger's high-water state). The headline number is the
+//! aggregated GROUP BY workload at the largest chunk count, where
+//! streaming must beat the barrier by >= 1.5x.
+//!
+//! Usage: `master_bench [--chunks N,N,..] [--rows N] [--iters K] [--out PATH]`
+
+use qserv::analysis::analyze;
+use qserv::rewrite::{build_plan, PhysicalPlan};
+use qserv::{merge_oracle, CatalogMeta, Merger};
+use qserv_engine::exec::ResultTable;
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_sqlparse::parse_select;
+use std::time::Instant;
+
+/// Splitmix-style generator: deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn plan_for(sql: &str) -> PhysicalPlan {
+    let meta = CatalogMeta::lsst();
+    let a = analyze(&parse_select(sql).expect("workload parses"), &meta).expect("analyzes");
+    build_plan(&a, &meta).expect("plans")
+}
+
+struct Workload {
+    name: &'static str,
+    plan: PhysicalPlan,
+    /// One synthetic worker result per chunk.
+    parts: Vec<Table>,
+}
+
+/// Partial per-chunk GROUP BY aggregates: the shape workers actually
+/// return for a two-phase `GROUP BY chunkId` query (32 groups per chunk,
+/// so merge state stays O(groups) while barrier state is O(chunks×groups)).
+fn agg_group_parts(chunks: usize, rows: usize, rng: &mut Rng) -> Vec<Table> {
+    let schema = || {
+        Schema::new(vec![
+            ColumnDef::new("chunkId", ColumnType::Int),
+            ColumnDef::new("COUNT(*)", ColumnType::Int),
+            ColumnDef::new("SUM(ra_PS)", ColumnType::Float),
+            ColumnDef::new("SUM(decl_PS)", ColumnType::Float),
+            ColumnDef::new("COUNT(decl_PS)", ColumnType::Int),
+        ])
+    };
+    (0..chunks)
+        .map(|_| {
+            let mut t = Table::new(schema());
+            for g in 0..rows {
+                let n = 1 + (rng.next_u64() % 50) as i64;
+                t.push_row(vec![
+                    Value::Int((g % 32) as i64),
+                    Value::Int(n),
+                    Value::Float(rng.next_f64() * 360.0 * n as f64),
+                    Value::Float((rng.next_f64() - 0.5) * 20.0 * n as f64),
+                    Value::Int(n),
+                ])
+                .expect("schema matches");
+            }
+            t
+        })
+        .collect()
+}
+
+/// Plain per-chunk row sets for the append / top-n shapes.
+fn row_parts(chunks: usize, rows: usize, rng: &mut Rng) -> Vec<Table> {
+    let schema = || {
+        Schema::new(vec![
+            ColumnDef::new("objectId", ColumnType::Int),
+            ColumnDef::new("ra_PS", ColumnType::Float),
+        ])
+    };
+    (0..chunks)
+        .map(|c| {
+            let mut t = Table::new(schema());
+            for i in 0..rows {
+                t.push_row(vec![
+                    Value::Int((c * rows + i) as i64),
+                    Value::Float(rng.next_f64() * 360.0),
+                ])
+                .expect("schema matches");
+            }
+            t
+        })
+        .collect()
+}
+
+fn workloads(chunks: usize, rows: usize) -> Vec<Workload> {
+    let mut rng = Rng(0x5eed_ca57);
+    vec![
+        Workload {
+            name: "agg_group",
+            plan: plan_for(
+                "SELECT chunkId, COUNT(*), SUM(ra_PS), AVG(decl_PS) \
+                 FROM Object GROUP BY chunkId",
+            ),
+            parts: agg_group_parts(chunks, rows, &mut rng),
+        },
+        Workload {
+            name: "append_limit",
+            plan: plan_for("SELECT objectId, ra_PS FROM Object LIMIT 1000"),
+            parts: row_parts(chunks, rows, &mut rng),
+        },
+        Workload {
+            name: "topn",
+            plan: plan_for("SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC LIMIT 100"),
+            parts: row_parts(chunks, rows, &mut rng),
+        },
+    ]
+}
+
+/// Barrier path: buffer every part, then merge-and-execute. Returns the
+/// result, best-of-`iters` seconds, and the peak-memory proxy (all parts
+/// resident plus the concatenated intermediate).
+fn run_barrier(w: &Workload, iters: usize) -> (ResultTable, f64, u64) {
+    let parts_bytes: u64 = w.parts.iter().map(|t| t.footprint_bytes()).sum();
+    let merged = qserv::merge_tables(w.parts.clone()).expect("parts merge");
+    let peak = parts_bytes + merged.footprint_bytes();
+    drop(merged);
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..iters {
+        let parts = w.parts.clone();
+        let start = Instant::now();
+        let (r, _) = merge_oracle(&w.plan.merge_stmt, parts).expect("barrier merge");
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (result.expect("at least one iteration"), best, peak)
+}
+
+/// Streaming path: fold parts as they "arrive" (ascending chunk order,
+/// as the dispatcher's reorder buffer guarantees), stopping at a
+/// satisfied LIMIT. Returns the result, best-of-`iters` seconds, the
+/// merger's peak state bytes, and how many parts were actually folded.
+fn run_streaming(w: &Workload, iters: usize) -> (ResultTable, f64, u64, usize) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    let mut peak = 0u64;
+    let mut folded = 0usize;
+    for _ in 0..iters {
+        let parts = w.parts.clone();
+        let start = Instant::now();
+        let mut merger = Merger::new(&w.plan);
+        folded = 0;
+        for (seq, part) in parts.into_iter().enumerate() {
+            if merger.satisfied() {
+                break;
+            }
+            merger.fold(seq, part).expect("streaming fold");
+            folded += 1;
+            peak = peak.max(merger.state_bytes());
+        }
+        let r = merger.finish().expect("streaming finish");
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (result.expect("at least one iteration"), best, peak, folded)
+}
+
+fn main() {
+    let mut chunk_counts: Vec<usize> = vec![64, 256, 1024];
+    let mut rows: usize = 200;
+    let mut iters: usize = 3;
+    let mut out = "BENCH_master.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--chunks" => {
+                chunk_counts = grab("--chunks")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("integer chunk count"))
+                    .collect();
+            }
+            "--rows" => rows = grab("--rows").parse().expect("integer rows per chunk"),
+            "--iters" => iters = grab("--iters").parse().expect("integer iteration count"),
+            "--out" => out = grab("--out"),
+            other => panic!("unknown argument {other:?} (expected --chunks/--rows/--iters/--out)"),
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut headline = None;
+    for &chunks in &chunk_counts {
+        for w in workloads(chunks, rows) {
+            let (barrier_result, t_bar, bar_peak) = run_barrier(&w, iters);
+            let (stream_result, t_str, str_peak, folded) = run_streaming(&w, iters);
+
+            // Equivalence gate: the streaming pipeline must be
+            // indistinguishable from the collect-then-merge oracle.
+            assert_eq!(
+                stream_result, barrier_result,
+                "{} @ {chunks} chunks: streaming diverged from the barrier oracle",
+                w.name
+            );
+
+            let total_rows: usize = w.parts.iter().map(|t| t.num_rows()).sum();
+            let bar_rps = total_rows as f64 / t_bar;
+            let str_rps = total_rows as f64 / t_str;
+            let speedup = str_rps / bar_rps;
+            let mem_reduction = bar_peak as f64 / (str_peak.max(1)) as f64;
+            if w.name == "agg_group" && chunks == *chunk_counts.iter().max().unwrap() {
+                headline = Some(speedup);
+            }
+            eprintln!(
+                "{:<12} {:>5} chunks  barrier {:>12.0} rows/s  streaming {:>12.0} rows/s  \
+                 {:>6.2}x  mem {:>8.1}x smaller  ({folded}/{chunks} parts folded)",
+                w.name, chunks, bar_rps, str_rps, speedup, mem_reduction
+            );
+            lines.push(format!(
+                "    {{\"name\": \"{}\", \"chunks\": {chunks}, \
+                 \"barrier_rows_per_s\": {bar_rps:.1}, \"streaming_rows_per_s\": {str_rps:.1}, \
+                 \"speedup\": {speedup:.3}, \"barrier_peak_bytes\": {bar_peak}, \
+                 \"streaming_peak_bytes\": {str_peak}, \"memory_reduction\": {mem_reduction:.1}, \
+                 \"parts_folded\": {folded}}}",
+                w.name
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"rows_per_chunk\": {rows},\n  \"iters\": {iters},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    eprintln!("wrote {out}");
+
+    let headline = headline.expect("agg_group at the largest chunk count ran");
+    eprintln!("headline agg_group streaming speedup: {headline:.2}x");
+}

@@ -37,6 +37,10 @@
 //!   frontend's secondary index.
 //! * [`master`] — the [`Qserv`] frontend: end-to-end `query(sql)` with a
 //!   multithreaded dispatcher over the fabric and result merging.
+//! * [`merge`] — the streaming result pipeline: chunk results fold into
+//!   incremental merge state as they arrive (append / per-group fold /
+//!   top-n heap), with the row-at-a-time barrier merge kept as the
+//!   semantic oracle.
 //! * [`sharedscan`] — shared scanning (§4.3; "planned" in the paper,
 //!   implemented here): concurrent full-scan queries share one pass over
 //!   each chunk.
@@ -47,6 +51,7 @@ pub mod analysis;
 pub mod error;
 pub mod loader;
 pub mod master;
+pub mod merge;
 pub mod meta;
 pub mod multimaster;
 pub mod rewrite;
@@ -56,8 +61,10 @@ pub mod worker;
 pub use error::QservError;
 pub use loader::ClusterBuilder;
 pub use master::{Qserv, QueryStats, RetryPolicy};
+pub use merge::{merge_oracle, merge_tables, Merger};
 pub use meta::CatalogMeta;
 pub use multimaster::MasterPool;
+pub use rewrite::{ColumnRole, MergeShape};
 
 // Chaos-testing surface: arm a fault plan at build time
 // (`ClusterBuilder::fault_plan`), inspect what fired via

@@ -9,6 +9,7 @@
 
 use crate::analysis::{analyze, Analysis, JoinClass};
 use crate::error::QservError;
+use crate::merge::{merge_oracle, Merger};
 use crate::meta::CatalogMeta;
 use crate::rewrite::{build_plan, render_chunk_message, PhysicalPlan};
 use crate::worker::Worker;
@@ -16,9 +17,7 @@ use parking_lot::Mutex;
 use qserv_engine::db::Database;
 use qserv_engine::dump::load_dump;
 use qserv_engine::exec::{execute, ResultTable};
-use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
 use qserv_engine::table::Table;
-use qserv_engine::value::Value;
 use qserv_partition::chunker::Chunker;
 use qserv_partition::index::SecondaryIndex;
 use qserv_partition::placement::Placement;
@@ -27,9 +26,16 @@ use qserv_xrd::cluster::{query_path, result_path, XrdCluster, XrdError};
 use qserv_xrd::fault::FabricOp;
 use qserv_xrd::md5_hex;
 use qserv_xrd::server::ServerId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Clamps the configured dispatcher-pool width to something sane for a
+/// given job count: at least one thread, never more threads than jobs.
+/// (Hoisted so the master and the shared-scan scheduler cannot drift.)
+pub(crate) fn effective_width(configured: usize, jobs: usize) -> usize {
+    configured.max(1).min(jobs.max(1))
+}
 
 /// Per-query execution statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -52,6 +58,18 @@ pub struct QueryStats {
     /// Injected fabric faults ([`XrdError::Injected`]) this query ran
     /// into (and retried past, when it succeeded).
     pub injected_faults_observed: u64,
+    /// Chunks the streaming pipeline never dispatched because a
+    /// pushed-down LIMIT was already satisfied (LIMIT-cutoff
+    /// cancellation).
+    pub chunks_skipped_by_limit: usize,
+    /// High-water mark of chunk results held materialized at once by the
+    /// merger (reorder buffer + any barrier buffering). The barrier path
+    /// reports the full part count here.
+    pub peak_buffered_parts: usize,
+    /// Wall-clock span (ms) from the first incremental fold to the last
+    /// part arrival — the window in which merging overlapped dispatch.
+    /// Zero on the barrier path, which merges only after dispatch ends.
+    pub merge_overlap_ms: u64,
 }
 
 /// How the master retries chunk dispatch over an unreliable fabric.
@@ -97,10 +115,10 @@ impl RetryPolicy {
 
 /// Per-chunk retry bookkeeping, folded into [`QueryStats`].
 #[derive(Clone, Copy, Debug, Default)]
-struct ChunkMeta {
-    attempts: usize,
-    failovers: usize,
-    injected_seen: u64,
+pub(crate) struct ChunkMeta {
+    pub(crate) attempts: usize,
+    pub(crate) failovers: usize,
+    pub(crate) injected_seen: u64,
     prev_server: Option<ServerId>,
 }
 
@@ -170,6 +188,11 @@ pub struct Qserv {
     pub dispatch_width: usize,
     /// Chunk-dispatch retry behavior.
     pub retry: RetryPolicy,
+    /// Fold chunk results into merge state as they arrive (the default).
+    /// When false, the master collects every part and merges at a
+    /// barrier — the pre-streaming behavior, kept for the oracle and for
+    /// the `master_bench` comparison.
+    pub streaming_merge: bool,
     /// Dispatch counter shared by every frontend over this cluster: tags
     /// each chunk-query message with a unique `-- QID:` line so identical
     /// concurrent queries hash to distinct result paths (the paper's raw
@@ -207,6 +230,7 @@ impl Qserv {
             workers,
             dispatch_width: 8,
             retry: RetryPolicy::default(),
+            streaming_merge: true,
             qid: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -232,6 +256,7 @@ impl Qserv {
             workers: self.workers.clone(),
             dispatch_width: self.dispatch_width,
             retry: self.retry.clone(),
+            streaming_merge: self.streaming_merge,
             qid: Arc::clone(&self.qid),
         }
     }
@@ -276,13 +301,17 @@ impl Qserv {
         }
         let prepared = self.prepare_stmt(&stmt)?;
         let mut stats = QueryStats {
-            chunks_dispatched: prepared.chunks.len(),
             used_secondary_index: prepared.analysis.index_ids.is_some(),
             used_spatial_restriction: prepared.analysis.spatial.is_some(),
             ..QueryStats::default()
         };
-        let parts = self.dispatch_all(&prepared, &mut stats)?;
-        let result = self.merge(&prepared.plan, parts, &mut stats)?;
+        let result = if self.streaming_merge {
+            self.dispatch_streaming(&prepared, &mut stats)?
+        } else {
+            stats.chunks_dispatched = prepared.chunks.len();
+            let parts = self.dispatch_all(&prepared, &mut stats)?;
+            self.merge(&prepared.plan, parts, &mut stats)?
+        };
         Ok((result, stats))
     }
 
@@ -384,7 +413,7 @@ impl Qserv {
         let queue = Mutex::new(jobs.into_iter());
         let results: Mutex<Vec<(i32, ChunkOutcome)>> =
             Mutex::new(Vec::with_capacity(prepared.chunks.len()));
-        let width = self.dispatch_width.max(1).min(prepared.chunks.len().max(1));
+        let width = effective_width(self.dispatch_width, prepared.chunks.len());
         let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
@@ -415,11 +444,146 @@ impl Qserv {
         Ok(tables)
     }
 
+    /// Streaming dispatch (the default): dispatcher threads hand
+    /// finished chunk results over a channel to an incremental
+    /// [`Merger`] running on the calling thread, so merging overlaps
+    /// dispatch and the master holds only the merge state plus a small
+    /// reorder buffer — not every chunk result at once. When the merger
+    /// reports itself satisfied (a pushed-down LIMIT is met), the
+    /// remaining chunk queue is cancelled: undispatched chunks are never
+    /// sent, and are counted in [`QueryStats::chunks_skipped_by_limit`].
+    fn dispatch_streaming(
+        &self,
+        prepared: &Prepared,
+        stats: &mut QueryStats,
+    ) -> Result<ResultTable, QservError> {
+        let jobs: Vec<(usize, i32, String)> = prepared
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(seq, &c)| {
+                let subs = self.subchunks_for(prepared, c);
+                (
+                    seq,
+                    c,
+                    self.tag_message(render_chunk_message(&prepared.plan, &self.meta, c, &subs)),
+                )
+            })
+            .collect();
+        let total = jobs.len();
+        let width = effective_width(self.dispatch_width, total);
+        let queue = Mutex::new(jobs.into_iter());
+        let cancelled = AtomicBool::new(false);
+        let started = Instant::now();
+        let mut merger = Merger::new(&prepared.plan);
+        let mut dispatched = 0usize;
+        // Error selection must not depend on thread scheduling: keep the
+        // *lowest-sequence* dispatch error (queue order is deterministic,
+        // and the dispatched set is always a queue prefix, so the minimum
+        // failing sequence is the same in every run). A merge error is
+        // reported in preference to any dispatch error — folds drain in
+        // sequence order, so a fold failure always concerns an earlier
+        // chunk than the first dispatch failure.
+        let mut dispatch_err: Option<(usize, QservError)> = None;
+        let mut fold_err: Option<QservError> = None;
+        let mut first_fold: Option<Instant> = None;
+        let mut last_arrival: Option<Instant> = None;
+
+        type ChunkOutcome = Result<(Table, u64, ChunkMeta), QservError>;
+        // Rendezvous handoff: a worker's send completes only when the
+        // merge loop takes the part, so at most `width` results are ever
+        // in flight (bounded master memory) and a LIMIT-cutoff
+        // cancellation is observed before the *next* handoff — workers
+        // can't race ahead of the merge and drain the queue.
+        let (tx, rx) = mpsc::sync_channel::<(usize, ChunkOutcome)>(0);
+        crossbeam::thread::scope(|scope| {
+            let queue = &queue;
+            let cancelled = &cancelled;
+            for _ in 0..width {
+                let tx = tx.clone();
+                scope.spawn(move |_| loop {
+                    // Cancellation is checked between jobs: an in-flight
+                    // chunk finishes (and is drained below) but nothing
+                    // new leaves the queue.
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let job = queue.lock().next();
+                    let Some((seq, chunk, message)) = job else {
+                        break;
+                    };
+                    let outcome = self.dispatch_one(chunk, &message, started);
+                    if tx.send((seq, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Folding on this thread — not in the workers — keeps the
+            // merge single-threaded; the merger's reorder buffer makes
+            // it deterministic regardless of arrival order.
+            while let Ok((seq, outcome)) = rx.recv() {
+                dispatched += 1;
+                last_arrival = Some(Instant::now());
+                match outcome {
+                    Ok((table, bytes, meta)) => {
+                        stats.result_bytes += bytes;
+                        if meta.attempts > 1 {
+                            stats.chunks_retried += 1;
+                        }
+                        stats.replica_failovers += meta.failovers;
+                        stats.injected_faults_observed += meta.injected_seen;
+                        if fold_err.is_none() && !merger.satisfied() {
+                            if first_fold.is_none() {
+                                first_fold = Some(Instant::now());
+                            }
+                            match merger.fold(seq, table) {
+                                Ok(()) => {
+                                    if merger.satisfied() {
+                                        cancelled.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(e) => {
+                                    fold_err = Some(e);
+                                    cancelled.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if dispatch_err.as_ref().is_none_or(|(s, _)| seq < *s) {
+                            dispatch_err = Some((seq, e));
+                        }
+                        cancelled.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+        .map_err(|_| QservError::Fabric("dispatcher thread panicked".to_string()))?;
+
+        stats.chunks_dispatched = dispatched;
+        if let Some(e) = fold_err {
+            return Err(e);
+        }
+        if let Some((_, e)) = dispatch_err {
+            return Err(e);
+        }
+        stats.chunks_skipped_by_limit = total - dispatched;
+        stats.peak_buffered_parts = merger.peak_buffered_parts();
+        stats.rows_merged = merger.rows_folded();
+        stats.merge_overlap_ms = match (first_fold, last_arrival) {
+            (Some(f), Some(l)) => l.saturating_duration_since(f).as_millis() as u64,
+            _ => 0,
+        };
+        merger.finish()
+    }
+
     /// Dispatches one chunk with bounded retry: transient fabric errors
     /// back off exponentially and steer the next attempt away from the
     /// replicas that failed; the query-wide deadline turns a stuck chunk
-    /// into [`QservError::Timeout`].
-    fn dispatch_one(
+    /// into [`QservError::Timeout`]. Shared with the shared-scan
+    /// scheduler so convoy dispatch gets the same retry semantics.
+    pub(crate) fn dispatch_one(
         &self,
         chunk: i32,
         message: &str,
@@ -573,138 +737,17 @@ impl Qserv {
         }
     }
 
-    /// Accumulates per-chunk tables into `result` and runs the merge
-    /// query.
+    /// The barrier merge: accumulates per-chunk tables into `result` and
+    /// runs the merge query (delegates to the [`crate::merge`] oracle).
     pub(crate) fn merge(
         &self,
         plan: &PhysicalPlan,
         parts: Vec<Table>,
         stats: &mut QueryStats,
     ) -> Result<ResultTable, QservError> {
-        let merged = merge_tables(parts)?;
-        stats.rows_merged = merged.num_rows();
-        let mut db = Database::new();
-        db.create_table("result", merged);
-        execute(&db, &plan.merge_stmt).map_err(QservError::from)
-    }
-}
-
-/// Concatenates per-chunk result tables, unifying schemas by widening
-/// (Int + Float ⇒ Float; an empty chunk's all-NULL "Float" columns adopt
-/// the populated chunks' types).
-pub(crate) fn merge_tables(parts: Vec<Table>) -> Result<Table, QservError> {
-    let Some(first) = parts.first() else {
-        return Ok(Table::new(Schema::new(vec![])));
-    };
-    let names: Vec<String> = first
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| c.name.clone())
-        .collect();
-    // Widen column types across parts. Empty parts carry no evidence
-    // (their dump schemas default all-NULL columns to Float), so only
-    // populated parts vote; columns never populated stay Float.
-    let mut types: Vec<Option<ColumnType>> = vec![None; names.len()];
-    for part in &parts {
-        let cols = part.schema().columns();
-        if cols.len() != names.len() || cols.iter().zip(&names).any(|(c, n)| &c.name != n) {
-            return Err(QservError::Merge(format!(
-                "chunk results disagree on columns: {:?} vs {:?}",
-                names,
-                cols.iter().map(|c| &c.name).collect::<Vec<_>>()
-            )));
-        }
-        if part.num_rows() == 0 {
-            continue;
-        }
-        for (i, c) in cols.iter().enumerate() {
-            types[i] = Some(match (types[i], c.ty) {
-                (None, t) => t,
-                (Some(a), b) if a == b => a,
-                (Some(ColumnType::Int), ColumnType::Float)
-                | (Some(ColumnType::Float), ColumnType::Int) => ColumnType::Float,
-                (Some(a), b) => {
-                    return Err(QservError::Merge(format!(
-                        "column {} has incompatible types across chunks: {a} vs {b}",
-                        names[i]
-                    )))
-                }
-            });
-        }
-    }
-    let types: Vec<ColumnType> = types
-        .into_iter()
-        .map(|t| t.unwrap_or(ColumnType::Float))
-        .collect();
-    let schema = Schema::new(
-        names
-            .iter()
-            .zip(&types)
-            .map(|(n, t)| ColumnDef::new(n, *t))
-            .collect(),
-    );
-    let mut out = Table::new(schema);
-    for part in &parts {
-        for r in 0..part.num_rows() {
-            let row: Vec<Value> = part
-                .row(r)
-                .into_iter()
-                .zip(&types)
-                .map(|(v, t)| match (t, v) {
-                    (ColumnType::Float, Value::Int(x)) => Value::Float(x as f64),
-                    (_, v) => v,
-                })
-                .collect();
-            out.push_row(row)
-                .map_err(|e| QservError::Merge(e.to_string()))?;
-        }
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn table_of(cols: &[(&str, ColumnType)], rows: Vec<Vec<Value>>) -> Table {
-        let schema = Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect());
-        let mut t = Table::new(schema);
-        for r in rows {
-            t.push_row(r).unwrap();
-        }
-        t
-    }
-
-    #[test]
-    fn merge_tables_widens_int_to_float() {
-        let a = table_of(&[("x", ColumnType::Int)], vec![vec![Value::Int(1)]]);
-        let b = table_of(&[("x", ColumnType::Float)], vec![vec![Value::Float(2.5)]]);
-        let m = merge_tables(vec![a, b]).unwrap();
-        assert_eq!(m.num_rows(), 2);
-        assert_eq!(m.get(0, 0), Value::Float(1.0));
-        assert_eq!(m.get(1, 0), Value::Float(2.5));
-    }
-
-    #[test]
-    fn merge_tables_empty_part_adopts_other_schema() {
-        let empty = table_of(&[("x", ColumnType::Float)], vec![]);
-        let full = table_of(&[("x", ColumnType::Int)], vec![vec![Value::Int(3)]]);
-        let m = merge_tables(vec![empty, full]).unwrap();
-        assert_eq!(m.schema().columns()[0].ty, ColumnType::Int);
-        assert_eq!(m.num_rows(), 1);
-    }
-
-    #[test]
-    fn merge_tables_rejects_mismatched_columns() {
-        let a = table_of(&[("x", ColumnType::Int)], vec![]);
-        let b = table_of(&[("y", ColumnType::Int)], vec![]);
-        assert!(merge_tables(vec![a, b]).is_err());
-    }
-
-    #[test]
-    fn merge_tables_no_parts_is_empty() {
-        let m = merge_tables(vec![]).unwrap();
-        assert_eq!(m.num_rows(), 0);
+        stats.peak_buffered_parts = stats.peak_buffered_parts.max(parts.len());
+        let (result, rows) = merge_oracle(&plan.merge_stmt, parts)?;
+        stats.rows_merged = rows;
+        Ok(result)
     }
 }

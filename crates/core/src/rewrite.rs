@@ -42,6 +42,190 @@ pub struct PhysicalPlan {
     pub partitioned: Vec<usize>,
     /// Spatial restriction carried from analysis (for chunk selection).
     pub spatial: Option<SpatialSpec>,
+    /// How chunk results can be folded into merge state incrementally.
+    pub shape: MergeShape,
+}
+
+/// How the master's streaming pipeline (`crate::merge`) may fold chunk
+/// results into merge state as they arrive, classified once at plan time
+/// from the merge statement. `Barrier` — buffer every part and run the
+/// row-at-a-time `merge_tables` + merge-query oracle — is always safe;
+/// the other shapes are proven equivalent to it by the streaming-merge
+/// property test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeShape {
+    /// Non-aggregated, no merge-side ORDER BY: append rows as they
+    /// arrive. When `cutoff` is set (a pushed-down `LIMIT n`), the
+    /// pipeline is satisfied after n rows and the remaining chunk queue
+    /// can be cancelled — undispatched chunks are never sent.
+    Append {
+        /// The pushed-down row budget, if any.
+        cutoff: Option<u64>,
+    },
+    /// Non-aggregated `ORDER BY … LIMIT n`: a bounded top-n heap replaces
+    /// the full sort input. Sort keys are resolved against the first
+    /// part's column names; if any key needs expression evaluation
+    /// (the engine's hidden-sort-key path) the merger downgrades itself
+    /// to `Barrier` at run time.
+    TopN {
+        /// The result-row budget bounding the heap.
+        n: u64,
+    },
+    /// Aggregated: one combine role per chunk-statement projection. Each
+    /// arriving partial-aggregate table folds into running per-group
+    /// state, so peak master memory is O(groups), not O(Σ chunk results).
+    Fold {
+        /// Roles parallel to `chunk_stmt.projections`.
+        roles: Vec<ColumnRole>,
+    },
+    /// Not incrementally foldable: buffer all parts, then run the oracle
+    /// verbatim.
+    Barrier,
+}
+
+/// What the merge statement does with one chunk-result column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// GROUP BY key: part of group identity; first-seen value kept.
+    Key,
+    /// Passed through: first-seen value per group kept (the engine's
+    /// representative-row semantics).
+    Rep,
+    /// Folded with SUM.
+    Sum,
+    /// Folded with MIN.
+    Min,
+    /// Folded with MAX.
+    Max,
+}
+
+/// Classifies how the merge statement can consume chunk results
+/// incrementally. Anything this function does not recognize — qualified
+/// columns, aggregate calls other than SUM/MIN/MAX over a plain result
+/// column, a column both folded and projected bare — lands on
+/// [`MergeShape::Barrier`], never on a wrong fold.
+fn classify_merge(
+    chunk_stmt: &SelectStatement,
+    merge_stmt: &SelectStatement,
+    aggregated: bool,
+) -> MergeShape {
+    if !aggregated {
+        return if merge_stmt.order_by.is_empty() {
+            MergeShape::Append {
+                cutoff: merge_stmt.limit,
+            }
+        } else if let Some(n) = merge_stmt.limit {
+            MergeShape::TopN { n }
+        } else {
+            // Full sort at finish: append everything, let the merge
+            // query order it.
+            MergeShape::Append { cutoff: None }
+        };
+    }
+
+    let cols: Vec<String> = chunk_stmt
+        .projections
+        .iter()
+        .map(|p| p.output_name())
+        .collect();
+    let position = |name: &str| cols.iter().position(|c| c == name);
+    let mut roles = vec![ColumnRole::Rep; cols.len()];
+    // Rep is the unclaimed default; a column may be claimed once (or
+    // repeatedly for the same role — shared components like the SUM of
+    // an AVG+SUM pair).
+    fn assign(roles: &mut [ColumnRole], i: usize, r: ColumnRole) -> bool {
+        if roles[i] == ColumnRole::Rep || roles[i] == r {
+            roles[i] = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    for g in &merge_stmt.group_by {
+        let Expr::Column {
+            qualifier: None,
+            name,
+            ..
+        } = g
+        else {
+            return MergeShape::Barrier;
+        };
+        let Some(i) = position(name) else {
+            return MergeShape::Barrier;
+        };
+        if !assign(&mut roles, i, ColumnRole::Key) {
+            return MergeShape::Barrier;
+        }
+    }
+
+    for p in &merge_stmt.projections {
+        // Every aggregate call must be SUM/MIN/MAX over one unqualified
+        // result column; every column occurrence outside an aggregate
+        // argument must be a Key/Rep passthrough.
+        let mut aggs: Vec<(String, Vec<Expr>)> = Vec::new();
+        let mut foldable = true;
+        let mut occurrences: Vec<String> = Vec::new();
+        p.expr.visit(&mut |e| match e {
+            Expr::Function { name, args } if is_aggregate(name) => {
+                aggs.push((name.clone(), args.clone()));
+            }
+            Expr::Column {
+                qualifier, name, ..
+            } => {
+                if qualifier.is_some() {
+                    foldable = false;
+                }
+                occurrences.push(name.clone());
+            }
+            _ => {}
+        });
+        if !foldable {
+            return MergeShape::Barrier;
+        }
+        let mut inside_aggs: Vec<String> = Vec::new();
+        for (name, args) in &aggs {
+            let role = match name.to_ascii_lowercase().as_str() {
+                "sum" => ColumnRole::Sum,
+                "min" => ColumnRole::Min,
+                "max" => ColumnRole::Max,
+                // COUNT and AVG never survive to the merge side of a
+                // two-phase split; seeing one means an unknown rewrite.
+                _ => return MergeShape::Barrier,
+            };
+            let [Expr::Column {
+                qualifier: None,
+                name: col,
+                ..
+            }] = args.as_slice()
+            else {
+                return MergeShape::Barrier;
+            };
+            let Some(i) = position(col) else {
+                return MergeShape::Barrier;
+            };
+            if !assign(&mut roles, i, role) {
+                return MergeShape::Barrier;
+            }
+            inside_aggs.push(col.clone());
+        }
+        // Occurrence counting: a column referenced more often than it is
+        // consumed by aggregate arguments also appears bare.
+        for name in &occurrences {
+            let total = occurrences.iter().filter(|n| *n == name).count();
+            let consumed = inside_aggs.iter().filter(|n| *n == name).count();
+            if total > consumed {
+                let Some(i) = position(name) else {
+                    return MergeShape::Barrier;
+                };
+                if !matches!(roles[i], ColumnRole::Key | ColumnRole::Rep) {
+                    return MergeShape::Barrier;
+                }
+            }
+        }
+    }
+
+    MergeShape::Fold { roles }
 }
 
 /// Builds the physical plan from an analysis.
@@ -130,12 +314,14 @@ pub fn build_plan(analysis: &Analysis, meta: &CatalogMeta) -> Result<PhysicalPla
         plain_merge(&mut chunk_stmt)
     };
 
+    let shape = classify_merge(&chunk_stmt, &merge_stmt, analysis.aggregated);
     Ok(PhysicalPlan {
         chunk_stmt,
         merge_stmt,
         join: analysis.join,
         partitioned: analysis.partitioned.clone(),
         spatial: analysis.spatial,
+        shape,
     })
 }
 

@@ -11,19 +11,26 @@
 //! a batch of queries, computes each one's chunk set, and walks the
 //! *union* of chunks chunk-major, dispatching every query's physical
 //! query for a chunk back-to-back so the chunk's data is touched once per
-//! convoy pass instead of once per query. Results are merged per query at
-//! the end and are identical to running the queries independently
-//! (property-tested in `tests/`). [`ScanReport::chunk_passes`] vs
+//! convoy pass instead of once per query. Each member keeps one
+//! persistent streaming [`Merger`] for the whole convoy: chunk results
+//! fold in as the convoy advances (chunk-major order is ascending, so
+//! folds are naturally in-order), and a member whose pushed-down LIMIT is
+//! satisfied simply stops receiving dispatches while the convoy carries
+//! on for the others. Results are identical to running the queries
+//! independently (property-tested in `tests/`, including under fault
+//! injection in `tests/chaos.rs`). [`ScanReport::chunk_passes`] vs
 //! [`ScanReport::naive_passes`] quantifies the saved I/O; the sim-backed
 //! ablation bench converts that into seconds.
 
 use crate::error::QservError;
-use crate::master::{Qserv, QueryStats};
+use crate::master::{effective_width, Qserv, QueryStats};
+use crate::merge::Merger;
 use crate::rewrite::render_chunk_message;
 use parking_lot::Mutex;
 use qserv_engine::exec::ResultTable;
 use qserv_sqlparse::parse_select;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Outcome of one convoy run.
 #[derive(Clone, Debug)]
@@ -36,6 +43,9 @@ pub struct ScanReport {
     /// Chunk visits independent execution would have made
     /// (Σ per-query chunk-set sizes).
     pub naive_passes: usize,
+    /// Per-member pipeline statistics, in input order (dispatch counts,
+    /// retries, LIMIT-cutoff skips, rows folded).
+    pub stats: Vec<QueryStats>,
 }
 
 /// The convoy scheduler over a running cluster.
@@ -70,35 +80,60 @@ impl<'q> SharedScanner<'q> {
             .collect();
         let naive_passes: usize = prepared.iter().map(|p| p.chunks.len()).sum();
 
+        // One persistent merger and stats record per convoy member.
+        let mut mergers: Vec<Merger> = prepared.iter().map(|p| Merger::new(&p.plan)).collect();
+        let mut stats: Vec<QueryStats> = prepared
+            .iter()
+            .map(|p| QueryStats {
+                used_secondary_index: p.analysis.index_ids.is_some(),
+                used_spatial_restriction: p.analysis.spatial.is_some(),
+                ..QueryStats::default()
+            })
+            .collect();
+        // Next fold sequence per member = how many of its chunks it has
+        // consumed; the ascending chunk-major walk keeps each member's
+        // own folds in order, so the reorder buffer never fills.
+        let mut next_seq: Vec<usize> = vec![0; prepared.len()];
+        let started = Instant::now();
+
         // Walk chunk-major: all queries touch chunk c while it is "hot".
         // Within a chunk the convoy members are independent physical
-        // queries, so they are dispatched from a thread pool; results are
+        // queries, so they are dispatched from a thread pool; folds are
         // reassembled by query index, keeping per-query chunk order (and
         // thus merged results) identical to sequential execution.
-        let mut parts: Vec<Vec<qserv_engine::table::Table>> =
-            (0..prepared.len()).map(|_| Vec::new()).collect();
+        let mut chunk_passes = 0usize;
         for &chunk in &union {
             // Render + tag sequentially: QID assignment stays
             // deterministic in (chunk, query) order regardless of which
-            // dispatcher thread later carries each message.
-            let jobs: Vec<(usize, String)> = prepared
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.chunks.contains(&chunk))
-                .map(|(qi, p)| {
-                    let subs = self.qserv.subchunks_for(p, chunk);
-                    let message = self.qserv.tag_message(render_chunk_message(
-                        &p.plan,
-                        self.qserv.meta(),
-                        chunk,
-                        &subs,
-                    ));
-                    (qi, message)
-                })
-                .collect();
+            // dispatcher thread later carries each message. A member
+            // whose LIMIT is already satisfied is skipped — the convoy's
+            // own LIMIT-cutoff cancellation.
+            let mut jobs: Vec<(usize, String)> = Vec::new();
+            for (qi, p) in prepared.iter().enumerate() {
+                if !p.chunks.contains(&chunk) {
+                    continue;
+                }
+                if mergers[qi].satisfied() {
+                    stats[qi].chunks_skipped_by_limit += 1;
+                    continue;
+                }
+                let subs = self.qserv.subchunks_for(p, chunk);
+                let message = self.qserv.tag_message(render_chunk_message(
+                    &p.plan,
+                    self.qserv.meta(),
+                    chunk,
+                    &subs,
+                ));
+                jobs.push((qi, message));
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            chunk_passes += 1;
 
-            type MemberOutcome = Result<(qserv_engine::table::Table, u64), QservError>;
-            let width = self.qserv.dispatch_width.max(1).min(jobs.len().max(1));
+            type MemberOutcome =
+                Result<(qserv_engine::table::Table, u64, crate::master::ChunkMeta), QservError>;
+            let width = effective_width(self.qserv.dispatch_width, jobs.len());
             let queue = Mutex::new(jobs.into_iter());
             let done: Mutex<Vec<(usize, MemberOutcome)>> = Mutex::new(Vec::new());
             crossbeam::thread::scope(|scope| {
@@ -106,7 +141,7 @@ impl<'q> SharedScanner<'q> {
                     scope.spawn(|_| loop {
                         let job = queue.lock().next();
                         let Some((qi, message)) = job else { break };
-                        let outcome = self.dispatch(chunk, &message);
+                        let outcome = self.qserv.dispatch_one(chunk, &message, started);
                         done.lock().push((qi, outcome));
                     });
                 }
@@ -116,46 +151,32 @@ impl<'q> SharedScanner<'q> {
             let mut collected = done.into_inner();
             collected.sort_by_key(|(qi, _)| *qi);
             for (qi, outcome) in collected {
-                let (table, _bytes) = outcome?;
-                parts[qi].push(table);
+                let (table, bytes, meta) = outcome?;
+                let s = &mut stats[qi];
+                s.chunks_dispatched += 1;
+                s.result_bytes += bytes;
+                if meta.attempts > 1 {
+                    s.chunks_retried += 1;
+                }
+                s.replica_failovers += meta.failovers;
+                s.injected_faults_observed += meta.injected_seen;
+                mergers[qi].fold(next_seq[qi], table)?;
+                next_seq[qi] += 1;
             }
         }
 
-        // Merge per query.
+        // Finish each member's merger.
         let mut results = Vec::with_capacity(prepared.len());
-        for (p, tables) in prepared.iter().zip(parts) {
-            let mut stats = QueryStats::default();
-            results.push(self.qserv.merge(&p.plan, tables, &mut stats)?);
+        for (qi, merger) in mergers.into_iter().enumerate() {
+            stats[qi].rows_merged = merger.rows_folded();
+            stats[qi].peak_buffered_parts = merger.peak_buffered_parts();
+            results.push(merger.finish()?);
         }
         Ok(ScanReport {
             results,
-            chunk_passes: union.len(),
+            chunk_passes,
             naive_passes,
+            stats,
         })
-    }
-
-    fn dispatch(
-        &self,
-        chunk: i32,
-        message: &str,
-    ) -> Result<(qserv_engine::table::Table, u64), QservError> {
-        use qserv_xrd::cluster::{query_path, result_path};
-        use qserv_xrd::md5_hex;
-        let cluster = self.qserv.cluster();
-        let worker = cluster.write_file(&query_path(chunk), message.as_bytes().to_vec())?;
-        let rp = result_path(&md5_hex(message.as_bytes()));
-        let payload = cluster.read_file(worker, &rp)?;
-        cluster.unlink(worker, &rp)?;
-        let text = std::str::from_utf8(&payload)
-            .map_err(|_| QservError::Fabric("result not UTF-8".to_string()))?;
-        if let Some(err) = text.strip_prefix("ERROR:") {
-            return Err(QservError::Worker {
-                chunk,
-                message: err.trim().to_string(),
-            });
-        }
-        let (_, table) =
-            qserv_engine::dump::load_dump(text).map_err(|e| QservError::Merge(e.to_string()))?;
-        Ok((table, payload.len() as u64))
     }
 }

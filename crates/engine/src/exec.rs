@@ -613,8 +613,12 @@ pub(crate) struct AggSpec {
 }
 
 /// The aggregate functions the executor implements.
+///
+/// Public because the master's incremental merger (`qserv-core`) folds
+/// partial aggregates with the same accumulators the interpreter uses —
+/// one implementation of the combine semantics, not two.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum AggKind {
+pub enum AggKind {
     CountStar,
     Count,
     Sum,
@@ -625,7 +629,7 @@ pub(crate) enum AggKind {
 
 /// A running accumulator for one aggregate in one group.
 #[derive(Clone)]
-pub(crate) enum AggAcc {
+pub enum AggAcc {
     Count(i64),
     Sum {
         int: i64,
@@ -644,7 +648,7 @@ pub(crate) enum AggAcc {
 }
 
 impl AggAcc {
-    pub(crate) fn new(kind: AggKind) -> AggAcc {
+    pub fn new(kind: AggKind) -> AggAcc {
         match kind {
             AggKind::CountStar | AggKind::Count => AggAcc::Count(0),
             AggKind::Sum => AggAcc::Sum {
@@ -665,7 +669,7 @@ impl AggAcc {
         }
     }
 
-    pub(crate) fn update(&mut self, v: Option<&Value>) {
+    pub fn update(&mut self, v: Option<&Value>) {
         match self {
             AggAcc::Count(n) => {
                 // COUNT(*) passes None (count every row); COUNT(expr)
@@ -732,7 +736,7 @@ impl AggAcc {
         }
     }
 
-    pub(crate) fn finish(&self) -> Value {
+    pub fn finish(&self) -> Value {
         match self {
             AggAcc::Count(n) => Value::Int(*n),
             AggAcc::Sum {
@@ -757,6 +761,31 @@ impl AggAcc {
                 }
             }
             AggAcc::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Like [`finish`](AggAcc::finish), but forces a Float result when
+    /// `widen` is set — the value an identical accumulator would have
+    /// produced had every Int input been widened to Float first. Sum
+    /// returns its float-side total (accumulated per input value, so
+    /// rounding matches the widened fold exactly, not `Int total as f64`);
+    /// other kinds coerce their Int result.
+    pub fn finish_widened(&self, widen: bool) -> Value {
+        if !widen {
+            return self.finish();
+        }
+        match self {
+            AggAcc::Sum { float, saw_any, .. } => {
+                if *saw_any {
+                    Value::Float(*float)
+                } else {
+                    Value::Null
+                }
+            }
+            other => match other.finish() {
+                Value::Int(x) => Value::Float(x as f64),
+                v => v,
+            },
         }
     }
 }

@@ -1,0 +1,322 @@
+//! Streaming result pipeline tests.
+//!
+//! Two layers:
+//!
+//! * property tests pinning the incremental [`Merger`] to the
+//!   collect-then-merge oracle (`merge_tables` + merge-statement
+//!   execution) over randomized chunk-result shapes — mixed Int/Float
+//!   column types per part (widening + group re-keying), NULL group
+//!   keys, empty parts, shuffled arrival order;
+//! * cluster tests: streaming and barrier modes return identical
+//!   results end-to-end, and a pushed-down `LIMIT` cancels the chunk
+//!   queue early so strictly fewer chunks are dispatched.
+
+mod common;
+
+use common::{cluster_from, small_patch};
+use proptest::prelude::*;
+use qserv::analysis::analyze;
+use qserv::rewrite::{build_plan, PhysicalPlan};
+use qserv::{merge_oracle, CatalogMeta, MergeShape, Merger};
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_sqlparse::parse_select;
+
+fn plan_for(sql: &str) -> PhysicalPlan {
+    let meta = CatalogMeta::lsst();
+    let a = analyze(&parse_select(sql).expect("parses"), &meta).expect("analyzes");
+    build_plan(&a, &meta).expect("plans")
+}
+
+/// splitmix64 — deterministic value generation inside a property case.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// What a generated column holds; `key` uses a tiny value range so that
+/// groups collide across parts.
+#[derive(Clone, Copy)]
+enum Kind {
+    Key,
+    Num,
+}
+
+/// Generates one chunk-result part: each column independently picks Int
+/// or Float typing (exercising the merge-time widening vote and Fold's
+/// group re-keying), with NULLs sprinkled in.
+fn gen_part(rng: &mut Rng, cols: &[(&str, Kind)], rows: usize, force_int: bool) -> Table {
+    let tys: Vec<ColumnType> = cols
+        .iter()
+        .map(|_| {
+            if force_int || rng.below(2) == 0 {
+                ColumnType::Int
+            } else {
+                ColumnType::Float
+            }
+        })
+        .collect();
+    let schema = Schema::new(
+        cols.iter()
+            .zip(&tys)
+            .map(|((n, _), t)| ColumnDef::new(n, *t))
+            .collect(),
+    );
+    let mut t = Table::new(schema);
+    for _ in 0..rows {
+        let row: Vec<Value> = cols
+            .iter()
+            .zip(&tys)
+            .map(|((_, kind), ty)| {
+                if rng.below(8) == 0 {
+                    return Value::Null;
+                }
+                let v = match kind {
+                    Kind::Key => rng.below(4) as i64,
+                    Kind::Num => rng.below(200) as i64 - 100,
+                };
+                match ty {
+                    ColumnType::Int => Value::Int(v),
+                    ColumnType::Float => Value::Float(v as f64 * 0.5),
+                    ColumnType::Str => unreachable!("numeric columns only"),
+                }
+            })
+            .collect();
+        t.push_row(row).expect("row matches generated schema");
+    }
+    t
+}
+
+/// Streams `parts` through a fresh [`Merger`] in a seeded shuffle of the
+/// arrival order (sequence numbers still identify chunk order) and
+/// checks the result against the barrier oracle over the same parts.
+fn assert_streaming_matches_oracle(plan: &PhysicalPlan, parts: Vec<Table>, rng: &mut Rng) {
+    let oracle = merge_oracle(&plan.merge_stmt, parts.clone());
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let mut parts: Vec<Option<Table>> = parts.into_iter().map(Some).collect();
+    let mut merger = Merger::new(plan);
+    let mut stream_err = None;
+    for seq in order {
+        let part = parts[seq].take().expect("each seq folds once");
+        if let Err(e) = merger.fold(seq, part) {
+            stream_err = Some(e);
+            break;
+        }
+    }
+    match (oracle, stream_err) {
+        (Ok((expect, _)), None) => {
+            let got = merger.finish().expect("streaming finish");
+            assert_eq!(got, expect, "streaming diverged from oracle");
+        }
+        (Err(expect), Some(got)) => assert_eq!(expect.to_string(), got.to_string()),
+        (Err(expect), None) => {
+            let got = merger
+                .finish()
+                .expect_err("oracle errored; streaming must too");
+            assert_eq!(expect.to_string(), got.to_string());
+        }
+        (Ok(_), Some(got)) => panic!("streaming errored where oracle succeeded: {got}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GROUP BY fold: running per-group accumulators, NULL keys,
+    /// Int→Float key flips mid-stream.
+    #[test]
+    fn fold_group_by_matches_oracle(seed in 0u64..u64::MAX / 2, nparts in 1usize..7) {
+        let plan = plan_for(
+            "SELECT chunkId, COUNT(*), SUM(ra_PS), AVG(decl_PS), \
+             MIN(ra_PS), MAX(ra_PS) FROM Object GROUP BY chunkId",
+        );
+        prop_assert!(matches!(plan.shape, MergeShape::Fold { .. }));
+        let cols: Vec<(&str, Kind)> = vec![
+            ("chunkId", Kind::Key),
+            ("COUNT(*)", Kind::Num),
+            ("SUM(ra_PS)", Kind::Num),
+            ("SUM(decl_PS)", Kind::Num),
+            ("COUNT(decl_PS)", Kind::Num),
+            ("MIN(ra_PS)", Kind::Num),
+            ("MAX(ra_PS)", Kind::Num),
+        ];
+        let mut rng = Rng(seed);
+        let parts = (0..nparts)
+            .map(|_| {
+                let rows = rng.below(5) as usize;
+                gen_part(&mut rng, &cols, rows, false)
+            })
+            .collect();
+        assert_streaming_matches_oracle(&plan, parts, &mut rng);
+    }
+
+    /// Global aggregation (no GROUP BY) folds to a single row.
+    #[test]
+    fn fold_global_agg_matches_oracle(seed in 0u64..u64::MAX / 2, nparts in 1usize..7) {
+        let plan = plan_for(
+            "SELECT COUNT(*), SUM(ra_PS), AVG(ra_PS), MIN(decl_PS), MAX(decl_PS) FROM Object",
+        );
+        prop_assert!(matches!(plan.shape, MergeShape::Fold { .. }));
+        let cols: Vec<(&str, Kind)> = vec![
+            ("COUNT(*)", Kind::Num),
+            ("SUM(ra_PS)", Kind::Num),
+            ("COUNT(ra_PS)", Kind::Num),
+            ("MIN(decl_PS)", Kind::Num),
+            ("MAX(decl_PS)", Kind::Num),
+        ];
+        let mut rng = Rng(seed);
+        let parts = (0..nparts)
+            .map(|_| {
+                let rows = rng.below(4) as usize;
+                gen_part(&mut rng, &cols, rows, false)
+            })
+            .collect();
+        assert_streaming_matches_oracle(&plan, parts, &mut rng);
+    }
+
+    /// Plain append (no aggregation, no ORDER BY, no LIMIT).
+    #[test]
+    fn append_matches_oracle(seed in 0u64..u64::MAX / 2, nparts in 1usize..7) {
+        let plan = plan_for("SELECT objectId, ra_PS FROM Object");
+        prop_assert_eq!(&plan.shape, &MergeShape::Append { cutoff: None });
+        let cols: Vec<(&str, Kind)> = vec![("objectId", Kind::Num), ("ra_PS", Kind::Num)];
+        let mut rng = Rng(seed);
+        let parts = (0..nparts)
+            .map(|_| {
+                let rows = rng.below(5) as usize;
+                gen_part(&mut rng, &cols, rows, false)
+            })
+            .collect();
+        assert_streaming_matches_oracle(&plan, parts, &mut rng);
+    }
+
+    /// Append with a pushed-down LIMIT: the merger may stop early, so
+    /// parts are kept type-stable (the real pipeline's worker results
+    /// are type-stable by construction; see the concession note in
+    /// `merge.rs`).
+    #[test]
+    fn append_limit_cutoff_matches_oracle(seed in 0u64..u64::MAX / 2, nparts in 1usize..7) {
+        let plan = plan_for("SELECT objectId FROM Object LIMIT 6");
+        prop_assert_eq!(&plan.shape, &MergeShape::Append { cutoff: Some(6) });
+        let cols: Vec<(&str, Kind)> = vec![("objectId", Kind::Num)];
+        let mut rng = Rng(seed);
+        let parts = (0..nparts)
+            .map(|_| {
+                let rows = rng.below(5) as usize;
+                gen_part(&mut rng, &cols, rows, true)
+            })
+            .collect();
+        assert_streaming_matches_oracle(&plan, parts, &mut rng);
+    }
+
+    /// ORDER BY … LIMIT keeps a bounded top-n candidate set whose final
+    /// contents (including tie-breaking by arrival order) must match the
+    /// oracle's stable sort over the full concatenation.
+    #[test]
+    fn topn_matches_oracle(seed in 0u64..u64::MAX / 2, nparts in 1usize..7) {
+        let plan = plan_for(
+            "SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC, objectId LIMIT 4",
+        );
+        prop_assert_eq!(&plan.shape, &MergeShape::TopN { n: 4 });
+        let cols: Vec<(&str, Kind)> = vec![("objectId", Kind::Key), ("ra_PS", Kind::Key)];
+        let mut rng = Rng(seed);
+        let parts = (0..nparts)
+            .map(|_| {
+                let rows = rng.below(6) as usize;
+                gen_part(&mut rng, &cols, rows, false)
+            })
+            .collect();
+        assert_streaming_matches_oracle(&plan, parts, &mut rng);
+    }
+}
+
+/// Streaming and barrier modes agree end-to-end on a live cluster.
+#[test]
+fn streaming_and_barrier_agree_on_cluster() {
+    let patch = small_patch(500, 91);
+    let mut q = cluster_from(&patch, 3);
+    for sql in [
+        "SELECT COUNT(*) FROM Object",
+        "SELECT chunkId, COUNT(*), AVG(ra_PS) FROM Object GROUP BY chunkId",
+        "SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC LIMIT 7",
+        "SELECT objectId FROM Object WHERE decl_PS < 0.0",
+        "SELECT MIN(ra_PS), MAX(ra_PS), SUM(uFlux_SG) FROM Object",
+    ] {
+        q.streaming_merge = true;
+        let streamed = q.query(sql).expect("streaming query");
+        q.streaming_merge = false;
+        let barrier = q.query(sql).expect("barrier query");
+        assert_eq!(streamed, barrier, "modes disagree for {sql}");
+    }
+    q.streaming_merge = true;
+}
+
+/// A pushed-down LIMIT with no ORDER BY cancels the chunk queue: the
+/// master dispatches strictly fewer chunks than the query's chunk set,
+/// and accounts for the rest in `chunks_skipped_by_limit`.
+#[test]
+fn limit_cutoff_dispatches_fewer_chunks() {
+    let patch = small_patch(600, 42);
+    let mut q = cluster_from(&patch, 4);
+    // Serialize dispatch so the cutoff fires before the queue drains.
+    q.dispatch_width = 1;
+    let sql = "SELECT objectId FROM Object LIMIT 2";
+    let chunk_set = q.explain(sql).expect("explain").chunks.len();
+    assert!(chunk_set > 1, "need a multi-chunk query for a cutoff test");
+    let (result, stats) = q.query_with_stats(sql).expect("limited query");
+    assert_eq!(result.rows.len(), 2);
+    assert!(
+        stats.chunks_dispatched < chunk_set,
+        "LIMIT cutoff did not cancel the queue: dispatched {} of {chunk_set}",
+        stats.chunks_dispatched
+    );
+    assert!(stats.chunks_skipped_by_limit >= 1);
+    assert_eq!(
+        stats.chunks_dispatched + stats.chunks_skipped_by_limit,
+        chunk_set
+    );
+}
+
+/// The cutoff also fires inside a shared-scan convoy: a satisfied member
+/// stops receiving dispatches while other members keep scanning.
+#[test]
+fn convoy_member_limit_cutoff() {
+    let patch = small_patch(600, 42);
+    let q = cluster_from(&patch, 4);
+    let scanner = qserv::sharedscan::SharedScanner::new(&q);
+    let report = scanner
+        .run(&[
+            "SELECT objectId FROM Object LIMIT 1",
+            "SELECT COUNT(*) FROM Object",
+        ])
+        .expect("convoy");
+    assert_eq!(report.results[0].rows.len(), 1);
+    let limited = &report.stats[0];
+    let full = &report.stats[1];
+    assert!(
+        limited.chunks_skipped_by_limit >= 1,
+        "member cutoff never fired"
+    );
+    assert_eq!(
+        limited.chunks_dispatched + limited.chunks_skipped_by_limit,
+        full.chunks_dispatched,
+        "every chunk is either dispatched or skipped for the limited member"
+    );
+    // The convoy still visits every chunk for the unconstrained member.
+    assert_eq!(report.chunk_passes, q.placement().chunks().len());
+}
