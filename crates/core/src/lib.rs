@@ -56,11 +56,12 @@ pub mod meta;
 pub mod multimaster;
 pub mod rewrite;
 pub mod sharedscan;
+pub mod stats;
 pub mod worker;
 
 pub use error::QservError;
 pub use loader::ClusterBuilder;
-pub use master::{Qserv, QueryStats, RetryPolicy};
+pub use master::{Qserv, QueryStats, RetryPolicy, TracedQuery};
 pub use merge::{merge_oracle, merge_tables, Merger};
 pub use meta::CatalogMeta;
 pub use multimaster::MasterPool;
@@ -70,6 +71,14 @@ pub use rewrite::{ColumnRole, MergeShape};
 // (`ClusterBuilder::fault_plan`), inspect what fired via
 // `qserv.cluster().faults().stats()`.
 pub use qserv_xrd::fault::{FabricOp, FaultPlan, FaultStats};
+
+// Observability surface (qserv-obs): the injectable clock every layer
+// waits on, the trace-tree type `query_traced` returns, and the metrics
+// snapshot `QueryStats` is a view of.
+pub use qserv_obs::trace;
+pub use qserv_obs::{
+    wall_clock, Clock, MetricsRegistry, MetricsSnapshot, SharedClock, Trace, VirtualClock,
+};
 
 // Re-export the pieces users need to drive the public API.
 pub use qserv_engine::exec::ResultTable;

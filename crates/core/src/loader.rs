@@ -19,6 +19,7 @@ use qserv_datagen::generate::{ObjectRow, SourceRow};
 use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
 use qserv_engine::table::Table;
 use qserv_engine::value::Value;
+use qserv_obs::clock::SharedClock;
 use qserv_partition::chunker::Chunker;
 use qserv_partition::index::SecondaryIndex;
 use qserv_partition::placement::{Placement, PlacementStrategy};
@@ -102,6 +103,7 @@ pub struct ClusterBuilder {
     cache_subchunks: bool,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    clock: Option<SharedClock>,
 }
 
 impl ClusterBuilder {
@@ -119,6 +121,7 @@ impl ClusterBuilder {
             cache_subchunks: false,
             faults: None,
             retry: RetryPolicy::default(),
+            clock: None,
         }
     }
 
@@ -158,6 +161,15 @@ impl ClusterBuilder {
     /// Sets the master's chunk-dispatch retry policy.
     pub fn retry(mut self, retry: RetryPolicy) -> ClusterBuilder {
         self.retry = retry;
+        self
+    }
+
+    /// Injects the clock the master (deadlines, backoff, trace
+    /// timestamps) and the fault plan (delay faults) wait through.
+    /// Pass a [`qserv_obs::VirtualClock`] to make chaos runs advance
+    /// virtual time instead of sleeping.
+    pub fn clock(mut self, clock: SharedClock) -> ClusterBuilder {
+        self.clock = Some(clock);
         self
     }
 
@@ -286,6 +298,9 @@ impl ClusterBuilder {
             workers,
         );
         qserv.retry = self.retry;
+        if let Some(clock) = self.clock {
+            qserv.set_clock(clock);
+        }
         qserv
     }
 }

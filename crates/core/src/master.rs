@@ -12,12 +12,17 @@ use crate::error::QservError;
 use crate::merge::{merge_oracle, Merger};
 use crate::meta::CatalogMeta;
 use crate::rewrite::{build_plan, render_chunk_message, PhysicalPlan};
+use crate::stats::QueryMetrics;
+pub use crate::stats::QueryStats;
 use crate::worker::Worker;
 use parking_lot::Mutex;
 use qserv_engine::db::Database;
 use qserv_engine::dump::load_dump;
 use qserv_engine::exec::{execute, ResultTable};
 use qserv_engine::table::Table;
+use qserv_obs::clock::{wall_clock, SharedClock};
+use qserv_obs::trace;
+use qserv_obs::{MetricsSnapshot, Trace};
 use qserv_partition::chunker::Chunker;
 use qserv_partition::index::SecondaryIndex;
 use qserv_partition::placement::Placement;
@@ -28,7 +33,7 @@ use qserv_xrd::md5_hex;
 use qserv_xrd::server::ServerId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Clamps the configured dispatcher-pool width to something sane for a
 /// given job count: at least one thread, never more threads than jobs.
@@ -37,50 +42,16 @@ pub(crate) fn effective_width(configured: usize, jobs: usize) -> usize {
     configured.max(1).min(jobs.max(1))
 }
 
-/// Per-query execution statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct QueryStats {
-    /// Chunk queries dispatched.
-    pub chunks_dispatched: usize,
-    /// Rows accumulated into the master's merge table.
-    pub rows_merged: usize,
-    /// Bytes of result text transferred from workers.
-    pub result_bytes: u64,
-    /// True when the secondary index restricted the chunk set (§5.5).
-    pub used_secondary_index: bool,
-    /// True when the spatial restriction narrowed the chunk set (§5.3).
-    pub used_spatial_restriction: bool,
-    /// Chunks that needed more than one dispatch attempt.
-    pub chunks_retried: usize,
-    /// Retry attempts that landed on a different replica than the
-    /// attempt before them.
-    pub replica_failovers: usize,
-    /// Injected fabric faults ([`XrdError::Injected`]) this query ran
-    /// into (and retried past, when it succeeded).
-    pub injected_faults_observed: u64,
-    /// Chunks the streaming pipeline never dispatched because a
-    /// pushed-down LIMIT was already satisfied (LIMIT-cutoff
-    /// cancellation).
-    pub chunks_skipped_by_limit: usize,
-    /// High-water mark of chunk results held materialized at once by the
-    /// merger (reorder buffer + any barrier buffering). The barrier path
-    /// reports the full part count here.
-    pub peak_buffered_parts: usize,
-    /// Wall-clock span (ms) from the first incremental fold to the last
-    /// part arrival — the window in which merging overlapped dispatch.
-    /// Zero on the barrier path, which merges only after dispatch ends.
-    pub merge_overlap_ms: u64,
-}
-
 /// How the master retries chunk dispatch over an unreliable fabric.
 ///
 /// Transient errors (injected faults, offline servers, unresolvable
 /// paths, corrupt payloads) are retried with exponential backoff, each
 /// retry steering away from the replicas that already failed (the
 /// redirector excludes them); permanent errors (worker SQL failures,
-/// unknown chunks) abort immediately. An optional per-query wall-clock
-/// deadline turns a stuck query into [`QservError::Timeout`] instead of
-/// an unbounded wait.
+/// unknown chunks) abort immediately. An optional per-query deadline
+/// (measured on the master's injected [`Clock`](qserv_obs::Clock), so
+/// virtual under test) turns a stuck query into [`QservError::Timeout`]
+/// instead of an unbounded wait.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Dispatch attempts per chunk (≥ 1; the first attempt counts).
@@ -119,7 +90,21 @@ pub(crate) struct ChunkMeta {
     pub(crate) attempts: usize,
     pub(crate) failovers: usize,
     pub(crate) injected_seen: u64,
+    /// Clock time the whole chunk dispatch took, retries included.
+    pub(crate) latency: Duration,
     prev_server: Option<ServerId>,
+}
+
+/// Folds one completed chunk's outcome into the query's instruments.
+pub(crate) fn record_chunk(qm: &QueryMetrics, bytes: u64, meta: &ChunkMeta) {
+    qm.result_bytes.add(bytes);
+    if meta.attempts > 1 {
+        qm.chunks_retried.inc();
+    }
+    qm.replica_failovers.add(meta.failovers as u64);
+    qm.injected_faults_observed.add(meta.injected_seen);
+    qm.chunk_attempts.record(meta.attempts as u64);
+    qm.chunk_latency_ns.record(meta.latency.as_nanos() as u64);
 }
 
 /// Outcome of a single dispatch attempt.
@@ -176,6 +161,21 @@ pub struct Explain {
     pub sample_message: Option<String>,
 }
 
+/// Everything [`Qserv::query_traced`] hands back: rows, the classic
+/// stats view, the full metrics snapshot behind it, and the span tree.
+#[derive(Debug)]
+pub struct TracedQuery {
+    /// The merged result rows.
+    pub rows: ResultTable,
+    /// The classic per-query stats view.
+    pub stats: QueryStats,
+    /// The full per-query metrics snapshot (includes histograms the
+    /// stats view does not surface, e.g. per-chunk dispatch latency).
+    pub metrics: MetricsSnapshot,
+    /// The span tree; export with [`Trace::to_json`].
+    pub trace: Trace,
+}
+
 /// The running system: fabric + workers + frontend state.
 pub struct Qserv {
     cluster: XrdCluster,
@@ -184,6 +184,9 @@ pub struct Qserv {
     placement: Placement,
     secondary: SecondaryIndex,
     workers: Vec<Arc<Worker>>,
+    /// The clock dispatch deadlines, retry backoff, and traces read.
+    /// Wall by default; [`Qserv::set_clock`] swaps in a virtual one.
+    clock: SharedClock,
     /// Dispatcher thread-pool width.
     pub dispatch_width: usize,
     /// Chunk-dispatch retry behavior.
@@ -228,6 +231,7 @@ impl Qserv {
             placement,
             secondary,
             workers,
+            clock: wall_clock(),
             dispatch_width: 8,
             retry: RetryPolicy::default(),
             streaming_merge: true,
@@ -254,6 +258,7 @@ impl Qserv {
             placement: self.placement.clone(),
             secondary: self.secondary.clone(),
             workers: self.workers.clone(),
+            clock: self.clock.clone(),
             dispatch_width: self.dispatch_width,
             retry: self.retry.clone(),
             streaming_merge: self.streaming_merge,
@@ -286,6 +291,19 @@ impl Qserv {
         &self.placement
     }
 
+    /// The clock dispatch waits on and traces are stamped with.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Swaps the master's clock — and the fabric fault plan's, so
+    /// injected delay faults wait through the same (possibly virtual)
+    /// time source as dispatch deadlines and backoff.
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.cluster.faults().set_clock(clock.clone());
+        self.clock = clock;
+    }
+
     /// Executes a query, returning just the rows.
     pub fn query(&self, sql: &str) -> Result<ResultTable, QservError> {
         self.query_with_stats(sql).map(|(r, _)| r)
@@ -293,26 +311,66 @@ impl Qserv {
 
     /// Executes a query, returning rows plus execution statistics.
     pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
+        let (rows, qm) = self.query_inner(sql)?;
+        Ok((rows, qm.stats()))
+    }
+
+    /// Executes a query under a fresh [`Trace`]: every layer it crosses —
+    /// analysis, per-chunk dispatch attempts, fabric ops, worker
+    /// statement execution, merge folds — records spans into the
+    /// returned tree, stamped by the master's clock.
+    pub fn query_traced(&self, sql: &str) -> Result<TracedQuery, QservError> {
+        let trace = Trace::new(self.clock.clone());
+        let outcome = {
+            let root = trace::with_root(&trace, "query");
+            root.annotate("sql", sql);
+            self.query_inner(sql)
+        };
+        let (rows, qm) = outcome?;
+        Ok(TracedQuery {
+            rows,
+            stats: qm.stats(),
+            metrics: qm.snapshot(),
+            trace,
+        })
+    }
+
+    /// The shared pipeline behind [`Qserv::query_with_stats`] and
+    /// [`Qserv::query_traced`]: runs the query, updating per-query
+    /// instruments (and trace spans, when a trace is active).
+    fn query_inner(&self, sql: &str) -> Result<(ResultTable, QueryMetrics), QservError> {
+        let qm = QueryMetrics::new();
+        let _q = trace::span("master.query");
         let stmt = parse_select(sql)?;
         // FROM-less statements run locally on the frontend.
         if stmt.from.is_empty() {
             let local = execute(&Database::new(), &stmt)?;
-            return Ok((local, QueryStats::default()));
+            return Ok((local, qm));
         }
-        let prepared = self.prepare_stmt(&stmt)?;
-        let mut stats = QueryStats {
-            used_secondary_index: prepared.analysis.index_ids.is_some(),
-            used_spatial_restriction: prepared.analysis.spatial.is_some(),
-            ..QueryStats::default()
+        let prepared = {
+            let g = trace::span("master.analyze");
+            let prepared = self.prepare_stmt(&stmt)?;
+            if let Some(g) = &g {
+                g.annotate("chunks", &prepared.chunks.len().to_string());
+                g.annotate("join", &format!("{:?}", prepared.plan.join));
+            }
+            prepared
         };
-        let result = if self.streaming_merge {
-            self.dispatch_streaming(&prepared, &mut stats)?
-        } else {
-            stats.chunks_dispatched = prepared.chunks.len();
-            let parts = self.dispatch_all(&prepared, &mut stats)?;
-            self.merge(&prepared.plan, parts, &mut stats)?
+        qm.used_secondary_index
+            .set(prepared.analysis.index_ids.is_some() as u64);
+        qm.used_spatial_restriction
+            .set(prepared.analysis.spatial.is_some() as u64);
+        let result = {
+            let _d = trace::span("master.dispatch");
+            if self.streaming_merge {
+                self.dispatch_streaming(&prepared, &qm)?
+            } else {
+                qm.chunks_dispatched.add(prepared.chunks.len() as u64);
+                let parts = self.dispatch_all(&prepared, &qm)?;
+                self.merge(&prepared.plan, parts, &qm)?
+            }
         };
-        Ok((result, stats))
+        Ok((result, qm))
     }
 
     /// Plans a query without executing it.
@@ -393,7 +451,7 @@ impl Qserv {
     fn dispatch_all(
         &self,
         prepared: &Prepared,
-        stats: &mut QueryStats,
+        qm: &QueryMetrics,
     ) -> Result<Vec<Table>, QservError> {
         let jobs: Vec<(i32, String)> = prepared
             .chunks
@@ -414,15 +472,21 @@ impl Qserv {
         let results: Mutex<Vec<(i32, ChunkOutcome)>> =
             Mutex::new(Vec::with_capacity(prepared.chunks.len()));
         let width = effective_width(self.dispatch_width, prepared.chunks.len());
-        let started = Instant::now();
+        let started = self.clock.now();
+        // Dispatcher threads parent their chunk spans under the span
+        // current here (master.dispatch) — explicit cross-thread handoff.
+        let ctx = trace::current();
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..width {
-                scope.spawn(|_| loop {
-                    let job = queue.lock().next();
-                    let Some((chunk, message)) = job else { break };
-                    let outcome = self.dispatch_one(chunk, &message, started);
-                    results.lock().push((chunk, outcome));
+                scope.spawn(|_| {
+                    let _tg = ctx.as_ref().map(|c| c.enter());
+                    loop {
+                        let job = queue.lock().next();
+                        let Some((chunk, message)) = job else { break };
+                        let outcome = self.dispatch_one(chunk, &message, started);
+                        results.lock().push((chunk, outcome));
+                    }
                 });
             }
         })
@@ -433,12 +497,7 @@ impl Qserv {
         let mut tables = Vec::with_capacity(collected.len());
         for (_, outcome) in collected {
             let (table, bytes, meta) = outcome?;
-            stats.result_bytes += bytes;
-            if meta.attempts > 1 {
-                stats.chunks_retried += 1;
-            }
-            stats.replica_failovers += meta.failovers;
-            stats.injected_faults_observed += meta.injected_seen;
+            record_chunk(qm, bytes, &meta);
             tables.push(table);
         }
         Ok(tables)
@@ -455,7 +514,7 @@ impl Qserv {
     fn dispatch_streaming(
         &self,
         prepared: &Prepared,
-        stats: &mut QueryStats,
+        qm: &QueryMetrics,
     ) -> Result<ResultTable, QservError> {
         let jobs: Vec<(usize, i32, String)> = prepared
             .chunks
@@ -472,9 +531,7 @@ impl Qserv {
             .collect();
         let total = jobs.len();
         let width = effective_width(self.dispatch_width, total);
-        let queue = Mutex::new(jobs.into_iter());
-        let cancelled = AtomicBool::new(false);
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut merger = Merger::new(&prepared.plan);
         let mut dispatched = 0usize;
         // Error selection must not depend on thread scheduling: keep the
@@ -486,10 +543,67 @@ impl Qserv {
         // chunk than the first dispatch failure.
         let mut dispatch_err: Option<(usize, QservError)> = None;
         let mut fold_err: Option<QservError> = None;
-        let mut first_fold: Option<Instant> = None;
-        let mut last_arrival: Option<Instant> = None;
+        let mut first_fold: Option<Duration> = None;
+        let mut last_arrival: Option<Duration> = None;
 
         type ChunkOutcome = Result<(Table, u64, ChunkMeta), QservError>;
+
+        if width == 1 {
+            // Fully serial streaming: dispatch and fold interleave on
+            // this thread, with chunk n+1 never leaving the master until
+            // chunk n's result has folded. Semantically the same as one
+            // dispatcher thread, but with no scheduling nondeterminism —
+            // under a virtual clock and a fixed fault seed the entire
+            // trace is a pure function of the query (bit-reproducible).
+            let mut stop = false;
+            for (seq, chunk, message) in jobs {
+                dispatched += 1;
+                let outcome = self.dispatch_one(chunk, &message, started);
+                last_arrival = Some(self.clock.now());
+                match outcome {
+                    Ok((table, bytes, meta)) => {
+                        record_chunk(qm, bytes, &meta);
+                        if fold_err.is_none() && !merger.satisfied() {
+                            if first_fold.is_none() {
+                                first_fold = Some(self.clock.now());
+                            }
+                            let g = trace::span("merge.fold");
+                            if let Some(g) = &g {
+                                g.annotate("seq", &seq.to_string());
+                            }
+                            match merger.fold(seq, table) {
+                                Ok(()) => stop = merger.satisfied(),
+                                Err(e) => {
+                                    fold_err = Some(e);
+                                    stop = true;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        dispatch_err = Some((seq, e));
+                        stop = true;
+                    }
+                }
+                if stop {
+                    break;
+                }
+            }
+            return self.finish_streaming(
+                qm,
+                merger,
+                total,
+                dispatched,
+                dispatch_err,
+                fold_err,
+                first_fold,
+                last_arrival,
+            );
+        }
+
+        let queue = Mutex::new(jobs.into_iter());
+        let cancelled = AtomicBool::new(false);
+        let ctx = trace::current();
         // Rendezvous handoff: a worker's send completes only when the
         // merge loop takes the part, so at most `width` results are ever
         // in flight (bounded master memory) and a LIMIT-cutoff
@@ -499,22 +613,26 @@ impl Qserv {
         crossbeam::thread::scope(|scope| {
             let queue = &queue;
             let cancelled = &cancelled;
+            let ctx = &ctx;
             for _ in 0..width {
                 let tx = tx.clone();
-                scope.spawn(move |_| loop {
-                    // Cancellation is checked between jobs: an in-flight
-                    // chunk finishes (and is drained below) but nothing
-                    // new leaves the queue.
-                    if cancelled.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let job = queue.lock().next();
-                    let Some((seq, chunk, message)) = job else {
-                        break;
-                    };
-                    let outcome = self.dispatch_one(chunk, &message, started);
-                    if tx.send((seq, outcome)).is_err() {
-                        break;
+                scope.spawn(move |_| {
+                    let _tg = ctx.as_ref().map(|c| c.enter());
+                    loop {
+                        // Cancellation is checked between jobs: an
+                        // in-flight chunk finishes (and is drained below)
+                        // but nothing new leaves the queue.
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let job = queue.lock().next();
+                        let Some((seq, chunk, message)) = job else {
+                            break;
+                        };
+                        let outcome = self.dispatch_one(chunk, &message, started);
+                        if tx.send((seq, outcome)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -524,18 +642,17 @@ impl Qserv {
             // it deterministic regardless of arrival order.
             while let Ok((seq, outcome)) = rx.recv() {
                 dispatched += 1;
-                last_arrival = Some(Instant::now());
+                last_arrival = Some(self.clock.now());
                 match outcome {
                     Ok((table, bytes, meta)) => {
-                        stats.result_bytes += bytes;
-                        if meta.attempts > 1 {
-                            stats.chunks_retried += 1;
-                        }
-                        stats.replica_failovers += meta.failovers;
-                        stats.injected_faults_observed += meta.injected_seen;
+                        record_chunk(qm, bytes, &meta);
                         if fold_err.is_none() && !merger.satisfied() {
                             if first_fold.is_none() {
-                                first_fold = Some(Instant::now());
+                                first_fold = Some(self.clock.now());
+                            }
+                            let g = trace::span("merge.fold");
+                            if let Some(g) = &g {
+                                g.annotate("seq", &seq.to_string());
                             }
                             match merger.fold(seq, table) {
                                 Ok(()) => {
@@ -561,33 +678,96 @@ impl Qserv {
         })
         .map_err(|_| QservError::Fabric("dispatcher thread panicked".to_string()))?;
 
-        stats.chunks_dispatched = dispatched;
+        self.finish_streaming(
+            qm,
+            merger,
+            total,
+            dispatched,
+            dispatch_err,
+            fold_err,
+            first_fold,
+            last_arrival,
+        )
+    }
+
+    /// Epilogue shared by the serial and threaded streaming paths:
+    /// surface errors in deterministic preference order, settle the
+    /// pipeline metrics, and finish the merge under its own span.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_streaming(
+        &self,
+        qm: &QueryMetrics,
+        merger: Merger,
+        total: usize,
+        dispatched: usize,
+        dispatch_err: Option<(usize, QservError)>,
+        fold_err: Option<QservError>,
+        first_fold: Option<Duration>,
+        last_arrival: Option<Duration>,
+    ) -> Result<ResultTable, QservError> {
+        qm.chunks_dispatched.add(dispatched as u64);
         if let Some(e) = fold_err {
             return Err(e);
         }
         if let Some((_, e)) = dispatch_err {
             return Err(e);
         }
-        stats.chunks_skipped_by_limit = total - dispatched;
-        stats.peak_buffered_parts = merger.peak_buffered_parts();
-        stats.rows_merged = merger.rows_folded();
-        stats.merge_overlap_ms = match (first_fold, last_arrival) {
-            (Some(f), Some(l)) => l.saturating_duration_since(f).as_millis() as u64,
-            _ => 0,
-        };
-        merger.finish()
+        qm.chunks_skipped_by_limit.add((total - dispatched) as u64);
+        qm.peak_buffered_parts
+            .set_max(merger.peak_buffered_parts() as u64);
+        qm.rows_merged.set(merger.rows_folded() as u64);
+        if let (Some(f), Some(l)) = (first_fold, last_arrival) {
+            qm.merge_overlap_ms
+                .set(l.saturating_sub(f).as_millis() as u64);
+        }
+        let g = trace::span("merge.finish");
+        let result = merger.finish();
+        if let (Some(g), Ok(r)) = (&g, &result) {
+            g.annotate("rows", &r.rows.len().to_string());
+        }
+        result
     }
 
     /// Dispatches one chunk with bounded retry: transient fabric errors
     /// back off exponentially and steer the next attempt away from the
     /// replicas that failed; the query-wide deadline turns a stuck chunk
-    /// into [`QservError::Timeout`]. Shared with the shared-scan
-    /// scheduler so convoy dispatch gets the same retry semantics.
+    /// into [`QservError::Timeout`]. Backoff and the deadline both run on
+    /// the master's clock (virtual under test: no real sleeping). Shared
+    /// with the shared-scan scheduler so convoy dispatch gets the same
+    /// retry semantics. `started` is the clock time the dispatch phase
+    /// began.
     pub(crate) fn dispatch_one(
         &self,
         chunk: i32,
         message: &str,
-        started: Instant,
+        started: Duration,
+    ) -> Result<(Table, u64, ChunkMeta), QservError> {
+        let span = trace::span("chunk");
+        if let Some(g) = &span {
+            g.annotate("chunk", &chunk.to_string());
+        }
+        let t0 = self.clock.now();
+        let result = self.dispatch_one_retrying(chunk, message, started);
+        match (&span, &result) {
+            (Some(g), Ok((_, bytes, meta))) => {
+                g.annotate("attempts", &meta.attempts.to_string());
+                g.annotate("bytes", &bytes.to_string());
+            }
+            (Some(g), Err(e)) => g.annotate("error", &e.to_string()),
+            _ => {}
+        }
+        result.map(|(table, bytes, mut meta)| {
+            meta.latency = self.clock.now().saturating_sub(t0);
+            (table, bytes, meta)
+        })
+    }
+
+    /// The retry loop behind [`Qserv::dispatch_one`].
+    fn dispatch_one_retrying(
+        &self,
+        chunk: i32,
+        message: &str,
+        started: Duration,
     ) -> Result<(Table, u64, ChunkMeta), QservError> {
         let policy = &self.retry;
         let max_attempts = policy.max_attempts.max(1);
@@ -601,14 +781,15 @@ impl Qserv {
                     .backoff_base
                     .saturating_mul(1u32 << (attempt - 1).min(16) as u32);
                 if let Some(deadline) = policy.deadline {
-                    backoff = backoff.min(deadline.saturating_sub(started.elapsed()));
+                    let elapsed = self.clock.now().saturating_sub(started);
+                    backoff = backoff.min(deadline.saturating_sub(elapsed));
                 }
                 if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
+                    self.clock.sleep(backoff);
                 }
             }
             if let Some(deadline) = policy.deadline {
-                let elapsed = started.elapsed();
+                let elapsed = self.clock.now().saturating_sub(started);
                 if elapsed >= deadline {
                     return Err(QservError::Timeout {
                         chunk,
@@ -616,9 +797,19 @@ impl Qserv {
                     });
                 }
             }
+            let attempt_span = trace::span("attempt");
+            if let Some(g) = &attempt_span {
+                g.annotate("n", &(attempt + 1).to_string());
+                if !excluded.is_empty() {
+                    g.annotate("excluded", &format!("{excluded:?}"));
+                }
+            }
             match self.dispatch_once(chunk, message, &excluded, &mut meta) {
                 Attempt::Ok(table, bytes) => {
                     meta.attempts = attempt + 1;
+                    if let Some(g) = &attempt_span {
+                        g.annotate("outcome", "ok");
+                    }
                     return Ok((table, bytes, meta));
                 }
                 Attempt::Retry {
@@ -627,6 +818,10 @@ impl Qserv {
                     reset_exclusions,
                     error,
                 } => {
+                    if let Some(g) = &attempt_span {
+                        g.annotate("outcome", "retry");
+                        g.annotate("error", &error.to_string());
+                    }
                     if injected {
                         meta.injected_seen += 1;
                     }
@@ -649,7 +844,12 @@ impl Qserv {
                     }
                     last_err = error;
                 }
-                Attempt::Fatal(e) => return Err(e),
+                Attempt::Fatal(e) => {
+                    if let Some(g) = &attempt_span {
+                        g.annotate("outcome", "fatal");
+                    }
+                    return Err(e);
+                }
             }
         }
         Err(last_err)
@@ -743,11 +943,15 @@ impl Qserv {
         &self,
         plan: &PhysicalPlan,
         parts: Vec<Table>,
-        stats: &mut QueryStats,
+        qm: &QueryMetrics,
     ) -> Result<ResultTable, QservError> {
-        stats.peak_buffered_parts = stats.peak_buffered_parts.max(parts.len());
+        let g = trace::span("merge.finish");
+        qm.peak_buffered_parts.set_max(parts.len() as u64);
         let (result, rows) = merge_oracle(&plan.merge_stmt, parts)?;
-        stats.rows_merged = rows;
+        qm.rows_merged.set(rows as u64);
+        if let Some(g) = &g {
+            g.annotate("rows", &result.rows.len().to_string());
+        }
         Ok(result)
     }
 }

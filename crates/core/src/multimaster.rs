@@ -16,7 +16,7 @@
 //! and comparing against single-master answers.
 
 use crate::error::QservError;
-use crate::master::{Qserv, QueryStats};
+use crate::master::{Qserv, QueryStats, TracedQuery};
 use qserv_engine::exec::ResultTable;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -75,6 +75,11 @@ impl MasterPool {
     /// Routes one query, returning stats too.
     pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
         self.next_master().query_with_stats(sql)
+    }
+
+    /// Routes one query under a fresh trace (see [`Qserv::query_traced`]).
+    pub fn query_traced(&self, sql: &str) -> Result<TracedQuery, QservError> {
+        self.next_master().query_traced(sql)
     }
 
     /// Counters of the shared fabric's fault plan (all masters front the

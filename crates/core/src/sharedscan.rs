@@ -26,11 +26,12 @@ use crate::error::QservError;
 use crate::master::{effective_width, Qserv, QueryStats};
 use crate::merge::Merger;
 use crate::rewrite::render_chunk_message;
+use crate::stats::QueryMetrics;
 use parking_lot::Mutex;
 use qserv_engine::exec::ResultTable;
+use qserv_obs::trace;
 use qserv_sqlparse::parse_select;
 use std::collections::BTreeSet;
-use std::time::Instant;
 
 /// Outcome of one convoy run.
 #[derive(Clone, Debug)]
@@ -80,21 +81,25 @@ impl<'q> SharedScanner<'q> {
             .collect();
         let naive_passes: usize = prepared.iter().map(|p| p.chunks.len()).sum();
 
-        // One persistent merger and stats record per convoy member.
+        // One persistent merger and per-member instrument set. Stats are
+        // derived from the instruments when the convoy finishes.
         let mut mergers: Vec<Merger> = prepared.iter().map(|p| Merger::new(&p.plan)).collect();
-        let mut stats: Vec<QueryStats> = prepared
+        let metrics: Vec<QueryMetrics> = prepared
             .iter()
-            .map(|p| QueryStats {
-                used_secondary_index: p.analysis.index_ids.is_some(),
-                used_spatial_restriction: p.analysis.spatial.is_some(),
-                ..QueryStats::default()
+            .map(|p| {
+                let qm = QueryMetrics::new();
+                qm.used_secondary_index
+                    .set(p.analysis.index_ids.is_some() as u64);
+                qm.used_spatial_restriction
+                    .set(p.analysis.spatial.is_some() as u64);
+                qm
             })
             .collect();
         // Next fold sequence per member = how many of its chunks it has
         // consumed; the ascending chunk-major walk keeps each member's
         // own folds in order, so the reorder buffer never fills.
         let mut next_seq: Vec<usize> = vec![0; prepared.len()];
-        let started = Instant::now();
+        let started = self.qserv.clock().now();
 
         // Walk chunk-major: all queries touch chunk c while it is "hot".
         // Within a chunk the convoy members are independent physical
@@ -114,7 +119,7 @@ impl<'q> SharedScanner<'q> {
                     continue;
                 }
                 if mergers[qi].satisfied() {
-                    stats[qi].chunks_skipped_by_limit += 1;
+                    metrics[qi].chunks_skipped_by_limit.inc();
                     continue;
                 }
                 let subs = self.qserv.subchunks_for(p, chunk);
@@ -136,13 +141,17 @@ impl<'q> SharedScanner<'q> {
             let width = effective_width(self.qserv.dispatch_width, jobs.len());
             let queue = Mutex::new(jobs.into_iter());
             let done: Mutex<Vec<(usize, MemberOutcome)>> = Mutex::new(Vec::new());
+            let ctx = trace::current();
             crossbeam::thread::scope(|scope| {
                 for _ in 0..width {
-                    scope.spawn(|_| loop {
-                        let job = queue.lock().next();
-                        let Some((qi, message)) = job else { break };
-                        let outcome = self.qserv.dispatch_one(chunk, &message, started);
-                        done.lock().push((qi, outcome));
+                    scope.spawn(|_| {
+                        let _tg = ctx.as_ref().map(|c| c.enter());
+                        loop {
+                            let job = queue.lock().next();
+                            let Some((qi, message)) = job else { break };
+                            let outcome = self.qserv.dispatch_one(chunk, &message, started);
+                            done.lock().push((qi, outcome));
+                        }
                     });
                 }
             })
@@ -152,25 +161,24 @@ impl<'q> SharedScanner<'q> {
             collected.sort_by_key(|(qi, _)| *qi);
             for (qi, outcome) in collected {
                 let (table, bytes, meta) = outcome?;
-                let s = &mut stats[qi];
-                s.chunks_dispatched += 1;
-                s.result_bytes += bytes;
-                if meta.attempts > 1 {
-                    s.chunks_retried += 1;
-                }
-                s.replica_failovers += meta.failovers;
-                s.injected_faults_observed += meta.injected_seen;
+                let qm = &metrics[qi];
+                qm.chunks_dispatched.inc();
+                crate::master::record_chunk(qm, bytes, &meta);
                 mergers[qi].fold(next_seq[qi], table)?;
                 next_seq[qi] += 1;
             }
         }
 
-        // Finish each member's merger.
+        // Finish each member's merger and derive its stats view.
         let mut results = Vec::with_capacity(prepared.len());
+        let mut stats = Vec::with_capacity(prepared.len());
         for (qi, merger) in mergers.into_iter().enumerate() {
-            stats[qi].rows_merged = merger.rows_folded();
-            stats[qi].peak_buffered_parts = merger.peak_buffered_parts();
+            let qm = &metrics[qi];
+            qm.rows_merged.set(merger.rows_folded() as u64);
+            qm.peak_buffered_parts
+                .set_max(merger.peak_buffered_parts() as u64);
             results.push(merger.finish()?);
+            stats.push(qm.stats());
         }
         Ok(ScanReport {
             results,

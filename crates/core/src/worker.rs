@@ -133,6 +133,13 @@ impl Worker {
         let mut combined: Option<ResultTable> = None;
         let mut generated: Vec<String> = Vec::new();
         for stmt_text in &statements {
+            // The span covers table generation + engine execution; when
+            // the master runs traced, it nests under the fabric write
+            // that delivered this chunk query (plugins run in-line).
+            let span = qserv_obs::trace::span("worker.statement");
+            if let Some(g) = &span {
+                g.annotate("node", &self.node_id.to_string());
+            }
             let stmt = parse_select(stmt_text)
                 .map_err(|e| format!("worker parse error: {e} in {stmt_text:?}"))?;
             // Generate referenced on-demand tables, then snapshot the
@@ -153,6 +160,16 @@ impl Worker {
                 self.stats
                     .vectorized_statements
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(g) = &span {
+                g.annotate(
+                    "exec_path",
+                    match path {
+                        ExecPath::Vectorized => "vectorized",
+                        ExecPath::Interpreted => "interpreted",
+                    },
+                );
+                g.annotate("rows", &result.rows.len().to_string());
             }
             combined = Some(match combined {
                 None => result,

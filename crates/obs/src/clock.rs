@@ -1,0 +1,194 @@
+//! Injectable time: one `Clock` for every layer.
+//!
+//! The master's dispatch deadlines and retry backoff, the chaos fabric's
+//! delay faults, the shared-scan scheduler and the discrete-event
+//! simulator all need "now" and "sleep" — but tests need them without
+//! wall-clock waiting, and the simulator's time is virtual to begin
+//! with. A [`Clock`] is the one substrate: production code holds a
+//! [`SharedClock`] and never calls `Instant::now()` or
+//! `std::thread::sleep` directly.
+//!
+//! * [`WallClock`] — real time. `now()` is measured from a process-wide
+//!   epoch (the first observation), so timestamps from different clock
+//!   handles are mutually comparable; `sleep()` really sleeps.
+//! * [`VirtualClock`] — a shared atomic counter of nanoseconds.
+//!   `sleep(d)` *advances* the clock by `d` and returns immediately:
+//!   latency costs virtual time, never wall time. Chaos tests can
+//!   therefore inject multi-second delay faults and still finish in
+//!   milliseconds, asserting the latency effects on the recorded
+//!   timestamps instead of experiencing them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time plus the ability to wait.
+///
+/// `now()` reports time elapsed since the clock's epoch. Implementations
+/// must be monotonic: successive `now()` calls never decrease, and
+/// `sleep(d)` implies `now()` afterwards is at least `d` later than some
+/// observation before it.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Time since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Waits for `d` — really (wall clock) or by advancing virtual time.
+    fn sleep(&self, d: Duration);
+
+    /// True when sleeping costs no wall time (virtual clocks).
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// How clocks are passed around: cheap to clone, `Sync`, injectable.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Real time, measured from a process-wide epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClock;
+
+/// The process-wide epoch every [`WallClock`] measures from, pinned at
+/// the first observation so all wall timestamps share one origin.
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        wall_epoch().elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A [`SharedClock`] over real time.
+pub fn wall_clock() -> SharedClock {
+    Arc::new(WallClock)
+}
+
+/// Deterministic, thread-safe virtual time.
+///
+/// All holders of one `Arc<VirtualClock>` see the same timeline; any of
+/// them may advance it. `sleep` advances — it never blocks — so code
+/// written against [`Clock`] runs at full speed under test while its
+/// recorded timestamps behave as if the waiting had happened.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A shared handle starting at t = 0.
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+
+    /// Moves the clock forward to `t` (time since epoch); never moves it
+    /// backwards, so out-of-order observers cannot break monotonicity.
+    pub fn advance_to(&self, t: Duration) {
+        self.nanos
+            .fetch_max(t.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_shared_epoch() {
+        let a = WallClock;
+        let b = WallClock;
+        let t1 = a.now();
+        let t2 = b.now();
+        assert!(t2 >= t1, "clock handles share one epoch");
+        assert!(!a.is_virtual());
+    }
+
+    #[test]
+    fn wall_clock_sleep_really_sleeps() {
+        let c = wall_clock();
+        let before = c.now();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now() - before >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn virtual_clock_advances_without_wall_time() {
+        let c = VirtualClock::shared();
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+        assert!(c.is_virtual());
+        assert!(
+            wall.elapsed() < Duration::from_secs(1),
+            "virtual sleep must not block"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_across_handles() {
+        let c = VirtualClock::shared();
+        let other: SharedClock = c.clone();
+        other.sleep(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = VirtualClock::new();
+        c.advance_to(Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(4));
+        assert_eq!(c.now(), Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(11));
+        assert_eq!(c.now(), Duration::from_secs(11));
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = VirtualClock::shared();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.advance(Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), Duration::from_nanos(800));
+    }
+}

@@ -1,0 +1,311 @@
+//! A small metrics registry: named counters, gauges and histograms.
+//!
+//! Stats in this codebase used to grow one hand-written struct field per
+//! PR (`QueryStats` being the worst offender). The registry replaces
+//! that pattern with a stable API: any layer creates (or looks up) a
+//! named instrument and updates it lock-free; a [`MetricsSnapshot`] is a
+//! point-in-time, ordered view suitable for assertions and JSON export.
+//! `QueryStats` survives as a thin view over a per-query registry.
+//!
+//! Instruments are cheap handles (`Arc` + atomics) safe to clone into
+//! dispatcher threads; name lookup pays a lock once, updates never do.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins (or high-water-mark) value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if higher (high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Running aggregate of recorded observations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A distribution summary (count/sum/min/max).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<Mutex<HistogramSnapshot>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let mut h = self.0.lock();
+        if h.count == 0 {
+            h.min = v;
+            h.max = v;
+        } else {
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        h.count += 1;
+        h.sum += v;
+    }
+
+    /// Point-in-time aggregate.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        *self.0.lock()
+    }
+}
+
+/// Named instruments, created on first use.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time view of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An ordered point-in-time view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, 0 when never created.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, 0 when never created.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's aggregate, empty when never created.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Compact JSON export (names sorted, deterministic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{k}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("dispatched");
+        let b = reg.counter("dispatched");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("dispatched").get(), 5);
+        assert_eq!(reg.snapshot().counter("dispatched"), 5);
+        assert_eq!(reg.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_high_water() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("peak");
+        g.set_max(3);
+        g.set_max(7);
+        g.set_max(5);
+        assert_eq!(g.get(), 7);
+        g.set(2);
+        assert_eq!(reg.snapshot().gauge("peak"), 2);
+    }
+
+    #[test]
+    fn histograms_aggregate() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_ms");
+        for v in [5, 1, 9] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (3, 15, 1, 9));
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn instruments_are_thread_safe() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        let h = reg.histogram("h");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 800);
+        assert_eq!(h.snapshot().count, 800);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").inc();
+        reg.gauge("g").set(9);
+        reg.histogram("h").record(4);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":9},\
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":4,\"min\":4,\"max\":4}}}"
+        );
+    }
+}

@@ -1,0 +1,539 @@
+//! Per-query trace spans: who did what, when, inside one request.
+//!
+//! A [`Trace`] collects a tree of timed spans — proxy request → master
+//! analyze → per-chunk dispatch attempts (including retries) → fabric
+//! open/write/read/close ops → worker statement execution → merge folds
+//! — with start/end timestamps drawn from an injected
+//! [`Clock`](crate::clock::Clock). The tree exports as JSON for offline
+//! inspection and is asserted on directly by chaos tests (span nesting,
+//! retry counts, virtual-clock latency effects).
+//!
+//! ## Ambient context
+//!
+//! Layers must not thread a trace handle through every signature, so the
+//! current span rides a **thread-local context stack**: a layer opens a
+//! child of whatever span is current via [`span`], which returns `None`
+//! (for free, one thread-local read) when no trace is active. Crossing a
+//! thread boundary is explicit: capture [`current`] before spawning and
+//! [`TraceContext::enter`] inside the new thread — exactly what the
+//! master's dispatcher pool does, so chunk spans land under the dispatch
+//! span that spawned them.
+//!
+//! Guards are RAII: dropping a [`SpanGuard`] stamps the span's end time
+//! and pops the context, which keeps intervals well-nested by
+//! construction ([`Trace::validate`] checks it).
+
+use crate::clock::SharedClock;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Index of a span within its trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(usize);
+
+/// One recorded span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// This span's id (its index in [`Trace::spans`]).
+    pub id: usize,
+    /// Parent span, `None` for the root.
+    pub parent: Option<usize>,
+    /// Span name (taxonomy: `proxy.request`, `master.dispatch`, `chunk`,
+    /// `attempt`, `fabric.write`, `worker.statement`, `merge.fold`, …).
+    pub name: String,
+    /// Start, nanoseconds since the trace clock's epoch.
+    pub start_ns: u64,
+    /// End, `None` while the span is still open.
+    pub end_ns: Option<u64>,
+    /// Key/value annotations, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration; zero while the span is open.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.unwrap_or(self.start_ns) - self.start_ns
+    }
+
+    /// First value annotated under `key`.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct TraceInner {
+    clock: SharedClock,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A shared, thread-safe collection of spans over one clock.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("spans", &self.inner.spans.lock().len())
+            .finish()
+    }
+}
+
+impl Trace {
+    /// An empty trace stamping spans from `clock`.
+    pub fn new(clock: SharedClock) -> Trace {
+        Trace {
+            inner: Arc::new(TraceInner {
+                clock,
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The clock this trace stamps spans with.
+    pub fn clock(&self) -> &SharedClock {
+        &self.inner.clock
+    }
+
+    /// Starts a span; the caller must [`Trace::end`] it (or use the guard
+    /// API: [`with_root`], [`span`], [`TraceContext::child`]).
+    pub fn start(&self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let start_ns = self.inner.clock.now().as_nanos() as u64;
+        let mut spans = self.inner.spans.lock();
+        let id = spans.len();
+        spans.push(SpanRecord {
+            id,
+            parent: parent.map(|p| p.0),
+            name: name.to_string(),
+            start_ns,
+            end_ns: None,
+            attrs: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    /// Stamps a span's end time (idempotent: the first end wins).
+    pub fn end(&self, id: SpanId) {
+        let end_ns = self.inner.clock.now().as_nanos() as u64;
+        let mut spans = self.inner.spans.lock();
+        let rec = &mut spans[id.0];
+        if rec.end_ns.is_none() {
+            rec.end_ns = Some(end_ns.max(rec.start_ns));
+        }
+    }
+
+    /// Appends a key/value annotation to a span.
+    pub fn annotate(&self, id: SpanId, key: &str, value: &str) {
+        self.inner.spans.lock()[id.0]
+            .attrs
+            .push((key.to_string(), value.to_string()));
+    }
+
+    /// Snapshot of every recorded span.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().clone()
+    }
+
+    /// Checks the structural invariants every finished trace must hold:
+    /// at least one span, every span ended, parents recorded before
+    /// children, and every child interval contained in its parent's.
+    pub fn validate(&self) -> Result<(), String> {
+        let spans = self.inner.spans.lock();
+        if spans.is_empty() {
+            return Err("trace has no spans".to_string());
+        }
+        for s in spans.iter() {
+            let Some(end) = s.end_ns else {
+                return Err(format!("span {} ({}) never ended", s.id, s.name));
+            };
+            if end < s.start_ns {
+                return Err(format!("span {} ({}) ends before it starts", s.id, s.name));
+            }
+            if let Some(p) = s.parent {
+                if p >= s.id {
+                    return Err(format!(
+                        "span {} ({}) has parent {p} not recorded before it",
+                        s.id, s.name
+                    ));
+                }
+                let parent = &spans[p];
+                let pend = parent.end_ns.unwrap_or(u64::MAX);
+                if s.start_ns < parent.start_ns || end > pend {
+                    return Err(format!(
+                        "span {} ({}) [{}, {end}] escapes parent {} ({}) [{}, {pend}]",
+                        s.id, s.name, s.start_ns, p, parent.name, parent.start_ns
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact (single-line) JSON: an array of root span trees.
+    pub fn to_json(&self) -> String {
+        self.render_json(None)
+    }
+
+    /// Indented JSON for humans.
+    pub fn to_json_pretty(&self) -> String {
+        self.render_json(Some(0))
+    }
+
+    fn render_json(&self, indent: Option<usize>) -> String {
+        let spans = self.spans();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for s in &spans {
+            match s.parent {
+                Some(p) => children[p].push(s.id),
+                None => roots.push(s.id),
+            }
+        }
+        // Deterministic ordering: children sorted by (start, id) — under a
+        // single dispatcher thread this makes the whole document a pure
+        // function of the fault seed (bit-reproducibility is tested).
+        let by_start = |ids: &mut Vec<usize>| {
+            ids.sort_by_key(|&i| (spans[i].start_ns, i));
+        };
+        for ids in children.iter_mut() {
+            by_start(ids);
+        }
+        by_start(&mut roots);
+
+        let mut out = String::new();
+        out.push('[');
+        for (i, &r) in roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_span(&mut out, &spans, &children, r, indent.map(|d| d + 1));
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn render_span(
+    out: &mut String,
+    spans: &[SpanRecord],
+    children: &[Vec<usize>],
+    id: usize,
+    indent: Option<usize>,
+) {
+    let s = &spans[id];
+    let pad = |out: &mut String, depth: usize| {
+        if indent.is_some() {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    };
+    let depth = indent.unwrap_or(0);
+    out.push('{');
+    pad(out, depth + 1);
+    let _ = write!(
+        out,
+        "\"name\":{},\"start_ns\":{},\"end_ns\":{}",
+        json_string(&s.name),
+        s.start_ns,
+        s.end_ns.unwrap_or(s.start_ns)
+    );
+    if !s.attrs.is_empty() {
+        out.push(',');
+        pad(out, depth + 1);
+        out.push_str("\"attrs\":{");
+        for (i, (k, v)) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+        }
+        out.push('}');
+    }
+    if !children[id].is_empty() {
+        out.push(',');
+        pad(out, depth + 1);
+        out.push_str("\"children\":[");
+        for (i, &c) in children[id].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            pad(out, depth + 2);
+            render_span(out, spans, children, c, indent.map(|d| d + 2));
+        }
+        pad(out, depth + 1);
+        out.push(']');
+    }
+    pad(out, depth);
+    out.push('}');
+}
+
+/// Serializes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+thread_local! {
+    /// The ambient context stack: innermost current span last.
+    static STACK: RefCell<Vec<(Trace, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A captured (trace, span) pair, cloneable across threads so dispatcher
+/// pools can parent their spans under the span that spawned them.
+#[derive(Clone)]
+pub struct TraceContext {
+    trace: Trace,
+    span: SpanId,
+}
+
+impl TraceContext {
+    /// The trace this context belongs to.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Makes this context current on the calling thread (no new span).
+    pub fn enter(&self) -> ContextGuard {
+        STACK.with(|s| s.borrow_mut().push((self.trace.clone(), self.span)));
+        ContextGuard { span: self.span }
+    }
+
+    /// Starts a child span of this context and makes it current.
+    pub fn child(&self, name: &str) -> SpanGuard {
+        let id = self.trace.start(name, Some(self.span));
+        STACK.with(|s| s.borrow_mut().push((self.trace.clone(), id)));
+        SpanGuard {
+            trace: self.trace.clone(),
+            id,
+        }
+    }
+}
+
+/// The innermost current (trace, span) on this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    STACK.with(|s| {
+        s.borrow().last().map(|(t, id)| TraceContext {
+            trace: t.clone(),
+            span: *id,
+        })
+    })
+}
+
+/// Starts a root span on `trace` and makes it current on this thread.
+pub fn with_root(trace: &Trace, name: &str) -> SpanGuard {
+    let id = trace.start(name, None);
+    STACK.with(|s| s.borrow_mut().push((trace.clone(), id)));
+    SpanGuard {
+        trace: trace.clone(),
+        id,
+    }
+}
+
+/// Starts a child of the current span, if a trace is active on this
+/// thread; `None` otherwise (one thread-local read — cheap enough to
+/// leave in every hot path).
+pub fn span(name: &str) -> Option<SpanGuard> {
+    current().map(|ctx| ctx.child(name))
+}
+
+/// Annotates the current span, if any.
+pub fn annotate(key: &str, value: &str) {
+    if let Some(ctx) = current() {
+        ctx.trace.annotate(ctx.span, key, value);
+    }
+}
+
+/// RAII: pops the context and stamps the span's end on drop.
+pub struct SpanGuard {
+    trace: Trace,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// The guarded span's id.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Annotates the guarded span.
+    pub fn annotate(&self, key: &str, value: &str) {
+        self.trace.annotate(self.id, key, value);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        pop_context(self.id);
+        self.trace.end(self.id);
+    }
+}
+
+/// RAII: pops an entered (not newly spanned) context on drop.
+pub struct ContextGuard {
+    span: SpanId,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        pop_context(self.span);
+    }
+}
+
+/// Removes the stack entry for `span` — the top in well-nested use; a
+/// deeper scan keeps misuse from corrupting unrelated entries.
+fn pop_context(span: SpanId) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|(_, id)| *id == span) {
+            stack.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::time::Duration;
+
+    fn vtrace() -> (Trace, std::sync::Arc<VirtualClock>) {
+        let clock = VirtualClock::shared();
+        (Trace::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn nested_guards_build_a_tree() {
+        let (trace, clock) = vtrace();
+        {
+            let root = with_root(&trace, "query");
+            root.annotate("sql", "SELECT 1");
+            clock.advance(Duration::from_millis(1));
+            {
+                let _a = span("analyze").unwrap();
+                clock.advance(Duration::from_millis(2));
+            }
+            {
+                let d = span("dispatch").unwrap();
+                d.annotate("chunks", "3");
+                clock.advance(Duration::from_millis(5));
+            }
+        }
+        trace.validate().unwrap();
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        assert_eq!(spans[1].duration_ns(), 2_000_000);
+        assert_eq!(spans[0].attr("sql"), Some("SELECT 1"));
+        assert!(current().is_none(), "stack drained");
+    }
+
+    #[test]
+    fn span_without_context_is_none() {
+        assert!(span("orphan").is_none());
+        annotate("k", "v"); // must not panic
+    }
+
+    #[test]
+    fn context_crosses_threads() {
+        let (trace, _clock) = vtrace();
+        let root = with_root(&trace, "root");
+        let ctx = current().unwrap();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let g = ctx.child("worker");
+                    g.annotate("i", &i.to_string());
+                });
+            }
+        });
+        drop(root);
+        trace.validate().unwrap();
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 5);
+        assert!(spans[1..].iter().all(|s| s.parent == Some(0)));
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let (trace, clock) = vtrace();
+        {
+            let root = with_root(&trace, "q");
+            root.annotate("sql", "SELECT \"x\"\nFROM t");
+            clock.advance(Duration::from_nanos(10));
+            let _c = span("child").unwrap();
+        }
+        let json = trace.to_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\\\"x\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"children\":["), "{json}");
+        assert!(!json.contains('\n'), "compact JSON is single-line");
+        assert!(trace.to_json_pretty().contains('\n'));
+    }
+
+    #[test]
+    fn validate_rejects_open_spans() {
+        let (trace, _clock) = vtrace();
+        trace.start("open", None);
+        assert!(trace.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_escaping_children() {
+        let clock = VirtualClock::shared();
+        let trace = Trace::new(clock.clone());
+        let root = trace.start("root", None);
+        clock.advance(Duration::from_millis(1));
+        trace.end(root);
+        // Child starts after the parent ended: its interval escapes.
+        let child = trace.start("late", Some(root));
+        clock.advance(Duration::from_millis(1));
+        trace.end(child);
+        assert!(trace.validate().is_err());
+    }
+
+    #[test]
+    fn children_render_in_start_order() {
+        let clock = VirtualClock::shared();
+        let trace = Trace::new(clock.clone());
+        let root = trace.start("root", None);
+        clock.advance(Duration::from_millis(1));
+        let early = trace.start("early", Some(root));
+        trace.end(early);
+        clock.advance(Duration::from_millis(1));
+        let late = trace.start("late", Some(root));
+        trace.end(late);
+        trace.end(root);
+        let json = trace.to_json();
+        let e = json.find("\"early\"").unwrap();
+        let l = json.find("\"late\"").unwrap();
+        assert!(e < l, "earlier start renders first: {json}");
+    }
+}

@@ -72,7 +72,33 @@ impl ProxyClient {
 
     /// Submits one query and reads the full response.
     pub fn query(&mut self, sql: &str) -> Result<(ResultTable, RemoteStats), ClientError> {
-        writeln!(self.writer, "{};", sql.trim_end_matches(';'))?;
+        let (table, stats, _trace) = self.exchange(sql.trim_end_matches(';'))?;
+        Ok((table, stats))
+    }
+
+    /// Submits one query under the server-side trace (`TRACE <sql>;`),
+    /// additionally returning the trace tree as compact JSON.
+    pub fn query_traced(
+        &mut self,
+        sql: &str,
+    ) -> Result<(ResultTable, RemoteStats, String), ClientError> {
+        let request = format!("TRACE {}", sql.trim_end_matches(';'));
+        let (table, stats, trace) = self.exchange(&request)?;
+        let trace = trace.ok_or_else(|| {
+            ClientError::Protocol(ProtocolError {
+                message: "server sent no TRACE frame for a traced query".to_string(),
+            })
+        })?;
+        Ok((table, stats, trace))
+    }
+
+    /// One request/response round trip; the optional third element is the
+    /// body of a `TRACE` frame when the server sent one.
+    fn exchange(
+        &mut self,
+        request: &str,
+    ) -> Result<(ResultTable, RemoteStats, Option<String>), ClientError> {
+        writeln!(self.writer, "{request};")?;
         self.writer.flush()?;
 
         let mut line = String::new();
@@ -112,6 +138,7 @@ impl ProxyClient {
         }
 
         let mut rows = Vec::new();
+        let mut trace: Option<String> = None;
         loop {
             let frame = read_frame(&mut self.reader)?;
             if let Some(rest) = frame.strip_prefix("ROW") {
@@ -130,6 +157,8 @@ impl ProxyClient {
                     row.push(decode_value(cell, ty)?);
                 }
                 rows.push(row);
+            } else if let Some(json) = frame.strip_prefix("TRACE ") {
+                trace = Some(json.to_string());
             } else if let Some(rest) = frame.strip_prefix("OK ") {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
                 let stats = match parts.as_slice() {
@@ -145,7 +174,7 @@ impl ProxyClient {
                         message: format!("OK says {} rows, received {}", stats.rows, rows.len()),
                     }));
                 }
-                return Ok((ResultTable { columns, rows }, stats));
+                return Ok((ResultTable { columns, rows }, stats, trace));
             } else {
                 return Err(ClientError::Protocol(ProtocolError {
                     message: format!("unexpected frame {frame:?}"),

@@ -12,9 +12,14 @@
 //! server:  COLS  <name>\t<name>…
 //!          TYPES <int|float|str>\t…
 //!          ROW   <value>\t<value>…          (one line per row)
+//!          TRACE <json>           (only for `TRACE <sql>;` requests)
 //!          OK <row count> <chunks dispatched> <result bytes>
 //!    or:   ERR <message>
 //! ```
+//!
+//! Prefixing a statement with `TRACE ` runs it under a fresh query trace
+//! (see `qserv::Qserv::query_traced`); the resulting span tree comes back
+//! as one line of compact JSON in the `TRACE` frame.
 //!
 //! Values are TSV-escaped (`\t`, `\n`, `\\`); SQL NULL is `\N`, MySQL's
 //! batch-output convention. [`server::ProxyServer`] runs one thread per

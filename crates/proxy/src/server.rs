@@ -91,8 +91,26 @@ fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
             if sql.is_empty() {
                 continue;
             }
-            match qserv.query_with_stats(sql) {
-                Ok((result, stats)) => {
+            // `TRACE <sql>` runs the statement under a fresh trace rooted
+            // at the proxy (so the span tree covers proxy → master →
+            // fabric → worker → merge) and streams the tree back as a
+            // `TRACE <json>` frame between the rows and the OK.
+            let outcome = match strip_trace_verb(sql) {
+                Some(inner) => {
+                    let trace = qserv::Trace::new(qserv.clock().clone());
+                    let result = {
+                        let root = qserv::trace::with_root(&trace, "proxy.request");
+                        root.annotate("sql", inner);
+                        qserv.query_with_stats(inner)
+                    };
+                    result.map(|(rows, stats)| (rows, stats, Some(trace.to_json())))
+                }
+                None => qserv
+                    .query_with_stats(sql)
+                    .map(|(rows, stats)| (rows, stats, None)),
+            };
+            match outcome {
+                Ok((result, stats, trace_json)) => {
                     // Column types: widened over all rows, `null` when a
                     // column never carries a value.
                     let mut types = vec!["null"; result.columns.len()];
@@ -114,6 +132,11 @@ fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
                         let cells: Vec<String> = row.iter().map(encode_value).collect();
                         writeln!(writer, "ROW {}", cells.join("\t"))?;
                     }
+                    if let Some(json) = trace_json {
+                        // Compact JSON is single-line by construction
+                        // (string values escape their newlines).
+                        writeln!(writer, "TRACE {json}")?;
+                    }
                     writeln!(
                         writer,
                         "OK {} {} {}",
@@ -130,5 +153,19 @@ fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
             }
             writer.flush()?;
         }
+    }
+}
+
+/// Splits the `TRACE` verb off a statement, returning the inner SQL.
+/// The verb is case-insensitive and must be followed by whitespace, so
+/// ordinary SQL (which never starts with TRACE) passes through.
+fn strip_trace_verb(sql: &str) -> Option<&str> {
+    sql.get(..5)
+        .filter(|verb| verb.eq_ignore_ascii_case("TRACE"))?;
+    let tail = &sql[5..];
+    if tail.starts_with(char::is_whitespace) {
+        Some(tail.trim_start())
+    } else {
+        None
     }
 }

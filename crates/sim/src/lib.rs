@@ -28,3 +28,8 @@ pub mod simulator;
 
 pub use config::{FaultConfig, SimConfig};
 pub use simulator::{ChunkTask, QueryJob, QueryReport, Simulator};
+
+// The shared virtual timeline ([`Simulator::bind_clock`]): the same clock
+// type the live system's fault plans and traces run on, so simulated and
+// real components can share one notion of "now".
+pub use qserv_obs::{Clock, VirtualClock};

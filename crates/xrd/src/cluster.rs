@@ -10,8 +10,34 @@
 use crate::fault::{FabricOp, FaultPlan};
 use crate::redirector::Redirector;
 use crate::server::{DataServer, ServerId};
+use qserv_obs::trace::{self, SpanGuard};
 use std::fmt;
 use std::sync::Arc;
+
+/// Opens a trace span for one fabric sub-operation when the calling
+/// thread has an active trace context; a no-op (`None`) otherwise.
+fn op_span(op: FabricOp, server: ServerId, path: &str) -> Option<SpanGuard> {
+    let name = match op {
+        FabricOp::Open => "fabric.open",
+        FabricOp::Write => "fabric.write",
+        FabricOp::Read => "fabric.read",
+        FabricOp::Close => "fabric.close",
+        FabricOp::Unlink => "fabric.unlink",
+    };
+    let g = trace::span(name)?;
+    g.annotate("server", &server.to_string());
+    g.annotate("path", path);
+    Some(g)
+}
+
+/// Records an error on the span (if both exist) and passes the result
+/// through unchanged.
+fn note_fault<T>(span: &Option<SpanGuard>, r: Result<T, XrdError>) -> Result<T, XrdError> {
+    if let (Some(g), Err(e)) = (span, &r) {
+        g.annotate("error", &e.to_string());
+    }
+    r
+}
 
 /// Errors from cluster file transactions.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,14 +175,29 @@ impl XrdCluster {
             .resolve_excluding(path, exclude)
             .ok_or_else(|| XrdError::NoServerForPath(path.to_string()))?;
         let id = server.id();
-        self.check(id, FabricOp::Open, path)?;
-        if self.check(id, FabricOp::Write, path)? {
-            crate::fault::corrupt(&mut data);
+        {
+            let g = op_span(FabricOp::Open, id, path);
+            note_fault(&g, self.check(id, FabricOp::Open, path))?;
         }
-        server.complete_write(path, data);
+        {
+            // The write span also covers `complete_write`, where the
+            // worker plugin runs synchronously — worker statement spans
+            // nest inside the fabric write that delivered their query.
+            let g = op_span(FabricOp::Write, id, path);
+            if note_fault(&g, self.check(id, FabricOp::Write, path))? {
+                if let Some(g) = &g {
+                    g.annotate("corrupted", "true");
+                }
+                crate::fault::corrupt(&mut data);
+            }
+            server.complete_write(path, data);
+        }
         // A close fault lands *after* the server accepted the payload (and
         // its plugin ran): the client sees failure on work that happened.
-        self.check(id, FabricOp::Close, path)?;
+        {
+            let g = op_span(FabricOp::Close, id, path);
+            note_fault(&g, self.check(id, FabricOp::Close, path))?;
+        }
         Ok(id)
     }
 
@@ -172,13 +213,31 @@ impl XrdCluster {
         if !s.is_online() {
             return Err(XrdError::ServerOffline(server));
         }
-        self.check(server, FabricOp::Open, path)?;
-        let data = s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
-            server,
-            path: path.to_string(),
-        })?;
-        let corrupted = self.check(server, FabricOp::Read, path)?;
-        self.check(server, FabricOp::Close, path)?;
+        let data = {
+            let g = op_span(FabricOp::Open, server, path);
+            note_fault(&g, self.check(server, FabricOp::Open, path))?;
+            note_fault(
+                &g,
+                s.get_file(path).ok_or_else(|| XrdError::NoSuchFile {
+                    server,
+                    path: path.to_string(),
+                }),
+            )?
+        };
+        let corrupted = {
+            let g = op_span(FabricOp::Read, server, path);
+            let corrupted = note_fault(&g, self.check(server, FabricOp::Read, path))?;
+            if corrupted {
+                if let Some(g) = &g {
+                    g.annotate("corrupted", "true");
+                }
+            }
+            corrupted
+        };
+        {
+            let g = op_span(FabricOp::Close, server, path);
+            note_fault(&g, self.check(server, FabricOp::Close, path))?;
+        }
         if corrupted {
             let mut copy = (*data).clone();
             crate::fault::corrupt(&mut copy);
@@ -206,7 +265,8 @@ impl XrdCluster {
             .redirector
             .server(server)
             .ok_or(XrdError::NoSuchServer(server))?;
-        self.check(server, FabricOp::Unlink, path)?;
+        let g = op_span(FabricOp::Unlink, server, path);
+        note_fault(&g, self.check(server, FabricOp::Unlink, path))?;
         Ok(s.delete_file(path))
     }
 }

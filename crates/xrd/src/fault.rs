@@ -16,6 +16,7 @@
 
 use crate::server::ServerId;
 use parking_lot::Mutex;
+use qserv_obs::clock::{wall_clock, SharedClock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,7 +77,9 @@ enum FaultKind {
     FailNext { remaining: AtomicU64 },
     /// Fail each matching operation with probability `p` (seeded).
     FailWithProbability { p: f64 },
-    /// Sleep before performing the operation.
+    /// Wait `by` (through the plan's injected clock) before performing
+    /// the operation: a real sleep under a wall clock, a pure
+    /// virtual-time advance under a [`qserv_obs::VirtualClock`].
     Delay { by: Duration },
     /// Corrupt the payload with probability `p` (seeded).
     CorruptPayload { p: f64 },
@@ -155,6 +158,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// atomic load per fabric sub-operation.
 pub struct FaultPlan {
     seed: u64,
+    /// The clock delay faults wait through. Defaults to the wall clock;
+    /// chaos tests inject a shared virtual clock so injected latency
+    /// advances virtual time instead of blocking dispatcher threads.
+    clock: Mutex<SharedClock>,
     /// Fast path: number of armed rules (0 ⇒ skip all bookkeeping).
     armed: AtomicU64,
     rules: Mutex<Vec<FaultRule>>,
@@ -173,6 +180,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
+            clock: Mutex::new(wall_clock()),
             armed: AtomicU64::new(0),
             rules: Mutex::new(Vec::new()),
             attempts: Mutex::new(HashMap::new()),
@@ -186,6 +194,17 @@ impl FaultPlan {
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Replaces the clock delay faults wait through (shared with the
+    /// master's dispatch clock when injected via `ClusterBuilder`).
+    pub fn set_clock(&self, clock: SharedClock) {
+        *self.clock.lock() = clock;
+    }
+
+    /// The clock delay faults wait through.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.lock().clone()
     }
 
     fn push(&self, rule: FaultRule) {
@@ -284,6 +303,7 @@ impl FaultPlan {
             *n
         };
         let mut decision = Decision::default();
+        let mut delay_total = Duration::ZERO;
         let rules = self.rules.lock();
         for rule in rules.iter().filter(|r| r.matches(server, op)) {
             match &rule.kind {
@@ -303,7 +323,7 @@ impl FaultPlan {
                 }
                 FaultKind::Delay { by } => {
                     self.delays.fetch_add(1, Ordering::SeqCst);
-                    std::thread::sleep(*by);
+                    delay_total += *by;
                 }
                 FaultKind::CorruptPayload { p } => {
                     if self.draw(server, op, path, attempt, 2) < *p {
@@ -313,6 +333,12 @@ impl FaultPlan {
             }
         }
         drop(rules);
+        if !delay_total.is_zero() {
+            // Wait outside the rules lock so an injected (wall-clock)
+            // latency never serializes other threads' fault decisions.
+            let clock = self.clock.lock().clone();
+            clock.sleep(delay_total);
+        }
         if decision.fail {
             self.failures.fetch_add(1, Ordering::SeqCst);
             self.failures_by_op[op.index()].fetch_add(1, Ordering::SeqCst);
@@ -349,6 +375,7 @@ pub(crate) fn corrupt(data: &mut [u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qserv_obs::Clock;
 
     #[test]
     fn unarmed_plan_is_inert() {
@@ -436,6 +463,23 @@ mod tests {
         assert!(!d.fail);
         assert!(t.elapsed() >= Duration::from_millis(1));
         assert_eq!(plan.stats().delays_injected, 1);
+    }
+
+    #[test]
+    fn delay_advances_virtual_clock_without_wall_sleep() {
+        let plan = FaultPlan::new(7);
+        let vclock = qserv_obs::VirtualClock::shared();
+        plan.set_clock(vclock.clone());
+        plan.delay(None, Some(FabricOp::Open), Duration::from_secs(30));
+        let wall = std::time::Instant::now();
+        plan.decide(0, FabricOp::Open, "/a");
+        plan.decide(1, FabricOp::Open, "/b");
+        assert_eq!(vclock.now(), Duration::from_secs(60));
+        assert_eq!(plan.stats().delays_injected, 2);
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "a 60s injected delay must not block the thread"
+        );
     }
 
     #[test]

@@ -350,3 +350,101 @@ fn shared_scan_convoy_survives_read_faults() {
     );
     assert_no_result_leaks(&chaotic, "convoy under read faults");
 }
+
+#[test]
+fn delay_faults_bill_virtual_time_with_zero_wall_sleeping() {
+    // Every fabric write on the cluster pays a 2-second injected delay —
+    // but the cluster runs on a virtual clock, so the delays advance
+    // virtual time instead of blocking dispatcher threads. The trace and
+    // the latency histogram must both show the billed seconds while the
+    // test itself finishes in wall-clock milliseconds.
+    let patch = small_patch(300, 90);
+    let vclock = qserv::VirtualClock::shared();
+    let q = ClusterBuilder::new(4)
+        .replication(2)
+        .fault_plan(FaultPlan::new(10))
+        .clock(vclock.clone())
+        .build(&patch.objects, &patch.sources);
+    q.cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Write), Duration::from_secs(2));
+
+    let wall = std::time::Instant::now();
+    let traced = q.query_traced(PAPER_QUERIES[0]).unwrap();
+    assert_eq!(traced.rows.scalar(), Some(&Value::Int(300)));
+
+    let delays = q.cluster().faults().stats().delays_injected;
+    assert!(delays > 0, "the delay rule must have fired");
+    // Each injected delay advanced the shared timeline by its full 2 s.
+    use qserv::Clock;
+    assert!(
+        vclock.now() >= Duration::from_secs(2) * delays as u32,
+        "virtual clock advanced {:?} for {delays} delays",
+        vclock.now()
+    );
+    // Per-chunk latency is billed in virtual time: every chunk does one
+    // delayed write, so every chunk span lasts ≥ 2 virtual seconds…
+    let chunk_spans: Vec<_> = traced
+        .trace
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "chunk")
+        .collect();
+    assert!(!chunk_spans.is_empty(), "trace has chunk spans");
+    for s in &chunk_spans {
+        assert!(
+            s.duration_ns() >= 2_000_000_000,
+            "chunk span billed only {} ns of virtual time",
+            s.duration_ns()
+        );
+    }
+    // …and the dispatch-latency histogram agrees.
+    let h = traced
+        .metrics
+        .histogram(qserv::stats::names::CHUNK_LATENCY_NS);
+    assert_eq!(h.count, chunk_spans.len() as u64);
+    assert!(h.min >= 2_000_000_000, "histogram min {} ns", h.min);
+    // The whole thing must not have slept for real.
+    assert!(
+        wall.elapsed() < Duration::from_secs(5),
+        "virtual delays must not consume wall time (took {:?})",
+        wall.elapsed()
+    );
+}
+
+#[test]
+fn virtual_clock_chaos_runs_are_bit_reproducible() {
+    // Same seed, same virtual clock, single dispatcher thread: the whole
+    // observable output — rows, trace JSON (timestamps included), and
+    // metrics JSON — must be byte-identical across runs.
+    let patch = small_patch(300, 91);
+    let run = || {
+        let vclock = qserv::VirtualClock::shared();
+        let mut q = ClusterBuilder::new(4)
+            .replication(2)
+            .fault_plan(FaultPlan::new(17))
+            .clock(vclock)
+            .build(&patch.objects, &patch.sources);
+        // One dispatcher thread: chunk ordering (and therefore span
+        // ordering and fault-schedule interleaving) is sequential.
+        q.dispatch_width = 1;
+        q.cluster()
+            .faults()
+            .fail_next(None, Some(FabricOp::Write), 3);
+        q.cluster()
+            .faults()
+            .delay(None, Some(FabricOp::Read), Duration::from_millis(5));
+        let t = q.query_traced(PAPER_QUERIES[0]).expect("chaotic run");
+        t.trace.validate().expect("well-formed trace");
+        (t.rows, t.trace.to_json(), t.metrics.to_json())
+    };
+    let (rows_a, trace_a, metrics_a) = run();
+    let (rows_b, trace_b, metrics_b) = run();
+    assert_eq!(rows_a, rows_b, "same seed ⇒ same rows");
+    assert_eq!(trace_a, trace_b, "same seed ⇒ bit-identical trace JSON");
+    assert_eq!(metrics_a, metrics_b, "same seed ⇒ bit-identical metrics");
+    assert!(
+        trace_a.contains("\"outcome\":\"retry\""),
+        "the reproduced schedule actually exercised retries: {trace_a}"
+    );
+}
