@@ -11,17 +11,28 @@
 //! aggregated GROUP BY workload at the largest chunk count, where
 //! streaming must beat the barrier by >= 1.5x.
 //!
-//! Usage: `master_bench [--chunks N,N,..] [--rows N] [--iters K] [--out PATH]`
+//! It also benchmarks the *query service* scheduling layer with a mixed
+//! workload — one full scan plus 20 interactive point lookups submitted
+//! together — and reports the interactive p50/p95 latency with fair
+//! scheduling on (default config: scan cap + DRR) vs off (one FIFO
+//! executor, the unscheduled baseline). Summary goes to
+//! `BENCH_service.json`.
+//!
+//! Usage: `master_bench [--chunks N,N,..] [--rows N] [--iters K] [--out PATH]
+//!                      [--service-out PATH]`
 
 use qserv::analysis::analyze;
 use qserv::rewrite::{build_plan, PhysicalPlan};
-use qserv::{merge_oracle, CatalogMeta, Merger};
+use qserv::service::{QueryService, ServiceConfig};
+use qserv::{merge_oracle, CatalogMeta, ClusterBuilder, FabricOp, FaultPlan, Merger};
+use qserv_datagen::generate::{CatalogConfig, Patch};
 use qserv_engine::exec::ResultTable;
 use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
 use qserv_engine::table::Table;
 use qserv_engine::value::Value;
 use qserv_sqlparse::parse_select;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Splitmix-style generator: deterministic, dependency-free.
 struct Rng(u64);
@@ -182,11 +193,120 @@ fn run_streaming(w: &Workload, iters: usize) -> (ResultTable, f64, u64, usize) {
     (result.expect("at least one iteration"), best, peak, folded)
 }
 
+/// Percentile over latencies in milliseconds (nearest-rank).
+fn percentile(latencies: &[u64], p: f64) -> u64 {
+    let mut v = latencies.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() as f64) * p).ceil() as usize;
+    v[idx.saturating_sub(1).min(v.len() - 1)]
+}
+
+/// A small real cluster whose fabric reads each pay a fixed delay, so a
+/// full scan is meaningfully slower than a one-chunk point lookup.
+fn service_cluster() -> Arc<qserv::Qserv> {
+    let patch = Patch::generate(&CatalogConfig::small(600, 7));
+    let mut q = ClusterBuilder::new(4)
+        .fault_plan(FaultPlan::new(3))
+        .build(&patch.objects, &patch.sources);
+    q.dispatch_width = 1;
+    let q = Arc::new(q);
+    q.cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(8));
+    q
+}
+
+/// Submits the mixed workload — one full scan, then `n` interactive
+/// point lookups — and returns the interactive queue-to-finish
+/// latencies in milliseconds.
+fn mixed_workload_latencies(cfg: ServiceConfig, n: usize) -> Vec<u64> {
+    let service = QueryService::start(service_cluster(), cfg);
+    let scan = service
+        .submit("SELECT COUNT(*) FROM Object")
+        .expect("scan admitted");
+    let lookups: Vec<_> = (0..n)
+        .map(|i| {
+            service
+                .submit(&format!(
+                    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = {}",
+                    1 + i as u64
+                ))
+                .expect("lookup admitted")
+        })
+        .collect();
+    let latencies = lookups
+        .into_iter()
+        .map(|h| {
+            let r = h.wait();
+            r.result.expect("lookup succeeds");
+            (r.wait + r.run).as_millis() as u64
+        })
+        .collect();
+    scan.wait().result.expect("scan succeeds");
+    latencies
+}
+
+/// The scheduling benchmark: interactive p50/p95 under a concurrent
+/// scan, fair scheduling on vs off.
+fn run_service_bench(out: &str) {
+    const LOOKUPS: usize = 20;
+    // Unloaded baseline: the same lookups with no scan competing.
+    let quiet = QueryService::with_defaults(service_cluster());
+    let unloaded: Vec<u64> = (0..5)
+        .map(|i| {
+            let r = quiet
+                .submit(&format!(
+                    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = {}",
+                    1 + i as u64
+                ))
+                .expect("lookup admitted")
+                .wait();
+            r.result.expect("lookup succeeds");
+            (r.wait + r.run).as_millis() as u64
+        })
+        .collect();
+    let unloaded_p50 = percentile(&unloaded, 0.5);
+    drop(quiet);
+
+    // Scheduling ON: the defaults — 4 executors, scans capped at 2, DRR
+    // dequeue. Point lookups dispatch one chunk, the scan dispatches
+    // them all, so the default threshold classifies both correctly.
+    let scheduled = mixed_workload_latencies(ServiceConfig::default(), LOOKUPS);
+    // Scheduling OFF: one executor draining one arrival-order queue —
+    // the scan admitted first occupies it while every lookup waits.
+    let fifo = mixed_workload_latencies(
+        ServiceConfig {
+            max_concurrent: 1,
+            fifo: true,
+            ..ServiceConfig::default()
+        },
+        LOOKUPS,
+    );
+
+    let (s50, s95) = (percentile(&scheduled, 0.5), percentile(&scheduled, 0.95));
+    let (f50, f95) = (percentile(&fifo, 0.5), percentile(&fifo, 0.95));
+    let speedup = f95 as f64 / s95.max(1) as f64;
+    eprintln!(
+        "service  {LOOKUPS} lookups vs 1 scan  unloaded p50 {unloaded_p50} ms  \
+         scheduled p50/p95 {s50}/{s95} ms  fifo p50/p95 {f50}/{f95} ms  p95 {speedup:.1}x better"
+    );
+    let json = format!(
+        "{{\n  \"interactive_lookups\": {LOOKUPS},\n  \"concurrent_scans\": 1,\n  \
+         \"unloaded_p50_ms\": {unloaded_p50},\n  \
+         \"scheduled\": {{\"p50_ms\": {s50}, \"p95_ms\": {s95}}},\n  \
+         \"fifo\": {{\"p50_ms\": {f50}, \"p95_ms\": {f95}}},\n  \
+         \"p95_speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(out, json).expect("write service benchmark output");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let mut chunk_counts: Vec<usize> = vec![64, 256, 1024];
     let mut rows: usize = 200;
     let mut iters: usize = 3;
     let mut out = "BENCH_master.json".to_string();
+    let mut service_out = "BENCH_service.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |what: &str| {
@@ -203,7 +323,11 @@ fn main() {
             "--rows" => rows = grab("--rows").parse().expect("integer rows per chunk"),
             "--iters" => iters = grab("--iters").parse().expect("integer iteration count"),
             "--out" => out = grab("--out"),
-            other => panic!("unknown argument {other:?} (expected --chunks/--rows/--iters/--out)"),
+            "--service-out" => service_out = grab("--service-out"),
+            other => panic!(
+                "unknown argument {other:?} \
+                 (expected --chunks/--rows/--iters/--out/--service-out)"
+            ),
         }
     }
 
@@ -255,4 +379,6 @@ fn main() {
 
     let headline = headline.expect("agg_group at the largest chunk count ran");
     eprintln!("headline agg_group streaming speedup: {headline:.2}x");
+
+    run_service_bench(&service_out);
 }

@@ -32,6 +32,16 @@ pub enum QservError {
     },
     /// Result merging or final aggregation failed.
     Merge(String),
+    /// The query was cancelled (a `KILL`, or its service handle was
+    /// dropped) before it completed. Cooperative: dispatch stops at the
+    /// next chunk boundary and in-flight result files are consumed.
+    Cancelled,
+    /// The service's admission queue for the query's class is full.
+    /// Backpressure, not failure: retry after the advertised delay.
+    Busy {
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for QservError {
@@ -47,6 +57,13 @@ impl fmt::Display for QservError {
                 write!(f, "timeout: query deadline expired after {elapsed_ms} ms (dispatching chunk {chunk})")
             }
             QservError::Merge(m) => write!(f, "merge: {m}"),
+            QservError::Cancelled => write!(f, "cancelled"),
+            QservError::Busy { retry_after_ms } => {
+                write!(
+                    f,
+                    "busy: admission queue full, retry after {retry_after_ms} ms"
+                )
+            }
         }
     }
 }

@@ -41,6 +41,10 @@
 //!   incremental merge state as they arrive (append / per-group fold /
 //!   top-n heap), with the row-at-a-time barrier merge kept as the
 //!   semantic oracle.
+//! * [`service`] — the concurrent query service: bounded admission with
+//!   interactive/scan classification, deficit-round-robin fair
+//!   scheduling (the Figure-14 starvation fix), and cooperative
+//!   per-query cancellation (`KILL`).
 //! * [`sharedscan`] — shared scanning (§4.3; "planned" in the paper,
 //!   implemented here): concurrent full-scan queries share one pass over
 //!   each chunk.
@@ -55,17 +59,22 @@ pub mod merge;
 pub mod meta;
 pub mod multimaster;
 pub mod rewrite;
+pub mod service;
 pub mod sharedscan;
 pub mod stats;
 pub mod worker;
 
 pub use error::QservError;
 pub use loader::ClusterBuilder;
-pub use master::{Qserv, QueryStats, RetryPolicy, TracedQuery};
+pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery};
 pub use merge::{merge_oracle, merge_tables, Merger};
 pub use meta::CatalogMeta;
 pub use multimaster::MasterPool;
 pub use rewrite::{ColumnRole, MergeShape};
+pub use service::{
+    FairScheduler, KillOutcome, QueryClass, QueryHandle, QueryService, QueryState, QueryStatus,
+    ServiceConfig, ServiceReply, Ticket,
+};
 
 // Chaos-testing surface: arm a fault plan at build time
 // (`ClusterBuilder::fault_plan`), inspect what fired via

@@ -84,6 +84,40 @@ impl RetryPolicy {
     }
 }
 
+/// Cooperative cancellation for one in-flight query.
+///
+/// Cloneable and thread-safe: the service hands one side to the session
+/// that may `KILL` the query while the executor threads poll the other.
+/// Cancellation is *cooperative* — the master checks the token at chunk
+/// dispatch boundaries (before a chunk leaves the queue, before each
+/// retry attempt) and at merge-fold boundaries, never in the middle of a
+/// §5.4 file transaction. The write → read → unlink sequence is atomic
+/// with respect to cancellation, so a kill can never strand a result
+/// file on the fabric: every written result is consumed before the
+/// token is looked at again.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next
+    /// dispatch or fold boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
 /// Per-chunk retry bookkeeping, folded into [`QueryStats`].
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct ChunkMeta {
@@ -311,7 +345,19 @@ impl Qserv {
 
     /// Executes a query, returning rows plus execution statistics.
     pub fn query_with_stats(&self, sql: &str) -> Result<(ResultTable, QueryStats), QservError> {
-        let (rows, qm) = self.query_inner(sql)?;
+        self.query_cancellable(sql, &CancelToken::new())
+    }
+
+    /// Executes a query under an externally held [`CancelToken`]: a
+    /// `cancel()` from another thread aborts the query with
+    /// [`QservError::Cancelled`] at the next chunk-dispatch or
+    /// merge-fold boundary, leaving no result files on the fabric.
+    pub fn query_cancellable(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+    ) -> Result<(ResultTable, QueryStats), QservError> {
+        let (rows, qm) = self.query_inner(sql, token)?;
         Ok((rows, qm.stats()))
     }
 
@@ -324,7 +370,7 @@ impl Qserv {
         let outcome = {
             let root = trace::with_root(&trace, "query");
             root.annotate("sql", sql);
-            self.query_inner(sql)
+            self.query_inner(sql, &CancelToken::new())
         };
         let (rows, qm) = outcome?;
         Ok(TracedQuery {
@@ -335,12 +381,21 @@ impl Qserv {
         })
     }
 
-    /// The shared pipeline behind [`Qserv::query_with_stats`] and
-    /// [`Qserv::query_traced`]: runs the query, updating per-query
-    /// instruments (and trace spans, when a trace is active).
-    fn query_inner(&self, sql: &str) -> Result<(ResultTable, QueryMetrics), QservError> {
+    /// The shared pipeline behind [`Qserv::query_with_stats`],
+    /// [`Qserv::query_traced`] and the query service: runs the query,
+    /// updating per-query instruments (and trace spans, when a trace is
+    /// active). `pub(crate)` so [`crate::service::QueryService`] can run
+    /// it under its own trace root.
+    pub(crate) fn query_inner(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+    ) -> Result<(ResultTable, QueryMetrics), QservError> {
         let qm = QueryMetrics::new();
         let _q = trace::span("master.query");
+        if token.is_cancelled() {
+            return Err(QservError::Cancelled);
+        }
         let stmt = parse_select(sql)?;
         // FROM-less statements run locally on the frontend.
         if stmt.from.is_empty() {
@@ -363,10 +418,10 @@ impl Qserv {
         let result = {
             let _d = trace::span("master.dispatch");
             if self.streaming_merge {
-                self.dispatch_streaming(&prepared, &qm)?
+                self.dispatch_streaming(&prepared, &qm, token)?
             } else {
                 qm.chunks_dispatched.add(prepared.chunks.len() as u64);
-                let parts = self.dispatch_all(&prepared, &qm)?;
+                let parts = self.dispatch_all(&prepared, &qm, token)?;
                 self.merge(&prepared.plan, parts, &qm)?
             }
         };
@@ -388,6 +443,19 @@ impl Qserv {
             uses_secondary_index: prepared.analysis.index_ids.is_some(),
             sample_message,
         })
+    }
+
+    /// How many chunks `sql` would dispatch — the admission cost the
+    /// query service classifies on. FROM-less statements (which run
+    /// locally on the frontend) cost zero. Parse/analysis errors surface
+    /// here, *before* admission, so a broken query never occupies a
+    /// queue slot.
+    pub(crate) fn chunk_count(&self, sql: &str) -> Result<usize, QservError> {
+        let stmt = parse_select(sql)?;
+        if stmt.from.is_empty() {
+            return Ok(0);
+        }
+        Ok(self.prepare_stmt(&stmt)?.chunks.len())
     }
 
     pub(crate) fn prepare_stmt(
@@ -452,6 +520,7 @@ impl Qserv {
         &self,
         prepared: &Prepared,
         qm: &QueryMetrics,
+        token: &CancelToken,
     ) -> Result<Vec<Table>, QservError> {
         let jobs: Vec<(i32, String)> = prepared
             .chunks
@@ -482,9 +551,12 @@ impl Qserv {
                 scope.spawn(|_| {
                     let _tg = ctx.as_ref().map(|c| c.enter());
                     loop {
+                        if token.is_cancelled() {
+                            break;
+                        }
                         let job = queue.lock().next();
                         let Some((chunk, message)) = job else { break };
-                        let outcome = self.dispatch_one(chunk, &message, started);
+                        let outcome = self.dispatch_one(chunk, &message, started, token);
                         results.lock().push((chunk, outcome));
                     }
                 });
@@ -492,6 +564,12 @@ impl Qserv {
         })
         .map_err(|_| QservError::Fabric("dispatcher thread panicked".to_string()))?;
 
+        // The barrier merge only ever sees complete chunk sets: a
+        // cancellation mid-dispatch leaves `collected` a subset, and
+        // merging a subset would silently return wrong rows.
+        if token.is_cancelled() {
+            return Err(QservError::Cancelled);
+        }
         let mut collected = results.into_inner();
         collected.sort_by_key(|(c, _)| *c);
         let mut tables = Vec::with_capacity(collected.len());
@@ -515,6 +593,7 @@ impl Qserv {
         &self,
         prepared: &Prepared,
         qm: &QueryMetrics,
+        token: &CancelToken,
     ) -> Result<ResultTable, QservError> {
         let jobs: Vec<(usize, i32, String)> = prepared
             .chunks
@@ -557,8 +636,11 @@ impl Qserv {
             // trace is a pure function of the query (bit-reproducible).
             let mut stop = false;
             for (seq, chunk, message) in jobs {
+                if token.is_cancelled() {
+                    break;
+                }
                 dispatched += 1;
-                let outcome = self.dispatch_one(chunk, &message, started);
+                let outcome = self.dispatch_one(chunk, &message, started, token);
                 last_arrival = Some(self.clock.now());
                 match outcome {
                     Ok((table, bytes, meta)) => {
@@ -598,6 +680,7 @@ impl Qserv {
                 fold_err,
                 first_fold,
                 last_arrival,
+                token,
             );
         }
 
@@ -619,17 +702,18 @@ impl Qserv {
                 scope.spawn(move |_| {
                     let _tg = ctx.as_ref().map(|c| c.enter());
                     loop {
-                        // Cancellation is checked between jobs: an
+                        // Cancellation — by LIMIT cutoff or by an
+                        // external KILL — is checked between jobs: an
                         // in-flight chunk finishes (and is drained below)
                         // but nothing new leaves the queue.
-                        if cancelled.load(Ordering::Relaxed) {
+                        if cancelled.load(Ordering::Relaxed) || token.is_cancelled() {
                             break;
                         }
                         let job = queue.lock().next();
                         let Some((seq, chunk, message)) = job else {
                             break;
                         };
-                        let outcome = self.dispatch_one(chunk, &message, started);
+                        let outcome = self.dispatch_one(chunk, &message, started, token);
                         if tx.send((seq, outcome)).is_err() {
                             break;
                         }
@@ -643,10 +727,16 @@ impl Qserv {
             while let Ok((seq, outcome)) = rx.recv() {
                 dispatched += 1;
                 last_arrival = Some(self.clock.now());
+                // A KILL mid-stream: stop folding (the partial merge
+                // state will be discarded) but keep draining the channel
+                // so in-flight workers can finish their send and exit.
+                if token.is_cancelled() {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
                 match outcome {
                     Ok((table, bytes, meta)) => {
                         record_chunk(qm, bytes, &meta);
-                        if fold_err.is_none() && !merger.satisfied() {
+                        if fold_err.is_none() && !merger.satisfied() && !token.is_cancelled() {
                             if first_fold.is_none() {
                                 first_fold = Some(self.clock.now());
                             }
@@ -687,6 +777,7 @@ impl Qserv {
             fold_err,
             first_fold,
             last_arrival,
+            token,
         )
     }
 
@@ -704,10 +795,18 @@ impl Qserv {
         fold_err: Option<QservError>,
         first_fold: Option<Duration>,
         last_arrival: Option<Duration>,
+        token: &CancelToken,
     ) -> Result<ResultTable, QservError> {
         qm.chunks_dispatched.add(dispatched as u64);
         if let Some(e) = fold_err {
             return Err(e);
+        }
+        // A KILL wins over any dispatch error it raced with: the caller
+        // asked for cancellation and gets a deterministic `Cancelled`
+        // (the dispatch error may itself be a token-induced `Cancelled`
+        // from inside the retry loop).
+        if token.is_cancelled() {
+            return Err(QservError::Cancelled);
         }
         if let Some((_, e)) = dispatch_err {
             return Err(e);
@@ -741,13 +840,14 @@ impl Qserv {
         chunk: i32,
         message: &str,
         started: Duration,
+        token: &CancelToken,
     ) -> Result<(Table, u64, ChunkMeta), QservError> {
         let span = trace::span("chunk");
         if let Some(g) = &span {
             g.annotate("chunk", &chunk.to_string());
         }
         let t0 = self.clock.now();
-        let result = self.dispatch_one_retrying(chunk, message, started);
+        let result = self.dispatch_one_retrying(chunk, message, started, token);
         match (&span, &result) {
             (Some(g), Ok((_, bytes, meta))) => {
                 g.annotate("attempts", &meta.attempts.to_string());
@@ -768,6 +868,7 @@ impl Qserv {
         chunk: i32,
         message: &str,
         started: Duration,
+        token: &CancelToken,
     ) -> Result<(Table, u64, ChunkMeta), QservError> {
         let policy = &self.retry;
         let max_attempts = policy.max_attempts.max(1);
@@ -776,6 +877,14 @@ impl Qserv {
         let mut last_err = QservError::Fabric(format!("chunk {chunk}: dispatch never attempted"));
         let mut attempt = 0;
         while attempt < max_attempts {
+            // Cancellation is observed *between* attempts, never inside
+            // dispatch_once's write → read → unlink sequence, so there is
+            // no window in which a result file was written but will not
+            // be consumed. Checked before the backoff: a killed chunk
+            // must not sit out its exponential wait first.
+            if token.is_cancelled() {
+                return Err(QservError::Cancelled);
+            }
             if attempt > 0 {
                 let mut backoff = policy
                     .backoff_base

@@ -23,7 +23,7 @@
 //! ablation bench converts that into seconds.
 
 use crate::error::QservError;
-use crate::master::{effective_width, Qserv, QueryStats};
+use crate::master::{effective_width, CancelToken, Qserv, QueryStats};
 use crate::merge::Merger;
 use crate::rewrite::render_chunk_message;
 use crate::stats::QueryMetrics;
@@ -100,6 +100,9 @@ impl<'q> SharedScanner<'q> {
         // own folds in order, so the reorder buffer never fills.
         let mut next_seq: Vec<usize> = vec![0; prepared.len()];
         let started = self.qserv.clock().now();
+        // Convoys are not individually killable (yet): members share
+        // dispatch, so a per-member token would cancel the whole pass.
+        let token = CancelToken::new();
 
         // Walk chunk-major: all queries touch chunk c while it is "hot".
         // Within a chunk the convoy members are independent physical
@@ -149,7 +152,7 @@ impl<'q> SharedScanner<'q> {
                         loop {
                             let job = queue.lock().next();
                             let Some((qi, message)) = job else { break };
-                            let outcome = self.qserv.dispatch_one(chunk, &message, started);
+                            let outcome = self.qserv.dispatch_one(chunk, &message, started, &token);
                             done.lock().push((qi, outcome));
                         }
                     });

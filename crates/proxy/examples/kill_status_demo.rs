@@ -1,0 +1,105 @@
+//! Cross-session KILL / STATUS over the proxy — the README quickstart,
+//! runnable.
+//!
+//! Session A submits a full scan that fabric read delays keep in flight;
+//! session B watches it appear in `STATUS;`, kills it by qid, and shows
+//! that A's session survives with a clean `cancelled` error and the
+//! fabric holds no stranded `/result/*` files.
+//!
+//! ```sh
+//! cargo run --release -p qserv-proxy --example kill_status_demo
+//! ```
+
+use qserv::service::{QueryService, ServiceConfig};
+use qserv::{ClusterBuilder, FabricOp, FaultPlan, Qserv, Value};
+use qserv_datagen::generate::{CatalogConfig, Patch};
+use qserv_proxy::{ProxyClient, ProxyServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let patch = Patch::generate(&CatalogConfig::small(700, 44));
+    let mut q = ClusterBuilder::new(4)
+        .fault_plan(FaultPlan::new(11))
+        .build(&patch.objects, &patch.sources);
+    // One dispatcher thread + a per-read delay: the scan stays in
+    // flight long enough for another session to catch it in STATUS.
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(25));
+
+    // Few chunks on this small demo cluster: classify every
+    // dispatching query as a scan so it shows under that class.
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            interactive_chunk_threshold: 0,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("proxy binds");
+    let addr = server.addr();
+    println!("proxy listening on {addr}\n");
+
+    // Session A: a slow full scan.
+    let scanner = std::thread::spawn(move || {
+        let mut a = ProxyClient::connect(addr).expect("session A connects");
+        println!("[A] SELECT COUNT(*) FROM Object;");
+        match a.query("SELECT COUNT(*) FROM Object") {
+            Err(e) => println!("[A] scan ended: {e}"),
+            Ok((t, _)) => println!("[A] scan finished before the kill landed: {:?}", t.rows),
+        }
+        let (table, _) = a
+            .query("SELECT objectId FROM Object WHERE objectId = 1")
+            .expect("session A survives its killed query");
+        println!(
+            "[A] follow-up lookup on the same session: {} row(s)",
+            table.num_rows()
+        );
+    });
+
+    // Session B: watch, then kill.
+    let mut b = ProxyClient::connect(addr).expect("session B connects");
+    let mut qid = None;
+    for _ in 0..500 {
+        let status = b.status().expect("STATUS");
+        let running = status.rows.iter().find(|row| {
+            matches!(&row[2], Value::Str(s) if s == "running")
+                && matches!(&row[1], Value::Str(c) if c == "scan")
+        });
+        if let Some(row) = running {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("[B] STATUS;  {}", status.columns.join(" | "));
+            println!("[B]          {}", cells.join(" | "));
+            qid = Some(match row[0] {
+                Value::Int(i) => i as u64,
+                _ => unreachable!("qid column is int"),
+            });
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let qid = qid.expect("session B never saw the scan running");
+    println!("[B] KILL {qid};  ->  {}", b.kill(qid).expect("KILL"));
+    println!(
+        "[B] KILL 999999;  ->  {}",
+        b.kill(999_999).expect("KILL unknown")
+    );
+
+    scanner.join().expect("session A thread");
+    assert_no_result_leaks(&qserv);
+    println!("\nno /result/* files left behind on any server");
+}
+
+fn assert_no_result_leaks(q: &Qserv) {
+    for (id, server) in q.cluster().servers().iter().enumerate() {
+        let leaked = server.file_names("/result/");
+        assert!(
+            leaked.is_empty(),
+            "server {id} leaked result files: {leaked:?}"
+        );
+    }
+}

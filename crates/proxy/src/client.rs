@@ -13,6 +13,12 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server answered `ERR <message>`.
     Server(String),
+    /// The server answered `BUSY <retry_after_ms>`: the admission queue
+    /// is full — back off and resubmit, the session stays usable.
+    Busy {
+        /// The server's suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
     /// The server sent a malformed frame.
     Protocol(ProtocolError),
 }
@@ -22,6 +28,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms} ms")
+            }
             ClientError::Protocol(e) => write!(f, "{e}"),
         }
     }
@@ -92,6 +101,27 @@ impl ProxyClient {
         Ok((table, stats, trace))
     }
 
+    /// Cancels a server-side query by id (`KILL <qid>;`), returning the
+    /// outcome string: `cancelled` (was still queued), `cancelling`
+    /// (running; it stops at the next chunk boundary), `finished`, or
+    /// `unknown`.
+    pub fn kill(&mut self, qid: u64) -> Result<String, ClientError> {
+        let (table, _, _) = self.exchange(&format!("KILL {qid}"))?;
+        match table.rows.first().and_then(|r| r.get(1)) {
+            Some(qserv_engine::value::Value::Str(outcome)) => Ok(outcome.clone()),
+            _ => Err(ClientError::Protocol(ProtocolError {
+                message: "KILL reply has no outcome column".to_string(),
+            })),
+        }
+    }
+
+    /// The server's query registry (`STATUS;`) as a result table with
+    /// columns `qid, class, state, wait_ms, run_ms, sql`.
+    pub fn status(&mut self) -> Result<ResultTable, ClientError> {
+        let (table, _, _) = self.exchange("STATUS")?;
+        Ok(table)
+    }
+
     /// One request/response round trip; the optional third element is the
     /// body of a `TRACE` frame when the server sent one.
     fn exchange(
@@ -116,6 +146,14 @@ impl ProxyClient {
         let first = read_frame(&mut self.reader)?;
         if let Some(msg) = first.strip_prefix("ERR ") {
             return Err(ClientError::Server(msg.to_string()));
+        }
+        if let Some(ms) = first.strip_prefix("BUSY ") {
+            let retry_after_ms = ms.trim().parse().map_err(|_| {
+                ClientError::Protocol(ProtocolError {
+                    message: format!("malformed BUSY frame {first:?}"),
+                })
+            })?;
+            return Err(ClientError::Busy { retry_after_ms });
         }
         let cols_line = first.strip_prefix("COLS").ok_or_else(|| {
             ClientError::Protocol(ProtocolError {

@@ -15,18 +15,31 @@
 //!          TRACE <json>           (only for `TRACE <sql>;` requests)
 //!          OK <row count> <chunks dispatched> <result bytes>
 //!    or:   ERR <message>
+//!    or:   BUSY <retry_after_ms>  (admission queue full — back off,
+//!                                  resubmit; the session stays usable)
 //! ```
 //!
 //! Prefixing a statement with `TRACE ` runs it under a fresh query trace
 //! (see `qserv::Qserv::query_traced`); the resulting span tree comes back
 //! as one line of compact JSON in the `TRACE` frame.
 //!
+//! Two session verbs answer as ordinary result tables, so any client
+//! that can read a query response can drive them:
+//!
+//! * `KILL <qid>;` — cancel a query by service-wide id: columns
+//!   `qid, outcome` where outcome is `cancelled` (was still queued),
+//!   `cancelling` (running; stops at the next chunk boundary),
+//!   `finished`, or `unknown`.
+//! * `STATUS;` — the service's query registry: columns
+//!   `qid, class, state, wait_ms, run_ms, sql`.
+//!
 //! Values are TSV-escaped (`\t`, `\n`, `\\`); SQL NULL is `\N`, MySQL's
 //! batch-output convention. [`server::ProxyServer`] runs one thread per
-//! connection over a shared frontend (which is `Sync`; concurrent queries
-//! exercise the same dispatcher paths the paper's concurrency test does);
-//! [`client::ProxyClient`] turns the stream back into a typed
-//! [`ResultTable`].
+//! connection, and every session submits through one shared
+//! `qserv::service::QueryService`: admission control and fair
+//! scheduling apply *across* sessions, and any session may `KILL` or
+//! `STATUS` the queries of every other. [`client::ProxyClient`] turns
+//! the stream back into a typed [`ResultTable`].
 
 pub mod client;
 pub mod protocol;

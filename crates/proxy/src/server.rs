@@ -1,7 +1,15 @@
 //! The proxy server: one thread per connection over a shared frontend.
+//!
+//! Every session submits through one shared [`QueryService`], so
+//! concurrent TCP clients are scheduled together: admission control and
+//! fair dequeue apply across sessions, a full queue surfaces as a
+//! `BUSY` frame, and any session may `KILL` or `STATUS` the queries of
+//! every other.
 
 use crate::protocol::{encode_value, type_tag};
-use qserv::Qserv;
+use qserv::service::{QueryService, ServiceConfig};
+use qserv::{Qserv, QservError, Value};
+use qserv_engine::exec::ResultTable;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -13,26 +21,40 @@ pub struct ProxyServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    service: Arc<QueryService>,
 }
 
 impl ProxyServer {
-    /// Starts a proxy over `qserv`, listening on `bind` (use port 0 for
-    /// an ephemeral port; [`ProxyServer::addr`] reports the actual one).
+    /// Starts a proxy over `qserv` with default service settings,
+    /// listening on `bind` (use port 0 for an ephemeral port;
+    /// [`ProxyServer::addr`] reports the actual one).
     pub fn start(qserv: Arc<Qserv>, bind: &str) -> std::io::Result<ProxyServer> {
+        let service = Arc::new(QueryService::start(qserv, ServiceConfig::default()));
+        ProxyServer::start_with_service(service, bind)
+    }
+
+    /// Starts a proxy over an existing [`QueryService`] — the caller
+    /// picks the admission/scheduling configuration and may keep its
+    /// own handle for `kill`/`status`/metrics.
+    pub fn start_with_service(
+        service: Arc<QueryService>,
+        bind: &str,
+    ) -> std::io::Result<ProxyServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let svc = Arc::clone(&service);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let qserv = Arc::clone(&qserv);
+                let service = Arc::clone(&svc);
                 std::thread::spawn(move || {
                     // A dropped/failed connection only ends that session.
-                    let _ = serve_connection(&qserv, stream);
+                    let _ = serve_connection(&service, stream);
                 });
             }
         });
@@ -40,12 +62,18 @@ impl ProxyServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            service,
         })
     }
 
     /// The address the proxy is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The query service behind every session.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
     }
 
     /// Stops accepting connections and joins the accept thread. Existing
@@ -73,7 +101,7 @@ impl Drop for ProxyServer {
 }
 
 /// Reads `;`-terminated queries off one connection until EOF.
-fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
+fn serve_connection(service: &QueryService, stream: TcpStream) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut pending = String::new();
@@ -91,69 +119,148 @@ fn serve_connection(qserv: &Qserv, stream: TcpStream) -> std::io::Result<()> {
             if sql.is_empty() {
                 continue;
             }
-            // `TRACE <sql>` runs the statement under a fresh trace rooted
-            // at the proxy (so the span tree covers proxy → master →
-            // fabric → worker → merge) and streams the tree back as a
-            // `TRACE <json>` frame between the rows and the OK.
-            let outcome = match strip_trace_verb(sql) {
-                Some(inner) => {
-                    let trace = qserv::Trace::new(qserv.clock().clone());
-                    let result = {
-                        let root = qserv::trace::with_root(&trace, "proxy.request");
-                        root.annotate("sql", inner);
-                        qserv.query_with_stats(inner)
-                    };
-                    result.map(|(rows, stats)| (rows, stats, Some(trace.to_json())))
-                }
-                None => qserv
-                    .query_with_stats(sql)
-                    .map(|(rows, stats)| (rows, stats, None)),
-            };
-            match outcome {
-                Ok((result, stats, trace_json)) => {
-                    // Column types: widened over all rows, `null` when a
-                    // column never carries a value.
-                    let mut types = vec!["null"; result.columns.len()];
-                    for row in &result.rows {
-                        for (i, v) in row.iter().enumerate() {
-                            let t = type_tag(v);
-                            types[i] = match (types[i], t) {
-                                (cur, "null") => cur,
-                                ("null", t) => t,
-                                ("int", "float") | ("float", "int") => "float",
-                                (cur, t) if cur == t => cur,
-                                _ => "str",
-                            };
-                        }
-                    }
-                    writeln!(writer, "COLS {}", result.columns.join("\t"))?;
-                    writeln!(writer, "TYPES {}", types.join("\t"))?;
-                    for row in &result.rows {
-                        let cells: Vec<String> = row.iter().map(encode_value).collect();
-                        writeln!(writer, "ROW {}", cells.join("\t"))?;
-                    }
-                    if let Some(json) = trace_json {
-                        // Compact JSON is single-line by construction
-                        // (string values escape their newlines).
-                        writeln!(writer, "TRACE {json}")?;
-                    }
-                    writeln!(
-                        writer,
-                        "OK {} {} {}",
-                        result.num_rows(),
-                        stats.chunks_dispatched,
-                        stats.result_bytes
-                    )?;
-                }
-                Err(e) => {
-                    // Errors are single-line by protocol.
-                    let msg = e.to_string().replace('\n', " ");
-                    writeln!(writer, "ERR {msg}")?;
-                }
-            }
+            serve_statement(service, sql, &mut writer)?;
             writer.flush()?;
         }
     }
+}
+
+/// Routes one statement: the session verbs (`KILL <qid>`, `STATUS`,
+/// `TRACE <sql>`) or plain SQL through the service.
+fn serve_statement(
+    service: &QueryService,
+    sql: &str,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    // `KILL <qid>` and `STATUS` answer as ordinary result tables, so
+    // any client that can read a query response can drive them.
+    match parse_kill_verb(sql) {
+        Some(Ok(qid)) => {
+            let outcome = service.kill(qid);
+            let table = ResultTable {
+                columns: vec!["qid".to_string(), "outcome".to_string()],
+                rows: vec![vec![
+                    Value::Int(qid as i64),
+                    Value::Str(outcome.as_str().to_string()),
+                ]],
+            };
+            return write_result(writer, &table, 0, 0, None);
+        }
+        Some(Err(bad)) => {
+            writeln!(writer, "ERR KILL needs a numeric query id, got {bad:?}")?;
+            return Ok(());
+        }
+        None => {}
+    }
+    if sql.eq_ignore_ascii_case("STATUS") {
+        let rows = service
+            .status()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    Value::Int(s.qid as i64),
+                    Value::Str(s.class.as_str().to_string()),
+                    Value::Str(s.state.as_str().to_string()),
+                    Value::Int(s.wait.as_millis() as i64),
+                    Value::Int(s.run.as_millis() as i64),
+                    Value::Str(s.sql),
+                ]
+            })
+            .collect();
+        let table = ResultTable {
+            columns: ["qid", "class", "state", "wait_ms", "run_ms", "sql"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            rows,
+        };
+        return write_result(writer, &table, 0, 0, None);
+    }
+
+    // `TRACE <sql>` runs the statement under a fresh trace rooted at
+    // the proxy (so the span tree covers proxy → service admission →
+    // master → fabric → worker → merge) and streams the tree back as a
+    // `TRACE <json>` frame between the rows and the OK.
+    let submitted = match strip_trace_verb(sql) {
+        Some(inner) => service.submit_traced(inner, "proxy.request"),
+        None => service.submit(sql),
+    };
+    let handle = match submitted {
+        Ok(h) => h,
+        // Admission backpressure is its own frame so clients can tell
+        // "resubmit later" apart from a failed query.
+        Err(QservError::Busy { retry_after_ms }) => {
+            writeln!(writer, "BUSY {retry_after_ms}")?;
+            return Ok(());
+        }
+        Err(e) => {
+            let msg = e.to_string().replace('\n', " ");
+            writeln!(writer, "ERR {msg}")?;
+            return Ok(());
+        }
+    };
+    let reply = handle.wait();
+    match reply.result {
+        Ok((result, stats)) => {
+            let trace_json = reply.trace.as_ref().map(|t| t.to_json());
+            write_result(
+                writer,
+                &result,
+                stats.chunks_dispatched,
+                stats.result_bytes,
+                trace_json.as_deref(),
+            )
+        }
+        Err(e) => {
+            // Errors are single-line by protocol.
+            let msg = e.to_string().replace('\n', " ");
+            writeln!(writer, "ERR {msg}")?;
+            Ok(())
+        }
+    }
+}
+
+/// Streams one result table as COLS/TYPES/ROW(/TRACE)/OK frames.
+fn write_result(
+    writer: &mut impl Write,
+    result: &ResultTable,
+    chunks_dispatched: usize,
+    result_bytes: u64,
+    trace_json: Option<&str>,
+) -> std::io::Result<()> {
+    // Column types: widened over all rows, `null` when a column never
+    // carries a value.
+    let mut types = vec!["null"; result.columns.len()];
+    for row in &result.rows {
+        for (i, v) in row.iter().enumerate() {
+            let t = type_tag(v);
+            types[i] = match (types[i], t) {
+                (cur, "null") => cur,
+                ("null", t) => t,
+                ("int", "float") | ("float", "int") => "float",
+                (cur, t) if cur == t => cur,
+                _ => "str",
+            };
+        }
+    }
+    writeln!(writer, "COLS {}", result.columns.join("\t"))?;
+    writeln!(writer, "TYPES {}", types.join("\t"))?;
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(encode_value).collect();
+        writeln!(writer, "ROW {}", cells.join("\t"))?;
+    }
+    if let Some(json) = trace_json {
+        // Compact JSON is single-line by construction (string values
+        // escape their newlines).
+        writeln!(writer, "TRACE {json}")?;
+    }
+    writeln!(
+        writer,
+        "OK {} {} {}",
+        result.num_rows(),
+        chunks_dispatched,
+        result_bytes
+    )
 }
 
 /// Splits the `TRACE` verb off a statement, returning the inner SQL.
@@ -167,5 +274,42 @@ fn strip_trace_verb(sql: &str) -> Option<&str> {
         Some(tail.trim_start())
     } else {
         None
+    }
+}
+
+/// Recognizes `KILL <qid>`: `Some(Ok(qid))` for a well-formed kill,
+/// `Some(Err(arg))` when the verb is present but the id is not a
+/// number, `None` for anything else (ordinary SQL never starts with
+/// KILL).
+fn parse_kill_verb(sql: &str) -> Option<Result<u64, String>> {
+    sql.get(..4)
+        .filter(|verb| verb.eq_ignore_ascii_case("KILL"))?;
+    let tail = &sql[4..];
+    if !tail.starts_with(char::is_whitespace) {
+        return None;
+    }
+    let arg = tail.trim();
+    Some(arg.parse::<u64>().map_err(|_| arg.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_verb_parses() {
+        assert_eq!(parse_kill_verb("KILL 42"), Some(Ok(42)));
+        assert_eq!(parse_kill_verb("kill  7"), Some(Ok(7)));
+        assert_eq!(parse_kill_verb("KILL abc"), Some(Err("abc".to_string())));
+        assert_eq!(parse_kill_verb("KILLER 1"), None);
+        assert_eq!(parse_kill_verb("SELECT 1"), None);
+    }
+
+    #[test]
+    fn trace_verb_strips() {
+        assert_eq!(strip_trace_verb("TRACE SELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_trace_verb("trace  SELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_trace_verb("TRACER x"), None);
+        assert_eq!(strip_trace_verb("SELECT 1"), None);
     }
 }

@@ -44,6 +44,34 @@ pub struct SimConfig {
     /// Optional chaos model: seeded transient task failures with retry
     /// (`None` = the fault-free cluster the paper's figures assume).
     pub faults: Option<FaultConfig>,
+    /// How worker nodes grant freed execution slots to queued tasks
+    /// (the paper's testbed is [`SchedulerPolicy::Fifo`]; Figure 14's
+    /// starvation is a direct consequence).
+    pub scheduler: SchedulerPolicy,
+}
+
+/// How a worker node's queue feeds its execution slots.
+///
+/// This is the node-level replay of the frontend's query-service
+/// scheduling (`qserv::service`): [`SchedulerPolicy::Fifo`] reproduces
+/// the Figure-14 starvation — short interactive tasks queue behind
+/// full-scan tasks that fill every slot — and
+/// [`SchedulerPolicy::InteractiveFirst`] reproduces the fix, where
+/// interactive tasks jump the queue and a slot reserve keeps scans from
+/// occupying the whole node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Strict arrival order, all slots open to any task (the paper's
+    /// behavior).
+    #[default]
+    Fifo,
+    /// Queued interactive tasks are admitted before queued scans, and
+    /// scan tasks may occupy at most `slots_per_node - reserved_slots`
+    /// slots — the reserve stays open for interactive arrivals.
+    InteractiveFirst {
+        /// Slots per node that scan tasks may never fill.
+        reserved_slots: usize,
+    },
 }
 
 /// Seeded transient-failure model for simulated chunk tasks.
@@ -97,6 +125,7 @@ impl SimConfig {
             net_bw: 117.0e6,
             frontend_base_s: 3.8,
             faults: None,
+            scheduler: SchedulerPolicy::Fifo,
         }
     }
 
@@ -110,6 +139,12 @@ impl SimConfig {
     /// Same cost model with seeded transient task failures.
     pub fn with_faults(mut self, faults: FaultConfig) -> SimConfig {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Same cost model with a different node-slot scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> SimConfig {
+        self.scheduler = scheduler;
         self
     }
 

@@ -26,7 +26,7 @@
 pub mod config;
 pub mod simulator;
 
-pub use config::{FaultConfig, SimConfig};
+pub use config::{FaultConfig, SchedulerPolicy, SimConfig};
 pub use simulator::{ChunkTask, QueryJob, QueryReport, Simulator};
 
 // The shared virtual timeline ([`Simulator::bind_clock`]): the same clock

@@ -427,6 +427,15 @@ fn virtual_clock_chaos_runs_are_bit_reproducible() {
             .build(&patch.objects, &patch.sources);
         // One dispatcher thread: chunk ordering (and therefore span
         // ordering and fault-schedule interleaving) is sequential.
+        // Byte-comparing traces is gated on this serial path on
+        // purpose: with dispatch_width > 1, worker threads race for
+        // chunks and the streaming merger folds results in completion
+        // order, so span start/stop interleavings — and which retry
+        // consumes which seeded fault — differ run to run even on a
+        // virtual clock. Rows stay identical either way (the merge is
+        // order-insensitive); only the *observability byte stream* is
+        // nondeterministic, which is why this reproducibility check
+        // pins the width instead of weakening the comparison.
         q.dispatch_width = 1;
         q.cluster()
             .faults()

@@ -1,0 +1,662 @@
+//! The concurrent query service, proven three ways:
+//!
+//! 1. **Multi-client stress** — N client threads × M mixed queries over
+//!    real TCP through the proxy. Every concurrent result must equal the
+//!    serial oracle, no `/result/*` files may leak, and admission
+//!    backpressure (`BUSY`) must be survivable by simple retry.
+//! 2. **Fairness property** — random arrival schedules replayed against
+//!    the pure [`FairScheduler`] on a virtual clock: every admitted
+//!    query completes (no starvation), and under scan saturation the
+//!    interactive p95 latency stays within 3× the unloaded latency —
+//!    while the FIFO baseline starves (the paper's Figure 14 and its
+//!    fix).
+//! 3. **Cancellation under chaos** — `KILL` against an in-flight scan
+//!    with fabric delay faults active: the query stops at a chunk
+//!    boundary, no result files are stranded, the reply channel
+//!    resolves, the trace still validates, and the service keeps
+//!    serving.
+//!
+//! The stress test's seed comes from `QSERV_STRESS_SEED` (default 1) so
+//! CI can run a seed matrix; set `QSERV_SERVICE_METRICS_OUT` to a path
+//! to export the service metrics snapshot as JSON after the stress run.
+
+mod common;
+
+use common::{small_patch, sorted_rows};
+use qserv::service::{names, FairScheduler, QueryClass, ServiceConfig};
+use qserv::{
+    ClusterBuilder, FabricOp, FaultPlan, KillOutcome, Qserv, QservError, QueryService, QueryState,
+    Value,
+};
+use qserv_proxy::client::ClientError;
+use qserv_proxy::{ProxyClient, ProxyServer};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Mixed workload: interactive point/region lookups and full scans, all
+/// chosen so repeated distributed runs are bit-identical regardless of
+/// merge order (integer counts, exact row selections — no global float
+/// folds that could reassociate).
+const STRESS_QUERIES: [&str; 5] = [
+    "SELECT COUNT(*) FROM Object",
+    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 123",
+    "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0.0, -2.0, 2.0, 2.0)",
+    "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId",
+    "SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC LIMIT 5",
+];
+
+/// xorshift64*: tiny, seedable, good enough to mix query choices.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn stress_seed() -> u64 {
+    std::env::var("QSERV_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn assert_no_result_leaks(q: &Qserv, context: &str) {
+    for (id, server) in q.cluster().servers().iter().enumerate() {
+        let leaked = server.file_names("/result/");
+        assert!(
+            leaked.is_empty(),
+            "{context}: server {id} leaked result files: {leaked:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Multi-client stress over TCP
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_sessions_match_serial_oracle() {
+    const CLIENTS: usize = 6;
+    const QUERIES_PER_CLIENT: usize = 8;
+
+    let patch = small_patch(700, 42);
+    let qserv = Arc::new(ClusterBuilder::new(4).build(&patch.objects, &patch.sources));
+
+    // The serial oracle: each distinct query once, before any
+    // concurrency exists.
+    let oracle: HashMap<&str, Vec<Vec<Value>>> = STRESS_QUERIES
+        .iter()
+        .map(|&sql| {
+            let r = qserv.query(sql).expect("serial oracle run");
+            (sql, sorted_rows(&r.rows))
+        })
+        .collect();
+
+    let server = ProxyServer::start(Arc::clone(&qserv), "127.0.0.1:0").expect("proxy binds");
+    let addr = server.addr();
+    let seed = stress_seed();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mut client = ProxyClient::connect(addr).expect("client connects");
+                    let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(c as u64));
+                    for i in 0..QUERIES_PER_CLIENT {
+                        let sql = STRESS_QUERIES[rng.next() as usize % STRESS_QUERIES.len()];
+                        // BUSY is a legitimate answer under load: back
+                        // off as the server suggests and resubmit.
+                        let rows = loop {
+                            match client.query(sql) {
+                                Ok((table, _)) => break table.rows,
+                                Err(ClientError::Busy { retry_after_ms }) => {
+                                    std::thread::sleep(Duration::from_millis(retry_after_ms))
+                                }
+                                Err(e) => panic!("client {c} query {i} ({sql}): {e}"),
+                            }
+                        };
+                        assert_eq!(
+                            &sorted_rows(&rows),
+                            &oracle[sql],
+                            "client {c} query {i} diverged from the oracle: {sql}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // Every query the concurrent run dispatched must have consumed its
+    // result transactions.
+    assert_no_result_leaks(&qserv, "stress run");
+
+    // The service saw the whole workload.
+    let snap = server.service().metrics_snapshot();
+    let admitted = snap.counter(names::ADMITTED_INTERACTIVE) + snap.counter(names::ADMITTED_SCAN);
+    assert_eq!(
+        snap.counter(names::COMPLETED),
+        admitted,
+        "every admitted query completed"
+    );
+    assert_eq!(
+        admitted as usize,
+        CLIENTS * QUERIES_PER_CLIENT,
+        "nothing was rejected at the default queue capacity"
+    );
+
+    // Optional CI artifact: the service instruments as JSON.
+    if let Ok(path) = std::env::var("QSERV_SERVICE_METRICS_OUT") {
+        std::fs::write(&path, snap.to_json()).expect("write metrics artifact");
+    }
+}
+
+#[test]
+fn busy_backpressure_is_survivable_by_retry() {
+    let patch = small_patch(300, 43);
+    let qserv = Arc::new(ClusterBuilder::new(2).build(&patch.objects, &patch.sources));
+    let expected = qserv.query(STRESS_QUERIES[0]).expect("oracle");
+
+    // A deliberately tiny service: one executor, one queue slot per
+    // class, so concurrent clients *must* hit BUSY.
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            max_concurrent: 1,
+            max_scan_concurrent: 1,
+            queue_capacity: 1,
+            retry_after: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("proxy binds");
+    let addr = server.addr();
+
+    let busy_total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = ProxyClient::connect(addr).expect("client connects");
+                    let mut busy = 0usize;
+                    for i in 0..4 {
+                        loop {
+                            match client.query(STRESS_QUERIES[0]) {
+                                Ok((table, _)) => {
+                                    assert_eq!(
+                                        table.scalar(),
+                                        expected.scalar(),
+                                        "client {c} query {i} wrong under backpressure"
+                                    );
+                                    break;
+                                }
+                                Err(ClientError::Busy { retry_after_ms }) => {
+                                    busy += 1;
+                                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                                }
+                                Err(e) => panic!("client {c}: {e}"),
+                            }
+                        }
+                    }
+                    busy
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+
+    // 4 clients × 4 queries against a 1-deep queue: rejections must
+    // have happened, and the rejected counter must agree.
+    let snap = server.service().metrics_snapshot();
+    let rejected = snap.counter(names::REJECTED_INTERACTIVE) + snap.counter(names::REJECTED_SCAN);
+    assert!(busy_total > 0, "a 1-deep queue must reject under 4 clients");
+    assert_eq!(rejected as usize, busy_total, "BUSY frames == rejections");
+    assert_no_result_leaks(&qserv, "backpressure run");
+}
+
+#[test]
+fn kill_and_status_work_across_sessions() {
+    // Session A runs a slow scan; session B sees it in STATUS and kills
+    // it; A gets a clean `cancelled` error and its session stays usable.
+    let patch = small_patch(700, 44);
+    let mut q = ClusterBuilder::new(4)
+        .fault_plan(FaultPlan::new(11))
+        .build(&patch.objects, &patch.sources);
+    // One dispatcher thread + a per-read delay: the scan is slow enough
+    // for session B to catch it mid-flight.
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(25));
+
+    // Few chunks on this small cluster: classify every dispatching
+    // query as a scan so STATUS shows A's COUNT(*) under that class.
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            interactive_chunk_threshold: 0,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("proxy binds");
+    let addr = server.addr();
+
+    let scanner = std::thread::spawn(move || {
+        let mut a = ProxyClient::connect(addr).expect("session A connects");
+        let outcome = a.query("SELECT COUNT(*) FROM Object");
+        // Either the kill landed (server error mentioning cancellation)
+        // or the scan won the race and completed; both leave the
+        // session alive for the next statement.
+        let killed = match outcome {
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains("cancelled"), "unexpected error: {msg}");
+                true
+            }
+            Ok(_) => false,
+            Err(e) => panic!("session A: {e}"),
+        };
+        let (table, _) = a
+            .query("SELECT objectId FROM Object WHERE objectId = 1")
+            .expect("session A survives its killed query");
+        assert_eq!(table.num_rows(), 1);
+        killed
+    });
+
+    let mut b = ProxyClient::connect(addr).expect("session B connects");
+    // Poll STATUS until A's scan shows up as running (or terminal, if
+    // we lost the race).
+    let mut qid = None;
+    for _ in 0..500 {
+        let status = b.status().expect("STATUS");
+        let running = status.rows.iter().find(|row| {
+            matches!(&row[2], Value::Str(s) if s == "running")
+                && matches!(&row[1], Value::Str(c) if c == "scan")
+        });
+        if let Some(row) = running {
+            qid = Some(match row[0] {
+                Value::Int(i) => i as u64,
+                _ => unreachable!("qid column is int"),
+            });
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let qid = qid.expect("session B never saw the scan running");
+    let outcome = b.kill(qid).expect("KILL");
+    assert!(
+        outcome == "cancelling" || outcome == "finished",
+        "kill of a running scan answered {outcome:?}"
+    );
+    // An unknown qid is reported, not an error.
+    assert_eq!(b.kill(999_999).expect("KILL unknown"), "unknown");
+    scanner.join().expect("session A thread");
+    assert_no_result_leaks(&qserv, "cross-session kill");
+}
+
+// ---------------------------------------------------------------------
+// 2. Fairness property on a virtual clock
+// ---------------------------------------------------------------------
+
+/// One query in the scheduling simulation.
+#[derive(Clone, Copy, Debug)]
+struct SimQuery {
+    class: QueryClass,
+    /// Scheduling cost (chunk count) the ticket carries.
+    cost: u64,
+    /// Execution time once started, virtual ms.
+    exec_ms: u64,
+    /// Arrival time, virtual ms.
+    arrive_ms: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SimOutcome {
+    admitted: bool,
+    start_ms: u64,
+    finish_ms: u64,
+}
+
+/// Replays an arrival schedule against the pure [`FairScheduler`] on a
+/// virtual clock: a discrete-event loop where starting a query occupies
+/// its slot for `exec_ms`. Returns one outcome per input query.
+fn simulate(cfg: &ServiceConfig, queries: &[SimQuery]) -> Vec<SimOutcome> {
+    let mut sched = FairScheduler::new(cfg);
+    let mut outcomes = vec![SimOutcome::default(); queries.len()];
+
+    let mut arrivals: Vec<usize> = (0..queries.len()).collect();
+    arrivals.sort_by_key(|&i| (queries[i].arrive_ms, i));
+    let mut next_arrival = 0usize;
+
+    // Completions as a min-heap of (finish_ms, query index).
+    let mut running: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut now = 0u64;
+
+    loop {
+        // Advance to the next event: an arrival or a completion.
+        let next_arr = arrivals.get(next_arrival).map(|&i| queries[i].arrive_ms);
+        let next_done = running.peek().map(|r| r.0 .0);
+        now = match (next_arr, next_done) {
+            (Some(a), Some(d)) => a.min(d).max(now),
+            (Some(a), None) => a.max(now),
+            (None, Some(d)) => d.max(now),
+            (None, None) => break,
+        };
+
+        // Completions first: they free the slots arrivals may take.
+        while running.peek().is_some_and(|r| r.0 .0 <= now) {
+            let std::cmp::Reverse((_, i)) = running.pop().expect("peeked");
+            sched.complete(queries[i].class);
+            outcomes[i].finish_ms = now;
+        }
+        while next_arrival < arrivals.len() && queries[arrivals[next_arrival]].arrive_ms <= now {
+            let i = arrivals[next_arrival];
+            next_arrival += 1;
+            outcomes[i].admitted = sched.admit(i as u64, queries[i].class, queries[i].cost);
+        }
+        // Drain every ticket the scheduler will start at this instant.
+        while let Some(t) = sched.next_ticket() {
+            let i = t.qid as usize;
+            outcomes[i].start_ms = now;
+            running.push(std::cmp::Reverse((now + queries[i].exec_ms, i)));
+        }
+    }
+    outcomes
+}
+
+fn p95(mut v: Vec<u64>) -> u64 {
+    assert!(!v.is_empty());
+    v.sort_unstable();
+    let idx = ((v.len() as f64) * 0.95).ceil() as usize - 1;
+    v[idx.min(v.len() - 1)]
+}
+
+/// The ISSUE acceptance scenario: scan saturation (more scans than the
+/// cap admits, all long-running) plus 20 simultaneous interactive
+/// queries. Returns the interactive latencies (arrival → finish).
+fn saturated_latencies(cfg: &ServiceConfig) -> Vec<u64> {
+    const INTERACTIVE_EXEC_MS: u64 = 100;
+    let mut queries = Vec::new();
+    // Ten huge scans arrive first — more than `max_concurrent`, so an
+    // unscheduled FIFO fills every slot with them.
+    for _ in 0..10 {
+        queries.push(SimQuery {
+            class: QueryClass::Scan,
+            cost: 1_000,
+            exec_ms: 60_000,
+            arrive_ms: 0,
+        });
+    }
+    for _ in 0..20 {
+        queries.push(SimQuery {
+            class: QueryClass::Interactive,
+            cost: 1,
+            exec_ms: INTERACTIVE_EXEC_MS,
+            arrive_ms: 1,
+        });
+    }
+    let outcomes = simulate(cfg, &queries);
+    outcomes
+        .iter()
+        .zip(&queries)
+        .filter(|(o, q)| q.class == QueryClass::Interactive && o.admitted)
+        .map(|(o, q)| o.finish_ms - q.arrive_ms)
+        .collect()
+}
+
+#[test]
+fn interactive_p95_bounded_under_scan_saturation() {
+    // 9 slots, scans capped at 2 → 7 slots always open to interactive:
+    // 20 queries drain in three waves, so the worst wave finishes at
+    // 3 × exec and the p95 bound of the acceptance criterion holds.
+    let cfg = ServiceConfig {
+        max_concurrent: 9,
+        max_scan_concurrent: 2,
+        ..ServiceConfig::default()
+    };
+    let latencies = saturated_latencies(&cfg);
+    assert_eq!(latencies.len(), 20, "every interactive query completed");
+    let p = p95(latencies);
+    assert!(
+        p <= 3 * 100,
+        "interactive p95 {p} ms exceeds 3× the unloaded 100 ms latency"
+    );
+}
+
+#[test]
+fn fifo_baseline_starves_interactive_queries() {
+    // The identical workload through the unscheduled FIFO baseline:
+    // the scans grab all the slots and the interactive queries wait
+    // for a 60-second scan to finish — Figure 14's starvation.
+    let cfg = ServiceConfig {
+        max_concurrent: 9,
+        max_scan_concurrent: 2,
+        fifo: true,
+        ..ServiceConfig::default()
+    };
+    let latencies = saturated_latencies(&cfg);
+    assert_eq!(latencies.len(), 20);
+    let p = p95(latencies);
+    assert!(
+        p >= 60_000,
+        "FIFO should starve interactive queries behind the scans, p95 {p} ms"
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    /// No starvation, ever: for random mixed arrival schedules, every
+    /// admitted query eventually starts and finishes, and queries
+    /// *within a class* start in arrival order.
+    #[test]
+    fn every_admitted_query_completes(
+        seed in 0u64..10_000,
+        n in 1usize..40,
+        max_concurrent in 1usize..6,
+        max_scan in 1usize..6,
+    ) {
+        let mut rng = Rng::new(seed);
+        let queries: Vec<SimQuery> = (0..n)
+            .map(|_| {
+                let scan = rng.next().is_multiple_of(3);
+                SimQuery {
+                    class: if scan { QueryClass::Scan } else { QueryClass::Interactive },
+                    cost: if scan { 50 + rng.next() % 2_000 } else { 1 + rng.next() % 8 },
+                    exec_ms: 1 + rng.next() % (if scan { 5_000 } else { 50 }),
+                    arrive_ms: rng.next() % 1_000,
+                }
+            })
+            .collect();
+        let cfg = ServiceConfig {
+            max_concurrent,
+            max_scan_concurrent: max_scan.min(max_concurrent),
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        };
+        let outcomes = simulate(&cfg, &queries);
+        let mut starts: [Vec<(u64, u64)>; 2] = [Vec::new(), Vec::new()];
+        for (i, (o, q)) in outcomes.iter().zip(&queries).enumerate() {
+            proptest::prop_assert!(o.admitted, "capacity 64 admits everything here");
+            proptest::prop_assert!(
+                o.finish_ms >= o.start_ms && o.start_ms >= q.arrive_ms,
+                "query {i} never ran: {o:?}"
+            );
+            proptest::prop_assert_eq!(o.finish_ms - o.start_ms, q.exec_ms);
+            let c = if q.class == QueryClass::Scan { 1 } else { 0 };
+            starts[c].push((q.arrive_ms, o.start_ms));
+        }
+        // Within a class the queue is FIFO: a later arrival never
+        // starts before an earlier one (equal arrivals tie-break by
+        // admission order, which the sort preserves).
+        for class_starts in &mut starts {
+            class_starts.sort_by_key(|&(arrive, _)| arrive);
+            for w in class_starts.windows(2) {
+                proptest::prop_assert!(
+                    w[0].1 <= w[1].1,
+                    "within-class arrival order violated: {w:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Cancellation under chaos
+// ---------------------------------------------------------------------
+
+#[test]
+fn kill_under_fabric_faults_leaves_no_residue() {
+    let patch = small_patch(700, 45);
+    let mut q = ClusterBuilder::new(4)
+        .replication(2)
+        .fault_plan(FaultPlan::new(21))
+        .build(&patch.objects, &patch.sources);
+    // Serial dispatch + a 40 ms read delay per chunk keeps the scan in
+    // flight for well over 100 ms, so the kill lands mid-dispatch.
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(40));
+
+    let service = QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            max_concurrent: 2,
+            // This test cluster has few chunks, so force every
+            // chunk-dispatching query into the scan class.
+            interactive_chunk_threshold: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service
+        .submit_traced("SELECT COUNT(*) FROM Object", "chaos.kill")
+        .expect("scan admitted");
+    let qid = handle.qid;
+    assert_eq!(handle.class, QueryClass::Scan);
+
+    // Wait for it to actually start, then kill it.
+    for _ in 0..500 {
+        let running = service
+            .status()
+            .iter()
+            .any(|s| s.qid == qid && s.state == QueryState::Running);
+        if running {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let killed_at = std::time::Instant::now();
+    let outcome = service.kill(qid);
+    assert!(
+        matches!(outcome, KillOutcome::Cancelling | KillOutcome::Finished),
+        "kill answered {outcome:?}"
+    );
+
+    // The reply channel must resolve — a kill may never wedge the
+    // merge pipeline — and promptly: cancellation is checked at every
+    // chunk boundary, so one delayed chunk bounds the stop latency.
+    let reply = handle.wait();
+    assert!(
+        killed_at.elapsed() < Duration::from_secs(10),
+        "kill took {:?} to unwind",
+        killed_at.elapsed()
+    );
+    match (&outcome, &reply.result) {
+        (KillOutcome::Cancelling, Err(QservError::Cancelled)) => {}
+        // The scan can win the race at the last chunk boundary.
+        (_, Ok(_)) => {}
+        (o, Err(e)) => panic!("kill outcome {o:?} but query failed with: {e}"),
+    }
+    // The trace is present even for the cancelled run, and well-formed.
+    let trace = reply.trace.as_ref().expect("traced submission has a trace");
+    trace.validate().expect("killed-query trace validates");
+
+    // Nothing stranded on the fabric: every result transaction the
+    // cancelled dispatch opened was consumed or scrubbed.
+    assert_no_result_leaks(&qserv, "kill under delay faults");
+
+    // The registry agrees, and the service still serves.
+    let state = service
+        .status()
+        .iter()
+        .find(|s| s.qid == qid)
+        .map(|s| s.state)
+        .expect("killed query still in STATUS");
+    assert!(
+        state == QueryState::Cancelled || state == QueryState::Done,
+        "terminal state {state:?}"
+    );
+    qserv.cluster().faults().clear();
+    let after = service
+        .submit("SELECT COUNT(*) FROM Object")
+        .expect("service alive after kill")
+        .wait();
+    let (rows, _) = after.result.expect("post-kill query succeeds");
+    assert_eq!(rows.scalar(), Some(&Value::Int(700)));
+    assert_no_result_leaks(&qserv, "post-kill query");
+}
+
+#[test]
+fn kill_of_a_queued_query_is_immediate() {
+    let patch = small_patch(300, 46);
+    let mut q = ClusterBuilder::new(2)
+        .fault_plan(FaultPlan::new(22))
+        .build(&patch.objects, &patch.sources);
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(10));
+
+    // One executor: the second submission is necessarily queued.
+    let service = QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            max_concurrent: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service
+        .submit("SELECT COUNT(*) FROM Object")
+        .expect("first admitted");
+    let second = service
+        .submit("SELECT COUNT(*) FROM Object")
+        .expect("second admitted");
+
+    let second_qid = second.qid;
+    assert_eq!(service.kill(second_qid), KillOutcome::CancelledQueued);
+    let reply = second.wait();
+    assert!(
+        matches!(reply.result, Err(QservError::Cancelled)),
+        "queued kill must resolve as Cancelled"
+    );
+    assert_eq!(reply.run, Duration::ZERO, "it never ran");
+    // Killing it again reports the terminal state.
+    assert_eq!(service.kill(second_qid), KillOutcome::Finished);
+
+    let (rows, _) = first.wait().result.expect("first query unaffected");
+    assert_eq!(rows.scalar(), Some(&Value::Int(300)));
+    assert_no_result_leaks(&qserv, "queued kill");
+}
