@@ -18,8 +18,15 @@
 //! executor, the unscheduled baseline). Summary goes to
 //! `BENCH_service.json`.
 //!
+//! With `--join-out PATH` it additionally benchmarks the distributed
+//! join path on a real in-process cluster: the near-neighbour self-join
+//! and the cross-catalog XMatch end to end, plus the worker's compiled
+//! columnar distance kernel against the tree-walking interpreter on the
+//! same statement (both must return identical rows). Summary goes to
+//! `BENCH_join.json`.
+//!
 //! Usage: `master_bench [--chunks N,N,..] [--rows N] [--iters K] [--out PATH]
-//!                      [--service-out PATH]`
+//!                      [--service-out PATH] [--join-out PATH]`
 
 use qserv::analysis::analyze;
 use qserv::rewrite::{build_plan, PhysicalPlan};
@@ -301,12 +308,126 @@ fn run_service_bench(out: &str) {
     eprintln!("wrote {out}");
 }
 
+/// Best-of-`iters` wall time of `f`, in seconds, plus its last result.
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        result = Some(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (result.expect("at least one iteration"), best)
+}
+
+/// The join-path benchmark: distributed near-neighbour and XMatch on a
+/// real cluster, and the worker's vectorized distance kernel vs the
+/// interpreter on one chunk-sized self-join.
+fn run_join_bench(out: &str, iters: usize) {
+    use qserv_engine::db::Database;
+    use qserv_engine::exec::{execute_with_mode, ExecMode};
+
+    let objects = 3000usize;
+    let patch = Patch::generate(&CatalogConfig::small(objects, 61));
+    let refs = patch.generate_ref_catalog(61);
+    let q = ClusterBuilder::new(8)
+        .ref_objects(&refs)
+        .build(&patch.objects, &patch.sources);
+    let chunks = q.placement().chunks().len();
+
+    // 1. Distributed near-neighbour self-join (per-subchunk overlap join,
+    //    workers on the compiled distance kernel).
+    let radius = 0.05f64;
+    let nn_sql = format!(
+        "SELECT count(*) FROM Object o1, Object o2 \
+         WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < {radius} \
+         AND o1.objectId != o2.objectId"
+    );
+    let (pairs, nn_s) = best_of(iters, || {
+        q.query(&nn_sql)
+            .expect("near-neighbour query")
+            .scalar()
+            .and_then(|v| v.as_i64())
+            .expect("count")
+    });
+    eprintln!(
+        "join     near-neighbour {objects} objects r={radius}°: {pairs} pairs \
+         over {chunks} chunks in {:.0} ms",
+        nn_s * 1e3
+    );
+
+    // 2. Cross-catalog XMatch at 10 arcsec.
+    let spec = qserv::XMatchSpec::object_to_ref(10.0 / 3600.0);
+    let (matches, xm_s) = best_of(iters, || q.xmatch(&spec).expect("xmatch").0.num_rows());
+    eprintln!(
+        "join     xmatch {objects} objects vs {} refs: {matches} matched in {:.0} ms",
+        refs.len(),
+        xm_s * 1e3
+    );
+
+    // 3. Worker-kernel comparison: the same distance self-join statement
+    //    on one engine, compiled columnar kernel vs interpreter.
+    let mut table = qserv_engine::table::Table::new(Schema::new(vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("ra_PS", ColumnType::Float),
+        ColumnDef::new("decl_PS", ColumnType::Float),
+    ]));
+    for o in &patch.objects {
+        table
+            .push_row(vec![
+                Value::Int(o.object_id),
+                Value::Float(o.ra_ps),
+                Value::Float(o.decl_ps),
+            ])
+            .expect("schema matches");
+    }
+    let mut db = Database::new();
+    db.create_table("Object", table);
+    let stmt = parse_select(&nn_sql).expect("parses");
+    let (vec_result, vec_s) = best_of(iters, || {
+        execute_with_mode(&db, &stmt, ExecMode::Vectorized).expect("vectorized join")
+    });
+    let (int_result, int_s) = best_of(iters, || {
+        execute_with_mode(&db, &stmt, ExecMode::Interpreted).expect("interpreted join")
+    });
+    assert_eq!(
+        vec_result.0.rows, int_result.0.rows,
+        "distance kernel diverged from the interpreter"
+    );
+    let cmp_per_s = (objects * objects) as f64 / vec_s;
+    let kernel_speedup = int_s / vec_s;
+    eprintln!(
+        "join     distance kernel: vectorized {:.0} ms vs interpreted {:.0} ms \
+         ({kernel_speedup:.1}x, {cmp_per_s:.2e} candidate pairs/s)",
+        vec_s * 1e3,
+        int_s * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"objects\": {objects},\n  \"chunks\": {chunks},\n  \"iters\": {iters},\n  \
+         \"near_neighbor\": {{\"radius_deg\": {radius}, \"pairs\": {pairs}, \
+         \"best_ms\": {:.2}}},\n  \
+         \"xmatch\": {{\"radius_arcsec\": 10.0, \"refs\": {}, \"matches\": {matches}, \
+         \"best_ms\": {:.2}}},\n  \
+         \"distance_kernel\": {{\"vectorized_ms\": {:.2}, \"interpreted_ms\": {:.2}, \
+         \"speedup\": {kernel_speedup:.2}, \"candidate_pairs_per_s\": {cmp_per_s:.3e}}}\n}}\n",
+        nn_s * 1e3,
+        refs.len(),
+        xm_s * 1e3,
+        vec_s * 1e3,
+        int_s * 1e3
+    );
+    std::fs::write(out, json).expect("write join benchmark output");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let mut chunk_counts: Vec<usize> = vec![64, 256, 1024];
     let mut rows: usize = 200;
     let mut iters: usize = 3;
     let mut out = "BENCH_master.json".to_string();
     let mut service_out = "BENCH_service.json".to_string();
+    let mut join_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |what: &str| {
@@ -324,9 +445,10 @@ fn main() {
             "--iters" => iters = grab("--iters").parse().expect("integer iteration count"),
             "--out" => out = grab("--out"),
             "--service-out" => service_out = grab("--service-out"),
+            "--join-out" => join_out = Some(grab("--join-out")),
             other => panic!(
                 "unknown argument {other:?} \
-                 (expected --chunks/--rows/--iters/--out/--service-out)"
+                 (expected --chunks/--rows/--iters/--out/--service-out/--join-out)"
             ),
         }
     }
@@ -381,4 +503,8 @@ fn main() {
     eprintln!("headline agg_group streaming speedup: {headline:.2}x");
 
     run_service_bench(&service_out);
+
+    if let Some(join_out) = join_out {
+        run_join_bench(&join_out, iters);
+    }
 }

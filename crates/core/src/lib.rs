@@ -66,7 +66,7 @@ pub mod worker;
 
 pub use error::QservError;
 pub use loader::ClusterBuilder;
-pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery};
+pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery, XMatchSpec};
 pub use merge::{merge_oracle, merge_tables, Merger};
 pub use meta::CatalogMeta;
 pub use multimaster::MasterPool;

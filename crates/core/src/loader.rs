@@ -15,7 +15,7 @@
 use crate::master::{Qserv, RetryPolicy};
 use crate::meta::CatalogMeta;
 use crate::worker::Worker;
-use qserv_datagen::generate::{ObjectRow, SourceRow};
+use qserv_datagen::generate::{ObjectRow, RefObjectRow, SourceRow};
 use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
 use qserv_engine::table::Table;
 use qserv_engine::value::Value;
@@ -63,6 +63,30 @@ pub fn source_schema() -> Schema {
     ])
 }
 
+/// The RefObject chunk-table schema: the second catalog XMatch joins
+/// against. Partitioned on (`ra`, `decl`) like any large table.
+pub fn ref_object_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("refObjectId", ColumnType::Int),
+        ColumnDef::new("ra", ColumnType::Float),
+        ColumnDef::new("decl", ColumnType::Float),
+        ColumnDef::new("mag", ColumnType::Float),
+        ColumnDef::new("chunkId", ColumnType::Int),
+        ColumnDef::new("subChunkId", ColumnType::Int),
+    ])
+}
+
+fn ref_object_values(r: &RefObjectRow, chunk: i32, subchunk: i32) -> Vec<Value> {
+    vec![
+        Value::Int(r.ref_object_id),
+        Value::Float(r.ra),
+        Value::Float(r.decl),
+        Value::Float(r.mag),
+        Value::Int(chunk as i64),
+        Value::Int(subchunk as i64),
+    ]
+}
+
 fn object_values(o: &ObjectRow, chunk: i32, subchunk: i32) -> Vec<Value> {
     let mut row = vec![
         Value::Int(o.object_id),
@@ -104,6 +128,7 @@ pub struct ClusterBuilder {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     clock: Option<SharedClock>,
+    ref_objects: Vec<RefObjectRow>,
 }
 
 impl ClusterBuilder {
@@ -122,7 +147,18 @@ impl ClusterBuilder {
             faults: None,
             retry: RetryPolicy::default(),
             clock: None,
+            ref_objects: Vec::new(),
         }
+    }
+
+    /// Loads a second catalog (the XMatch reference survey) alongside
+    /// Object/Source. RefObject rows are partitioned by their own
+    /// position; chunks populated only by reference objects still get
+    /// (empty) Object/Source tables so every exported chunk is fully
+    /// queryable.
+    pub fn ref_objects(mut self, refs: &[RefObjectRow]) -> ClusterBuilder {
+        self.ref_objects = refs.to_vec();
+        self
     }
 
     /// Uses a specific partitioning.
@@ -230,12 +266,36 @@ impl ClusterBuilder {
             }
         }
 
+        // --- Partition the reference catalog (XMatch side B) -------------
+        let mut ref_owned: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        let mut ref_overlap: BTreeMap<i32, Vec<Vec<Value>>> = BTreeMap::new();
+        for r in &self.ref_objects {
+            let p = LonLat::from_degrees(r.ra, r.decl);
+            let loc = chunker.locate(&p);
+            ref_owned
+                .entry(loc.chunk_id)
+                .or_default()
+                .push(ref_object_values(r, loc.chunk_id, loc.subchunk_id));
+            let probe = SphericalBox::from_degrees(r.ra, r.decl, r.ra, r.decl).dilated(overlap);
+            for c in chunker.chunks_intersecting(&probe) {
+                if c != loc.chunk_id && chunker.in_overlap(c, &p).unwrap_or(false) {
+                    ref_overlap.entry(c).or_default().push(ref_object_values(
+                        r,
+                        loc.chunk_id,
+                        loc.subchunk_id,
+                    ));
+                }
+            }
+        }
+
         // --- Placement over the populated chunk set ----------------------
         let mut chunks: Vec<i32> = obj_owned
             .keys()
             .chain(src_owned.keys())
             .chain(obj_overlap.keys())
             .chain(src_overlap.keys())
+            .chain(ref_owned.keys())
+            .chain(ref_overlap.keys())
             .copied()
             .collect();
         chunks.sort_unstable();
@@ -284,6 +344,12 @@ impl ClusterBuilder {
                     chunk,
                     build_table(source_schema(), src_owned.get(&chunk), true),
                     build_table(source_schema(), src_overlap.get(&chunk), false),
+                );
+                worker.install_chunk(
+                    "RefObject",
+                    chunk,
+                    build_table(ref_object_schema(), ref_owned.get(&chunk), false),
+                    build_table(ref_object_schema(), ref_overlap.get(&chunk), false),
                 );
                 cluster.servers()[node].export(&query_path(chunk));
             }

@@ -11,7 +11,7 @@ use crate::analysis::{analyze, Analysis, JoinClass};
 use crate::error::QservError;
 use crate::merge::{merge_oracle, Merger};
 use crate::meta::CatalogMeta;
-use crate::rewrite::{build_plan, render_chunk_message, PhysicalPlan};
+use crate::rewrite::{build_plan, render_chunk_message, MergeShape, PhysicalPlan};
 use crate::stats::QueryMetrics;
 pub use crate::stats::QueryStats;
 use crate::worker::Worker;
@@ -176,6 +176,38 @@ fn classify_xrd(e: XrdError) -> Attempt {
         }
     } else {
         Attempt::Fatal(QservError::from(e))
+    }
+}
+
+/// Specification of a cross-catalog XMatch: match every row of catalog
+/// `left` against candidates in catalog `right` within `radius_deg`,
+/// keeping only the nearest candidate per left row.
+#[derive(Clone, Debug)]
+pub struct XMatchSpec {
+    /// Catalog A (the driver): each of its rows gets at most one match.
+    pub left: String,
+    /// Catalog A's id column, carried through to the result.
+    pub left_id: String,
+    /// Catalog B (the reference survey being matched against).
+    pub right: String,
+    /// Catalog B's id column, carried through to the result.
+    pub right_id: String,
+    /// Match radius in degrees. Must not exceed the partitioning overlap
+    /// — candidates further than the overlap would be invisible to the
+    /// chunk that owns the left row.
+    pub radius_deg: f64,
+}
+
+impl XMatchSpec {
+    /// The paper-layout default: Object matched against RefObject.
+    pub fn object_to_ref(radius_deg: f64) -> XMatchSpec {
+        XMatchSpec {
+            left: "Object".to_string(),
+            left_id: "objectId".to_string(),
+            right: "RefObject".to_string(),
+            right_id: "refObjectId".to_string(),
+            radius_deg,
+        }
     }
 }
 
@@ -361,6 +393,90 @@ impl Qserv {
         Ok((rows, qm.stats()))
     }
 
+    /// Runs a cross-catalog XMatch (paper §6.2's "near neighbor"
+    /// machinery pointed at two catalogs): every `spec.left` row is
+    /// matched against `spec.right` candidates within `spec.radius_deg`,
+    /// keeping the nearest candidate only. Dispatched chunk-aligned as a
+    /// subchunk near-join — the right side reads the overlap-dilated
+    /// subchunk tables, so matches straddling chunk borders are found —
+    /// and merged with the keep-nearest fold ([`MergeShape::Nearest`]).
+    /// Result columns: `left_id`, `right_id`, `dist` (degrees), one row
+    /// per matched left row, ascending by `left_id`.
+    pub fn xmatch(&self, spec: &XMatchSpec) -> Result<(ResultTable, QueryStats), QservError> {
+        self.xmatch_cancellable(spec, &CancelToken::new())
+    }
+
+    /// [`Qserv::xmatch`] under an externally held [`CancelToken`].
+    pub fn xmatch_cancellable(
+        &self,
+        spec: &XMatchSpec,
+        token: &CancelToken,
+    ) -> Result<(ResultTable, QueryStats), QservError> {
+        let qm = QueryMetrics::new();
+        let _q = trace::span("master.xmatch");
+        let sql = self.xmatch_sql(spec)?;
+        let stmt = parse_select(&sql)?;
+        let mut prepared = self.prepare_stmt(&stmt)?;
+        debug_assert_eq!(prepared.plan.join, JoinClass::SubchunkNear);
+        // The SQL subset cannot express per-key argmin, so the plan's
+        // classified shape (a plain append) is overridden with the
+        // keep-nearest fold; the merge statement stays the pass-through.
+        prepared.plan.shape = MergeShape::Nearest {
+            key: spec.left_id.clone(),
+            dist: "dist".to_string(),
+        };
+        let rows = self.run_prepared(&prepared, &qm, token)?;
+        Ok((rows, qm.stats()))
+    }
+
+    /// The worker-side SQL an XMatch dispatches (exposed for inspection
+    /// and tests): a two-catalog near-join projecting both ids and the
+    /// angular distance. Validates the spec against catalog metadata and
+    /// the partitioning overlap.
+    pub fn xmatch_sql(&self, spec: &XMatchSpec) -> Result<String, QservError> {
+        let left = self.meta.partition_info(&spec.left).ok_or_else(|| {
+            QservError::Analysis(format!(
+                "XMatch left table {} is not partitioned",
+                spec.left
+            ))
+        })?;
+        let right = self.meta.partition_info(&spec.right).ok_or_else(|| {
+            QservError::Analysis(format!(
+                "XMatch right table {} is not partitioned",
+                spec.right
+            ))
+        })?;
+        // `<= 0.0 || NaN` rather than `!(> 0.0)`: same rejection set,
+        // with the NaN case explicit.
+        if spec.radius_deg <= 0.0 || spec.radius_deg.is_nan() {
+            return Err(QservError::Analysis(format!(
+                "XMatch radius must be positive, got {}",
+                spec.radius_deg
+            )));
+        }
+        let overlap = self.chunker.overlap().degrees();
+        if spec.radius_deg > overlap {
+            return Err(QservError::Analysis(format!(
+                "XMatch radius {}° exceeds the partitioning overlap {overlap}°: \
+                 candidates beyond the overlap would be missed",
+                spec.radius_deg
+            )));
+        }
+        let sep = format!(
+            "qserv_angSep(a.{}, a.{}, b.{}, b.{})",
+            left.lon_col, left.lat_col, right.lon_col, right.lat_col
+        );
+        Ok(format!(
+            "SELECT a.{lid} AS {lid}, b.{rid} AS {rid}, {sep} AS dist \
+             FROM {lt} a, {rt} b WHERE {sep} <= {r:?}",
+            lid = spec.left_id,
+            rid = spec.right_id,
+            lt = spec.left,
+            rt = spec.right,
+            r = spec.radius_deg,
+        ))
+    }
+
     /// Executes a query under a fresh [`Trace`]: every layer it crosses —
     /// analysis, per-chunk dispatch attempts, fabric ops, worker
     /// statement execution, merge folds — records spans into the
@@ -411,21 +527,31 @@ impl Qserv {
             }
             prepared
         };
+        let result = self.run_prepared(&prepared, &qm, token)?;
+        Ok((result, qm))
+    }
+
+    /// Dispatch + merge for an already-prepared plan (shared by the SQL
+    /// path and the XMatch operator, whose plan carries a shape override
+    /// no SQL statement produces).
+    fn run_prepared(
+        &self,
+        prepared: &Prepared,
+        qm: &QueryMetrics,
+        token: &CancelToken,
+    ) -> Result<ResultTable, QservError> {
         qm.used_secondary_index
             .set(prepared.analysis.index_ids.is_some() as u64);
         qm.used_spatial_restriction
             .set(prepared.analysis.spatial.is_some() as u64);
-        let result = {
-            let _d = trace::span("master.dispatch");
-            if self.streaming_merge {
-                self.dispatch_streaming(&prepared, &qm, token)?
-            } else {
-                qm.chunks_dispatched.add(prepared.chunks.len() as u64);
-                let parts = self.dispatch_all(&prepared, &qm, token)?;
-                self.merge(&prepared.plan, parts, &qm)?
-            }
-        };
-        Ok((result, qm))
+        let _d = trace::span("master.dispatch");
+        if self.streaming_merge {
+            self.dispatch_streaming(prepared, qm, token)
+        } else {
+            qm.chunks_dispatched.add(prepared.chunks.len() as u64);
+            let parts = self.dispatch_all(prepared, qm, token)?;
+            self.merge(&prepared.plan, parts, qm)
+        }
     }
 
     /// Plans a query without executing it.

@@ -192,6 +192,19 @@ enum State {
         /// Group keys in first-seen order.
         order: Vec<Vec<GroupKey>>,
     },
+    Nearest {
+        key: String,
+        dist: String,
+        /// (key column index, dist column index); `None` until the first
+        /// part arrives. Unlike TopN/Fold there is no safe downgrade —
+        /// the merge SQL cannot express keep-nearest — so resolution
+        /// failure is an error.
+        resolved: Option<(usize, usize)>,
+        /// Best (minimum-distance) row seen so far per key. The update
+        /// rule is commutative and associative, so the outcome is
+        /// independent of part arrival order.
+        best: HashMap<GroupKey, Vec<Value>>,
+    },
     Barrier {
         parts: Vec<Table>,
     },
@@ -241,6 +254,12 @@ impl Merger {
                 resolved: None,
                 groups: HashMap::new(),
                 order: Vec::new(),
+            },
+            MergeShape::Nearest { key, dist } => State::Nearest {
+                key: key.clone(),
+                dist: dist.clone(),
+                resolved: None,
+                best: HashMap::new(),
             },
             MergeShape::Barrier => State::Barrier { parts: Vec::new() },
         };
@@ -299,6 +318,10 @@ impl Merger {
                     .values()
                     .map(|g| g.reps.iter().map(value_bytes).sum::<u64>() + 32 * g.accs.len() as u64)
                     .sum(),
+                State::Nearest { best, .. } => best
+                    .values()
+                    .map(|r| r.iter().map(value_bytes).sum::<u64>())
+                    .sum(),
                 State::Barrier { parts } => parts.iter().map(|t| t.footprint_bytes()).sum(),
             }
     }
@@ -353,6 +376,28 @@ impl Merger {
                 if flip {
                     flipped.push(i);
                 }
+            }
+        }
+
+        // Nearest resolves its two named columns on the first part. There
+        // is no safe downgrade (the merge SQL cannot express keep-nearest)
+        // so a miss is an error, not a barrier.
+        if let State::Nearest {
+            key,
+            dist,
+            resolved: resolved @ None,
+            ..
+        } = &mut self.state
+        {
+            let ki = names.iter().position(|c| c == key);
+            let di = names.iter().position(|c| c == dist);
+            if let (Some(k), Some(d)) = (ki, di) {
+                *resolved = Some((k, d));
+            } else {
+                let msg = format!(
+                    "XMatch merge needs columns {key:?} and {dist:?}; chunk result has {names:?}"
+                );
+                return Err(QservError::Merge(msg));
             }
         }
 
@@ -533,6 +578,26 @@ impl Merger {
                     }
                 }
             }
+            State::Nearest { resolved, best, .. } => {
+                let (ki, _di) = resolved.expect("resolved above");
+                // An Int→Float flip on the key column changes group
+                // identity: re-key surviving rows under the widened vote
+                // (mirrors the Fold re-key).
+                if flipped.contains(&ki) {
+                    let old = std::mem::take(best);
+                    for (_, row) in old {
+                        let key = coerce(&row[ki], votes[ki]).group_key();
+                        upsert_nearest(best, key, row, resolved.expect("resolved").1);
+                    }
+                }
+                let di = resolved.expect("resolved above").1;
+                for r in 0..part.num_rows() {
+                    self.rows_folded += 1;
+                    let row = part.row(r);
+                    let key = coerce(&row[ki], votes[ki]).group_key();
+                    upsert_nearest(best, key, row, di);
+                }
+            }
             State::Barrier { parts } => {
                 self.rows_folded += part.num_rows();
                 parts.push(part);
@@ -590,10 +655,54 @@ impl Merger {
                 }
                 build_table(&names, &votes, rows)?
             }
+            State::Nearest { resolved, best, .. } => {
+                let mut rows: Vec<Vec<Value>> = best.into_values().collect();
+                if let Some((ki, _)) = resolved {
+                    // Keys are unique per row, so ordering by key alone is
+                    // a total, arrival-order-independent order.
+                    rows.sort_by(|a, b| a[ki].total_cmp(&b[ki]));
+                }
+                build_table(&names, &votes, rows)?
+            }
         };
         let mut db = Database::new();
         db.create_table("result", table);
         execute(&db, &self.merge_stmt).map_err(QservError::from)
+    }
+}
+
+/// Keep-nearest update: replaces the stored best row for `key` when
+/// `row` is strictly closer, with equal distances broken by full-row
+/// lexicographic comparison. Commutative and associative, so the merged
+/// outcome is independent of fold order.
+fn upsert_nearest(
+    best: &mut HashMap<GroupKey, Vec<Value>>,
+    key: GroupKey,
+    row: Vec<Value>,
+    di: usize,
+) {
+    match best.entry(key) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(row);
+        }
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let cur = e.get();
+            let replace = match row[di].total_cmp(&cur[di]) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => row
+                    .iter()
+                    .zip(cur.iter())
+                    .find_map(|(a, b)| match a.total_cmp(b) {
+                        std::cmp::Ordering::Equal => None,
+                        ord => Some(ord == std::cmp::Ordering::Less),
+                    })
+                    .unwrap_or(false),
+            };
+            if replace {
+                e.insert(row);
+            }
+        }
     }
 }
 

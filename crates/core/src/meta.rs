@@ -54,12 +54,17 @@ impl CatalogMeta {
 
     /// The LSST catalog layout used throughout the paper: `Object`
     /// partitioned on (`ra_PS`, `decl_PS`) with the objectId index,
-    /// `Source` partitioned on (`ra`, `decl`) with objectId indexed, and a
-    /// small replicated `Filter` table.
+    /// `Source` partitioned on (`ra`, `decl`) with objectId indexed, a
+    /// small replicated `Filter` table, and a second partitioned
+    /// `RefObject` catalog (an external reference survey) for
+    /// cross-catalog XMatch. `RefObject` carries no secondary index — its
+    /// `refObjectId` values are not in the frontend's objectId index, so
+    /// routing must stay purely spatial.
     pub fn lsst() -> CatalogMeta {
         let mut m = CatalogMeta::new("LSST");
         m.add_partitioned("Object", "ra_PS", "decl_PS", Some("objectId"));
         m.add_partitioned("Source", "ra", "decl", Some("objectId"));
+        m.add_partitioned("RefObject", "ra", "decl", None);
         m.add_replicated("Filter");
         m
     }
@@ -155,6 +160,10 @@ mod tests {
             Some("objectId")
         );
         assert_eq!(m.table("Filter").unwrap().index_col, None);
+        assert!(m.is_partitioned("RefObject"));
+        let r = m.partition_info("RefObject").unwrap();
+        assert_eq!((r.lon_col.as_str(), r.lat_col.as_str()), ("ra", "decl"));
+        assert_eq!(m.table("RefObject").unwrap().index_col, None);
     }
 
     #[test]
@@ -167,6 +176,9 @@ mod tests {
     #[test]
     fn table_names_sorted() {
         let m = CatalogMeta::lsst();
-        assert_eq!(m.table_names(), vec!["Filter", "Object", "Source"]);
+        assert_eq!(
+            m.table_names(),
+            vec!["Filter", "Object", "RefObject", "Source"]
+        );
     }
 }

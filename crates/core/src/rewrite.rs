@@ -78,6 +78,18 @@ pub enum MergeShape {
         /// Roles parallel to `chunk_stmt.projections`.
         roles: Vec<ColumnRole>,
     },
+    /// Cross-catalog XMatch keep-nearest: per distinct `key` value keep
+    /// the single row whose `dist` column is smallest (ties broken by a
+    /// deterministic full-row comparison), emitting rows in ascending
+    /// key order at finish. Installed by the frontend's XMatch operator
+    /// — [`classify_merge`] never produces it, because the merge SQL
+    /// subset cannot express a per-group argmin.
+    Nearest {
+        /// Chunk-result column carrying the match key (catalog A's id).
+        key: String,
+        /// Chunk-result column carrying the candidate distance.
+        dist: String,
+    },
     /// Not incrementally foldable: buffer all parts, then run the oracle
     /// verbatim.
     Barrier,

@@ -52,6 +52,20 @@ pub struct SourceRow {
     pub psf_flux_err: f64,
 }
 
+/// One row of the RefObject table — a second catalog (think an external
+/// reference survey over the same sky) used by cross-catalog XMatch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefObjectRow {
+    /// Unique reference-object identifier (disjoint from `object_id`).
+    pub ref_object_id: i64,
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Declination, degrees.
+    pub decl: f64,
+    /// Calibrated magnitude in the reference band.
+    pub mag: f64,
+}
+
 /// Parameters for patch synthesis.
 #[derive(Clone, Debug)]
 pub struct CatalogConfig {
@@ -170,6 +184,56 @@ impl Patch {
     pub fn object_density_per_deg2(&self) -> f64 {
         self.objects.len() as f64 / self.footprint.area_deg2()
     }
+
+    /// Synthesizes a reference catalog (second survey) over this patch's
+    /// sky, for cross-catalog XMatch: ~70% of objects get a counterpart
+    /// displaced by up to ~10 arcsec, plus ~20% orphan reference objects
+    /// with no LSST counterpart. Uses an RNG stream independent of
+    /// [`Patch::generate`] (different seed derivation), so adding a
+    /// reference catalog never perturbs the Object/Source streams.
+    pub fn generate_ref_catalog(&self, seed: u64) -> Vec<RefObjectRow> {
+        // Decorrelate from the object-stream seed; `^` alone would map
+        // seed 0 onto the golden-ratio constant some callers use.
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5ef0);
+        let mut rows = Vec::new();
+        let mut next_id: i64 = 100_000;
+        for o in &self.objects {
+            if rng.gen::<f64>() >= 0.7 {
+                continue;
+            }
+            // Counterpart within ~10 arcsec (0.003°) of the LSST object.
+            let scatter = rng.gen::<f64>() * 0.003;
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let cosd = o.decl_ps.to_radians().cos().max(1e-6);
+            rows.push(RefObjectRow {
+                ref_object_id: next_id,
+                ra: (o.ra_ps + scatter * angle.cos() / cosd).rem_euclid(360.0),
+                decl: (o.decl_ps + scatter * angle.sin()).clamp(-90.0, 90.0),
+                mag: 14.0 + rng.gen::<f64>() * 8.0,
+            });
+            next_id += 1;
+        }
+        // Orphans: uniform over the footprint, ~20% of the object count.
+        let fp = self.footprint;
+        let lon0 = fp.lon_min_deg();
+        let lon_extent = fp.lon_extent_deg();
+        let (z_lo, z_hi) = (
+            fp.lat_min_deg().to_radians().sin(),
+            fp.lat_max_deg().to_radians().sin(),
+        );
+        let orphans = self.objects.len() / 5;
+        for _ in 0..orphans {
+            let z = z_lo + rng.gen::<f64>() * (z_hi - z_lo);
+            rows.push(RefObjectRow {
+                ref_object_id: next_id,
+                ra: (lon0 + rng.gen::<f64>() * lon_extent).rem_euclid(360.0),
+                decl: z.clamp(-1.0, 1.0).asin().to_degrees(),
+                mag: 14.0 + rng.gen::<f64>() * 8.0,
+            });
+            next_id += 1;
+        }
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +312,46 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn ref_catalog_is_deterministic_and_leaves_patch_untouched() {
+        let cfg = CatalogConfig::small(150, 42);
+        let p = Patch::generate(&cfg);
+        let q = Patch::generate(&cfg);
+        let a = p.generate_ref_catalog(42);
+        let b = q.generate_ref_catalog(42);
+        assert_eq!(a, b);
+        assert_ne!(a, p.generate_ref_catalog(43));
+        // The reference catalog comes from an independent RNG stream:
+        // generating it does not change Object/Source rows.
+        assert_eq!(p.objects, q.objects);
+        assert_eq!(p.sources, q.sources);
+    }
+
+    #[test]
+    fn ref_catalog_mixes_counterparts_and_orphans() {
+        let p = Patch::generate(&CatalogConfig::small(400, 8));
+        let refs = p.generate_ref_catalog(8);
+        // ~70% counterparts + 20% orphans.
+        assert!((refs.len() as f64) > 0.6 * 400.0);
+        assert!((refs.len() as f64) < 1.1 * 400.0);
+        let near = refs
+            .iter()
+            .filter(|r| {
+                p.objects.iter().any(|o| {
+                    qserv_sphgeom::angular_separation_deg(r.ra, r.decl, o.ra_ps, o.decl_ps) <= 0.003
+                })
+            })
+            .count();
+        // All counterparts are within the 0.003° scatter; orphans mostly
+        // are not (a few may land near an object by chance).
+        assert!(near >= refs.len() - 400 / 5);
+        let mut ids: Vec<i64> = refs.iter().map(|r| r.ref_object_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), refs.len(), "ref ids must be unique");
+        assert!(ids[0] >= 100_000, "ref ids disjoint from object ids");
     }
 
     #[test]

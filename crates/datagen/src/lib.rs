@@ -24,4 +24,4 @@ pub mod generate;
 pub use csv::{objects_from_csv, objects_to_csv, sources_from_csv, sources_to_csv};
 pub use duplicate::SkyDuplicator;
 pub use estimate::{lsst_final_release, TableEstimate};
-pub use generate::{CatalogConfig, ObjectRow, Patch, SourceRow};
+pub use generate::{CatalogConfig, ObjectRow, Patch, RefObjectRow, SourceRow};

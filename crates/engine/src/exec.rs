@@ -239,7 +239,15 @@ pub fn execute_with_mode(
             return sink.finish().map(|r| (r, ExecPath::Vectorized));
         }
     }
-    if mode == ExecMode::Vectorized {
+    // Vectorized join path: a two-table join whose cross predicates are
+    // one angular-distance cut plus integer comparisons runs the compiled
+    // distance kernel (per-binding filters still seed candidates below).
+    let dist_plan = if bindings.len() == 2 && mode != ExecMode::Interpreted {
+        crate::joinvec::plan_dist_join(&bindings, &cross)
+    } else {
+        None
+    };
+    if mode == ExecMode::Vectorized && dist_plan.is_none() {
         return Err(ExecError::Unsupported(
             "statement is not vectorizable".to_string(),
         ));
@@ -269,6 +277,16 @@ pub fn execute_with_mode(
             }
         }
         2 => {
+            if let Some(plan) = &dist_plan {
+                crate::joinvec::run_dist_join(
+                    plan,
+                    &bindings,
+                    &candidates,
+                    &mut sink,
+                    quick_limit,
+                )?;
+                return sink.finish().map(|r| (r, ExecPath::Vectorized));
+            }
             join_two(&bindings, &candidates, &cross, &mut sink, quick_limit)?;
         }
         n => {
@@ -548,7 +566,7 @@ fn join_two(
 
 /// When `e` is a bare column of one of the two bindings, returns
 /// `(binding index, column index)`.
-fn column_of(
+pub(crate) fn column_of(
     e: &Expr,
     names: &[&str; 2],
     bindings: &[(String, Arc<Table>)],
@@ -915,7 +933,7 @@ impl<'q> RowSink<'q> {
         })
     }
 
-    fn consume(&mut self, b: &Bindings<'_>) -> Result<(), ExecError> {
+    pub(crate) fn consume(&mut self, b: &Bindings<'_>) -> Result<(), ExecError> {
         if self.aggregated {
             let mut key = Vec::with_capacity(self.stmt.group_by.len());
             let mut rep = Vec::with_capacity(self.stmt.group_by.len());

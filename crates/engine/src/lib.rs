@@ -22,6 +22,10 @@
 //! * [`compile`] — per-query compilation of predicates and projections
 //!   into columnar kernels and flat programs.
 //! * [`vector`] — columnar kernel execution over selection vectors.
+//! * [`joinvec`] — the vectorized near-neighbor join: precomputed unit
+//!   vectors, declination-window pruning and a tight chord-distance loop
+//!   for `qserv_angSep(...) < r` two-table predicates (worker-side
+//!   near-neighbor self-joins and XMatch statements).
 //! * [`dump`] — `mysqldump`-style result serialization: result tables
 //!   travel from worker to master as SQL text and are re-loaded by
 //!   executing it (paper §5.4 "Query Results Transfer").
@@ -35,6 +39,7 @@ pub mod dump;
 pub mod eval;
 pub mod exec;
 pub mod functions;
+pub(crate) mod joinvec;
 pub mod schema;
 pub mod table;
 pub mod value;

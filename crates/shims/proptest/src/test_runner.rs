@@ -60,12 +60,23 @@ impl TestRng {
         }
     }
 
-    /// An RNG seeded from a test's name (FNV-1a).
+    /// An RNG seeded from a test's name (FNV-1a), perturbed by the
+    /// `PROPTEST_RNG_SEED` environment variable when set. The default
+    /// (unset, or not a u64) keeps the historical name-only seeding, so
+    /// plain `cargo test` stays reproducible; a CI matrix can export
+    /// different seeds to explore distinct deterministic sequences.
     pub fn for_test(name: &str) -> TestRng {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Some(seed) = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            // Seed 0 is the documented alias for the unperturbed run.
+            h ^= seed.wrapping_mul(0x9E3779B97F4A7C15);
         }
         TestRng::from_seed(h)
     }

@@ -8,17 +8,33 @@
 //! `acos(a·b)` form loses half its digits).
 
 use crate::angle::Angle;
-use crate::coords::LonLat;
+use crate::coords::{LonLat, UnitVector3};
+
+/// Squared chord length between two unit vectors: `‖a − b‖²`.
+///
+/// Exposed so columnar distance kernels can precompute unit vectors once
+/// and evaluate many pairs; combined with [`chord2_to_angle`] the result
+/// is bit-identical to [`angular_separation`].
+#[inline]
+pub fn chord2(a: &UnitVector3, b: &UnitVector3) -> f64 {
+    let dx = a.x() - b.x();
+    let dy = a.y() - b.y();
+    let dz = a.z() - b.z();
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Converts a squared chord length to the subtended angle,
+/// `2·asin(‖a − b‖ / 2)` — the other half of [`angular_separation`]'s
+/// arithmetic, kept as one function so every caller rounds identically.
+#[inline]
+pub fn chord2_to_angle(chord2: f64) -> Angle {
+    let chord_half = 0.5 * chord2.sqrt();
+    Angle::from_radians(2.0 * chord_half.clamp(0.0, 1.0).asin())
+}
 
 /// Great-circle separation between two points.
 pub fn angular_separation(a: &LonLat, b: &LonLat) -> Angle {
-    let va = a.to_vector();
-    let vb = b.to_vector();
-    let dx = va.x() - vb.x();
-    let dy = va.y() - vb.y();
-    let dz = va.z() - vb.z();
-    let chord_half = 0.5 * (dx * dx + dy * dy + dz * dz).sqrt();
-    Angle::from_radians(2.0 * chord_half.clamp(0.0, 1.0).asin())
+    chord2_to_angle(chord2(&a.to_vector(), &b.to_vector()))
 }
 
 /// Great-circle separation in degrees between two (ra, decl) pairs given in
@@ -83,6 +99,19 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn chord2_path_is_bit_identical(ra1 in 0.0f64..360.0, d1 in -90.0f64..90.0,
+                                        ra2 in 0.0f64..360.0, d2 in -90.0f64..90.0) {
+            // Distance kernels precompute unit vectors and go through
+            // chord2/chord2_to_angle; the interpreter calls
+            // angular_separation_deg. They must agree to the last bit.
+            let a = LonLat::from_degrees(ra1, d1);
+            let b = LonLat::from_degrees(ra2, d2);
+            let via_chord = chord2_to_angle(chord2(&a.to_vector(), &b.to_vector())).degrees();
+            let direct = angular_separation_deg(ra1, d1, ra2, d2);
+            prop_assert_eq!(via_chord.to_bits(), direct.to_bits());
+        }
+
         #[test]
         fn symmetric(ra1 in 0.0f64..360.0, d1 in -90.0f64..90.0,
                      ra2 in 0.0f64..360.0, d2 in -90.0f64..90.0) {

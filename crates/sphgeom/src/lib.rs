@@ -27,7 +27,7 @@ pub mod region;
 
 pub use angle::Angle;
 pub use coords::{LonLat, UnitVector3};
-pub use dist::{angular_separation, angular_separation_deg};
+pub use dist::{angular_separation, angular_separation_deg, chord2, chord2_to_angle};
 pub use region::{Region, SphericalBox, SphericalCircle};
 
 /// Machine epsilon-scale tolerance used by geometric predicates in this

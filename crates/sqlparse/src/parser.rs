@@ -32,7 +32,8 @@ impl std::error::Error for ParseError {}
 /// never be implicit aliases.
 const RESERVED: &[&str] = &[
     "from", "where", "group", "order", "limit", "as", "and", "or", "not", "between", "in", "is",
-    "null", "by", "desc", "asc", "select",
+    "null", "by", "desc", "asc", "select", "join", "on", "inner", "cross", "left", "right", "full",
+    "outer",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -159,18 +160,52 @@ impl Parser {
         while self.eat(&TokenKind::Comma) {
             projections.push(self.projection()?);
         }
+        // FROM list: comma joins plus explicit `[INNER|CROSS] JOIN ... [ON p]`.
+        // Explicit joins are desugared immediately — the joined table lands in
+        // the comma FROM list and ON predicates are ANDed into WHERE — so the
+        // analyzer sees one canonical shape (the paper's §5.3 grammar only
+        // has comma joins; ON is sugar the frontend accepts).
         let mut from = Vec::new();
+        let mut join_on: Vec<Expr> = Vec::new();
         if self.eat_kw("from") {
             from.push(self.table_ref()?);
-            while self.eat(&TokenKind::Comma) {
-                from.push(self.table_ref()?);
+            loop {
+                if self.eat(&TokenKind::Comma) {
+                    from.push(self.table_ref()?);
+                } else if self.eat_kw("cross") {
+                    self.expect_kw("join")?;
+                    from.push(self.table_ref()?);
+                } else if self.eat_kw("inner") {
+                    self.expect_kw("join")?;
+                    from.push(self.table_ref()?);
+                    self.expect_kw("on")?;
+                    join_on.push(self.expr()?);
+                } else if self.eat_kw("join") {
+                    from.push(self.table_ref()?);
+                    self.expect_kw("on")?;
+                    join_on.push(self.expr()?);
+                } else if matches!(self.peek_kind(),
+                    Some(k) if k.is_kw("left") || k.is_kw("right")
+                        || k.is_kw("full") || k.is_kw("outer"))
+                {
+                    return self.err("outer joins are not supported");
+                } else {
+                    break;
+                }
             }
         }
-        let where_clause = if self.eat_kw("where") {
+        let explicit_where = if self.eat_kw("where") {
             Some(self.expr()?)
         } else {
             None
         };
+        // Fold ON conjuncts and the explicit WHERE into one left-associative
+        // AND chain (the printer re-parenthesizes as needed, so this is a
+        // fixed point of to_sql regardless of the original spelling).
+        let where_clause = join_on
+            .into_iter()
+            .chain(explicit_where)
+            .reduce(|l, r| Expr::binary(l, BinaryOp::And, r));
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -642,6 +677,78 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.projections[0].output_name(), "AVG(uFlux_SG)");
+    }
+
+    #[test]
+    fn explicit_join_on_desugars_to_comma_from_plus_where() {
+        let a = parse_select(
+            "SELECT o.objectId, s.sourceId FROM Object o JOIN Source s ON o.objectId = s.objectId \
+             WHERE s.flux > 3",
+        )
+        .unwrap();
+        let b = parse_select(
+            "SELECT o.objectId, s.sourceId FROM Object o, Source s \
+             WHERE o.objectId = s.objectId AND s.flux > 3",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inner_join_is_plain_join() {
+        let a = parse_select("SELECT * FROM A INNER JOIN B ON A.x = B.x").unwrap();
+        let b = parse_select("SELECT * FROM A JOIN B ON A.x = B.x").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.from.len(), 2);
+    }
+
+    #[test]
+    fn cross_join_has_no_on() {
+        let s = parse_select("SELECT count(*) FROM A CROSS JOIN B").unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert!(s.where_clause.is_none());
+        // ON after CROSS JOIN is a syntax error.
+        assert!(parse_select("SELECT * FROM A CROSS JOIN B ON A.x = B.x").is_err());
+    }
+
+    #[test]
+    fn chained_joins_fold_on_conjuncts_left_to_right() {
+        let a =
+            parse_select("SELECT * FROM A JOIN B ON A.x = B.x JOIN C ON B.y = C.y WHERE C.z = 1")
+                .unwrap();
+        let b = parse_select("SELECT * FROM A, B, C WHERE A.x = B.x AND B.y = C.y AND C.z = 1")
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_on_roundtrips_through_printer() {
+        let s = parse_select(
+            "SELECT o.objectId FROM Object o JOIN Source s \
+             ON o.objectId = s.objectId AND s.flux > 3",
+        )
+        .unwrap();
+        let once = s.to_sql();
+        assert_eq!(parse_select(&once).unwrap(), s);
+    }
+
+    #[test]
+    fn outer_joins_rejected_with_message() {
+        for q in [
+            "SELECT * FROM A LEFT JOIN B ON A.x = B.x",
+            "SELECT * FROM A RIGHT JOIN B ON A.x = B.x",
+            "SELECT * FROM A FULL OUTER JOIN B ON A.x = B.x",
+            "SELECT * FROM A LEFT OUTER JOIN B ON A.x = B.x",
+        ] {
+            let e = parse_select(q).unwrap_err();
+            assert!(e.message.contains("outer joins"), "{q}: {e}");
+        }
+    }
+
+    #[test]
+    fn join_requires_on() {
+        assert!(parse_select("SELECT * FROM A JOIN B").is_err());
+        assert!(parse_select("SELECT * FROM A INNER JOIN B WHERE A.x = 1").is_err());
     }
 
     #[test]

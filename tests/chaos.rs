@@ -217,6 +217,93 @@ fn flapping_server_mid_dispatch_is_masked() {
 }
 
 #[test]
+fn worker_failure_mid_join_retries_on_replica() {
+    // The join path under chaos: a worker dies *while* a near-neighbor
+    // self-join and a cross-catalog XMatch are dispatching. Replica
+    // retries must mask the failure — results identical to a fault-free
+    // twin (which itself equals the brute-force oracle, proven by the
+    // join_oracle suite) — and no /result/* transaction may survive.
+    use qserv::XMatchSpec;
+    let patch = small_patch(500, 101);
+    let refs = patch.generate_ref_catalog(101);
+    let build = || {
+        ClusterBuilder::new(4)
+            .replication(2)
+            .fault_plan(FaultPlan::new(21))
+            .ref_objects(&refs)
+            .build(&patch.objects, &patch.sources)
+    };
+    let clean = build();
+    let chaotic = build();
+
+    let join_sql = "SELECT o1.objectId, o2.objectId FROM Object o1, Object o2 \
+         WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.05 \
+         AND o1.objectId != o2.objectId";
+    let spec = XMatchSpec::object_to_ref(0.01);
+    let want_join = sorted_rows(&clean.query(join_sql).expect("clean join").rows);
+    let want_match = clean.xmatch(&spec).expect("clean xmatch").0.rows;
+    assert!(!want_match.is_empty() && !want_join.is_empty());
+
+    // Nondeterministic half: a worker flaps offline/online while the
+    // join queries dispatch; every interleaving must be masked.
+    let flapper = chaotic.cluster().servers()[2].clone();
+    crossbeam::thread::scope(|scope| {
+        let handle = scope.spawn(|_| {
+            for _ in 0..16 {
+                flapper.set_online(false);
+                std::thread::sleep(Duration::from_millis(2));
+                flapper.set_online(true);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        for _ in 0..3 {
+            let got = chaotic.query(join_sql).expect("join during flapping");
+            assert_eq!(sorted_rows(&got.rows), want_join, "join rows diverged");
+            let (got, _) = chaotic.xmatch(&spec).expect("xmatch during flapping");
+            assert_eq!(got.rows, want_match, "xmatch rows diverged");
+        }
+        handle.join().expect("flapper thread");
+    })
+    .expect("no thread panics");
+
+    // Deterministic half 1: the worker is down for the *entire* join;
+    // the redirector must route its chunks to the surviving replica.
+    chaotic.cluster().servers()[2].set_online(false);
+    let got = chaotic.query(join_sql).expect("join with a dead worker");
+    assert_eq!(sorted_rows(&got.rows), want_join);
+    let (got, _) = chaotic.xmatch(&spec).expect("xmatch with a dead worker");
+    assert_eq!(got.rows, want_match);
+    chaotic.cluster().servers()[2].set_online(true);
+
+    // Deterministic half 2: injected write faults mid-join force the
+    // *retry* path (not just replica-aware routing) and are still
+    // invisible in the joined rows.
+    chaotic
+        .cluster()
+        .faults()
+        .fail_next(None, Some(FabricOp::Write), 3);
+    let (got, stats) = chaotic
+        .query_with_stats(join_sql)
+        .expect("join with write faults");
+    assert_eq!(sorted_rows(&got.rows), want_join);
+    assert!(
+        stats.chunks_retried > 0,
+        "write faults mid-join must force chunk retries"
+    );
+    chaotic
+        .cluster()
+        .faults()
+        .fail_next(None, Some(FabricOp::Write), 3);
+    let (got, stats) = chaotic.xmatch(&spec).expect("xmatch with write faults");
+    assert_eq!(got.rows, want_match);
+    assert!(
+        stats.chunks_retried > 0,
+        "xmatch retries under write faults"
+    );
+    assert_no_result_leaks(&chaotic, "worker failure mid-join");
+}
+
+#[test]
 fn unreplicated_cluster_surfaces_fabric_error_not_hang() {
     let patch = small_patch(300, 96);
     let q = ClusterBuilder::new(3)
