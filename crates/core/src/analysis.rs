@@ -338,6 +338,111 @@ fn find_index_ids(
     None
 }
 
+/// Extracts the numeric interval restrictions usable for chunk-level
+/// zone-map pruning: each returned `(column, lo, hi)` means every
+/// qualifying row satisfies `column ∈ [lo, hi]` (infinities for open
+/// sides). Only top-level AND conjuncts of shape `col ⋈ literal`
+/// (either orientation), non-negated `col BETWEEN lit AND lit` and
+/// non-negated `col IN (literals)` qualify — anything under OR/NOT is
+/// not a restriction. Bounds are widened to non-strict intervals, which
+/// is conservative for pruning (the prune test itself only trusts
+/// strict inequality; see [`crate::meta::ColumnZone::excluded_by`]).
+pub fn zone_restrictions(stmt: &SelectStatement) -> Vec<(String, f64, f64)> {
+    fn num(e: &Expr) -> Option<f64> {
+        match e {
+            Expr::Literal(Literal::Int(v)) => Some(*v as f64),
+            Expr::Literal(Literal::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+    fn col_name(e: &Expr) -> Option<&str> {
+        match e {
+            Expr::Column { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+    fn conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } = e
+        {
+            conjuncts(lhs, out);
+            conjuncts(rhs, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let Some(w) = &stmt.where_clause else {
+        return Vec::new();
+    };
+    let mut cs = Vec::new();
+    conjuncts(w, &mut cs);
+    let mut out = Vec::new();
+    for c in cs {
+        match c {
+            Expr::Binary { op, lhs, rhs } => {
+                let (col, lit, op) = if let (Some(c), Some(l)) = (col_name(lhs), num(rhs)) {
+                    (c, l, *op)
+                } else if let (Some(c), Some(l)) = (col_name(rhs), num(lhs)) {
+                    let flipped = match op {
+                        BinaryOp::Eq => BinaryOp::Eq,
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        _ => continue,
+                    };
+                    (c, l, flipped)
+                } else {
+                    continue;
+                };
+                let (lo, hi) = match op {
+                    BinaryOp::Eq => (lit, lit),
+                    BinaryOp::Lt | BinaryOp::LtEq => (f64::NEG_INFINITY, lit),
+                    BinaryOp::Gt | BinaryOp::GtEq => (lit, f64::INFINITY),
+                    _ => continue,
+                };
+                if lit.is_nan() {
+                    continue;
+                }
+                out.push((col.to_string(), lo, hi));
+            }
+            Expr::Between {
+                expr,
+                negated: false,
+                low,
+                high,
+            } => {
+                if let (Some(c), Some(lo), Some(hi)) = (col_name(expr), num(low), num(high)) {
+                    if !lo.is_nan() && !hi.is_nan() {
+                        out.push((c.to_string(), lo, hi));
+                    }
+                }
+            }
+            Expr::InList {
+                expr,
+                negated: false,
+                list,
+            } => {
+                if let Some(c) = col_name(expr) {
+                    let vals: Option<Vec<f64>> = list.iter().map(num).collect();
+                    if let Some(vals) = vals {
+                        if !vals.is_empty() && vals.iter().all(|v| !v.is_nan()) {
+                            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                            out.push((c.to_string(), lo, hi));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Classifies a join between partitioned tables.
 fn classify_join(stmt: &SelectStatement, partitioned: &[usize]) -> Result<JoinClass, QservError> {
     if partitioned.len() < 2 {
@@ -569,6 +674,39 @@ mod tests {
                 .unwrap()
                 .aggregated
         );
+    }
+
+    #[test]
+    fn zone_restrictions_extract_intervals() {
+        let stmt = parse_select(
+            "SELECT * FROM Object WHERE ra_PS BETWEEN 30 AND 60 AND decl_PS < 5 \
+             AND 2.5 <= zFlux_PS AND objectId IN (10, 3, 7) AND chunkId = 4",
+        )
+        .unwrap();
+        let r = zone_restrictions(&stmt);
+        assert_eq!(
+            r,
+            vec![
+                ("ra_PS".to_string(), 30.0, 60.0),
+                ("decl_PS".to_string(), f64::NEG_INFINITY, 5.0),
+                ("zFlux_PS".to_string(), 2.5, f64::INFINITY),
+                ("objectId".to_string(), 3.0, 10.0),
+                ("chunkId".to_string(), 4.0, 4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn zone_restrictions_skip_or_not_and_non_literals() {
+        let stmt = parse_select(
+            "SELECT * FROM Object WHERE (ra_PS > 10 OR decl_PS > 0) \
+             AND objectId NOT IN (1) AND ra_PS > decl_PS \
+             AND fluxToAbMag(zFlux_PS) < 20",
+        )
+        .unwrap();
+        assert!(zone_restrictions(&stmt).is_empty());
+        let none = parse_select("SELECT * FROM Object").unwrap();
+        assert!(zone_restrictions(&none).is_empty());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use error::QservError;
 pub use loader::ClusterBuilder;
 pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery, XMatchSpec};
 pub use merge::{merge_oracle, merge_tables, Merger};
-pub use meta::CatalogMeta;
+pub use meta::{CatalogMeta, ChunkZones, ColumnZone};
 pub use multimaster::MasterPool;
 pub use rewrite::{ColumnRole, MergeShape};
 pub use service::{

@@ -13,7 +13,7 @@
 //! boundaries where possible to enable joining between them" (§5.2).
 
 use crate::master::{Qserv, RetryPolicy};
-use crate::meta::CatalogMeta;
+use crate::meta::{CatalogMeta, ChunkZones, ColumnZone};
 use crate::worker::Worker;
 use qserv_datagen::generate::{ObjectRow, RefObjectRow, SourceRow};
 use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
@@ -129,6 +129,8 @@ pub struct ClusterBuilder {
     retry: RetryPolicy,
     clock: Option<SharedClock>,
     ref_objects: Vec<RefObjectRow>,
+    storage_dir: Option<std::path::PathBuf>,
+    storage_page_rows: usize,
 }
 
 impl ClusterBuilder {
@@ -148,7 +150,29 @@ impl ClusterBuilder {
             retry: RetryPolicy::default(),
             clock: None,
             ref_objects: Vec::new(),
+            storage_dir: None,
+            storage_page_rows: qserv_engine::DEFAULT_PAGE_ROWS,
         }
+    }
+
+    /// Stores owned partitioned chunk tables as on-disk columnar chunk
+    /// files under `dir` instead of in worker memory: workers attach the
+    /// files cold and decode pages lazily through the residency cache,
+    /// with zone-map page elision on scans. Replicas of a chunk share one
+    /// file. Overlap stores and on-demand subchunk tables stay in-memory.
+    pub fn storage_dir(mut self, dir: impl Into<std::path::PathBuf>) -> ClusterBuilder {
+        self.storage_dir = Some(dir.into());
+        self
+    }
+
+    /// Rows per page stripe in the chunk files [`Self::storage_dir`]
+    /// writes. The default ([`qserv_engine::DEFAULT_PAGE_ROWS`]) suits
+    /// production-sized chunks; tests shrink it so small chunks still
+    /// span several row groups and exercise zone-map page elision.
+    pub fn storage_page_rows(mut self, rows: usize) -> ClusterBuilder {
+        assert!(rows > 0, "a page stores at least one row");
+        self.storage_page_rows = rows;
+        self
     }
 
     /// Loads a second catalog (the XMatch reference survey) alongside
@@ -330,27 +354,78 @@ impl ClusterBuilder {
             t
         };
 
+        if let Some(dir) = &self.storage_dir {
+            std::fs::create_dir_all(dir).expect("storage dir is creatable");
+        }
+        let mut zones = ChunkZones::new();
         for &chunk in &chunks {
+            // Owned tables are built once per chunk; replicas share them
+            // (by clone in-memory, by file path on disk).
+            let owned: [(&str, Table); 3] = [
+                (
+                    "Object",
+                    build_table(object_schema(), obj_owned.get(&chunk), true),
+                ),
+                (
+                    "Source",
+                    build_table(source_schema(), src_owned.get(&chunk), true),
+                ),
+                (
+                    "RefObject",
+                    build_table(ref_object_schema(), ref_owned.get(&chunk), false),
+                ),
+            ];
+            // Per-chunk zone maps come from the same owned rows in both
+            // storage modes, so the master's chunk elision is identical
+            // with or without on-disk chunk files.
+            for (name, t) in &owned {
+                for s in qserv_engine::storage::table_column_summaries(t) {
+                    zones.register(
+                        name,
+                        chunk as i64,
+                        &s.name,
+                        ColumnZone {
+                            valid: s.valid,
+                            min: s.min,
+                            max: s.max,
+                        },
+                    );
+                }
+            }
+            let paths: Option<Vec<std::path::PathBuf>> = self.storage_dir.as_ref().map(|dir| {
+                owned
+                    .iter()
+                    .map(|(name, t)| {
+                        let path = dir.join(format!("{name}_{chunk}.qchunk"));
+                        qserv_engine::write_table(&path, t, self.storage_page_rows)
+                            .expect("chunk file is writable");
+                        path
+                    })
+                    .collect()
+            });
+            let overlaps = |name: &str| -> Table {
+                match name {
+                    "Object" => build_table(object_schema(), obj_overlap.get(&chunk), false),
+                    "Source" => build_table(source_schema(), src_overlap.get(&chunk), false),
+                    _ => build_table(ref_object_schema(), ref_overlap.get(&chunk), false),
+                }
+            };
             for &node in placement.nodes_of(chunk).expect("chunk was placed") {
                 let worker = &workers[node];
-                worker.install_chunk(
-                    "Object",
-                    chunk,
-                    build_table(object_schema(), obj_owned.get(&chunk), true),
-                    build_table(object_schema(), obj_overlap.get(&chunk), false),
-                );
-                worker.install_chunk(
-                    "Source",
-                    chunk,
-                    build_table(source_schema(), src_owned.get(&chunk), true),
-                    build_table(source_schema(), src_overlap.get(&chunk), false),
-                );
-                worker.install_chunk(
-                    "RefObject",
-                    chunk,
-                    build_table(ref_object_schema(), ref_owned.get(&chunk), false),
-                    build_table(ref_object_schema(), ref_overlap.get(&chunk), false),
-                );
+                match &paths {
+                    Some(paths) => {
+                        for ((name, _), path) in owned.iter().zip(paths) {
+                            worker
+                                .install_chunk_file(name, chunk, path, overlaps(name))
+                                .expect("chunk file attaches");
+                        }
+                    }
+                    None => {
+                        for (name, t) in &owned {
+                            worker.install_chunk(name, chunk, t.clone(), overlaps(name));
+                        }
+                    }
+                }
                 cluster.servers()[node].export(&query_path(chunk));
             }
         }
@@ -363,6 +438,7 @@ impl ClusterBuilder {
             secondary,
             workers,
         );
+        qserv.set_zones(Arc::new(zones));
         qserv.retry = self.retry;
         if let Some(clock) = self.clock {
             qserv.set_clock(clock);

@@ -7,10 +7,10 @@
 //! read back mysqldump-style results → merge into a local `result` table →
 //! run the merge/aggregation query → return rows to the caller.
 
-use crate::analysis::{analyze, Analysis, JoinClass};
+use crate::analysis::{analyze, zone_restrictions, Analysis, JoinClass};
 use crate::error::QservError;
 use crate::merge::{merge_oracle, Merger};
-use crate::meta::CatalogMeta;
+use crate::meta::{CatalogMeta, ChunkZones};
 use crate::rewrite::{build_plan, render_chunk_message, MergeShape, PhysicalPlan};
 use crate::stats::QueryMetrics;
 pub use crate::stats::QueryStats;
@@ -126,6 +126,10 @@ pub(crate) struct ChunkMeta {
     pub(crate) injected_seen: u64,
     /// Clock time the whole chunk dispatch took, retries included.
     pub(crate) latency: Duration,
+    /// Worker-reported cold-scan counters (the `-- QSERV_SCAN:` header on
+    /// the result dump); zero for warm in-memory chunks.
+    pub(crate) pages_pruned: u64,
+    pub(crate) pages_scanned: u64,
     prev_server: Option<ServerId>,
 }
 
@@ -137,8 +141,30 @@ pub(crate) fn record_chunk(qm: &QueryMetrics, bytes: u64, meta: &ChunkMeta) {
     }
     qm.replica_failovers.add(meta.failovers as u64);
     qm.injected_faults_observed.add(meta.injected_seen);
+    qm.pages_pruned.add(meta.pages_pruned);
+    qm.pages_scanned.add(meta.pages_scanned);
     qm.chunk_attempts.record(meta.attempts as u64);
     qm.chunk_latency_ns.record(meta.latency.as_nanos() as u64);
+}
+
+/// Splits a worker dump's optional `-- QSERV_SCAN:` header off, returning
+/// the `(pages_pruned, pages_scanned)` counters and the remaining dump
+/// text.
+fn split_scan_header(text: &str) -> (u64, u64, &str) {
+    let Some(rest) = text.strip_prefix("-- QSERV_SCAN:") else {
+        return (0, 0, text);
+    };
+    let (line, tail) = rest.split_once('\n').unwrap_or((rest, ""));
+    let mut pruned = 0u64;
+    let mut scanned = 0u64;
+    for part in line.split_whitespace() {
+        if let Some(v) = part.strip_prefix("pages_pruned=") {
+            pruned = v.parse().unwrap_or(0);
+        } else if let Some(v) = part.strip_prefix("pages_scanned=") {
+            scanned = v.parse().unwrap_or(0);
+        }
+    }
+    (pruned, scanned, tail)
 }
 
 /// Outcome of a single dispatch attempt.
@@ -269,6 +295,11 @@ pub struct Qserv {
     /// not the process — so a freshly built cluster replays the same
     /// result paths, keeping seeded fault schedules reproducible.
     qid: Arc<AtomicU64>,
+    /// Per-chunk zone maps registered at load time (ra/decl/flux/objectId
+    /// min-max per chunk). Lets `prepare_stmt` elide whole chunks before
+    /// dispatch — the master-side analogue of the worker's per-page zone
+    /// maps. Empty when the loader registered none.
+    zones: Arc<ChunkZones>,
 }
 
 /// A prepared (analyzed + planned) query, reusable by the shared-scan
@@ -277,6 +308,8 @@ pub(crate) struct Prepared {
     pub analysis: Analysis,
     pub plan: PhysicalPlan,
     pub chunks: Vec<i32>,
+    /// Chunks elided before dispatch by the per-chunk zone maps.
+    pub chunks_pruned: usize,
 }
 
 impl Qserv {
@@ -302,7 +335,19 @@ impl Qserv {
             retry: RetryPolicy::default(),
             streaming_merge: true,
             qid: Arc::new(AtomicU64::new(1)),
+            zones: Arc::new(ChunkZones::new()),
         }
+    }
+
+    /// Installs the per-chunk zone maps (called by the loader after every
+    /// chunk's column summaries are registered).
+    pub(crate) fn set_zones(&mut self, zones: Arc<ChunkZones>) {
+        self.zones = zones;
+    }
+
+    /// The per-chunk zone maps in effect (empty when none registered).
+    pub fn zones(&self) -> &ChunkZones {
+        &self.zones
     }
 
     /// Prefixes a rendered chunk message with a unique query-instance id.
@@ -329,6 +374,7 @@ impl Qserv {
             retry: self.retry.clone(),
             streaming_merge: self.streaming_merge,
             qid: Arc::clone(&self.qid),
+            zones: Arc::clone(&self.zones),
         }
     }
 
@@ -524,6 +570,9 @@ impl Qserv {
             if let Some(g) = &g {
                 g.annotate("chunks", &prepared.chunks.len().to_string());
                 g.annotate("join", &format!("{:?}", prepared.plan.join));
+                if prepared.chunks_pruned > 0 {
+                    g.annotate("chunks_pruned", &prepared.chunks_pruned.to_string());
+                }
             }
             prepared
         };
@@ -544,6 +593,7 @@ impl Qserv {
             .set(prepared.analysis.index_ids.is_some() as u64);
         qm.used_spatial_restriction
             .set(prepared.analysis.spatial.is_some() as u64);
+        qm.chunks_pruned.add(prepared.chunks_pruned as u64);
         let _d = trace::span("master.dispatch");
         if self.streaming_merge {
             self.dispatch_streaming(prepared, qm, token)
@@ -591,6 +641,25 @@ impl Qserv {
         let analysis = analyze(stmt, &self.meta)?;
         let plan = build_plan(&analysis, &self.meta)?;
         let mut chunks = self.chunk_set(&analysis);
+        // Zone-map chunk elision: for a single-partitioned-table query,
+        // drop every chunk whose registered per-column min/max proves no
+        // row can satisfy the WHERE clause's numeric intervals. Sound
+        // because a pruned chunk would contribute zero rows anyway — the
+        // workers still apply the full predicate — so elision only skips
+        // dispatches whose results are the merge's fold identity.
+        let mut chunks_pruned = 0usize;
+        if analysis.join == JoinClass::None
+            && analysis.partitioned.len() == 1
+            && !self.zones.is_empty()
+        {
+            let table = &analysis.stmt.from[analysis.partitioned[0]].table;
+            let restrictions = zone_restrictions(&analysis.stmt);
+            if !restrictions.is_empty() {
+                let before = chunks.len();
+                chunks.retain(|&c| !self.zones.chunk_excluded(table, c as i64, &restrictions));
+                chunks_pruned = before - chunks.len();
+            }
+        }
         // A fully-restricted-away chunk set still dispatches one chunk:
         // its (empty) result gives the merge query real input columns, so
         // aggregates keep SQL semantics — COUNT over nothing is 0, not the
@@ -607,6 +676,7 @@ impl Qserv {
             analysis,
             plan,
             chunks,
+            chunks_pruned,
         })
     }
 
@@ -1159,6 +1229,9 @@ impl Qserv {
                 message: err.trim().to_string(),
             });
         }
+        let (pages_pruned, pages_scanned, text) = split_scan_header(text);
+        meta.pages_pruned = pages_pruned;
+        meta.pages_scanned = pages_scanned;
         match load_dump(text) {
             Ok((_, table)) => Attempt::Ok(table, bytes),
             // An unparseable dump from a healthy worker means the payload

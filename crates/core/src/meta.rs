@@ -138,6 +138,96 @@ impl CatalogMeta {
     }
 }
 
+/// Zone summary for one numeric column of one chunk: min/max over the
+/// valid (non-NULL, non-NaN) values, as `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColumnZone {
+    /// Count of valid values in the chunk.
+    pub valid: u64,
+    /// Minimum valid value (`+∞` when `valid == 0`).
+    pub min: f64,
+    /// Maximum valid value (`−∞` when `valid == 0`).
+    pub max: f64,
+}
+
+impl ColumnZone {
+    /// True when every row of the chunk fails a `[lo, hi]` restriction on
+    /// this column. Conservative: boundary equality keeps the chunk (the
+    /// registered bounds went through an `as f64` conversion for integer
+    /// columns, which is monotone but lossy at the extremes, so only
+    /// strict inequality is trusted). A chunk with no valid value fails
+    /// any restriction — NULL and NaN rows never satisfy a comparison.
+    pub fn excluded_by(&self, lo: f64, hi: f64) -> bool {
+        self.valid == 0 || self.max < lo || self.min > hi
+    }
+}
+
+/// Per-chunk zone maps registered at load time: `(table, chunk) →
+/// column → zone`. The master consults these to elide whole chunks
+/// before dispatch — the chunk-level analogue of the worker's per-page
+/// zone maps.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkZones {
+    zones: BTreeMap<(String, i64), BTreeMap<String, ColumnZone>>,
+}
+
+impl ChunkZones {
+    /// An empty registry.
+    pub fn new() -> ChunkZones {
+        ChunkZones::default()
+    }
+
+    /// Registers (or merges, widening) the zone of one column of one
+    /// chunk. Merging lets replicated loads and overlap rows fold in
+    /// safely — bounds only ever widen.
+    pub fn register(&mut self, table: &str, chunk: i64, column: &str, zone: ColumnZone) {
+        let cols = self.zones.entry((table.to_string(), chunk)).or_default();
+        match cols.get_mut(column) {
+            Some(z) => {
+                z.valid += zone.valid;
+                z.min = z.min.min(zone.min);
+                z.max = z.max.max(zone.max);
+            }
+            None => {
+                cols.insert(column.to_string(), zone);
+            }
+        }
+    }
+
+    /// The zone of `column` in `table`'s chunk `chunk`, when registered.
+    pub fn zone(&self, table: &str, chunk: i64, column: &str) -> Option<&ColumnZone> {
+        self.zones.get(&(table.to_string(), chunk))?.get(column)
+    }
+
+    /// True when any registered zone proves chunk `chunk` of `table` has
+    /// no row satisfying *all* of `restrictions` (each a `column ∈ [lo,
+    /// hi]` interval ANDed with the others). Unregistered chunks or
+    /// columns are never excluded.
+    pub fn chunk_excluded(
+        &self,
+        table: &str,
+        chunk: i64,
+        restrictions: &[(String, f64, f64)],
+    ) -> bool {
+        let Some(cols) = self.zones.get(&(table.to_string(), chunk)) else {
+            return false;
+        };
+        restrictions
+            .iter()
+            .any(|(col, lo, hi)| cols.get(col).is_some_and(|z| z.excluded_by(*lo, *hi)))
+    }
+
+    /// Number of (table, chunk) entries registered.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +261,65 @@ mod tests {
         let m = CatalogMeta::lsst();
         assert!(m.partition_info("Filter").is_none());
         assert!(m.partition_info("Nope").is_none());
+    }
+
+    #[test]
+    fn chunk_zones_register_merge_and_exclude() {
+        let mut z = ChunkZones::new();
+        assert!(z.is_empty());
+        z.register(
+            "Object",
+            7,
+            "ra_PS",
+            ColumnZone {
+                valid: 10,
+                min: 30.0,
+                max: 40.0,
+            },
+        );
+        // A second registration for the same column widens.
+        z.register(
+            "Object",
+            7,
+            "ra_PS",
+            ColumnZone {
+                valid: 5,
+                min: 25.0,
+                max: 35.0,
+            },
+        );
+        assert_eq!(z.len(), 1);
+        let zone = z.zone("Object", 7, "ra_PS").unwrap();
+        assert_eq!((zone.valid, zone.min, zone.max), (15, 25.0, 40.0));
+
+        let hit = vec![("ra_PS".to_string(), 20.0, 26.0)];
+        let miss = vec![("ra_PS".to_string(), 50.0, 60.0)];
+        assert!(!z.chunk_excluded("Object", 7, &hit));
+        assert!(z.chunk_excluded("Object", 7, &miss));
+        // Boundary equality keeps the chunk (conservative).
+        let edge = vec![("ra_PS".to_string(), 40.0, 60.0)];
+        assert!(!z.chunk_excluded("Object", 7, &edge));
+        // Unknown chunk or column never excludes.
+        assert!(!z.chunk_excluded("Object", 8, &miss));
+        let other = vec![("decl_PS".to_string(), 50.0, 60.0)];
+        assert!(!z.chunk_excluded("Object", 7, &other));
+    }
+
+    #[test]
+    fn all_invalid_zone_excludes_any_restriction() {
+        let mut z = ChunkZones::new();
+        z.register(
+            "Object",
+            1,
+            "zFlux_PS",
+            ColumnZone {
+                valid: 0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            },
+        );
+        let any = vec![("zFlux_PS".to_string(), f64::NEG_INFINITY, f64::INFINITY)];
+        assert!(z.chunk_excluded("Object", 1, &any));
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub mod names {
     pub const PEAK_BUFFERED_PARTS: &str = "query.peak_buffered_parts";
     /// Gauge: ms from first incremental fold to last part arrival.
     pub const MERGE_OVERLAP_MS: &str = "query.merge_overlap_ms";
+    /// Counter: chunks elided before dispatch by zone-map pruning.
+    pub const CHUNKS_PRUNED: &str = "query.chunks_pruned";
+    /// Counter: row-group pages elided by worker zone maps (cold scans).
+    pub const PAGES_PRUNED: &str = "query.pages_pruned";
+    /// Counter: row-group pages decoded from disk (cold scans).
+    pub const PAGES_SCANNED: &str = "query.pages_scanned";
     /// Histogram: dispatch attempts per completed chunk.
     pub const CHUNK_ATTEMPTS: &str = "chunk.attempts";
     /// Histogram: per-chunk dispatch latency (clock ns, retries included).
@@ -75,6 +81,12 @@ pub struct QueryStats {
     /// arrival — the window in which merging overlapped dispatch. Zero
     /// on the barrier path, which merges only after dispatch ends.
     pub merge_overlap_ms: u64,
+    /// Chunks elided before dispatch by the per-chunk zone maps.
+    pub chunks_pruned: usize,
+    /// Row-group pages workers elided via zone maps during cold scans.
+    pub pages_pruned: u64,
+    /// Row-group pages workers decoded from disk during cold scans.
+    pub pages_scanned: u64,
 }
 
 impl QueryStats {
@@ -92,6 +104,9 @@ impl QueryStats {
             chunks_skipped_by_limit: s.counter(names::CHUNKS_SKIPPED_BY_LIMIT) as usize,
             peak_buffered_parts: s.gauge(names::PEAK_BUFFERED_PARTS) as usize,
             merge_overlap_ms: s.gauge(names::MERGE_OVERLAP_MS),
+            chunks_pruned: s.counter(names::CHUNKS_PRUNED) as usize,
+            pages_pruned: s.counter(names::PAGES_PRUNED),
+            pages_scanned: s.counter(names::PAGES_SCANNED),
         }
     }
 }
@@ -113,6 +128,9 @@ pub(crate) struct QueryMetrics {
     pub chunks_skipped_by_limit: Counter,
     pub peak_buffered_parts: Gauge,
     pub merge_overlap_ms: Gauge,
+    pub chunks_pruned: Counter,
+    pub pages_pruned: Counter,
+    pub pages_scanned: Counter,
     pub chunk_attempts: Histogram,
     pub chunk_latency_ns: Histogram,
 }
@@ -133,6 +151,9 @@ impl QueryMetrics {
             chunks_skipped_by_limit: registry.counter(names::CHUNKS_SKIPPED_BY_LIMIT),
             peak_buffered_parts: registry.gauge(names::PEAK_BUFFERED_PARTS),
             merge_overlap_ms: registry.gauge(names::MERGE_OVERLAP_MS),
+            chunks_pruned: registry.counter(names::CHUNKS_PRUNED),
+            pages_pruned: registry.counter(names::PAGES_PRUNED),
+            pages_scanned: registry.counter(names::PAGES_SCANNED),
             chunk_attempts: registry.histogram(names::CHUNK_ATTEMPTS),
             chunk_latency_ns: registry.histogram(names::CHUNK_LATENCY_NS),
             registry,

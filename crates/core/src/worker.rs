@@ -22,7 +22,7 @@ use crate::rewrite;
 use parking_lot::RwLock;
 use qserv_engine::db::Database;
 use qserv_engine::dump::dump_table;
-use qserv_engine::exec::{execute_traced, ExecPath, ResultTable};
+use qserv_engine::exec::{execute_detailed, ExecMode, ExecPath, ResultTable, ScanStats};
 use qserv_engine::table::Table;
 use qserv_partition::chunker::Chunker;
 use qserv_sphgeom::region::Region;
@@ -109,6 +109,30 @@ impl Worker {
         self.db.write().create_table(name, table);
     }
 
+    /// Installs a chunk of a partitioned table backed by an on-disk
+    /// columnar chunk file (`T_CC` stays cold until scanned); the overlap
+    /// rows stay in-memory as `TOverlap_CC`.
+    pub fn install_chunk_file(
+        &self,
+        table: &str,
+        chunk: i32,
+        path: &std::path::Path,
+        overlap: Table,
+    ) -> Result<(), String> {
+        let mut db = self.db.write();
+        db.attach_stored(&rewrite::chunk_table(table, chunk), path)
+            .map_err(|e| format!("attach {}: {e}", path.display()))?;
+        db.create_table(&rewrite::overlap_table(table, chunk), overlap);
+        Ok(())
+    }
+
+    /// Shares a residency pool with this worker's database (one LRU
+    /// budget across every worker of a node, or across a whole test
+    /// cluster).
+    pub fn set_residency(&self, residency: std::sync::Arc<qserv_engine::Residency>) {
+        self.db.write().set_residency(residency);
+    }
+
     /// Names of tables currently stored (for tests).
     pub fn table_names(&self) -> Vec<String> {
         self.db
@@ -127,10 +151,23 @@ impl Worker {
     /// Executes one chunk-query message (header + statements) against this
     /// worker's store, returning the concatenated result table.
     pub fn execute_message(&self, chunk: i32, message: &str) -> Result<Table, String> {
+        self.execute_message_detailed(chunk, message)
+            .map(|(t, _)| t)
+    }
+
+    /// Like [`Worker::execute_message`], but also reports the cold-scan
+    /// page counters (zone-map-elided and decoded row groups) summed over
+    /// the message's statements.
+    pub fn execute_message_detailed(
+        &self,
+        chunk: i32,
+        message: &str,
+    ) -> Result<(Table, ScanStats), String> {
         self.stats.chunk_queries.fetch_add(1, Ordering::Relaxed);
         let (_subchunks, statements) = parse_message(message)?;
 
         let mut combined: Option<ResultTable> = None;
+        let mut scan = ScanStats::default();
         let mut generated: Vec<String> = Vec::new();
         for stmt_text in &statements {
             // The span covers table generation + engine execution; when
@@ -153,8 +190,10 @@ impl Worker {
                 }
                 db.clone()
             };
-            let (result, path) =
-                execute_traced(&snapshot, &stmt).map_err(|e| format!("worker exec error: {e}"))?;
+            let (result, path, stmt_scan) = execute_detailed(&snapshot, &stmt, ExecMode::Auto)
+                .map_err(|e| format!("worker exec error: {e}"))?;
+            scan.pages_pruned += stmt_scan.pages_pruned;
+            scan.pages_scanned += stmt_scan.pages_scanned;
             self.stats.statements.fetch_add(1, Ordering::Relaxed);
             if path == ExecPath::Vectorized {
                 self.stats
@@ -170,6 +209,10 @@ impl Worker {
                     },
                 );
                 g.annotate("rows", &result.rows.len().to_string());
+                if stmt_scan.pages_pruned + stmt_scan.pages_scanned > 0 {
+                    g.annotate("pages_pruned", &stmt_scan.pages_pruned.to_string());
+                    g.annotate("pages_scanned", &stmt_scan.pages_scanned.to_string());
+                }
             }
             combined = Some(match combined {
                 None => result,
@@ -192,7 +235,26 @@ impl Worker {
             }
         }
         let combined = combined.ok_or_else(|| "empty chunk query".to_string())?;
-        Ok(combined.into_table())
+        Ok((combined.into_table(), scan))
+    }
+
+    /// The owned rows of `base`'s chunk under `owned_name`, decoding an
+    /// on-disk chunk file through the residency cache when necessary.
+    fn owned_rows(
+        &self,
+        db: &Database,
+        owned_name: &str,
+        base: &str,
+        chunk: i32,
+    ) -> Result<std::sync::Arc<Table>, String> {
+        db.materialize(owned_name)
+            .map_err(|e| format!("decode {owned_name}: {e}"))?
+            .ok_or_else(|| {
+                format!(
+                    "chunk {chunk} of {base} not stored on node {}",
+                    self.node_id
+                )
+            })
     }
 
     /// Ensures `name` exists, generating on-demand tables as needed.
@@ -216,15 +278,7 @@ impl Worker {
 
             // TUnion_CC = owned ∪ overlap.
             if name == rewrite::union_table(base, chunk) {
-                let owned = db
-                    .table(&owned_name)
-                    .ok_or_else(|| {
-                        format!(
-                            "chunk {chunk} of {base} not stored on node {}",
-                            self.node_id
-                        )
-                    })?
-                    .clone();
+                let owned = self.owned_rows(db, &owned_name, base, chunk)?;
                 let mut union = owned.empty_like();
                 for r in 0..owned.num_rows() {
                     union.push_row(owned.row(r)).expect("same schema");
@@ -241,15 +295,7 @@ impl Worker {
 
             // T_CC_SS: owned rows of one subchunk (by stored subChunkId).
             if let Some(ss) = parse_suffixed(name, &format!("{base}_{chunk}_")) {
-                let owned = db
-                    .table(&owned_name)
-                    .ok_or_else(|| {
-                        format!(
-                            "chunk {chunk} of {base} not stored on node {}",
-                            self.node_id
-                        )
-                    })?
-                    .clone();
+                let owned = self.owned_rows(db, &owned_name, base, chunk)?;
                 let sc_col = owned
                     .schema()
                     .index_of("subChunkId")
@@ -269,15 +315,7 @@ impl Worker {
                     .chunker
                     .subchunk_bounds_with_overlap(chunk, ss)
                     .map_err(|e| e.to_string())?;
-                let owned = db
-                    .table(&owned_name)
-                    .ok_or_else(|| {
-                        format!(
-                            "chunk {chunk} of {base} not stored on node {}",
-                            self.node_id
-                        )
-                    })?
-                    .clone();
+                let owned = self.owned_rows(db, &owned_name, base, chunk)?;
                 let lon = owned
                     .schema()
                     .index_of(&pinfo.lon_col)
@@ -337,8 +375,22 @@ impl OfsPlugin for Worker {
                 return;
             }
         };
-        let deposit = match self.execute_message(chunk, text) {
-            Ok(table) => dump_table("result", &table).into_bytes(),
+        let deposit = match self.execute_message_detailed(chunk, text) {
+            Ok((table, scan)) => {
+                let mut out = String::new();
+                // Piggyback the cold-scan counters on the dump text as a
+                // leading comment line; the master strips and folds it
+                // into the query stats. Omitted for pure in-memory scans
+                // so warm-path dumps are byte-identical to before.
+                if scan.pages_pruned + scan.pages_scanned > 0 {
+                    out.push_str(&format!(
+                        "-- QSERV_SCAN: pages_pruned={} pages_scanned={}\n",
+                        scan.pages_pruned, scan.pages_scanned
+                    ));
+                }
+                out.push_str(&dump_table("result", &table));
+                out.into_bytes()
+            }
             Err(e) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 format!("ERROR: {e}").into_bytes()

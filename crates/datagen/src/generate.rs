@@ -107,76 +107,120 @@ pub struct Patch {
     pub footprint: SphericalBox,
 }
 
-impl Patch {
-    /// Synthesizes a patch from `config`.
-    pub fn generate(config: &CatalogConfig) -> Patch {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+/// A streaming synthesizer: yields one object (plus its detections) at a
+/// time, holding only the RNG state and one object's sources in memory.
+/// [`Patch::generate`] drains this same iterator, so the streamed rows
+/// are bit-identical to a materialized patch for the same config —
+/// that's what lets [`crate::stream`] write datasets far larger than RAM
+/// straight to on-disk chunk files.
+pub struct ObjectStream {
+    rng: SmallRng,
+    lon0: f64,
+    lon_extent: f64,
+    z_lo: f64,
+    z_hi: f64,
+    mean_sources: f64,
+    remaining: usize,
+    next_object_id: i64,
+    next_source_id: i64,
+}
+
+impl ObjectStream {
+    /// Starts the stream for `config` (same seed, same rows as
+    /// [`Patch::generate`]).
+    pub fn new(config: &CatalogConfig) -> ObjectStream {
         let fp = config.footprint;
-        let mut objects = Vec::with_capacity(config.objects);
-        let mut sources = Vec::new();
+        ObjectStream {
+            rng: SmallRng::seed_from_u64(config.seed),
+            lon0: fp.lon_min_deg(),
+            lon_extent: fp.lon_extent_deg(),
+            z_lo: fp.lat_min_deg().to_radians().sin(),
+            z_hi: fp.lat_max_deg().to_radians().sin(),
+            mean_sources: config.mean_sources_per_object,
+            remaining: config.objects,
+            next_object_id: 1,
+            next_source_id: 1,
+        }
+    }
+}
 
-        let lon0 = fp.lon_min_deg();
-        let lon_extent = fp.lon_extent_deg();
-        let (z_lo, z_hi) = (
-            fp.lat_min_deg().to_radians().sin(),
-            fp.lat_max_deg().to_radians().sin(),
-        );
+impl Iterator for ObjectStream {
+    type Item = (ObjectRow, Vec<SourceRow>);
 
-        let mut source_id: i64 = 1;
-        for i in 0..config.objects {
-            let object_id = (i + 1) as i64;
-            // Uniform on the sphere patch: uniform in (lon, sin lat).
-            let ra = (lon0 + rng.gen::<f64>() * lon_extent).rem_euclid(360.0);
-            let z = z_lo + rng.gen::<f64>() * (z_hi - z_lo);
-            let decl = z.clamp(-1.0, 1.0).asin().to_degrees();
+    fn next(&mut self) -> Option<(ObjectRow, Vec<SourceRow>)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rng = &mut self.rng;
+        let object_id = self.next_object_id;
+        self.next_object_id += 1;
 
-            // Log-normal-ish fluxes: magnitudes uniform in [18, 27] per
-            // band with band-to-band colour scatter, converted to nJy via
-            // the engine's zero point (31.4).
-            let base_mag = 18.0 + rng.gen::<f64>() * 9.0;
-            let mut flux_ps = [0.0; 6];
-            for f in flux_ps.iter_mut() {
-                let mag = base_mag + rng.gen::<f64>() * 1.2 - 0.6;
-                *f = 10f64.powf((31.4 - mag) / 2.5);
-            }
-            let u_flux_sg = flux_ps[0] * (0.5 + rng.gen::<f64>());
-            let u_radius_ps = rng.gen::<f64>() * 0.1;
+        // Uniform on the sphere patch: uniform in (lon, sin lat).
+        let ra = (self.lon0 + rng.gen::<f64>() * self.lon_extent).rem_euclid(360.0);
+        let z = self.z_lo + rng.gen::<f64>() * (self.z_hi - self.z_lo);
+        let decl = z.clamp(-1.0, 1.0).asin().to_degrees();
 
-            // Sources: 1 + Poisson-ish count via a geometric-ish mixture;
-            // we use a simple uniform in [1, 2*mean) which preserves the
-            // mean and is cheap and deterministic.
-            let n_src =
-                1 + (rng.gen::<f64>() * (2.0 * config.mean_sources_per_object - 1.0)) as usize;
-            for k in 0..n_src {
-                // Detections scatter within ~0.3 arcsec of the object.
-                let scatter = 0.3 / 3600.0;
-                let cosd = decl.to_radians().cos().max(1e-6);
-                sources.push(SourceRow {
-                    source_id,
-                    object_id,
-                    ra: (ra + (rng.gen::<f64>() - 0.5) * 2.0 * scatter / cosd).rem_euclid(360.0),
-                    decl: (decl + (rng.gen::<f64>() - 0.5) * 2.0 * scatter).clamp(-90.0, 90.0),
-                    tai_mid_point: 54_600.0 + k as f64 * 3.0 + rng.gen::<f64>(),
-                    psf_flux: flux_ps[3] * (0.9 + rng.gen::<f64>() * 0.2),
-                    psf_flux_err: flux_ps[3] * 0.02,
-                });
-                source_id += 1;
-            }
+        // Log-normal-ish fluxes: magnitudes uniform in [18, 27] per
+        // band with band-to-band colour scatter, converted to nJy via
+        // the engine's zero point (31.4).
+        let base_mag = 18.0 + rng.gen::<f64>() * 9.0;
+        let mut flux_ps = [0.0; 6];
+        for f in flux_ps.iter_mut() {
+            let mag = base_mag + rng.gen::<f64>() * 1.2 - 0.6;
+            *f = 10f64.powf((31.4 - mag) / 2.5);
+        }
+        let u_flux_sg = flux_ps[0] * (0.5 + rng.gen::<f64>());
+        let u_radius_ps = rng.gen::<f64>() * 0.1;
 
-            objects.push(ObjectRow {
+        // Sources: 1 + Poisson-ish count via a geometric-ish mixture;
+        // we use a simple uniform in [1, 2*mean) which preserves the
+        // mean and is cheap and deterministic.
+        let n_src = 1 + (rng.gen::<f64>() * (2.0 * self.mean_sources - 1.0)) as usize;
+        let mut sources = Vec::with_capacity(n_src);
+        for k in 0..n_src {
+            // Detections scatter within ~0.3 arcsec of the object.
+            let scatter = 0.3 / 3600.0;
+            let cosd = decl.to_radians().cos().max(1e-6);
+            sources.push(SourceRow {
+                source_id: self.next_source_id,
+                object_id,
+                ra: (ra + (rng.gen::<f64>() - 0.5) * 2.0 * scatter / cosd).rem_euclid(360.0),
+                decl: (decl + (rng.gen::<f64>() - 0.5) * 2.0 * scatter).clamp(-90.0, 90.0),
+                tai_mid_point: 54_600.0 + k as f64 * 3.0 + rng.gen::<f64>(),
+                psf_flux: flux_ps[3] * (0.9 + rng.gen::<f64>() * 0.2),
+                psf_flux_err: flux_ps[3] * 0.02,
+            });
+            self.next_source_id += 1;
+        }
+
+        Some((
+            ObjectRow {
                 object_id,
                 ra_ps: ra,
                 decl_ps: decl,
                 flux_ps,
                 u_flux_sg,
                 u_radius_ps,
-            });
-        }
+            },
+            sources,
+        ))
+    }
+}
 
+impl Patch {
+    /// Synthesizes a patch from `config` by draining an [`ObjectStream`].
+    pub fn generate(config: &CatalogConfig) -> Patch {
+        let mut objects = Vec::with_capacity(config.objects);
+        let mut sources = Vec::new();
+        for (o, srcs) in ObjectStream::new(config) {
+            objects.push(o);
+            sources.extend(srcs);
+        }
         Patch {
             objects,
             sources,
-            footprint: fp,
+            footprint: config.footprint,
         }
     }
 

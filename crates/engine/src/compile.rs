@@ -58,8 +58,65 @@ pub(crate) enum Kernel {
         lat: usize,
         bx: SphericalBox,
     },
+    /// `func(numeric-col) ⋈ literal` for a unary float-or-NULL scalar
+    /// function — the `fluxToAbMag(zFlux_PS) BETWEEN lo AND hi`
+    /// magnitude-cut shape. The function result is always `Float` (or
+    /// NULL, which fails the filter), so [`Value::sql_cmp`] against
+    /// either literal kind reduces to an `f64` comparison and the bounds
+    /// are pre-converted; no per-row `Value` boxing or argument `Vec`
+    /// remains on the hot path.
+    FnRange {
+        fun: FnId,
+        col: usize,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    },
     /// General predicate evaluated as a compiled program.
     Program(Program),
+}
+
+/// The unary scalar functions with a fused range kernel. Each returns
+/// `Float` or NULL for any numeric input, mirroring
+/// [`crate::functions::call`] exactly (NULL maps to `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FnId {
+    /// `fluxToAbMag(x)` — NULL for non-positive or non-finite flux.
+    FluxToAbMag,
+    /// `abMagToFlux(x)` — total.
+    AbMagToFlux,
+    /// `sqrt(x)` — NULL for negative input.
+    Sqrt,
+    /// `log10(x)` — NULL for non-positive input.
+    Log10,
+    /// `ln(x)` — NULL for non-positive input.
+    Ln,
+}
+
+impl FnId {
+    /// The fused scalar, routed through the same free functions
+    /// [`crate::functions::call`] uses so the kernel cannot drift from
+    /// the interpreter.
+    #[inline]
+    pub(crate) fn apply(self, x: f64) -> Option<f64> {
+        match self {
+            FnId::FluxToAbMag => functions::flux_to_ab_mag(x),
+            FnId::AbMagToFlux => Some(functions::ab_mag_to_flux(x)),
+            FnId::Sqrt => (x >= 0.0 || x.is_nan()).then(|| x.sqrt()),
+            FnId::Log10 => (x > 0.0 || x.is_nan()).then(|| x.log10()),
+            FnId::Ln => (x > 0.0 || x.is_nan()).then(|| x.ln()),
+        }
+    }
+
+    fn from_name(lname: &str) -> Option<FnId> {
+        Some(match lname {
+            "fluxtoabmag" => FnId::FluxToAbMag,
+            "abmagtoflux" => FnId::AbMagToFlux,
+            "sqrt" => FnId::Sqrt,
+            "log10" => FnId::Log10,
+            "ln" => FnId::Ln,
+            _ => return None,
+        })
+    }
 }
 
 /// A flat postfix program over one table's columns. Logical AND/OR use
@@ -153,6 +210,71 @@ pub(crate) struct VecPlan {
     pub(crate) kernels: Vec<Kernel>,
     /// Output production.
     pub(crate) output: OutputPlan,
+}
+
+impl VecPlan {
+    /// The set of table columns this plan reads, as a mask over `ncols`
+    /// columns — what a paged scan must actually decode. Covers filter
+    /// kernels, every output program and the fused aggregation columns.
+    pub(crate) fn referenced_cols(&self, ncols: usize) -> Vec<bool> {
+        fn mark_program(p: &Program, mask: &mut [bool]) {
+            for op in &p.ops {
+                if let Op::PushCol(c) = op {
+                    mask[*c] = true;
+                }
+            }
+        }
+        let mut mask = vec![false; ncols];
+        for k in &self.kernels {
+            match k {
+                Kernel::Range { col, .. }
+                | Kernel::IntIn { col, .. }
+                | Kernel::FnRange { col, .. } => mask[*col] = true,
+                Kernel::Box2D { lon, lat, .. } => {
+                    mask[*lon] = true;
+                    mask[*lat] = true;
+                }
+                Kernel::Program(p) => mark_program(p, &mut mask),
+            }
+        }
+        match &self.output {
+            OutputPlan::Plain { exprs } => {
+                for p in exprs {
+                    mark_program(p, &mut mask);
+                }
+            }
+            OutputPlan::Agg {
+                keys,
+                args,
+                rep,
+                fused,
+                fused_group,
+            } => {
+                for p in keys {
+                    mark_program(p, &mut mask);
+                }
+                for p in args.iter().chain(rep).flatten() {
+                    mark_program(p, &mut mask);
+                }
+                if let Some(cols) = fused {
+                    for (_, c) in cols.iter() {
+                        if let Some(c) = c {
+                            mask[*c] = true;
+                        }
+                    }
+                }
+                if let Some(gf) = fused_group {
+                    mask[gf.key_col] = true;
+                    for (_, c) in &gf.args {
+                        if let Some(c) = c {
+                            mask[*c] = true;
+                        }
+                    }
+                }
+            }
+        }
+        mask
+    }
 }
 
 /// Static expression type: only string literals and string columns are
@@ -326,6 +448,9 @@ fn compile_conjunct(ctx: &Ctx<'_>, e: &Expr) -> Option<Kernel> {
     if let Some(k) = recognize_box(ctx, e) {
         return Some(k);
     }
+    if let Some(k) = recognize_fn_range(ctx, e) {
+        return Some(k);
+    }
     compile_program(ctx, e).map(Kernel::Program)
 }
 
@@ -380,6 +505,74 @@ fn recognize_range(ctx: &Ctx<'_>, e: &Expr) -> Option<Kernel> {
                 col,
                 lo: Some((num_lit(low)?, false)),
                 hi: Some((num_lit(high)?, false)),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// `func(numeric-col) ⋈ numeric-literal` (either orientation) and
+/// non-negated `func(col) BETWEEN lit AND lit` become a
+/// [`Kernel::FnRange`] for the fused unary functions.
+fn recognize_fn_range(ctx: &Ctx<'_>, e: &Expr) -> Option<Kernel> {
+    fn fn_col(ctx: &Ctx<'_>, e: &Expr) -> Option<(FnId, usize)> {
+        let Expr::Function { name, args } = e else {
+            return None;
+        };
+        let fun = FnId::from_name(name.to_ascii_lowercase().as_str())?;
+        if args.len() != 1 {
+            return None;
+        }
+        Some((fun, ctx.numeric_col(&args[0])?))
+    }
+    fn bound_f64(e: &Expr) -> Option<f64> {
+        Some(match num_lit(e)? {
+            NumLit::I(v) => v as f64,
+            NumLit::F(v) => v,
+        })
+    }
+    fn flip(op: BinaryOp) -> Option<BinaryOp> {
+        Some(match op {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            _ => return None,
+        })
+    }
+    match e {
+        Expr::Binary { op, lhs, rhs } => {
+            let ((fun, col), lit, op) =
+                if let (Some(fc), Some(l)) = (fn_col(ctx, lhs), bound_f64(rhs)) {
+                    (fc, l, *op)
+                } else if let (Some(fc), Some(l)) = (fn_col(ctx, rhs), bound_f64(lhs)) {
+                    (fc, l, flip(*op)?)
+                } else {
+                    return None;
+                };
+            let (lo, hi) = match op {
+                BinaryOp::Eq => (Some((lit, false)), Some((lit, false))),
+                BinaryOp::Lt => (None, Some((lit, true))),
+                BinaryOp::LtEq => (None, Some((lit, false))),
+                BinaryOp::Gt => (Some((lit, true)), None),
+                BinaryOp::GtEq => (Some((lit, false)), None),
+                _ => return None,
+            };
+            Some(Kernel::FnRange { fun, col, lo, hi })
+        }
+        Expr::Between {
+            expr,
+            negated: false,
+            low,
+            high,
+        } => {
+            let (fun, col) = fn_col(ctx, expr)?;
+            Some(Kernel::FnRange {
+                fun,
+                col,
+                lo: Some((bound_f64(low)?, false)),
+                hi: Some((bound_f64(high)?, false)),
             })
         }
         _ => None,

@@ -6,56 +6,133 @@
 //! tables for spatial-join queries and may be dropped afterwards (§5.4
 //! "Chunk Query Representation"); [`Database::create_table`] /
 //! [`Database::drop_table`] support that lifecycle.
+//!
+//! A table may alternatively be *attached* from a persistent chunk file
+//! ([`Database::attach_stored`]): only the file footer and an empty
+//! shape table are held in memory, scans stream pages off disk with
+//! zone-map elision, and full materialization (for the interpreter,
+//! joins and subchunk generation) goes through a shared LRU
+//! [`Residency`] budget — the worker's lazy chunk residency.
 
+use crate::storage::{Residency, StoredChunk};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 /// A named table catalog.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Arc<Table>>,
+    stored: BTreeMap<String, Arc<StoredChunk>>,
+    residency: Arc<Residency>,
+    prune_pages: bool,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Database {
-        Database::default()
+        Database {
+            tables: BTreeMap::new(),
+            stored: BTreeMap::new(),
+            residency: Arc::new(Residency::default()),
+            prune_pages: true,
+        }
     }
 
     /// Registers `table` under `name`, replacing any previous table of that
     /// name (matching `CREATE OR REPLACE` semantics, which is what subchunk
     /// regeneration wants).
     pub fn create_table(&mut self, name: &str, table: Table) {
+        self.stored.remove(name);
         self.tables.insert(name.to_string(), Arc::new(table));
     }
 
     /// Registers an already-shared table.
     pub fn create_table_shared(&mut self, name: &str, table: Arc<Table>) {
+        self.stored.remove(name);
         self.tables.insert(name.to_string(), table);
+    }
+
+    /// Attaches a persistent chunk file as table `name`; only its footer
+    /// is read here. Replaces any previous table of that name.
+    pub fn attach_stored(&mut self, name: &str, path: &Path) -> io::Result<()> {
+        let chunk = StoredChunk::open(path)?;
+        self.tables.remove(name);
+        self.stored.insert(name.to_string(), Arc::new(chunk));
+        Ok(())
     }
 
     /// Removes a table; true when it existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.tables.remove(name).is_some()
+        self.tables.remove(name).is_some() | self.stored.remove(name).is_some()
     }
 
-    /// Looks up a table.
+    /// Looks up an in-memory table (`None` for stored-only tables; see
+    /// [`Database::stored`]).
     pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
         self.tables.get(name)
     }
 
-    /// True when `name` exists.
+    /// Looks up a stored (on-disk) table.
+    pub fn stored(&self, name: &str) -> Option<&Arc<StoredChunk>> {
+        self.stored.get(name)
+    }
+
+    /// True when `name` exists, in memory or on disk.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables.contains_key(name)
+        self.tables.contains_key(name) || self.stored.contains_key(name)
     }
 
     /// All table names, sorted.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(|s| s.as_str()).collect()
+        let mut names: Vec<&str> = self
+            .tables
+            .keys()
+            .chain(self.stored.keys())
+            .map(|s| s.as_str())
+            .collect();
+        names.sort_unstable();
+        names
     }
 
-    /// Total estimated footprint of all tables in bytes.
+    /// The residency cache shared by every clone of this database.
+    pub fn residency(&self) -> &Arc<Residency> {
+        &self.residency
+    }
+
+    /// Replaces the residency cache (e.g. with a differently-budgeted
+    /// one shared across databases).
+    pub fn set_residency(&mut self, residency: Arc<Residency>) {
+        self.residency = residency;
+    }
+
+    /// Whether cold scans elide pages via zone maps (on by default; the
+    /// bench turns it off to measure the win).
+    pub fn page_pruning(&self) -> bool {
+        self.prune_pages
+    }
+
+    /// Enables or disables zone-map page elision on cold scans.
+    pub fn set_page_pruning(&mut self, on: bool) {
+        self.prune_pages = on;
+    }
+
+    /// Materializes table `name` through the residency cache when it is
+    /// stored; in-memory tables return their `Arc` directly.
+    pub fn materialize(&self, name: &str) -> io::Result<Option<Arc<Table>>> {
+        if let Some(t) = self.tables.get(name) {
+            return Ok(Some(t.clone()));
+        }
+        match self.stored.get(name) {
+            Some(chunk) => chunk.resident(&self.residency).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Total estimated footprint of all in-memory tables in bytes
+    /// (stored chunks count only while resident, via [`Residency`]).
     pub fn footprint_bytes(&self) -> u64 {
         self.tables.values().map(|t| t.footprint_bytes()).sum()
     }

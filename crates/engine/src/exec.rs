@@ -36,6 +36,8 @@ pub enum ExecError {
     Eval(EvalError),
     /// Statement shape not supported (message explains).
     Unsupported(String),
+    /// Reading a stored chunk file failed.
+    Storage(String),
 }
 
 impl fmt::Display for ExecError {
@@ -45,6 +47,7 @@ impl fmt::Display for ExecError {
             ExecError::DuplicateBinding(b) => write!(f, "duplicate table binding {b}"),
             ExecError::Eval(e) => write!(f, "{e}"),
             ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ExecError::Storage(m) => write!(f, "storage: {m}"),
         }
     }
 }
@@ -180,17 +183,57 @@ pub fn execute_with_mode(
     stmt: &SelectStatement,
     mode: ExecMode,
 ) -> Result<(ResultTable, ExecPath), ExecError> {
-    // Resolve FROM bindings.
+    execute_detailed(db, stmt, mode).map(|(r, p, _)| (r, p))
+}
+
+/// Per-statement cold-scan statistics: row-group pages elided by the
+/// zone maps versus decoded from disk. Both stay zero for in-memory
+/// tables and interpreted executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Row-group pages skipped via zone maps without touching their bytes.
+    pub pages_pruned: u64,
+    /// Row-group pages decoded from disk.
+    pub pages_scanned: u64,
+}
+
+/// Like [`execute_with_mode`], additionally reporting cold-scan page
+/// statistics (the worker forwards them to the master's query stats).
+pub fn execute_detailed(
+    db: &Database,
+    stmt: &SelectStatement,
+    mode: ExecMode,
+) -> Result<(ResultTable, ExecPath, ScanStats), ExecError> {
+    let storage_err = |e: std::io::Error| ExecError::Storage(e.to_string());
+    // Resolve FROM bindings. A stored (on-disk) table normally
+    // materializes through the residency cache; the one special case is
+    // a sole non-resident stored table outside interpreted mode, which
+    // binds its zero-row *shape* so the scan can run paged, straight
+    // off disk, with zone-map elision.
     let mut bindings: Vec<(String, Arc<Table>)> = Vec::new();
+    let mut stored_single: Option<Arc<crate::storage::StoredChunk>> = None;
     for tref in &stmt.from {
-        let table = db
-            .table(&tref.table)
-            .ok_or_else(|| ExecError::UnknownTable(tref.table.clone()))?;
         let name = tref.binding_name().to_string();
         if bindings.iter().any(|(b, _)| *b == name) {
             return Err(ExecError::DuplicateBinding(name));
         }
-        bindings.push((name, Arc::clone(table)));
+        if let Some(table) = db.table(&tref.table) {
+            bindings.push((name, Arc::clone(table)));
+        } else if let Some(chunk) = db.stored(&tref.table) {
+            let resident = chunk.cached(db.residency());
+            if stmt.from.len() == 1 && mode != ExecMode::Interpreted && resident.is_none() {
+                stored_single = Some(Arc::clone(chunk));
+                bindings.push((name, Arc::clone(chunk.shape())));
+            } else {
+                let table = match resident {
+                    Some(t) => t,
+                    None => chunk.resident(db.residency()).map_err(storage_err)?,
+                };
+                bindings.push((name, table));
+            }
+        } else {
+            return Err(ExecError::UnknownTable(tref.table.clone()));
+        }
     }
     if bindings.is_empty() {
         if mode == ExecMode::Vectorized {
@@ -198,7 +241,7 @@ pub fn execute_with_mode(
                 "tableless statements are not vectorizable".to_string(),
             ));
         }
-        return execute_tableless(stmt).map(|r| (r, ExecPath::Interpreted));
+        return execute_tableless(stmt).map(|r| (r, ExecPath::Interpreted, ScanStats::default()));
     }
 
     let aggregated = stmt_is_aggregated(stmt);
@@ -227,6 +270,47 @@ pub fn execute_with_mode(
         None
     };
 
+    // Paged cold scan: the sole stored binding compiles against its
+    // shape, zone maps elide row-group pages the kernels provably
+    // reject, and only the referenced columns of the surviving pages are
+    // decoded — no full materialization, no row pivot. Falls back to
+    // materialization (the interpreter stays the oracle) when the
+    // statement does not compile.
+    if let Some(chunk) = stored_single {
+        let sink = RowSink::new(db, stmt, &bindings, aggregated)?;
+        let (name, shape) = &bindings[0];
+        if let Some(mut plan) = crate::compile::compile_single(stmt, name, shape, &sink, &conjuncts)
+        {
+            // Decoded pages carry no index; scan every surviving page.
+            plan.seed = None;
+            let file = chunk.file();
+            let keep = if db.page_pruning() {
+                crate::storage::prune_mask(file.footer(), &plan.kernels)
+            } else {
+                vec![true; file.row_groups()]
+            };
+            let pages_scanned = keep.iter().filter(|&&k| k).count() as u64;
+            let stats = ScanStats {
+                pages_pruned: keep.len() as u64 - pages_scanned,
+                pages_scanned,
+            };
+            let needed = plan.referenced_cols(shape.schema().len());
+            let decoded = file
+                .read_groups(Some(&keep), Some(&needed))
+                .map_err(storage_err)?;
+            let mut sink = sink;
+            crate::vector::run(&plan, &decoded, &mut sink, quick_limit);
+            return sink.finish().map(|r| (r, ExecPath::Vectorized, stats));
+        }
+        drop(sink);
+        if mode == ExecMode::Vectorized {
+            return Err(ExecError::Unsupported(
+                "statement is not vectorizable".to_string(),
+            ));
+        }
+        bindings[0].1 = chunk.resident(db.residency()).map_err(storage_err)?;
+    }
+
     let mut sink = RowSink::new(db, stmt, &bindings, aggregated)?;
 
     // Vectorized path: a single-table scan whose filters and output all
@@ -236,7 +320,9 @@ pub fn execute_with_mode(
         let (name, table) = &bindings[0];
         if let Some(plan) = crate::compile::compile_single(stmt, name, table, &sink, &conjuncts) {
             crate::vector::run(&plan, table, &mut sink, quick_limit);
-            return sink.finish().map(|r| (r, ExecPath::Vectorized));
+            return sink
+                .finish()
+                .map(|r| (r, ExecPath::Vectorized, ScanStats::default()));
         }
     }
     // Vectorized join path: a two-table join whose cross predicates are
@@ -285,7 +371,9 @@ pub fn execute_with_mode(
                     &mut sink,
                     quick_limit,
                 )?;
-                return sink.finish().map(|r| (r, ExecPath::Vectorized));
+                return sink
+                    .finish()
+                    .map(|r| (r, ExecPath::Vectorized, ScanStats::default()));
             }
             join_two(&bindings, &candidates, &cross, &mut sink, quick_limit)?;
         }
@@ -296,7 +384,8 @@ pub fn execute_with_mode(
         }
     }
 
-    sink.finish().map(|r| (r, ExecPath::Interpreted))
+    sink.finish()
+        .map(|r| (r, ExecPath::Interpreted, ScanStats::default()))
 }
 
 /// Executes a FROM-less statement (`SELECT 1 + 1`).

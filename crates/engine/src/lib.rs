@@ -32,6 +32,10 @@
 //! * [`db`] — a named collection of tables (one per worker in Qserv;
 //!   chunk tables are named `Object_CC`, subchunk tables
 //!   `Object_CC_SS`, exactly as in paper §5.2).
+//! * [`storage`] — the persistent columnar chunk format: per-column
+//!   pages with dictionary/RLE encodings and zone maps, lazy chunk
+//!   residency with an LRU byte budget, and zone-map page elision
+//!   feeding the vectorized scan path (paper §4.3, §5.2).
 
 pub(crate) mod compile;
 pub mod db;
@@ -41,14 +45,20 @@ pub mod exec;
 pub mod functions;
 pub(crate) mod joinvec;
 pub mod schema;
+pub mod storage;
 pub mod table;
 pub mod value;
 pub(crate) mod vector;
 
 pub use db::Database;
 pub use exec::{
-    execute, execute_traced, execute_with_mode, ExecError, ExecMode, ExecPath, ResultTable,
+    execute, execute_detailed, execute_traced, execute_with_mode, ExecError, ExecMode, ExecPath,
+    ResultTable, ScanStats,
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
+pub use storage::{
+    tables_bit_identical, write_table, ChunkFile, ColumnSummary, Residency, StoredChunk,
+    StreamWriter, DEFAULT_PAGE_ROWS, DEFAULT_RESIDENCY_BUDGET,
+};
 pub use table::Table;
 pub use value::Value;

@@ -57,7 +57,7 @@ impl std::error::Error for TableError {}
 
 /// One column's data.
 #[derive(Clone, Debug)]
-enum ColumnData {
+pub(crate) enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Str(Vec<String>),
@@ -119,6 +119,39 @@ impl Table {
             columns,
             nulls,
             rows: 0,
+            index: None,
+        }
+    }
+
+    /// Assembles a table directly from dense column vectors — the chunk
+    /// decoder's constructor ([`crate::storage`]). Null slots must already
+    /// hold the column defaults (0 / 0.0 / ""), exactly as [`Table::push_row`]
+    /// leaves them, so a decode round-trips bit-identically.
+    ///
+    /// # Panics
+    /// Panics when column counts or lengths disagree with the schema.
+    pub(crate) fn from_dense(
+        schema: Schema,
+        columns: Vec<ColumnData>,
+        nulls: Vec<Vec<bool>>,
+        rows: usize,
+    ) -> Table {
+        assert_eq!(columns.len(), schema.len(), "column count mismatch");
+        assert_eq!(nulls.len(), schema.len(), "null-mask count mismatch");
+        for (i, c) in columns.iter().enumerate() {
+            let len = match c {
+                ColumnData::Int(v) => v.len(),
+                ColumnData::Float(v) => v.len(),
+                ColumnData::Str(v) => v.len(),
+            };
+            assert_eq!(len, rows, "column {i} length mismatch");
+            assert_eq!(nulls[i].len(), rows, "null mask {i} length mismatch");
+        }
+        Table {
+            schema,
+            columns,
+            nulls,
+            rows,
             index: None,
         }
     }

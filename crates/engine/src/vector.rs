@@ -232,6 +232,28 @@ fn filter_rows<I: Iterator<Item = u32>>(
             })
             .collect()
         }
+        Kernel::FnRange { fun, col, lo, hi } => {
+            let nulls = table.null_mask(*col);
+            let view = NumView::new(table, *col);
+            let (lo_v, lo_s) = lo.unwrap_or((f64::NEG_INFINITY, false));
+            let (hi_v, hi_s) = hi.unwrap_or((f64::INFINITY, false));
+            rows.filter(|&r| {
+                let i = r as usize;
+                if nulls[i] {
+                    return false; // NULL argument → NULL result → false.
+                }
+                match fun.apply(view.get(i)) {
+                    // NaN results fail both comparisons, matching the
+                    // interpreter's `sql_cmp → None → false`.
+                    Some(m) => {
+                        (if lo_s { m > lo_v } else { m >= lo_v })
+                            && (if hi_s { m < hi_v } else { m <= hi_v })
+                    }
+                    None => false,
+                }
+            })
+            .collect()
+        }
         Kernel::Program(p) => rows
             .filter(|&r| truth(&eval_program(p, table, r as usize, stack)) == Some(true))
             .collect(),
@@ -950,6 +972,55 @@ mod tests {
             ],
         };
         assert_eq!(apply(&Kernel::Program(p), &t), vec![3]); // only x = -2.5
+    }
+
+    #[test]
+    fn fn_range_kernel_matches_interpreter_call() {
+        use crate::compile::FnId;
+        let t = fixture();
+        // sqrt(x) <= 2.0: row 0 (sqrt(1)=1) passes; NaN propagates and
+        // fails; NULL drops; sqrt(-2.5) is NULL and drops; sqrt(7.25)
+        // ≈ 2.69 fails the bound.
+        let k = Kernel::FnRange {
+            fun: FnId::Sqrt,
+            col: 1,
+            lo: None,
+            hi: Some((2.0, false)),
+        };
+        assert_eq!(apply(&k, &t), vec![0]);
+
+        // Cross-check every fused function against functions::call row
+        // by row, with bounds that exercise both sides.
+        for (fun, name) in [
+            (FnId::FluxToAbMag, "fluxToAbMag"),
+            (FnId::AbMagToFlux, "abMagToFlux"),
+            (FnId::Sqrt, "sqrt"),
+            (FnId::Log10, "log10"),
+            (FnId::Ln, "ln"),
+        ] {
+            let (lo_v, hi_v) = (-10.0, 10.0);
+            let k = Kernel::FnRange {
+                fun,
+                col: 1,
+                lo: Some((lo_v, false)),
+                hi: Some((hi_v, true)),
+            };
+            let expect: Vec<u32> = (0..t.num_rows() as u32)
+                .filter(|&r| {
+                    let v = t.get(r as usize, 1);
+                    let out = crate::functions::call(name, &[v]).expect("known fn");
+                    use crate::value::Value as V;
+                    out.sql_cmp(&V::Float(lo_v))
+                        .map(|o| o != Ordering::Less)
+                        .unwrap_or(false)
+                        && out
+                            .sql_cmp(&V::Float(hi_v))
+                            .map(|o| o == Ordering::Less)
+                            .unwrap_or(false)
+                })
+                .collect();
+            assert_eq!(apply(&k, &t), expect, "fn {name}");
+        }
     }
 
     /// Reference accumulation: the interpreter's per-row AggAcc updates.

@@ -1,0 +1,225 @@
+//! Property tests for the on-disk columnar chunk format: encode → decode
+//! must be **bit-identical** for every table, including NULL masks, NaN
+//! payload bits, signed zeros and infinities, across every page size and
+//! encoding (plain / RLE / dictionary). A committed golden fixture pins
+//! the format itself: if the reader ever stops decoding files written by
+//! today's writer, `golden_chunk_file_decodes` fails.
+
+use proptest::collection;
+use proptest::option;
+use proptest::prelude::*;
+use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
+use qserv_engine::table::Table;
+use qserv_engine::value::Value;
+use qserv_engine::{tables_bit_identical, write_table, ChunkFile, StreamWriter};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "qserv-storage-rt-{}-{name}.qchunk",
+        std::process::id()
+    ));
+    p
+}
+
+fn mixed_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", ColumnType::Int),
+        ColumnDef::new("flux", ColumnType::Float),
+        ColumnDef::new("tag", ColumnType::Str),
+    ])
+}
+
+/// Builds a table from per-row cells; `None` becomes SQL NULL and float
+/// cells carry raw IEEE-754 bit patterns so NaN payloads survive intact.
+fn build_mixed(rows: &[(Option<i64>, Option<u64>, Option<String>)]) -> Table {
+    let mut t = Table::new(mixed_schema());
+    for (i, f, s) in rows {
+        t.push_row(vec![
+            i.map_or(Value::Null, Value::Int),
+            f.map_or(Value::Null, |bits| Value::Float(f64::from_bits(bits))),
+            s.clone().map_or(Value::Null, Value::Str),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn roundtrip(name: &str, table: &Table, page_rows: usize) -> Table {
+    let path = tmp(name);
+    write_table(&path, table, page_rows).unwrap();
+    let decoded = ChunkFile::open(&path).unwrap().read_all().unwrap();
+    let _ = std::fs::remove_file(&path);
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary cell contents — raw float bit patterns reach every NaN
+    /// payload, both zeros, both infinities and all subnormals.
+    #[test]
+    fn roundtrip_arbitrary_cells(
+        rows in collection::vec(
+            (option::of(any::<i64>()), option::of(any::<u64>()), option::of("[a-z]{0,8}")),
+            0..160,
+        ),
+        page_rows in 1usize..48,
+    ) {
+        let table = build_mixed(&rows);
+        let decoded = roundtrip("arb", &table, page_rows);
+        prop_assert!(tables_bit_identical(&decoded, &table));
+    }
+
+    /// Low-cardinality columns force the RLE and dictionary encodings.
+    #[test]
+    fn roundtrip_low_cardinality(
+        ints in collection::vec(option::of(0i64..4), 0..300),
+        tags in collection::vec(option::of(0usize..3), 0..300),
+        page_rows in 1usize..40,
+    ) {
+        let names = ["u", "g", "r"];
+        let mut t = Table::new(Schema::new(vec![
+            ColumnDef::new("k", ColumnType::Int),
+            ColumnDef::new("band", ColumnType::Str),
+        ]));
+        let n = ints.len().max(tags.len());
+        for row in 0..n {
+            t.push_row(vec![
+                ints.get(row).copied().flatten().map_or(Value::Null, Value::Int),
+                tags.get(row).copied().flatten()
+                    .map_or(Value::Null, |i| Value::Str(names[i].to_string())),
+            ]).unwrap();
+        }
+        let decoded = roundtrip("lowcard", &t, page_rows);
+        prop_assert!(tables_bit_identical(&decoded, &t));
+    }
+
+    /// The streaming writer and the bulk writer produce files that decode
+    /// to the same table — one page stripe in memory is not a different
+    /// format, just a different producer.
+    #[test]
+    fn stream_writer_matches_bulk_writer(
+        rows in collection::vec(
+            (option::of(any::<i64>()), option::of(any::<u64>()), option::of("[a-z]{0,6}")),
+            0..120,
+        ),
+        page_rows in 1usize..32,
+    ) {
+        let table = build_mixed(&rows);
+        let path = tmp("streamed");
+        let mut w = StreamWriter::create(&path, mixed_schema(), page_rows).unwrap();
+        for row in 0..table.num_rows() {
+            w.push_row((0..3).map(|c| table.get(row, c)).collect()).unwrap();
+        }
+        prop_assert_eq!(w.rows_written(), table.num_rows() as u64);
+        w.finish().unwrap();
+        let decoded = ChunkFile::open(&path).unwrap().read_all().unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(tables_bit_identical(&decoded, &table));
+    }
+}
+
+/// Hand-picked IEEE-754 edge cases that a float-roundtrip through text or
+/// `as`-casts would destroy: quiet/signaling NaN payloads, signed zeros,
+/// infinities, subnormals, and the extreme finite magnitudes.
+#[test]
+fn roundtrip_float_edge_bits() {
+    let bits = [
+        0x7ff8_0000_0000_0000u64, // canonical quiet NaN
+        0x7ff8_dead_beef_cafe,    // quiet NaN with payload
+        0xfff0_0000_0000_0001,    // negative signaling NaN
+        0x7ff0_0000_0000_0000,    // +inf
+        0xfff0_0000_0000_0000,    // -inf
+        0x8000_0000_0000_0000,    // -0.0
+        0x0000_0000_0000_0000,    // +0.0
+        0x0000_0000_0000_0001,    // smallest subnormal
+        0x7fef_ffff_ffff_ffff,    // f64::MAX
+        0x0010_0000_0000_0000,    // smallest normal
+    ];
+    let rows: Vec<_> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (Some(i as i64), Some(b), None))
+        .collect();
+    let table = build_mixed(&rows);
+    for page_rows in [1, 3, 16] {
+        let decoded = roundtrip("edges", &table, page_rows);
+        assert!(
+            tables_bit_identical(&decoded, &table),
+            "page_rows={page_rows}"
+        );
+    }
+}
+
+/// The deterministic table the golden fixture encodes: every column type,
+/// every encoding trigger (runs for RLE, small sets for dictionaries,
+/// high-entropy values for plain), NULLs in each column, and float edge
+/// bits — spread over several row groups (page_rows = 7).
+fn golden_table() -> Table {
+    let mut t = Table::new(Schema::new(vec![
+        ColumnDef::new("objectId", ColumnType::Int),
+        ColumnDef::new("runLen", ColumnType::Int),
+        ColumnDef::new("flux", ColumnType::Float),
+        ColumnDef::new("filter", ColumnType::Str),
+        ColumnDef::new("note", ColumnType::Str),
+    ]));
+    let filters = ["u", "g", "r", "i", "z", "y"];
+    for i in 0..53i64 {
+        let object_id = if i % 11 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i * 7_919 - 101)
+        };
+        let run = Value::Int(i / 13); // long runs -> RLE
+        let flux = match i % 9 {
+            0 => Value::Null,
+            1 => Value::Float(f64::from_bits(0x7ff8_dead_beef_0000)),
+            2 => Value::Float(f64::NEG_INFINITY),
+            3 => Value::Float(-0.0),
+            _ => Value::Float((i as f64) * -3.25 + 0.125),
+        };
+        let filter = Value::Str(filters[(i as usize) % filters.len()].to_string());
+        let note = if i % 5 == 0 {
+            Value::Null
+        } else {
+            Value::Str(format!("n{:04}", i * 31 % 977))
+        };
+        t.push_row(vec![object_id, run, flux, filter, note])
+            .unwrap();
+    }
+    t
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("golden.qchunk")
+}
+
+/// Format-stability check: the committed fixture (written by the writer
+/// as of the format's introduction) must keep decoding to exactly
+/// [`golden_table`]. Run `cargo test -p qserv-engine regenerate_golden --
+/// --ignored` after an *intentional* format change.
+#[test]
+fn golden_chunk_file_decodes() {
+    let file = ChunkFile::open(&golden_path()).expect("open committed golden fixture");
+    assert_eq!(file.rows(), 53);
+    let decoded = file.read_all().expect("decode golden fixture");
+    assert!(
+        tables_bit_identical(&decoded, &golden_table()),
+        "golden fixture no longer decodes bit-identically — format drift"
+    );
+}
+
+/// Rewrites the golden fixture with the current writer. Ignored by
+/// default; run explicitly only when the format changes on purpose.
+#[test]
+#[ignore]
+fn regenerate_golden() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    write_table(&path, &golden_table(), 7).unwrap();
+}

@@ -1,0 +1,321 @@
+//! On-disk columnar chunk storage, end to end: a cluster loaded through
+//! `.storage_dir(..)` keeps its chunks in `.qchunk` files and must be
+//! indistinguishable from the in-memory cluster — bit-identical rows for
+//! every paper-shape query — while the new observability counters
+//! (`chunks_pruned`, `pages_pruned`, `pages_scanned`) prove zone-map
+//! pruning actually engaged at both the master and the workers. A chaos
+//! case kills a worker mid-cold-scan and demands the clean-cluster
+//! result anyway.
+
+mod common;
+
+use common::{monolithic_db, small_patch, sorted_rows};
+use qserv::stats::names;
+use qserv::{ClusterBuilder, FabricOp, FaultPlan, Qserv, QueryStats, Value};
+use qserv_datagen::generate::Patch;
+use qserv_engine::exec::execute;
+use qserv_sqlparse::parse_select;
+use std::path::PathBuf;
+
+fn storage_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("qserv-itest-store-{}-{name}", std::process::id()));
+    p
+}
+
+fn on_disk_cluster(patch: &Patch, nodes: usize, dir: &PathBuf) -> Qserv {
+    ClusterBuilder::new(nodes)
+        .storage_dir(dir)
+        // Small pages so few-hundred-row test chunks still span several
+        // row groups — zone-map page elision needs something to elide.
+        .storage_page_rows(64)
+        .build(&patch.objects, &patch.sources)
+}
+
+/// The query battery both cluster flavors must agree on: scans,
+/// projections, aggregates, point lookups, spatial restrictions, and the
+/// joins that force workers to materialize stored chunks (union tables,
+/// subchunks, overlap).
+const QUERIES: [&str; 8] = [
+    "SELECT COUNT(*) FROM Object",
+    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE zFlux_PS > 0.2",
+    "SELECT COUNT(*) AS n, AVG(uFlux_SG) FROM Object",
+    "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId",
+    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 123",
+    "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(359.0, -3.0, 2.0, 1.5)",
+    "SELECT COUNT(*) FROM Object o, Source s WHERE o.objectId = s.objectId \
+     AND o.uFlux_SG > 0.3",
+    "SELECT count(*) FROM Object o1, Object o2 \
+     WHERE qserv_areaspec_box(0.0, -2.0, 2.0, 2.0) \
+     AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.05",
+];
+
+/// Every query returns bit-identical rows whether chunks live in RAM or
+/// in `.qchunk` files — the acceptance bar for the storage layer.
+#[test]
+fn on_disk_cluster_matches_in_memory_cluster() {
+    let patch = small_patch(600, 42);
+    let dir = storage_dir("equiv");
+    let mem = ClusterBuilder::new(4).build(&patch.objects, &patch.sources);
+    let disk = on_disk_cluster(&patch, 4, &dir);
+    for sql in QUERIES {
+        let m = mem.query(sql).unwrap_or_else(|e| panic!("mem {sql}: {e}"));
+        let d = disk
+            .query(sql)
+            .unwrap_or_else(|e| panic!("disk {sql}: {e}"));
+        assert_eq!(m.columns, d.columns, "columns differ for {sql}");
+        assert_eq!(
+            sorted_rows(&m.rows),
+            sorted_rows(&d.rows),
+            "rows differ for {sql}"
+        );
+    }
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The loader actually wrote chunk files, and they carry real bytes.
+#[test]
+fn loader_persists_chunk_files() {
+    let patch = small_patch(300, 7);
+    let dir = storage_dir("files");
+    let q = on_disk_cluster(&patch, 3, &dir);
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("storage dir exists")
+        .map(|e| e.unwrap())
+        .collect();
+    assert!(!files.is_empty(), "no chunk files written");
+    for f in &files {
+        let name = f.file_name().into_string().unwrap();
+        assert!(name.ends_with(".qchunk"), "unexpected file {name}");
+        assert!(f.metadata().unwrap().len() > 0, "empty chunk file {name}");
+    }
+    // Object, Source and RefObject-less clusters: at least Object+Source
+    // per chunk.
+    let (r, stats) = q.query_with_stats("SELECT COUNT(*) FROM Object").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(300)));
+    assert!(files.len() >= 2 * stats.chunks_dispatched);
+    drop(q);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A selective objectId range on cold chunks: workers must decode only
+/// the row groups whose zone maps admit the range, and the elision must
+/// be visible in `QueryStats` without changing the answer. The same scan
+/// against the monolithic oracle is the "full scan" side of the
+/// pruned ≡ full equivalence.
+#[test]
+fn zone_map_pruned_scan_equals_full_scan() {
+    let patch = small_patch(900, 11);
+    let dir = storage_dir("pruned");
+    let disk = on_disk_cluster(&patch, 4, &dir);
+    let local = monolithic_db(&patch);
+    // objectIds are assigned in generation order, so each chunk file
+    // stores them sorted: a narrow BETWEEN admits few pages.
+    for (lo, hi) in [(400, 460), (1, 25), (880, 1200)] {
+        let sql =
+            format!("SELECT objectId, ra_PS FROM Object WHERE objectId BETWEEN {lo} AND {hi}");
+        let (d, stats) = disk
+            .query_with_stats(&sql)
+            .unwrap_or_else(|e| panic!("disk {sql}: {e}"));
+        let l = execute(&local, &parse_select(&sql).expect("parses")).expect("local");
+        assert_eq!(
+            sorted_rows(&d.rows),
+            sorted_rows(&l.rows),
+            "pruned scan changed rows for {sql}"
+        );
+        assert!(
+            stats.pages_scanned > 0,
+            "cold scan decoded no pages for {sql}: {stats:?}"
+        );
+        assert!(
+            stats.pages_pruned > 0,
+            "zone maps elided no pages for {sql}: {stats:?}"
+        );
+    }
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Master-side chunk elision: a plain numeric `ra_PS` interval is not a
+/// spatial restriction (no areaspec UDF), so without zone maps every
+/// chunk would dispatch. With them, chunks whose ra range cannot
+/// intersect are never dispatched — and the count still matches the
+/// oracle.
+#[test]
+fn chunk_zone_maps_elide_dispatches() {
+    let patch = small_patch(900, 23);
+    let dir = storage_dir("chunkelide");
+    let disk = on_disk_cluster(&patch, 4, &dir);
+    let local = monolithic_db(&patch);
+
+    let sql = "SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN 359.0 AND 359.8";
+    let (d, ra_stats) = disk.query_with_stats(sql).expect("disk");
+    let l = execute(&local, &parse_select(sql).expect("parses")).expect("local");
+    assert_eq!(d.scalar(), l.scalar(), "elision changed the count");
+    assert!(
+        ra_stats.chunks_pruned > 0,
+        "no chunks elided for a narrow ra interval: {ra_stats:?}"
+    );
+
+    // A predicate no row can satisfy prunes *every* chunk; the one
+    // fallback dispatch keeps aggregate semantics (COUNT over nothing
+    // is 0, not NULL).
+    let (none, stats) = disk
+        .query_with_stats("SELECT COUNT(*) FROM Object WHERE zFlux_PS > 1.0e30")
+        .expect("disk");
+    assert_eq!(none.scalar(), Some(&Value::Int(0)));
+    assert!(stats.chunks_pruned > 0);
+    assert_eq!(
+        stats.chunks_dispatched, 1,
+        "only the fallback dispatch runs"
+    );
+
+    // In-memory clusters register the same zone maps: elision does not
+    // depend on the on-disk format.
+    let mem = ClusterBuilder::new(4).build(&patch.objects, &patch.sources);
+    let (m, mstats) = mem.query_with_stats(sql).expect("mem");
+    assert_eq!(m.scalar(), l.scalar());
+    assert_eq!(
+        mstats.chunks_pruned, ra_stats.chunks_pruned,
+        "elision must not depend on the storage mode"
+    );
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pruning counters surface through all three observability paths:
+/// the stats view, the raw metrics snapshot, and the span tree (worker
+/// statement spans annotate page counts; the analyze span annotates
+/// chunk elision).
+#[test]
+fn pruning_counters_surface_in_stats_metrics_and_trace() {
+    let patch = small_patch(900, 31);
+    let dir = storage_dir("obs");
+    let disk = on_disk_cluster(&patch, 4, &dir);
+
+    let traced = disk
+        .query_traced(
+            "SELECT objectId FROM Object \
+             WHERE objectId BETWEEN 200 AND 260 AND ra_PS BETWEEN 359.0 AND 359.9",
+        )
+        .expect("traced");
+
+    // Stats view sees the worker page counters.
+    assert!(traced.stats.pages_scanned > 0, "{:?}", traced.stats);
+    assert!(traced.stats.pages_pruned > 0, "{:?}", traced.stats);
+    // The stats view is exactly the metrics snapshot.
+    assert_eq!(traced.stats, QueryStats::from_snapshot(&traced.metrics));
+    assert_eq!(
+        traced.metrics.counter(names::PAGES_PRUNED),
+        traced.stats.pages_pruned
+    );
+    assert_eq!(
+        traced.metrics.counter(names::PAGES_SCANNED),
+        traced.stats.pages_scanned
+    );
+    assert_eq!(
+        traced.metrics.counter(names::CHUNKS_PRUNED) as usize,
+        traced.stats.chunks_pruned
+    );
+
+    // Worker statement spans annotate their page elision; the totals
+    // across the trace reconcile with the query counters.
+    let spans = traced.trace.spans();
+    let mut pruned = 0u64;
+    let mut scanned = 0u64;
+    for s in spans.iter().filter(|s| s.name == "worker.statement") {
+        if let Some(v) = s.attr("pages_pruned") {
+            pruned += v.parse::<u64>().unwrap();
+        }
+        if let Some(v) = s.attr("pages_scanned") {
+            scanned += v.parse::<u64>().unwrap();
+        }
+    }
+    assert_eq!(pruned, traced.stats.pages_pruned, "trace disagrees");
+    assert_eq!(scanned, traced.stats.pages_scanned, "trace disagrees");
+    if traced.stats.chunks_pruned > 0 {
+        let analyze = spans
+            .iter()
+            .find(|s| s.name == "master.analyze")
+            .expect("analyze span");
+        assert_eq!(
+            analyze.attr("chunks_pruned"),
+            Some(traced.stats.chunks_pruned.to_string().as_str())
+        );
+    }
+    // The JSON export carries the annotations for external tooling.
+    let json = traced.trace.to_json();
+    assert!(json.contains("pages_pruned"), "export lost annotations");
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm in-memory clusters never touch the paged path: their stats must
+/// keep reporting zero page counters, and dump texts stay byte-identical
+/// to the pre-storage format (no QSERV_SCAN header leaks into results).
+#[test]
+fn in_memory_cluster_reports_no_page_counters() {
+    let patch = small_patch(400, 13);
+    let mem = ClusterBuilder::new(3).build(&patch.objects, &patch.sources);
+    let (r, stats) = mem
+        .query_with_stats("SELECT COUNT(*) FROM Object WHERE objectId BETWEEN 10 AND 90")
+        .expect("mem");
+    assert_eq!(r.scalar(), Some(&Value::Int(81)));
+    assert_eq!(stats.pages_scanned, 0);
+    assert_eq!(stats.pages_pruned, 0);
+}
+
+/// Chaos: a replicated on-disk cluster loses fabric writes while every
+/// chunk is still cold (first scan after load). Retries land on the
+/// replica, which decodes the same chunk files — the result must be
+/// byte-for-byte the clean cluster's, and the faults must be visible in
+/// the stats.
+#[test]
+fn worker_death_mid_cold_scan_matches_clean_cluster() {
+    let patch = small_patch(700, 57);
+    let build = |dir: &PathBuf, seed: u64| {
+        ClusterBuilder::new(4)
+            .replication(2)
+            .fault_plan(FaultPlan::new(seed))
+            .storage_dir(dir)
+            .storage_page_rows(64)
+            .build(&patch.objects, &patch.sources)
+    };
+    let sql = "SELECT objectId, ra_PS, zFlux_PS FROM Object WHERE objectId BETWEEN 100 AND 420";
+
+    let clean_dir = storage_dir("chaos-clean");
+    let clean = build(&clean_dir, 1);
+    let expected = clean.query(sql).expect("clean cold scan");
+
+    // Faulted twin: the first fabric writes fail, killing the initial
+    // chunk dispatches mid-cold-scan; dispatch must retry them on the
+    // other replica.
+    let chaos_dir = storage_dir("chaos-faulted");
+    let chaos = build(&chaos_dir, 2);
+    chaos
+        .cluster()
+        .faults()
+        .fail_next(None, Some(FabricOp::Write), 4);
+    let (got, stats) = chaos.query_with_stats(sql).expect("chaotic cold scan");
+    assert_eq!(
+        sorted_rows(&got.rows),
+        sorted_rows(&expected.rows),
+        "worker death during a cold scan changed the result"
+    );
+    assert!(stats.chunks_retried > 0, "faults must force retries");
+    assert!(stats.injected_faults_observed >= 4);
+    assert!(stats.pages_scanned > 0, "retried scans still run cold");
+
+    // A whole server down for the next cold-ish query: replica chunks
+    // decode from the same files, so rows still match.
+    chaos.cluster().servers()[0].set_online(false);
+    let down = chaos.query(sql).expect("query with a server down");
+    assert_eq!(sorted_rows(&down.rows), sorted_rows(&expected.rows));
+    chaos.cluster().servers()[0].set_online(true);
+
+    drop(chaos);
+    drop(clean);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
