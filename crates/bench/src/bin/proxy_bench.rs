@@ -1,0 +1,376 @@
+//! Proxy streaming / multiplexing / result-cache benchmark.
+//!
+//! Builds a cluster whose partitioning spreads the catalog over 256+
+//! populated chunks, arms a small per-read fabric delay so chunk scans
+//! cost realistic wall time, and measures the proxy end to end over
+//! real TCP:
+//!
+//! * **ttfr** — time to first row of a full-table scan, streamed
+//!   (`query_stream`, rows arrive as chunks fold) vs buffered
+//!   (`query`, rows arrive only with the merged table). The stream's
+//!   first batch must land ≥5x sooner than the buffered result.
+//! * **concurrency** — 64 client connections of point lookups against
+//!   the single-event-loop reactor vs the thread-per-connection
+//!   baseline. Reactor throughput must be no worse (within noise).
+//! * **cache** — a repeated aggregation against a cache-enabled
+//!   service: the hot (replayed) query must run ≥10x faster than the
+//!   cold (executed) one.
+//!
+//! Every measured path is also equivalence-gated: streamed rows must
+//! equal buffered rows, cache-on results must equal cache-off results,
+//! and a cache replay must be byte-identical to the run that populated
+//! it. Results land in `BENCH_proxy.json`.
+//!
+//! Usage: `proxy_bench [--objects N] [--delay-ms D] [--out PATH]`
+
+use qserv::service::{names, QueryService, ServiceConfig};
+use qserv::{CacheOutcome, ClusterBuilder, FabricOp, FaultPlan, Qserv, Value};
+use qserv_datagen::generate::{CatalogConfig, Patch};
+use qserv_partition::chunker::Chunker;
+use qserv_proxy::{ProxyClient, ProxyServer, ResultTable, ServerMode};
+use qserv_sphgeom::{Angle, SphericalBox};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rows keyed and sorted for order-independent comparison: streamed
+/// batches fold in chunk-completion order, which is scheduling-
+/// dependent, so equivalence is on the row *multiset*, byte-exact.
+fn canonical(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut keys: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(qserv_proxy::protocol::encode_value)
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn gate(name: &str, ok: bool, detail: String) {
+    assert!(ok, "GATE {name} failed: {detail}");
+    eprintln!("gate {name:<28} ok   ({detail})");
+}
+
+/// A cluster spread over a fine partitioning (16 declination stripes)
+/// and a near-full-sky footprint, so a full scan touches well over 256
+/// chunks — the scale at which streaming TTFR matters.
+fn build_cluster(objects: usize, delay: Duration) -> Arc<Qserv> {
+    let cfg = CatalogConfig {
+        objects,
+        mean_sources_per_object: 1.0,
+        seed: 0xbe9c,
+        footprint: SphericalBox::from_degrees(0.0, -80.0, 359.9, 80.0),
+    };
+    let patch = Patch::generate(&cfg);
+    let chunker = Chunker::new(16, 4, Angle::from_degrees(0.05)).expect("valid partitioning");
+    let qserv = Arc::new(
+        ClusterBuilder::new(4)
+            .chunker(chunker)
+            .fault_plan(FaultPlan::new(0xbe9c))
+            .build(&patch.objects, &patch.sources),
+    );
+    // Every worker read pays a small latency: the stand-in for real
+    // per-chunk I/O, and what makes TTFR a meaningful number.
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), delay);
+    qserv
+}
+
+fn service(qserv: &Arc<Qserv>, cache_bytes: u64) -> Arc<QueryService> {
+    Arc::new(QueryService::start(
+        Arc::clone(qserv),
+        ServiceConfig {
+            cache_capacity_bytes: cache_bytes,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+struct TtfrOut {
+    streaming_ms: f64,
+    buffered_ms: f64,
+    total_ms: f64,
+    speedup: f64,
+    chunks: usize,
+    rows: usize,
+    batches: usize,
+}
+
+/// Full-table scan, streamed vs buffered, plus the row-equivalence gate.
+fn bench_ttfr(qserv: &Arc<Qserv>) -> TtfrOut {
+    let scan = "SELECT objectId, ra_PS, decl_PS FROM Object";
+    let server = ProxyServer::start_with_service(service(qserv, 0), "127.0.0.1:0").expect("bind");
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+
+    // Buffered baseline: the first row is available only when the whole
+    // merged table is, so its TTFR is its total latency.
+    let start = Instant::now();
+    let (table, stats) = client.query(scan).expect("buffered scan");
+    let buffered = start.elapsed();
+
+    let (ttfr, total, streamed, batches, schunks) = {
+        let start = Instant::now();
+        let mut stream = client.query_stream(scan).expect("streamed scan");
+        let mut first = None;
+        let mut rows = Vec::new();
+        let mut batches = 0usize;
+        while let Some(batch) = stream.next_batch().expect("stream healthy") {
+            if !batch.rows.is_empty() {
+                first.get_or_insert_with(|| start.elapsed());
+                batches += 1;
+            }
+            rows.extend(batch.rows);
+        }
+        let total = start.elapsed();
+        let chunks = stream.stats().expect("END stats").chunks_dispatched;
+        (first.expect("rows streamed"), total, rows, batches, chunks)
+    };
+
+    gate(
+        "chunks_dispatched>=256",
+        stats.chunks_dispatched >= 256 && schunks == stats.chunks_dispatched,
+        format!("{} chunks", stats.chunks_dispatched),
+    );
+    gate(
+        "stream_equals_buffered",
+        canonical(&streamed) == canonical(&table.rows),
+        format!("{} rows each way", table.rows.len()),
+    );
+    let speedup = buffered.as_secs_f64() / ttfr.as_secs_f64();
+    gate(
+        "ttfr_speedup>=5",
+        speedup >= 5.0,
+        format!(
+            "first rows at {:.1}ms streamed vs {:.1}ms buffered = {speedup:.1}x",
+            ttfr.as_secs_f64() * 1e3,
+            buffered.as_secs_f64() * 1e3
+        ),
+    );
+    server.shutdown();
+    TtfrOut {
+        streaming_ms: ttfr.as_secs_f64() * 1e3,
+        buffered_ms: buffered.as_secs_f64() * 1e3,
+        total_ms: total.as_secs_f64() * 1e3,
+        speedup,
+        chunks: stats.chunks_dispatched,
+        rows: table.rows.len(),
+        batches,
+    }
+}
+
+/// Wall-clock for `conns` connections each running `per_conn` point
+/// lookups, all concurrent. Returns queries/second.
+fn drive_load(addr: std::net::SocketAddr, conns: usize, per_conn: usize, objects: usize) -> f64 {
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for c in 0..conns {
+            scope.spawn(move |_| {
+                let mut client = ProxyClient::connect(addr).expect("connect");
+                for i in 0..per_conn {
+                    // Object ids are 1-based in generation order.
+                    let id = (c * per_conn + i) % objects + 1;
+                    let sql = format!("SELECT COUNT(*) FROM Object WHERE objectId = {id}");
+                    let (t, _) = qserv_proxy::RetryPolicy::seeded(c as u64)
+                        .run(|| client.query(&sql))
+                        .expect("lookup");
+                    assert_eq!(t.scalar().and_then(|v| v.as_i64()), Some(1));
+                }
+            });
+        }
+    })
+    .expect("load threads");
+    (conns * per_conn) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct ConcurrencyOut {
+    conns: usize,
+    per_conn: usize,
+    reactor_qps: f64,
+    tpc_qps: f64,
+    ratio: f64,
+}
+
+/// 64-connection point-lookup throughput: reactor vs thread-per-conn.
+fn bench_concurrency(qserv: &Arc<Qserv>, objects: usize) -> ConcurrencyOut {
+    let (conns, per_conn) = (64, 8);
+    let reactor =
+        ProxyServer::start_with_service(service(qserv, 0), "127.0.0.1:0").expect("bind reactor");
+    let reactor_qps = drive_load(reactor.addr(), conns, per_conn, objects);
+    reactor.shutdown();
+    let tpc =
+        ProxyServer::start_with_mode(service(qserv, 0), "127.0.0.1:0", ServerMode::ThreadPerConn)
+            .expect("bind tpc");
+    let tpc_qps = drive_load(tpc.addr(), conns, per_conn, objects);
+    tpc.shutdown();
+    let ratio = reactor_qps / tpc_qps;
+    gate(
+        "reactor_holds_throughput",
+        ratio >= 0.85,
+        format!("reactor {reactor_qps:.0} qps vs thread-per-conn {tpc_qps:.0} qps = {ratio:.2}x"),
+    );
+    ConcurrencyOut {
+        conns,
+        per_conn,
+        reactor_qps,
+        tpc_qps,
+        ratio,
+    }
+}
+
+struct CacheOut {
+    cold_ms: f64,
+    hot_ms: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cold execute vs hot replay of a cacheable aggregation, plus the
+/// cache-on/cache-off and replay-identity equivalence gates.
+fn bench_cache(qserv: &Arc<Qserv>, baseline: &ResultTable) -> CacheOut {
+    let sql = "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId";
+    let svc = service(qserv, 8 << 20);
+    let server = ProxyServer::start_with_service(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+
+    let start = Instant::now();
+    let (cold_table, cold_stats) = client.query(sql).expect("cold");
+    let cold = start.elapsed();
+    assert_eq!(cold_stats.cache, CacheOutcome::Miss, "first run must miss");
+
+    let mut hot = Duration::MAX;
+    let mut hot_table = None;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let (t, s) = client.query(sql).expect("hot");
+        hot = hot.min(start.elapsed());
+        assert_eq!(s.cache, CacheOutcome::Hit, "repeat must hit");
+        hot_table.get_or_insert(t);
+    }
+    let hot_table = hot_table.expect("hot runs happened");
+
+    gate(
+        "cache_replay_identical",
+        hot_table == cold_table,
+        format!("{} group rows", cold_table.rows.len()),
+    );
+    gate(
+        "cache_on_equals_off",
+        canonical(&cold_table.rows) == canonical(&baseline.rows)
+            && cold_table.columns == baseline.columns,
+        format!("{} group rows each way", baseline.rows.len()),
+    );
+    let speedup = cold.as_secs_f64() / hot.as_secs_f64();
+    gate(
+        "cache_speedup>=10",
+        speedup >= 10.0,
+        format!(
+            "cold {:.1}ms vs hot {:.3}ms = {speedup:.0}x",
+            cold.as_secs_f64() * 1e3,
+            hot.as_secs_f64() * 1e3
+        ),
+    );
+    let snap = svc.metrics_snapshot();
+    let out = CacheOut {
+        cold_ms: cold.as_secs_f64() * 1e3,
+        hot_ms: hot.as_secs_f64() * 1e3,
+        speedup,
+        hits: snap.counter(names::CACHE_HIT),
+        misses: snap.counter(names::CACHE_MISS),
+    };
+    server.shutdown();
+    out
+}
+
+fn main() {
+    let mut objects: usize = 20_000;
+    let mut delay_ms: u64 = 2;
+    let mut out = "BENCH_proxy.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--objects" => objects = grab("--objects").parse().expect("integer object count"),
+            "--delay-ms" => delay_ms = grab("--delay-ms").parse().expect("integer millis"),
+            "--out" => out = grab("--out"),
+            other => panic!("unknown argument {other:?} (expected --objects/--delay-ms/--out)"),
+        }
+    }
+
+    eprintln!("building {objects}-object cluster over a 16-stripe partitioning...");
+    let qserv = build_cluster(objects, Duration::from_millis(delay_ms));
+
+    let ttfr = bench_ttfr(&qserv);
+    eprintln!(
+        "{:<12} streamed first rows {:.1}ms (of {:.1}ms total, {} batches)   \
+         buffered {:.1}ms   {:.1}x   ({} chunks, {} rows)",
+        "ttfr",
+        ttfr.streaming_ms,
+        ttfr.total_ms,
+        ttfr.batches,
+        ttfr.buffered_ms,
+        ttfr.speedup,
+        ttfr.chunks,
+        ttfr.rows
+    );
+
+    let conc = bench_concurrency(&qserv, objects);
+    eprintln!(
+        "{:<12} {} conns x {} lookups   reactor {:.0} qps   thread-per-conn {:.0} qps   {:.2}x",
+        "concurrency", conc.conns, conc.per_conn, conc.reactor_qps, conc.tpc_qps, conc.ratio
+    );
+
+    // The cache-off oracle for the cache section's equivalence gate.
+    let off = service(&qserv, 0);
+    let off_server = ProxyServer::start_with_service(off, "127.0.0.1:0").expect("bind");
+    let mut off_client = ProxyClient::connect(off_server.addr()).expect("connect");
+    let (baseline, base_stats) = off_client
+        .query("SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId")
+        .expect("cache-off oracle");
+    assert_eq!(base_stats.cache, CacheOutcome::Off);
+    off_server.shutdown();
+
+    let cache = bench_cache(&qserv, &baseline);
+    eprintln!(
+        "{:<12} cold {:.1}ms   hot {:.3}ms   {:.0}x   ({} hits / {} misses)",
+        "cache", cache.cold_ms, cache.hot_ms, cache.speedup, cache.hits, cache.misses
+    );
+
+    let json = format!(
+        "{{\n  \"objects\": {objects},\n  \"read_delay_ms\": {delay_ms},\n  \
+         \"chunks\": {},\n  \"ttfr\": {{\"streaming_ms\": {:.3}, \"buffered_ms\": {:.3}, \
+         \"stream_total_ms\": {:.3}, \"batches\": {}, \"speedup\": {:.2}}},\n  \
+         \"concurrency\": {{\"connections\": {}, \"lookups_per_connection\": {}, \
+         \"reactor_qps\": {:.1}, \"thread_per_conn_qps\": {:.1}, \"ratio\": {:.3}}},\n  \
+         \"cache\": {{\"cold_ms\": {:.3}, \"hot_ms\": {:.4}, \"speedup\": {:.1}, \
+         \"hits\": {}, \"misses\": {}}},\n  \
+         \"equivalence\": {{\"stream_equals_buffered\": true, \"cache_on_equals_off\": true, \
+         \"cache_replay_identical\": true}}\n}}\n",
+        ttfr.chunks,
+        ttfr.streaming_ms,
+        ttfr.buffered_ms,
+        ttfr.total_ms,
+        ttfr.batches,
+        ttfr.speedup,
+        conc.conns,
+        conc.per_conn,
+        conc.reactor_qps,
+        conc.tpc_qps,
+        conc.ratio,
+        cache.cold_ms,
+        cache.hot_ms,
+        cache.speedup,
+        cache.hits,
+        cache.misses
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    eprintln!("wrote {out}");
+}

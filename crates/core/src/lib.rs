@@ -52,6 +52,7 @@
 //!   load-balanced over one worker fleet.
 
 pub mod analysis;
+pub mod cache;
 pub mod error;
 pub mod loader;
 pub mod master;
@@ -64,16 +65,20 @@ pub mod sharedscan;
 pub mod stats;
 pub mod worker;
 
+pub use cache::{normalize_sql, CachedResult, ResultCache};
 pub use error::QservError;
 pub use loader::ClusterBuilder;
 pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery, XMatchSpec};
-pub use merge::{merge_oracle, merge_tables, Merger};
+pub use merge::{
+    infer_value_types, merge_oracle, merge_tables, Merger, StreamBatch, StreamCollector,
+};
 pub use meta::{CatalogMeta, ChunkZones, ColumnZone};
 pub use multimaster::MasterPool;
 pub use rewrite::{ColumnRole, MergeShape};
 pub use service::{
-    FairScheduler, KillOutcome, QueryClass, QueryHandle, QueryService, QueryState, QueryStatus,
-    ServiceConfig, ServiceReply, Ticket,
+    CacheOutcome, FairScheduler, KillOutcome, Notifier, QueryClass, QueryHandle, QueryService,
+    QueryState, QueryStatus, ServiceConfig, ServiceReply, StreamDone, StreamEvent, StreamHandle,
+    StreamOutcome, Ticket,
 };
 
 // Chaos-testing surface: arm a fault plan at build time

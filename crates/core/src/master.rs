@@ -9,7 +9,7 @@
 
 use crate::analysis::{analyze, zone_restrictions, Analysis, JoinClass};
 use crate::error::QservError;
-use crate::merge::{merge_oracle, Merger};
+use crate::merge::{infer_value_types, merge_oracle, Merger, StreamBatch};
 use crate::meta::{CatalogMeta, ChunkZones};
 use crate::rewrite::{build_plan, render_chunk_message, MergeShape, PhysicalPlan};
 use crate::stats::QueryMetrics;
@@ -40,6 +40,29 @@ use std::time::Duration;
 /// (Hoisted so the master and the shared-scan scheduler cannot drift.)
 pub(crate) fn effective_width(configured: usize, jobs: usize) -> usize {
     configured.max(1).min(jobs.max(1))
+}
+
+/// Pushes a completed result through a streaming sink as the (always
+/// sent, possibly empty) final batch, typed by `types` when the caller
+/// knows the merge votes and by value inference otherwise. Returns the
+/// result's shell — columns, no rows — which is what the streaming
+/// entry points hand back, the rows having left through the sink.
+fn emit_final(
+    result: ResultTable,
+    types: Option<Vec<Option<qserv_engine::schema::ColumnType>>>,
+    sink: &mut dyn FnMut(StreamBatch) -> bool,
+) -> ResultTable {
+    let types = types.unwrap_or_else(|| infer_value_types(&result));
+    let ResultTable { columns, rows } = result;
+    let _ = sink(StreamBatch {
+        columns: columns.clone(),
+        types,
+        rows,
+    });
+    ResultTable {
+        columns,
+        rows: Vec::new(),
+    }
 }
 
 /// How the master retries chunk dispatch over an unreliable fabric.
@@ -300,6 +323,11 @@ pub struct Qserv {
     /// dispatch — the master-side analogue of the worker's per-page zone
     /// maps. Empty when the loader registered none.
     zones: Arc<ChunkZones>,
+    /// Monotonic catalog data version, shared by every frontend over
+    /// this cluster. Bumped whenever data is loaded or attached after
+    /// build; the result cache keys on it, so a bump invalidates every
+    /// cached result at once instead of serving stale rows.
+    data_version: Arc<AtomicU64>,
 }
 
 /// A prepared (analyzed + planned) query, reusable by the shared-scan
@@ -336,7 +364,21 @@ impl Qserv {
             streaming_merge: true,
             qid: Arc::new(AtomicU64::new(1)),
             zones: Arc::new(ChunkZones::new()),
+            data_version: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// The catalog data version the result cache keys on.
+    pub fn data_version(&self) -> u64 {
+        self.data_version.load(Ordering::SeqCst)
+    }
+
+    /// Advances the catalog data version (call after loading or
+    /// attaching data into a live cluster), returning the new version.
+    /// Every cached result keyed under an older version becomes
+    /// unreachable immediately.
+    pub fn bump_data_version(&self) -> u64 {
+        self.data_version.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Installs the per-chunk zone maps (called by the loader after every
@@ -375,6 +417,7 @@ impl Qserv {
             streaming_merge: self.streaming_merge,
             qid: Arc::clone(&self.qid),
             zones: Arc::clone(&self.zones),
+            data_version: Arc::clone(&self.data_version),
         }
     }
 
@@ -553,6 +596,43 @@ impl Qserv {
         sql: &str,
         token: &CancelToken,
     ) -> Result<(ResultTable, QueryMetrics), QservError> {
+        self.query_impl(sql, token, None)
+    }
+
+    /// Streaming execution: merged row batches are pushed into `sink` as
+    /// chunk results fold, so the first rows leave the master while later
+    /// chunks are still scanning. For shapes that cannot stream (folds,
+    /// top-n, barriers — anything whose output depends on every chunk)
+    /// the single final batch is pushed at completion instead. The final
+    /// batch is *always* pushed, even when empty, so consumers learn the
+    /// result columns of empty results. Returning `false` from the sink
+    /// cancels the remaining chunk work and fails the query with
+    /// [`QservError::Cancelled`] — the LIMIT-cutoff path for a client
+    /// that has seen enough, and the disconnect path for one that left.
+    ///
+    /// Exactness: the concatenation of all batches, with earlier rows
+    /// re-coerced whenever a later batch widens a column (the only
+    /// widening step is Int→Float, so re-coercion is exact), is
+    /// byte-identical to the table [`Qserv::query`] returns.
+    pub fn query_streaming(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+        sink: &mut dyn FnMut(StreamBatch) -> bool,
+    ) -> Result<QueryStats, QservError> {
+        self.query_impl(sql, token, Some(sink))
+            .map(|(_, qm)| qm.stats())
+    }
+
+    /// Shared body of [`Qserv::query_inner`] and
+    /// [`Qserv::query_streaming`]: with a sink, row batches leave
+    /// through it and the returned table is empty (columns only).
+    fn query_impl(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+        sink: Option<&mut dyn FnMut(StreamBatch) -> bool>,
+    ) -> Result<(ResultTable, QueryMetrics), QservError> {
         let qm = QueryMetrics::new();
         let _q = trace::span("master.query");
         if token.is_cancelled() {
@@ -562,6 +642,9 @@ impl Qserv {
         // FROM-less statements run locally on the frontend.
         if stmt.from.is_empty() {
             let local = execute(&Database::new(), &stmt)?;
+            if let Some(s) = sink {
+                return Ok((emit_final(local, None, s), qm));
+            }
             return Ok((local, qm));
         }
         let prepared = {
@@ -576,7 +659,7 @@ impl Qserv {
             }
             prepared
         };
-        let result = self.run_prepared(&prepared, &qm, token)?;
+        let result = self.run_prepared_sink(&prepared, &qm, token, sink)?;
         Ok((result, qm))
     }
 
@@ -589,6 +672,20 @@ impl Qserv {
         qm: &QueryMetrics,
         token: &CancelToken,
     ) -> Result<ResultTable, QservError> {
+        self.run_prepared_sink(prepared, qm, token, None)
+    }
+
+    /// [`Qserv::run_prepared`] with an optional streaming sink. The
+    /// barrier path (streaming_merge off) still works under a sink — the
+    /// whole result leaves as one final batch — so a streaming consumer
+    /// composes with the bench's buffered baseline.
+    fn run_prepared_sink(
+        &self,
+        prepared: &Prepared,
+        qm: &QueryMetrics,
+        token: &CancelToken,
+        sink: Option<&mut dyn FnMut(StreamBatch) -> bool>,
+    ) -> Result<ResultTable, QservError> {
         qm.used_secondary_index
             .set(prepared.analysis.index_ids.is_some() as u64);
         qm.used_spatial_restriction
@@ -596,11 +693,15 @@ impl Qserv {
         qm.chunks_pruned.add(prepared.chunks_pruned as u64);
         let _d = trace::span("master.dispatch");
         if self.streaming_merge {
-            self.dispatch_streaming(prepared, qm, token)
+            self.dispatch_streaming(prepared, qm, token, sink)
         } else {
             qm.chunks_dispatched.add(prepared.chunks.len() as u64);
             let parts = self.dispatch_all(prepared, qm, token)?;
-            self.merge(&prepared.plan, parts, qm)
+            let merged = self.merge(&prepared.plan, parts, qm)?;
+            match sink {
+                Some(s) => Ok(emit_final(merged, None, s)),
+                None => Ok(merged),
+            }
         }
     }
 
@@ -790,6 +891,7 @@ impl Qserv {
         prepared: &Prepared,
         qm: &QueryMetrics,
         token: &CancelToken,
+        mut sink: Option<&mut dyn FnMut(StreamBatch) -> bool>,
     ) -> Result<ResultTable, QservError> {
         let jobs: Vec<(usize, i32, String)> = prepared
             .chunks
@@ -820,6 +922,9 @@ impl Qserv {
         let mut fold_err: Option<QservError> = None;
         let mut first_fold: Option<Duration> = None;
         let mut last_arrival: Option<Duration> = None;
+        // Set when the sink declines a batch (client gone / has enough):
+        // remaining work is cancelled and the query reports Cancelled.
+        let mut sink_closed = false;
 
         type ChunkOutcome = Result<(Table, u64, ChunkMeta), QservError>;
 
@@ -850,7 +955,17 @@ impl Qserv {
                                 g.annotate("seq", &seq.to_string());
                             }
                             match merger.fold(seq, table) {
-                                Ok(()) => stop = merger.satisfied(),
+                                Ok(()) => {
+                                    stop = merger.satisfied();
+                                    if let Some(s) = sink.as_mut() {
+                                        if let Some(batch) = merger.drain_ready() {
+                                            if !s(batch) {
+                                                sink_closed = true;
+                                                stop = true;
+                                            }
+                                        }
+                                    }
+                                }
                                 Err(e) => {
                                     fold_err = Some(e);
                                     stop = true;
@@ -877,6 +992,8 @@ impl Qserv {
                 first_fold,
                 last_arrival,
                 token,
+                sink,
+                sink_closed,
             );
         }
 
@@ -945,6 +1062,14 @@ impl Qserv {
                                     if merger.satisfied() {
                                         cancelled.store(true, Ordering::Relaxed);
                                     }
+                                    if let Some(s) = sink.as_mut() {
+                                        if let Some(batch) = merger.drain_ready() {
+                                            if !s(batch) {
+                                                sink_closed = true;
+                                                cancelled.store(true, Ordering::Relaxed);
+                                            }
+                                        }
+                                    }
                                 }
                                 Err(e) => {
                                     fold_err = Some(e);
@@ -974,6 +1099,8 @@ impl Qserv {
             first_fold,
             last_arrival,
             token,
+            sink,
+            sink_closed,
         )
     }
 
@@ -992,6 +1119,8 @@ impl Qserv {
         first_fold: Option<Duration>,
         last_arrival: Option<Duration>,
         token: &CancelToken,
+        sink: Option<&mut dyn FnMut(StreamBatch) -> bool>,
+        sink_closed: bool,
     ) -> Result<ResultTable, QservError> {
         qm.chunks_dispatched.add(dispatched as u64);
         if let Some(e) = fold_err {
@@ -1002,6 +1131,10 @@ impl Qserv {
         // (the dispatch error may itself be a token-induced `Cancelled`
         // from inside the retry loop).
         if token.is_cancelled() {
+            return Err(QservError::Cancelled);
+        }
+        // A sink that declined a batch is the consumer's cancellation.
+        if sink_closed {
             return Err(QservError::Cancelled);
         }
         if let Some((_, e)) = dispatch_err {
@@ -1015,12 +1148,23 @@ impl Qserv {
             qm.merge_overlap_ms
                 .set(l.saturating_sub(f).as_millis() as u64);
         }
+        // The streamable path's final batch must carry the *final* votes,
+        // not value-inferred types: a column whose rows all drained as
+        // Int before a later all-NULL Float part widened the vote would
+        // otherwise never tell the consumer to re-coerce.
+        let final_votes = match &sink {
+            Some(_) if merger.streamable() => Some(merger.vote_types().to_vec()),
+            _ => None,
+        };
         let g = trace::span("merge.finish");
         let result = merger.finish();
         if let (Some(g), Ok(r)) = (&g, &result) {
             g.annotate("rows", &r.rows.len().to_string());
         }
-        result
+        match (sink, result) {
+            (Some(s), Ok(r)) => Ok(emit_final(r, final_votes, s)),
+            (_, result) => result,
+        }
     }
 
     /// Dispatches one chunk with bounded retry: transient fabric errors

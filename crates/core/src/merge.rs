@@ -36,8 +36,125 @@ use qserv_engine::exec::{execute, AggAcc, AggKind, ResultTable};
 use qserv_engine::schema::{ColumnDef, ColumnType, Schema};
 use qserv_engine::table::Table;
 use qserv_engine::value::{GroupKey, Value};
-use qserv_sqlparse::ast::{OrderItem, SelectStatement};
+use qserv_sqlparse::ast::{Expr, OrderItem, SelectStatement};
 use std::collections::{BTreeMap, HashMap};
+
+/// One batch of merged rows emitted mid-query by a streaming sink (see
+/// [`crate::Qserv::query_streaming`]): the rows appended since the last
+/// drain, coerced under the type votes in effect when the batch was
+/// cut. A later chunk may widen a column Int→Float, so consumers that
+/// accumulate batches must re-coerce earlier rows when `types` widen —
+/// which is exact, because the only widening step is Int→Float.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBatch {
+    /// Output column names (identical across every batch of one query).
+    pub columns: Vec<String>,
+    /// Per-column type votes at drain time; `None` means no populated
+    /// part has voted yet (the column is all-NULL so far).
+    pub types: Vec<Option<ColumnType>>,
+    /// The batch rows, coerced under `types`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Reassembles a streamed query from its [`StreamBatch`]es into the
+/// single table a buffered execution would have returned — the
+/// consumer-side inverse of [`Merger::drain_ready`], used by the result
+/// cache, the equivalence gates, and any caller that wants streaming
+/// transport with a buffered API. When a batch widens a column's type
+/// (Int→Float, the only widening step), previously collected Int rows
+/// are re-coerced, which is exact.
+#[derive(Debug, Default)]
+pub struct StreamCollector {
+    columns: Option<Vec<String>>,
+    types: Vec<Option<ColumnType>>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl StreamCollector {
+    /// An empty collector.
+    pub fn new() -> StreamCollector {
+        StreamCollector::default()
+    }
+
+    /// Folds one batch in, re-coercing earlier rows under any widened
+    /// column types.
+    pub fn push(&mut self, batch: StreamBatch) {
+        if self.columns.is_none() {
+            self.columns = Some(batch.columns);
+            self.types = vec![None; batch.types.len()];
+        }
+        for (i, ty) in batch.types.iter().enumerate() {
+            let widened = matches!(
+                (self.types[i], ty),
+                (None, Some(_)) | (Some(ColumnType::Int), Some(ColumnType::Float))
+            );
+            if widened {
+                self.types[i] = *ty;
+                if *ty == Some(ColumnType::Float) {
+                    for row in &mut self.rows {
+                        if let Value::Int(x) = row[i] {
+                            row[i] = Value::Float(x as f64);
+                        }
+                    }
+                }
+            }
+        }
+        let types = &self.types;
+        self.rows.extend(batch.rows.into_iter().map(|row| {
+            row.into_iter()
+                .zip(types)
+                .map(|(v, t)| coerce_owned(v, *t))
+                .collect()
+        }));
+    }
+
+    /// The per-column types collected so far.
+    pub fn types(&self) -> &[Option<ColumnType>] {
+        &self.types
+    }
+
+    /// Rows collected so far (the cache's size gate watches this).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The assembled table. Empty (no batches at all — an error before
+    /// the final batch) yields an empty, columnless table.
+    pub fn table(self) -> ResultTable {
+        ResultTable {
+            columns: self.columns.unwrap_or_default(),
+            rows: self.rows,
+        }
+    }
+}
+
+/// Per-column types inferred by scanning a final result's values (the
+/// tag source for shapes that emit a single terminal batch): any Float
+/// makes the column Float, else any Int makes it Int, any Str makes it
+/// Str, all-NULL stays `None`. Mixed Int/Float cannot occur in merge
+/// output (values were coerced under the vote), and Str never mixes
+/// with numerics (the vote errors on that), so scanning is a fold over
+/// the same lattice the vote walks.
+pub fn infer_value_types(result: &ResultTable) -> Vec<Option<ColumnType>> {
+    let mut types: Vec<Option<ColumnType>> = vec![None; result.columns.len()];
+    for row in &result.rows {
+        for (slot, v) in types.iter_mut().zip(row) {
+            let seen = match v {
+                Value::Null => continue,
+                Value::Int(_) => ColumnType::Int,
+                Value::Float(_) => ColumnType::Float,
+                Value::Str(_) => ColumnType::Str,
+            };
+            *slot = Some(match (*slot, seen) {
+                (None, t) => t,
+                (Some(ColumnType::Int), ColumnType::Float)
+                | (Some(ColumnType::Float), ColumnType::Int) => ColumnType::Float,
+                (Some(a), _) => a,
+            });
+        }
+    }
+    types
+}
 
 /// Concatenates per-chunk result tables, unifying schemas by widening
 /// (Int + Float ⇒ Float; an empty chunk's all-NULL "Float" columns adopt
@@ -324,6 +441,67 @@ impl Merger {
                     .sum(),
                 State::Barrier { parts } => parts.iter().map(|t| t.footprint_bytes()).sum(),
             }
+    }
+
+    /// True when this merger's shape supports incremental row emission:
+    /// the Append state under a pure `SELECT * FROM result [LIMIT n]`
+    /// merge statement (exactly what `plain_merge` builds for the
+    /// Append classification). Every in-order fold then appends final
+    /// rows — no projection, reordering, or grouping remains — so they
+    /// can leave through [`Merger::drain_ready`] immediately. The
+    /// Append state never downgrades, so streamability is stable for
+    /// the life of the query.
+    pub fn streamable(&self) -> bool {
+        matches!(self.state, State::Append { .. })
+            && self.merge_stmt.where_clause.is_none()
+            && self.merge_stmt.group_by.is_empty()
+            && self.merge_stmt.order_by.is_empty()
+            && self.merge_stmt.projections.len() == 1
+            && self.merge_stmt.projections[0].alias.is_none()
+            && matches!(self.merge_stmt.projections[0].expr, Expr::Star)
+    }
+
+    /// The per-column widening votes so far (`None` = no populated part
+    /// has voted). Exposed so the streaming epilogue can type its final
+    /// batch under the same votes the buffered path materializes with.
+    pub fn vote_types(&self) -> &[Option<ColumnType>] {
+        &self.votes
+    }
+
+    /// Takes the rows appended since the last drain as a [`StreamBatch`]
+    /// coerced under the current votes; `None` when the shape is not
+    /// [`Merger::streamable`], no part has applied yet, or nothing new
+    /// has arrived. Drained rows are *gone* from the merge state —
+    /// [`Merger::finish`] returns only the undrained remainder (its
+    /// `SELECT * … LIMIT n` over the remainder is still exact, because
+    /// the Append cutoff already capped drained + remaining at n).
+    pub fn drain_ready(&mut self) -> Option<StreamBatch> {
+        if !self.streamable() {
+            return None;
+        }
+        let names = self.names.as_ref()?;
+        let State::Append { rows, .. } = &mut self.state else {
+            return None;
+        };
+        if rows.is_empty() {
+            return None;
+        }
+        let taken = std::mem::take(rows);
+        let types = self.votes.clone();
+        let rows = taken
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .zip(&self.votes)
+                    .map(|(v, t)| coerce_owned(v, *t))
+                    .collect()
+            })
+            .collect();
+        Some(StreamBatch {
+            columns: names.clone(),
+            types,
+            rows,
+        })
     }
 
     /// Folds one chunk result. `seq` is the part's position in ascending

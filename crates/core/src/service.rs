@@ -30,8 +30,10 @@
 //! no threads, no clock — so property tests can replay arbitrary
 //! arrival schedules against it deterministically on a virtual clock.
 
+use crate::cache::{normalize_sql, stream_batch_bytes, CachedResult, ResultCache};
 use crate::error::QservError;
 use crate::master::{CancelToken, Qserv, QueryStats};
+use crate::merge::{infer_value_types, StreamBatch, StreamCollector};
 use qserv_engine::exec::ResultTable;
 use qserv_obs::clock::SharedClock;
 use qserv_obs::trace;
@@ -76,6 +78,12 @@ pub mod names {
     pub const RUN_MS_INTERACTIVE: &str = "service.run_ms.interactive";
     /// Histogram: execution time (ms) of scan queries.
     pub const RUN_MS_SCAN: &str = "service.run_ms.scan";
+    /// Counter: queries served whole from the result cache.
+    pub const CACHE_HIT: &str = "proxy.cache.hit";
+    /// Counter: cacheable queries that had to execute.
+    pub const CACHE_MISS: &str = "proxy.cache.miss";
+    /// Counter: cache entries evicted by the byte budget.
+    pub const CACHE_EVICT: &str = "proxy.cache.evict";
 }
 
 /// The two §7 workload classes the service schedules between.
@@ -133,6 +141,13 @@ pub struct ServiceConfig {
     /// This is the paper's unscheduled baseline (Figure 14's starvation)
     /// — kept for the bench comparison and the simulator replay.
     pub fifo: bool,
+    /// Byte budget of the normalized-query result cache. `0` disables
+    /// caching entirely — the default, so repeated queries re-execute
+    /// unless a deployment opts in.
+    pub cache_capacity_bytes: u64,
+    /// Largest single result the cache admits (and the point at which a
+    /// streaming query stops collecting itself for the cache).
+    pub cache_max_entry_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -148,6 +163,8 @@ impl Default for ServiceConfig {
             scan_quantum: 16,
             retry_after: Duration::from_millis(25),
             fifo: false,
+            cache_capacity_bytes: 0,
+            cache_max_entry_bytes: 4 << 20,
         }
     }
 }
@@ -464,6 +481,156 @@ impl QueryHandle {
     }
 }
 
+/// Callback invoked after each streaming event is queued. The proxy
+/// wires this to its reactor waker so a blocked event loop learns of
+/// new frames without polling the channel.
+pub type Notifier = Arc<dyn Fn() + Send + Sync>;
+
+/// Streaming replies buffer this many events before the executor's
+/// send blocks — the backpressure that ultimately stalls chunk workers
+/// when a client stops draining. A cache hit needs exactly this many
+/// slots to park its batch + done pair before the handle is returned.
+const STREAM_EVENT_BACKLOG: usize = 2;
+
+/// How the result cache participated in one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Caching disabled, or the query is not cacheable (no chunk work).
+    Off,
+    /// Consulted and absent: the query executed (and, on success, may
+    /// have populated the cache).
+    Miss,
+    /// Served whole from the cache without executing.
+    Hit,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name (the proxy's `END … cache:<name>` tag).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Off => "off",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+        }
+    }
+}
+
+/// Terminal event of a streaming query; nothing follows it.
+#[derive(Debug)]
+pub struct StreamDone {
+    /// Service-wide query id.
+    pub qid: u64,
+    /// Admission class.
+    pub class: QueryClass,
+    /// Stats on success, or the failure. An error after batches were
+    /// already delivered means those rows must be discarded — the
+    /// result is the error.
+    pub result: Result<QueryStats, QservError>,
+    /// The span tree, for traced submissions.
+    pub trace: Option<Trace>,
+    /// Time the query spent queued.
+    pub wait: Duration,
+    /// Time the query spent executing.
+    pub run: Duration,
+    /// Whether the cache served, missed, or sat out this query.
+    pub cache: CacheOutcome,
+}
+
+/// What a streaming submission's channel carries: zero or more row
+/// batches, then exactly one [`StreamEvent::Done`].
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// Merged rows in final order, typed with the merger's votes so
+    /// far. A later batch may widen a column (Int → Float); consumers
+    /// re-coerce previously delivered values, which is exact.
+    Batch(StreamBatch),
+    /// The query finished.
+    Done(StreamDone),
+}
+
+/// The submitter's side of a streaming query: drain events as they
+/// arrive, or cancel.
+pub struct StreamHandle {
+    /// Service-wide query id (the `KILL` handle).
+    pub qid: u64,
+    /// Admission class.
+    pub class: QueryClass,
+    /// True when the events were served from the result cache.
+    pub cache_hit: bool,
+    token: CancelToken,
+    rx: mpsc::Receiver<StreamEvent>,
+}
+
+/// Everything a drained stream folds down to (what
+/// [`StreamHandle::collect`] returns).
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The reassembled table + stats, or the failure.
+    pub result: Result<(ResultTable, QueryStats), QservError>,
+    /// The span tree, for traced submissions.
+    pub trace: Option<Trace>,
+    /// Time the query spent queued.
+    pub wait: Duration,
+    /// Time the query spent executing.
+    pub run: Duration,
+    /// Whether the cache served, missed, or sat out this query.
+    pub cache: CacheOutcome,
+}
+
+impl StreamHandle {
+    /// Blocks for the next event; `None` once the stream is exhausted
+    /// (or the service died — treat as cancelled).
+    pub fn recv(&self) -> Option<StreamEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking [`StreamHandle::recv`].
+    pub fn try_recv(&self) -> Option<StreamEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The query's cancellation token (shared with the service).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Cancels the query; in-flight batches already delivered stay
+    /// delivered, and `Done` reports [`QservError::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Drains the stream to completion and reassembles the buffered
+    /// result — byte-identical to what a non-streaming submit returns,
+    /// including Int → Float re-coercion when a late batch widened a
+    /// column.
+    pub fn collect(self) -> StreamOutcome {
+        let mut collector = StreamCollector::default();
+        while let Some(ev) = self.recv() {
+            match ev {
+                StreamEvent::Batch(batch) => collector.push(batch),
+                StreamEvent::Done(done) => {
+                    return StreamOutcome {
+                        result: done.result.map(|stats| (collector.table(), stats)),
+                        trace: done.trace,
+                        wait: done.wait,
+                        run: done.run,
+                        cache: done.cache,
+                    };
+                }
+            }
+        }
+        // Channel closed without a Done: the service was dropped.
+        StreamOutcome {
+            result: Err(QservError::Cancelled),
+            trace: None,
+            wait: Duration::ZERO,
+            run: Duration::ZERO,
+            cache: CacheOutcome::Off,
+        }
+    }
+}
+
 /// Handles on the service-wide metrics registry.
 struct ServiceMetrics {
     registry: Arc<MetricsRegistry>,
@@ -477,6 +644,9 @@ struct ServiceMetrics {
     running: Gauge,
     wait_ms: [Histogram; 2],
     run_ms: [Histogram; 2],
+    cache_hit: Counter,
+    cache_miss: Counter,
+    cache_evict: Counter,
 }
 
 impl ServiceMetrics {
@@ -511,9 +681,22 @@ impl ServiceMetrics {
                 r.histogram(names::RUN_MS_INTERACTIVE),
                 r.histogram(names::RUN_MS_SCAN),
             ],
+            cache_hit: r.counter(names::CACHE_HIT),
+            cache_miss: r.counter(names::CACHE_MISS),
+            cache_evict: r.counter(names::CACHE_EVICT),
             registry: r,
         }
     }
+}
+
+/// Where a finished query's reply goes: a single buffered message, or
+/// a stream of batch events.
+enum ReplyTo {
+    Buffered(mpsc::SyncSender<ServiceReply>),
+    Streaming {
+        tx: mpsc::SyncSender<StreamEvent>,
+        notify: Option<Notifier>,
+    },
 }
 
 /// A queued query's execution context, parked until a slot frees.
@@ -521,7 +704,10 @@ struct PendingEntry {
     sql: String,
     /// `Some(root span name)` for traced submissions.
     traced: Option<String>,
-    tx: mpsc::SyncSender<ServiceReply>,
+    reply: ReplyTo,
+    /// `Some((data version, normalized text))` when the query should
+    /// populate the result cache on success.
+    cache_key: Option<(u64, String)>,
     token: CancelToken,
     admitted_at: Duration,
 }
@@ -559,6 +745,7 @@ struct Inner {
     metrics: ServiceMetrics,
     next_qid: AtomicU64,
     clock: SharedClock,
+    cache: Mutex<ResultCache>,
 }
 
 /// The concurrent query service over one [`Qserv`] frontend.
@@ -589,6 +776,10 @@ impl QueryService {
             metrics: ServiceMetrics::new(),
             next_qid: AtomicU64::new(1),
             clock,
+            cache: Mutex::new(ResultCache::new(
+                cfg.cache_capacity_bytes,
+                cfg.cache_max_entry_bytes,
+            )),
             cfg,
             qserv,
         });
@@ -630,6 +821,58 @@ impl QueryService {
     /// a `service.admit` span annotating class, cost, and queueing wait.
     pub fn submit_traced(&self, sql: &str, root: &str) -> Result<QueryHandle, QservError> {
         self.inner.submit(sql, Some(root.to_string()))
+    }
+
+    /// Submits a query whose results stream back as merged batches
+    /// while later chunks are still scanning. Admission, classification,
+    /// and rejection behave exactly like [`QueryService::submit`]; the
+    /// reply arrives as [`StreamEvent`]s on the returned handle. Dropping
+    /// the handle mid-stream cancels the remaining chunk work.
+    pub fn submit_streaming(&self, sql: &str) -> Result<StreamHandle, QservError> {
+        self.inner.submit_streaming(sql, None, None)
+    }
+
+    /// [`QueryService::submit_streaming`] with a span tree rooted at
+    /// `root`, delivered in the terminal [`StreamDone`].
+    pub fn submit_streaming_traced(
+        &self,
+        sql: &str,
+        root: &str,
+    ) -> Result<StreamHandle, QservError> {
+        self.inner
+            .submit_streaming(sql, Some(root.to_string()), None)
+    }
+
+    /// [`QueryService::submit_streaming`] with a wake callback invoked
+    /// after each event is queued — the proxy's reactor hook — and an
+    /// optional trace root.
+    pub fn submit_streaming_with_notify(
+        &self,
+        sql: &str,
+        root: Option<&str>,
+        notify: Notifier,
+    ) -> Result<StreamHandle, QservError> {
+        self.inner
+            .submit_streaming(sql, root.map(|s| s.to_string()), Some(notify))
+    }
+
+    /// Drops every cached result. Version bumps on load/attach already
+    /// invalidate stale entries; this is the explicit hammer.
+    pub fn clear_result_cache(&self) {
+        self.inner
+            .cache
+            .lock()
+            .expect("result cache poisoned")
+            .clear();
+    }
+
+    /// Entries currently held by the result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.inner
+            .cache
+            .lock()
+            .expect("result cache poisoned")
+            .len()
     }
 
     /// Cancels a query by id; see [`KillOutcome`] for what happened.
@@ -677,22 +920,110 @@ impl Drop for QueryService {
     }
 }
 
+/// Which reply shape a submission asked for.
+enum SubmitMode {
+    Buffered,
+    Streaming(Option<Notifier>),
+}
+
+/// What [`Inner::submit_inner`] produced (matching the mode).
+enum Submitted {
+    Buffered(QueryHandle),
+    Streaming(StreamHandle),
+}
+
 impl Inner {
     fn submit(&self, sql: &str, traced: Option<String>) -> Result<QueryHandle, QservError> {
+        match self.submit_inner(sql, traced, SubmitMode::Buffered)? {
+            Submitted::Buffered(h) => Ok(h),
+            Submitted::Streaming(_) => unreachable!("buffered submit yields a buffered handle"),
+        }
+    }
+
+    fn submit_streaming(
+        &self,
+        sql: &str,
+        traced: Option<String>,
+        notify: Option<Notifier>,
+    ) -> Result<StreamHandle, QservError> {
+        match self.submit_inner(sql, traced, SubmitMode::Streaming(notify))? {
+            Submitted::Streaming(h) => Ok(h),
+            Submitted::Buffered(_) => unreachable!("streaming submit yields a streaming handle"),
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        sql: &str,
+        traced: Option<String>,
+        mode: SubmitMode,
+    ) -> Result<Submitted, QservError> {
+        // Consult the result cache first: a hit bypasses admission
+        // entirely (no queue slot, no executor) — that is the whole
+        // point of caching repeated lookups.
+        let mut cache_key = None;
+        if self.cfg.cache_capacity_bytes > 0 {
+            let version = self.qserv.data_version();
+            let normalized = normalize_sql(sql)?;
+            let hit = self
+                .cache
+                .lock()
+                .expect("result cache poisoned")
+                .get(version, &normalized);
+            if let Some(entry) = hit {
+                self.metrics.cache_hit.inc();
+                return Ok(self.serve_cached(sql, &entry, traced, mode));
+            }
+            cache_key = Some((version, normalized));
+        }
         // Classify before admission: the cost is the chunk-set size the
         // master would dispatch, so a broken query errors here and a
         // scan cannot masquerade as interactive.
         let cost = self.qserv.chunk_count(sql)? as u64;
+        if cost == 0 {
+            // FROM-less constants never dispatch work; caching them
+            // would only churn the budget.
+            cache_key = None;
+        }
+        if cache_key.is_some() {
+            self.metrics.cache_miss.inc();
+        }
         let class = if cost <= self.cfg.interactive_chunk_threshold as u64 {
             QueryClass::Interactive
         } else {
             QueryClass::Scan
         };
-        // Buffered by one: the executor's send always completes even if
-        // the submitter abandoned the handle.
-        let (tx, rx) = mpsc::sync_channel(1);
         let token = CancelToken::new();
         let qid = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let (reply, handle) = match mode {
+            // Buffered by one: the executor's send always completes
+            // even if the submitter abandoned the handle.
+            SubmitMode::Buffered => {
+                let (tx, rx) = mpsc::sync_channel(1);
+                (
+                    ReplyTo::Buffered(tx),
+                    Submitted::Buffered(QueryHandle {
+                        qid,
+                        class,
+                        token: token.clone(),
+                        rx,
+                    }),
+                )
+            }
+            SubmitMode::Streaming(notify) => {
+                let (tx, rx) = mpsc::sync_channel(STREAM_EVENT_BACKLOG);
+                (
+                    ReplyTo::Streaming { tx, notify },
+                    Submitted::Streaming(StreamHandle {
+                        qid,
+                        class,
+                        cache_hit: false,
+                        token: token.clone(),
+                        rx,
+                    }),
+                )
+            }
+        };
         {
             let mut st = self.state.lock().expect("service state poisoned");
             if st.shutdown {
@@ -714,7 +1045,8 @@ impl Inner {
                 PendingEntry {
                     sql: sql.to_string(),
                     traced,
-                    tx,
+                    reply,
+                    cache_key,
                     token: token.clone(),
                     admitted_at,
                 },
@@ -734,12 +1066,99 @@ impl Inner {
             Self::prune_records(&mut st);
         }
         self.cv.notify_all();
-        Ok(QueryHandle {
-            qid,
-            class,
-            token,
-            rx,
-        })
+        Ok(handle)
+    }
+
+    /// Replays a cached result as if the query ran instantly: a `Done`
+    /// record for `STATUS`, a hit-annotated trace when asked, and the
+    /// reply (or batch + done events) pre-loaded on the channel.
+    fn serve_cached(
+        &self,
+        sql: &str,
+        entry: &CachedResult,
+        traced: Option<String>,
+        mode: SubmitMode,
+    ) -> Submitted {
+        let qid = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let class = entry.class;
+        let token = CancelToken::new();
+        let now = self.clock.now();
+        {
+            let mut st = self.state.lock().expect("service state poisoned");
+            st.records.insert(
+                qid,
+                Record {
+                    class,
+                    state: QueryState::Done,
+                    sql: display_sql(sql),
+                    token: token.clone(),
+                    admitted_at: now,
+                    started_at: Some(now),
+                    finished_at: Some(now),
+                },
+            );
+            Self::prune_records(&mut st);
+        }
+        self.metrics.completed.inc();
+        let trace = traced.map(|root_name| {
+            let trace = Trace::new(self.clock.clone());
+            {
+                let root = trace::with_root(&trace, &root_name);
+                root.annotate("sql", sql);
+                let g = trace::span("service.cache");
+                if let Some(g) = &g {
+                    g.annotate("qid", &qid.to_string());
+                    g.annotate("outcome", "hit");
+                }
+            }
+            trace
+        });
+        match mode {
+            SubmitMode::Buffered => {
+                let (tx, rx) = mpsc::sync_channel(1);
+                let _ = tx.try_send(ServiceReply {
+                    qid,
+                    class,
+                    result: Ok((entry.table.clone(), entry.stats.clone())),
+                    trace,
+                    wait: Duration::ZERO,
+                    run: Duration::ZERO,
+                });
+                Submitted::Buffered(QueryHandle {
+                    qid,
+                    class,
+                    token,
+                    rx,
+                })
+            }
+            SubmitMode::Streaming(notify) => {
+                let (tx, rx) = mpsc::sync_channel(STREAM_EVENT_BACKLOG);
+                let _ = tx.try_send(StreamEvent::Batch(StreamBatch {
+                    columns: entry.table.columns.clone(),
+                    types: entry.types.clone(),
+                    rows: entry.table.rows.clone(),
+                }));
+                let _ = tx.try_send(StreamEvent::Done(StreamDone {
+                    qid,
+                    class,
+                    result: Ok(entry.stats.clone()),
+                    trace,
+                    wait: Duration::ZERO,
+                    run: Duration::ZERO,
+                    cache: CacheOutcome::Hit,
+                }));
+                if let Some(n) = &notify {
+                    n();
+                }
+                Submitted::Streaming(StreamHandle {
+                    qid,
+                    class,
+                    cache_hit: true,
+                    token,
+                    rx,
+                })
+            }
+        }
     }
 
     /// One executor thread: take the scheduler's next ticket, run it,
@@ -770,7 +1189,7 @@ impl Inner {
                     st = self.cv.wait(st).expect("service state poisoned");
                 }
             };
-            let reply = self.execute(&ticket, entry);
+            let done = self.execute(&ticket, entry);
             {
                 let mut st = self.state.lock().expect("service state poisoned");
                 st.sched.complete(ticket.class);
@@ -778,77 +1197,229 @@ impl Inner {
                 let now = self.clock.now();
                 if let Some(rec) = st.records.get_mut(&ticket.qid) {
                     rec.finished_at = Some(now);
-                    rec.state = match &reply.result {
-                        Ok(_) => QueryState::Done,
-                        Err(QservError::Cancelled) => QueryState::Cancelled,
-                        Err(_) => QueryState::Failed,
+                    rec.state = if done.ok {
+                        QueryState::Done
+                    } else if done.cancelled {
+                        QueryState::Cancelled
+                    } else {
+                        QueryState::Failed
                     };
                 }
-                match &reply.result {
-                    Ok(_) => self.metrics.completed.inc(),
-                    Err(QservError::Cancelled) => self.metrics.cancelled.inc(),
-                    Err(_) => self.metrics.failed.inc(),
+                if done.ok {
+                    self.metrics.completed.inc();
+                } else if done.cancelled {
+                    self.metrics.cancelled.inc();
+                } else {
+                    self.metrics.failed.inc();
                 }
-                self.metrics.wait_ms[ticket.class.idx()].record(reply.wait.as_millis() as u64);
-                self.metrics.run_ms[ticket.class.idx()].record(reply.run.as_millis() as u64);
+                self.metrics.wait_ms[ticket.class.idx()].record(done.wait.as_millis() as u64);
+                self.metrics.run_ms[ticket.class.idx()].record(done.run.as_millis() as u64);
             }
             // Freed a slot: wake a peer in case the scheduler was
             // blocked on the concurrency limit.
             self.cv.notify_all();
-            // The submitter may have dropped its handle; that is its
-            // loss, not an executor error.
-            reply.tx_send();
+            // Deliver after the record turned terminal, so a client that
+            // sees the reply also sees a consistent STATUS. The
+            // submitter may have dropped its handle; that is its loss,
+            // not an executor error.
+            (done.deliver)();
         }
     }
 
     /// Runs one admitted query on the master, under a trace when asked.
-    fn execute(&self, ticket: &Ticket, entry: PendingEntry) -> PendingReply {
+    /// Streaming replies deliver their batches *during* execution; only
+    /// the terminal event is deferred into `deliver`.
+    fn execute(&self, ticket: &Ticket, entry: PendingEntry) -> ExecDone {
         let started = self.clock.now();
-        let wait = started.saturating_sub(entry.admitted_at);
-        let (result, trace) = match &entry.traced {
-            Some(root_name) => {
-                let trace = Trace::new(self.clock.clone());
-                let outcome = {
-                    let root = trace::with_root(&trace, root_name);
-                    root.annotate("sql", &entry.sql);
-                    {
-                        // The admission decision as a (zero-length) span:
-                        // queue time itself elapsed before this trace
-                        // existed, so it is carried as an annotation —
-                        // a span over it would escape the root interval
-                        // and fail `validate()`.
-                        let g = trace::span("service.admit");
-                        if let Some(g) = &g {
-                            g.annotate("qid", &ticket.qid.to_string());
-                            g.annotate("class", ticket.class.as_str());
-                            g.annotate("cost", &ticket.cost.to_string());
-                            g.annotate("wait_ms", &wait.as_millis().to_string());
-                        }
-                    }
-                    let r = self.qserv.query_inner(&entry.sql, &entry.token);
-                    if entry.token.is_cancelled() {
-                        let g = trace::span("service.cancel");
-                        if let Some(g) = &g {
-                            g.annotate("qid", &ticket.qid.to_string());
-                        }
-                    }
-                    r
-                };
-                (outcome.map(|(rows, qm)| (rows, qm.stats())), Some(trace))
-            }
-            None => (self.qserv.query_cancellable(&entry.sql, &entry.token), None),
+        let PendingEntry {
+            sql,
+            traced,
+            reply,
+            cache_key,
+            token,
+            admitted_at,
+        } = entry;
+        let wait = started.saturating_sub(admitted_at);
+        let cache_outcome = if cache_key.is_some() {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Off
         };
-        let run = self.clock.now().saturating_sub(started);
-        PendingReply {
-            tx: entry.tx,
-            reply: ServiceReply {
-                qid: ticket.qid,
-                class: ticket.class,
-                result,
-                trace,
-                wait,
-                run,
-            },
+        let qid = ticket.qid;
+        let class = ticket.class;
+        match reply {
+            ReplyTo::Buffered(tx) => {
+                let (result, trace) = match &traced {
+                    Some(root_name) => {
+                        let trace = Trace::new(self.clock.clone());
+                        let outcome = {
+                            let root = trace::with_root(&trace, root_name);
+                            root.annotate("sql", &sql);
+                            {
+                                // The admission decision as a (zero-length)
+                                // span: queue time itself elapsed before this
+                                // trace existed, so it is carried as an
+                                // annotation — a span over it would escape
+                                // the root interval and fail `validate()`.
+                                let g = trace::span("service.admit");
+                                if let Some(g) = &g {
+                                    g.annotate("qid", &qid.to_string());
+                                    g.annotate("class", class.as_str());
+                                    g.annotate("cost", &ticket.cost.to_string());
+                                    g.annotate("wait_ms", &wait.as_millis().to_string());
+                                    g.annotate("cache", cache_outcome.as_str());
+                                }
+                            }
+                            let r = self.qserv.query_inner(&sql, &token);
+                            if token.is_cancelled() {
+                                let g = trace::span("service.cancel");
+                                if let Some(g) = &g {
+                                    g.annotate("qid", &qid.to_string());
+                                }
+                            }
+                            r
+                        };
+                        (outcome.map(|(rows, qm)| (rows, qm.stats())), Some(trace))
+                    }
+                    None => (self.qserv.query_cancellable(&sql, &token), None),
+                };
+                if let (Some(key), Ok((table, stats))) = (cache_key, &result) {
+                    self.populate_cache(
+                        key,
+                        CachedResult {
+                            table: table.clone(),
+                            types: infer_value_types(table),
+                            stats: stats.clone(),
+                            class,
+                        },
+                    );
+                }
+                let run = self.clock.now().saturating_sub(started);
+                let ok = result.is_ok();
+                let cancelled = matches!(result, Err(QservError::Cancelled));
+                let service_reply = ServiceReply {
+                    qid,
+                    class,
+                    result,
+                    trace,
+                    wait,
+                    run,
+                };
+                ExecDone {
+                    ok,
+                    cancelled,
+                    wait,
+                    run,
+                    deliver: Box::new(move || {
+                        let _ = tx.try_send(service_reply);
+                    }),
+                }
+            }
+            ReplyTo::Streaming { tx, notify } => {
+                // Collect a copy for the cache while streaming, unless
+                // the result outgrows the per-entry cap along the way.
+                let mut collector = cache_key.as_ref().map(|_| StreamCollector::default());
+                let mut collected_bytes: u64 = 0;
+                let max_entry = self.cfg.cache_max_entry_bytes;
+                let mut sink = |batch: StreamBatch| -> bool {
+                    if collector.is_some() {
+                        collected_bytes =
+                            collected_bytes.saturating_add(stream_batch_bytes(&batch));
+                        if collected_bytes > max_entry {
+                            collector = None;
+                        } else if let Some(c) = collector.as_mut() {
+                            c.push(batch.clone());
+                        }
+                    }
+                    // A blocking send is the backpressure: the merge
+                    // (and, through it, chunk dispatch) stalls until the
+                    // client drains. A hung-up receiver errors the send,
+                    // which cancels the rest of the query.
+                    let delivered = tx.send(StreamEvent::Batch(batch)).is_ok();
+                    if let Some(n) = &notify {
+                        n();
+                    }
+                    delivered
+                };
+                let (result, trace) = match &traced {
+                    Some(root_name) => {
+                        let trace = Trace::new(self.clock.clone());
+                        let r = {
+                            let root = trace::with_root(&trace, root_name);
+                            root.annotate("sql", &sql);
+                            {
+                                let g = trace::span("service.admit");
+                                if let Some(g) = &g {
+                                    g.annotate("qid", &qid.to_string());
+                                    g.annotate("class", class.as_str());
+                                    g.annotate("cost", &ticket.cost.to_string());
+                                    g.annotate("wait_ms", &wait.as_millis().to_string());
+                                    g.annotate("cache", cache_outcome.as_str());
+                                }
+                            }
+                            let r = self.qserv.query_streaming(&sql, &token, &mut sink);
+                            if token.is_cancelled() {
+                                let g = trace::span("service.cancel");
+                                if let Some(g) = &g {
+                                    g.annotate("qid", &qid.to_string());
+                                }
+                            }
+                            r
+                        };
+                        (r, Some(trace))
+                    }
+                    None => (self.qserv.query_streaming(&sql, &token, &mut sink), None),
+                };
+                if let (Some(key), Ok(stats), Some(c)) = (cache_key, &result, collector) {
+                    self.populate_cache(
+                        key,
+                        CachedResult {
+                            types: c.types().to_vec(),
+                            table: c.table(),
+                            stats: stats.clone(),
+                            class,
+                        },
+                    );
+                }
+                let run = self.clock.now().saturating_sub(started);
+                let ok = result.is_ok();
+                let cancelled = matches!(result, Err(QservError::Cancelled));
+                let done = StreamDone {
+                    qid,
+                    class,
+                    result,
+                    trace,
+                    wait,
+                    run,
+                    cache: cache_outcome,
+                };
+                ExecDone {
+                    ok,
+                    cancelled,
+                    wait,
+                    run,
+                    deliver: Box::new(move || {
+                        let _ = tx.send(StreamEvent::Done(done));
+                        if let Some(n) = &notify {
+                            n();
+                        }
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Stores a completed result under its normalized key, charging the
+    /// evict counter for whatever the byte budget pushed out.
+    fn populate_cache(&self, key: (u64, String), entry: CachedResult) {
+        let (version, normalized) = key;
+        let evicted = self.cache.lock().expect("result cache poisoned").insert(
+            version,
+            normalized,
+            Arc::new(entry),
+        );
+        if evicted > 0 {
+            self.metrics.cache_evict.add(evicted);
         }
     }
 
@@ -894,14 +1465,35 @@ impl Inner {
         entry.token.cancel();
         self.metrics.cancelled.inc();
         self.metrics.queue_depth[class.idx()].set(st.sched.queued(class) as u64);
-        let _ = entry.tx.try_send(ServiceReply {
-            qid,
-            class,
-            result: Err(QservError::Cancelled),
-            trace: None,
-            wait: now.saturating_sub(entry.admitted_at),
-            run: Duration::ZERO,
-        });
+        let wait = now.saturating_sub(entry.admitted_at);
+        match entry.reply {
+            ReplyTo::Buffered(tx) => {
+                let _ = tx.try_send(ServiceReply {
+                    qid,
+                    class,
+                    result: Err(QservError::Cancelled),
+                    trace: None,
+                    wait,
+                    run: Duration::ZERO,
+                });
+            }
+            // Nothing streamed yet (the query never ran), so the empty
+            // channel has room for the terminal event.
+            ReplyTo::Streaming { tx, notify } => {
+                let _ = tx.try_send(StreamEvent::Done(StreamDone {
+                    qid,
+                    class,
+                    result: Err(QservError::Cancelled),
+                    trace: None,
+                    wait,
+                    run: Duration::ZERO,
+                    cache: CacheOutcome::Off,
+                }));
+                if let Some(n) = &notify {
+                    n();
+                }
+            }
+        }
     }
 
     fn status(&self) -> Vec<QueryStatus> {
@@ -955,26 +1547,15 @@ impl Inner {
     }
 }
 
-/// A computed reply plus the channel to deliver it on (split so the
-/// executor can update state under the lock before sending).
-struct PendingReply {
-    tx: mpsc::SyncSender<ServiceReply>,
-    reply: ServiceReply,
-}
-
-impl PendingReply {
-    /// Delivers the reply; a receiver that already hung up is fine —
-    /// the query record keeps the terminal state either way.
-    fn tx_send(self) {
-        let _ = self.tx.try_send(self.reply);
-    }
-}
-
-impl std::ops::Deref for PendingReply {
-    type Target = ServiceReply;
-    fn deref(&self) -> &ServiceReply {
-        &self.reply
-    }
+/// A finished execution: how it ended (for the record and metrics,
+/// updated under the state lock) plus a deferred delivery closure (run
+/// after the lock drops, so a blocked send never holds service state).
+struct ExecDone {
+    ok: bool,
+    cancelled: bool,
+    wait: Duration,
+    run: Duration,
+    deliver: Box<dyn FnOnce() + Send>,
 }
 
 fn display_sql(sql: &str) -> String {

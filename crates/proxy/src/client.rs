@@ -1,7 +1,12 @@
-//! The proxy client: submits SQL, parses frames back into rows.
+//! The proxy client: submits SQL, parses streamed frames back into
+//! rows — either buffered ([`ProxyClient::query`]) or incrementally
+//! ([`ProxyClient::query_stream`], which yields each `ROWS` block as
+//! it arrives, so first rows are usable while the scan still runs).
 
 use crate::protocol::{decode_value, ProtocolError};
+use qserv::CacheOutcome;
 use qserv_engine::exec::ResultTable;
+use qserv_engine::value::Value;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -11,10 +16,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// The server answered `ERR <message>`.
+    /// The server answered `ERR <message>`. Any rows delivered before
+    /// the error have been discarded — the result is the error.
     Server(String),
     /// The server answered `BUSY <retry_after_ms>`: the admission queue
-    /// is full — back off and resubmit, the session stays usable.
+    /// is full — back off and resubmit, the session stays usable (see
+    /// [`crate::retry`]).
     Busy {
         /// The server's suggested backoff before retrying.
         retry_after_ms: u64,
@@ -50,7 +57,13 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
-/// Per-query statistics echoed by the server's `OK` frame.
+fn protocol_err(message: impl Into<String>) -> ClientError {
+    ClientError::Protocol(ProtocolError {
+        message: message.into(),
+    })
+}
+
+/// Per-query statistics echoed by the server's `END` frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RemoteStats {
     /// Rows in the result.
@@ -59,11 +72,28 @@ pub struct RemoteStats {
     pub chunks_dispatched: usize,
     /// Worker result bytes transferred inside the cluster.
     pub result_bytes: u64,
+    /// How the server's result cache participated.
+    pub cache: CacheOutcome,
 }
 
-/// A connected proxy session. One outstanding query at a time (the
-/// protocol is strictly request/response), matching how the paper's
-/// `mysql` CLI sessions drive the system.
+/// One `ROWS` block as it came off the wire, with the header state it
+/// was decoded under.
+#[derive(Clone, Debug)]
+pub struct WireBatch {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Wire type tags (`int`/`float`/`str`/`null`) in effect for this
+    /// batch. A later batch may carry widened tags (Int → Float); a
+    /// consumer holding earlier rows re-coerces them, which is exact.
+    pub types: Vec<String>,
+    /// Decoded rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A connected proxy session. One outstanding query at a time — the
+/// untagged protocol is strictly request/response, matching how the
+/// paper's `mysql` CLI sessions drive the system. (Multiplexing over a
+/// single connection uses `#<sid>` tags on the raw protocol.)
 pub struct ProxyClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -73,13 +103,14 @@ impl ProxyClient {
     /// Connects to a proxy.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ProxyClient> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         Ok(ProxyClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         })
     }
 
-    /// Submits one query and reads the full response.
+    /// Submits one query and buffers the full response.
     pub fn query(&mut self, sql: &str) -> Result<(ResultTable, RemoteStats), ClientError> {
         let (table, stats, _trace) = self.exchange(sql.trim_end_matches(';'))?;
         Ok((table, stats))
@@ -93,12 +124,28 @@ impl ProxyClient {
     ) -> Result<(ResultTable, RemoteStats, String), ClientError> {
         let request = format!("TRACE {}", sql.trim_end_matches(';'));
         let (table, stats, trace) = self.exchange(&request)?;
-        let trace = trace.ok_or_else(|| {
-            ClientError::Protocol(ProtocolError {
-                message: "server sent no TRACE frame for a traced query".to_string(),
-            })
-        })?;
+        let trace =
+            trace.ok_or_else(|| protocol_err("server sent no TRACE frame for a traced query"))?;
         Ok((table, stats, trace))
+    }
+
+    /// Submits one query and returns an incremental reader over its
+    /// `ROWS` blocks: call [`QueryStream::next_batch`] until it yields
+    /// `None`, then [`QueryStream::stats`] for the `END` counters.
+    /// Dropping the stream early drains the rest of the response so
+    /// the session stays usable.
+    pub fn query_stream(&mut self, sql: &str) -> Result<QueryStream<'_>, ClientError> {
+        writeln!(self.writer, "{};", sql.trim_end_matches(';'))?;
+        self.writer.flush()?;
+        Ok(QueryStream {
+            client: self,
+            columns: Vec::new(),
+            types: Vec::new(),
+            rows_seen: 0,
+            trace: None,
+            stats: None,
+            finished: false,
+        })
     }
 
     /// Cancels a server-side query by id (`KILL <qid>;`), returning the
@@ -108,10 +155,8 @@ impl ProxyClient {
     pub fn kill(&mut self, qid: u64) -> Result<String, ClientError> {
         let (table, _, _) = self.exchange(&format!("KILL {qid}"))?;
         match table.rows.first().and_then(|r| r.get(1)) {
-            Some(qserv_engine::value::Value::Str(outcome)) => Ok(outcome.clone()),
-            _ => Err(ClientError::Protocol(ProtocolError {
-                message: "KILL reply has no outcome column".to_string(),
-            })),
+            Some(Value::Str(outcome)) => Ok(outcome.clone()),
+            _ => Err(protocol_err("KILL reply has no outcome column")),
         }
     }
 
@@ -122,8 +167,8 @@ impl ProxyClient {
         Ok(table)
     }
 
-    /// One request/response round trip; the optional third element is the
-    /// body of a `TRACE` frame when the server sent one.
+    /// One request/response round trip, buffering every batch; the
+    /// optional third element is the body of a `TRACE` frame.
     fn exchange(
         &mut self,
         request: &str,
@@ -131,101 +176,272 @@ impl ProxyClient {
         writeln!(self.writer, "{request};")?;
         self.writer.flush()?;
 
-        let mut line = String::new();
-        let mut read_frame = |reader: &mut BufReader<TcpStream>| -> Result<String, ClientError> {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Err(ClientError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed mid-response",
-                )));
-            }
-            Ok(line.trim_end_matches(['\n', '\r']).to_string())
-        };
-
-        let first = read_frame(&mut self.reader)?;
-        if let Some(msg) = first.strip_prefix("ERR ") {
-            return Err(ClientError::Server(msg.to_string()));
-        }
-        if let Some(ms) = first.strip_prefix("BUSY ") {
-            let retry_after_ms = ms.trim().parse().map_err(|_| {
-                ClientError::Protocol(ProtocolError {
-                    message: format!("malformed BUSY frame {first:?}"),
-                })
-            })?;
-            return Err(ClientError::Busy { retry_after_ms });
-        }
-        let cols_line = first.strip_prefix("COLS").ok_or_else(|| {
-            ClientError::Protocol(ProtocolError {
-                message: format!("expected COLS, got {first:?}"),
-            })
-        })?;
-        let columns: Vec<String> = split_frame(cols_line);
-
-        let types_frame = read_frame(&mut self.reader)?;
-        let types_line = types_frame.strip_prefix("TYPES").ok_or_else(|| {
-            ClientError::Protocol(ProtocolError {
-                message: format!("expected TYPES, got {types_frame:?}"),
-            })
-        })?;
-        let types: Vec<String> = split_frame(types_line);
-        if types.len() != columns.len() {
-            return Err(ClientError::Protocol(ProtocolError {
-                message: format!("{} columns but {} types", columns.len(), types.len()),
-            }));
-        }
-
-        let mut rows = Vec::new();
+        let mut columns: Option<Vec<String>> = None;
+        let mut types: Vec<String> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut trace: Option<String> = None;
         loop {
-            let frame = read_frame(&mut self.reader)?;
-            if let Some(rest) = frame.strip_prefix("ROW") {
-                let cells = split_frame(rest);
-                if cells.len() != columns.len() {
-                    return Err(ClientError::Protocol(ProtocolError {
-                        message: format!(
-                            "row has {} cells, expected {}",
-                            cells.len(),
-                            columns.len()
-                        ),
-                    }));
+            match read_event(&mut self.reader, columns.as_deref(), &types)? {
+                FrameEvent::Cols(c) => columns = Some(c),
+                FrameEvent::Types(new) => {
+                    recoerce(&mut rows, &types, &new)?;
+                    types = new;
                 }
-                let mut row = Vec::with_capacity(cells.len());
-                for (cell, ty) in cells.iter().zip(&types) {
-                    row.push(decode_value(cell, ty)?);
+                FrameEvent::Rows(mut batch) => rows.append(&mut batch),
+                FrameEvent::Trace(json) => trace = Some(json),
+                FrameEvent::End(stats) => {
+                    if stats.rows != rows.len() {
+                        return Err(protocol_err(format!(
+                            "END says {} rows, received {}",
+                            stats.rows,
+                            rows.len()
+                        )));
+                    }
+                    let table = ResultTable {
+                        columns: columns.unwrap_or_default(),
+                        rows,
+                    };
+                    return Ok((table, stats, trace));
                 }
-                rows.push(row);
-            } else if let Some(json) = frame.strip_prefix("TRACE ") {
-                trace = Some(json.to_string());
-            } else if let Some(rest) = frame.strip_prefix("OK ") {
-                let parts: Vec<&str> = rest.split_whitespace().collect();
-                let stats = match parts.as_slice() {
-                    [r, c, b] => RemoteStats {
-                        rows: r.parse().map_err(|_| bad_ok(rest))?,
-                        chunks_dispatched: c.parse().map_err(|_| bad_ok(rest))?,
-                        result_bytes: b.parse().map_err(|_| bad_ok(rest))?,
-                    },
-                    _ => return Err(bad_ok(rest)),
-                };
-                if stats.rows != rows.len() {
-                    return Err(ClientError::Protocol(ProtocolError {
-                        message: format!("OK says {} rows, received {}", stats.rows, rows.len()),
-                    }));
-                }
-                return Ok((ResultTable { columns, rows }, stats, trace));
-            } else {
-                return Err(ClientError::Protocol(ProtocolError {
-                    message: format!("unexpected frame {frame:?}"),
-                }));
             }
         }
     }
 }
 
-fn bad_ok(rest: &str) -> ClientError {
-    ClientError::Protocol(ProtocolError {
-        message: format!("malformed OK frame {rest:?}"),
+/// An in-flight streamed response (see [`ProxyClient::query_stream`]).
+pub struct QueryStream<'a> {
+    client: &'a mut ProxyClient,
+    columns: Vec<String>,
+    types: Vec<String>,
+    rows_seen: usize,
+    trace: Option<String>,
+    stats: Option<RemoteStats>,
+    finished: bool,
+}
+
+impl QueryStream<'_> {
+    /// The next `ROWS` block, or `None` once the query finished
+    /// (`END`). Errors surface exactly as in buffered mode; rows
+    /// already yielded before a mid-stream `ERR` must be discarded.
+    pub fn next_batch(&mut self) -> Result<Option<WireBatch>, ClientError> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            let ev = read_event(
+                &mut self.client.reader,
+                if self.columns.is_empty() {
+                    None
+                } else {
+                    Some(self.columns.as_slice())
+                },
+                &self.types,
+            );
+            let ev = match ev {
+                Ok(ev) => ev,
+                Err(e) => {
+                    self.finished = true;
+                    return Err(e);
+                }
+            };
+            match ev {
+                FrameEvent::Cols(c) => self.columns = c,
+                FrameEvent::Types(new) => self.types = new,
+                FrameEvent::Rows(rows) => {
+                    self.rows_seen += rows.len();
+                    return Ok(Some(WireBatch {
+                        columns: self.columns.clone(),
+                        types: self.types.clone(),
+                        rows,
+                    }));
+                }
+                FrameEvent::Trace(json) => self.trace = Some(json),
+                FrameEvent::End(stats) => {
+                    self.finished = true;
+                    if stats.rows != self.rows_seen {
+                        return Err(protocol_err(format!(
+                            "END says {} rows, streamed {}",
+                            stats.rows, self.rows_seen
+                        )));
+                    }
+                    self.stats = Some(stats);
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Column names (known after the first batch).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The `END` statistics, available once `next_batch` returned
+    /// `None`.
+    pub fn stats(&self) -> Option<RemoteStats> {
+        self.stats
+    }
+
+    /// The `TRACE` frame body, if the request was traced.
+    pub fn trace_json(&self) -> Option<&str> {
+        self.trace.as_deref()
+    }
+}
+
+impl Drop for QueryStream<'_> {
+    fn drop(&mut self) {
+        // Abandoned mid-stream: drain to the terminal frame so the next
+        // request on this session doesn't read stale frames.
+        while !self.finished {
+            if self.next_batch().is_err() {
+                break;
+            }
+        }
+    }
+}
+
+/// One decoded protocol event (a `ROWS` block arrives whole).
+enum FrameEvent {
+    Cols(Vec<String>),
+    Types(Vec<String>),
+    Rows(Vec<Vec<Value>>),
+    Trace(String),
+    End(RemoteStats),
+}
+
+/// Reads one frame (plus a `ROWS` block's payload lines), validating
+/// against the header state seen so far. `ERR`/`BUSY` map to errors.
+fn read_event(
+    reader: &mut BufReader<TcpStream>,
+    columns: Option<&[String]>,
+    types: &[String],
+) -> Result<FrameEvent, ClientError> {
+    let frame = read_line(reader)?;
+    if let Some(msg) = frame.strip_prefix("ERR ") {
+        return Err(ClientError::Server(msg.to_string()));
+    }
+    if let Some(ms) = frame.strip_prefix("BUSY ") {
+        let retry_after_ms = ms
+            .trim()
+            .parse()
+            .map_err(|_| protocol_err(format!("malformed BUSY frame {frame:?}")))?;
+        return Err(ClientError::Busy { retry_after_ms });
+    }
+    if let Some(rest) = frame.strip_prefix("COLS") {
+        return Ok(FrameEvent::Cols(split_frame(rest)));
+    }
+    if let Some(rest) = frame.strip_prefix("TYPES") {
+        let new = split_frame(rest);
+        if let Some(cols) = columns {
+            if new.len() != cols.len() {
+                return Err(protocol_err(format!(
+                    "{} columns but {} types",
+                    cols.len(),
+                    new.len()
+                )));
+            }
+        }
+        return Ok(FrameEvent::Types(new));
+    }
+    if let Some(rest) = frame.strip_prefix("ROWS ") {
+        let n: usize = rest
+            .trim()
+            .parse()
+            .map_err(|_| protocol_err(format!("malformed ROWS frame {frame:?}")))?;
+        let width = columns.map(|c| c.len()).unwrap_or(0);
+        if types.len() != width || width == 0 {
+            return Err(protocol_err("ROWS before COLS/TYPES headers"));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = read_line(reader)?;
+            let cells: Vec<&str> = line.split('\t').collect();
+            if cells.len() != width {
+                return Err(protocol_err(format!(
+                    "row has {} cells, expected {width}",
+                    cells.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(width);
+            for (cell, ty) in cells.iter().zip(types) {
+                row.push(decode_value(cell, ty)?);
+            }
+            rows.push(row);
+        }
+        return Ok(FrameEvent::Rows(rows));
+    }
+    if let Some(json) = frame.strip_prefix("TRACE ") {
+        return Ok(FrameEvent::Trace(json.to_string()));
+    }
+    if let Some(rest) = frame.strip_prefix("END ") {
+        return Ok(FrameEvent::End(parse_end(rest)?));
+    }
+    Err(protocol_err(format!("unexpected frame {frame:?}")))
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed mid-response",
+        )));
+    }
+    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+}
+
+fn parse_end(rest: &str) -> Result<RemoteStats, ClientError> {
+    let bad = || protocol_err(format!("malformed END frame {rest:?}"));
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [r, c, b, cache] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let cache = match *cache {
+        "hit" => CacheOutcome::Hit,
+        "miss" => CacheOutcome::Miss,
+        "off" => CacheOutcome::Off,
+        _ => return Err(bad()),
+    };
+    Ok(RemoteStats {
+        rows: r.parse().map_err(|_| bad())?,
+        chunks_dispatched: c.parse().map_err(|_| bad())?,
+        result_bytes: b.parse().map_err(|_| bad())?,
+        cache,
     })
+}
+
+/// Applies a mid-stream `TYPES` resend to already-buffered rows. The
+/// merger's votes only ever widen Int → Float (or fill in an all-NULL
+/// column), so that is the only conversion — anything else is a
+/// protocol violation.
+fn recoerce(rows: &mut [Vec<Value>], old: &[String], new: &[String]) -> Result<(), ClientError> {
+    if old.is_empty() || old == new {
+        return Ok(());
+    }
+    if old.len() != new.len() {
+        return Err(protocol_err(format!(
+            "TYPES resend changed arity: {} -> {}",
+            old.len(),
+            new.len()
+        )));
+    }
+    for (i, (o, n)) in old.iter().zip(new).enumerate() {
+        if o == n || o == "null" {
+            continue;
+        }
+        if o == "int" && n == "float" {
+            for row in rows.iter_mut() {
+                if let Value::Int(v) = row[i] {
+                    row[i] = Value::Float(v as f64);
+                }
+            }
+        } else {
+            return Err(protocol_err(format!(
+                "illegal TYPES transition {o} -> {n} in column {i}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Splits a frame body on tabs, tolerating the leading space after the

@@ -5,22 +5,47 @@
 //! Speaking the real MySQL wire protocol would reproduce an artifact of
 //! the prototyping shortcut rather than the design; this crate provides
 //! the equivalent *capability* — submit SQL over a socket from any
-//! process — through a small self-describing line protocol:
+//! process — through a small self-describing line protocol built for
+//! **streaming**: results come back as incremental row blocks while
+//! later chunks are still scanning.
 //!
 //! ```text
-//! client:  <sql terminated by ';' and newline>
+//! client:  <sql terminated by ';'>
 //! server:  COLS  <name>\t<name>…
-//!          TYPES <int|float|str>\t…
-//!          ROW   <value>\t<value>…          (one line per row)
+//!          TYPES <int|float|str|null>\t…   (may be re-sent mid-stream
+//!                                           when a later chunk widens a
+//!                                           column — re-coerce held
+//!                                           rows Int → Float, exact)
+//!          ROWS <n>                        (then n raw TSV row lines;
+//!          <value>\t<value>…                the block is atomic and
+//!          …                                repeats as batches fold)
 //!          TRACE <json>           (only for `TRACE <sql>;` requests)
-//!          OK <row count> <chunks dispatched> <result bytes>
-//!    or:   ERR <message>
-//!    or:   BUSY <retry_after_ms>  (admission queue full — back off,
-//!                                  resubmit; the session stays usable)
+//!          END <rows> <chunks dispatched> <result bytes> <hit|miss|off>
+//!    or:   ERR <message>          (may arrive mid-stream — discard any
+//!                                  rows already received; the session
+//!                                  itself stays usable)
+//!    or:   BUSY <retry_after_ms>  (admission queue full — back off and
+//!                                  resubmit; see [`retry::RetryPolicy`])
 //! ```
 //!
-//! Prefixing a statement with `TRACE ` runs it under a fresh query trace
-//! (see `qserv::Qserv::query_traced`); the resulting span tree comes back
+//! The trailing `END` word reports how the server's normalized-query
+//! result cache participated: `hit` (replayed without executing),
+//! `miss` (executed, possibly populating), or `off` (caching disabled
+//! or the statement not cacheable).
+//!
+//! **Multiplexing.** A statement may carry a `#<sid>` tag
+//! (`#3 SELECT …;`). Tagged statements run *concurrently* on one
+//! connection and every response frame line comes back prefixed with
+//! the same tag (`#3 ROWS 2` — the `<n>` raw row lines that follow a
+//! tagged `ROWS` header are untagged; the block is atomic). Untagged
+//! statements keep the classic strict request/response contract: one at
+//! a time per connection, in order, with untagged frames — so a client
+//! that never tags never sees a tag. `BUSY` under multiplexing rejects
+//! only the tagged statement it answers; other in-flight statements on
+//! the connection are untouched.
+//!
+//! Prefixing a statement with `TRACE ` runs it under a fresh query
+//! trace (see `qserv::Qserv::query_traced`); the span tree comes back
 //! as one line of compact JSON in the `TRACE` frame.
 //!
 //! Two session verbs answer as ordinary result tables, so any client
@@ -34,17 +59,27 @@
 //!   `qid, class, state, wait_ms, run_ms, sql`.
 //!
 //! Values are TSV-escaped (`\t`, `\n`, `\\`); SQL NULL is `\N`, MySQL's
-//! batch-output convention. [`server::ProxyServer`] runs one thread per
-//! connection, and every session submits through one shared
-//! `qserv::service::QueryService`: admission control and fair
-//! scheduling apply *across* sessions, and any session may `KILL` or
-//! `STATUS` the queries of every other. [`client::ProxyClient`] turns
-//! the stream back into a typed [`ResultTable`].
+//! batch-output convention. Statements are capped at
+//! [`protocol::MAX_STATEMENT_BYTES`]; exceeding it without completing a
+//! statement closes the connection after an `ERR`.
+//!
+//! [`server::ProxyServer`] multiplexes every connection on **one
+//! event loop** (see [`server::ServerMode`]) with per-connection write
+//! backpressure: a slow reader stalls its own query's merge instead of
+//! buffering the result in proxy memory. Every session submits through
+//! one shared `qserv::service::QueryService`: admission control, fair
+//! scheduling, and the result cache apply *across* sessions, and any
+//! session may `KILL` or `STATUS` the queries of every other.
+//! [`client::ProxyClient`] turns the stream back into a typed
+//! [`ResultTable`] — or yields it incrementally via
+//! [`client::ProxyClient::query_stream`].
 
 pub mod client;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
-pub use client::ProxyClient;
+pub use client::{ProxyClient, QueryStream, RemoteStats, WireBatch};
 pub use qserv_engine::exec::ResultTable;
-pub use server::ProxyServer;
+pub use retry::RetryPolicy;
+pub use server::{ProxyServer, ServerMode};

@@ -1,7 +1,15 @@
-//! Wire encoding: TSV escaping and value round-tripping.
+//! Wire encoding: TSV escaping, value round-tripping, frame limits,
+//! and the `#<sid>` multiplexing tag.
 
+use qserv_engine::schema::ColumnType;
 use qserv_engine::value::Value;
 use std::fmt;
+
+/// Largest statement (bytes between `;` terminators) the server
+/// accepts on one connection. A client that exceeds it without ever
+/// completing a statement gets an `ERR` frame and the connection is
+/// closed — there is no way to resynchronize inside an unbounded blob.
+pub const MAX_STATEMENT_BYTES: usize = 1 << 20;
 
 /// A malformed frame or value on the wire.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,6 +75,67 @@ pub fn type_tag(v: &Value) -> &'static str {
         Value::Int(_) => "int",
         Value::Float(_) => "float",
         Value::Str(_) => "str",
+    }
+}
+
+/// The wire tag of a merge-time column vote (`None` = all-NULL so far).
+pub fn column_tag(ty: Option<ColumnType>) -> &'static str {
+    match ty {
+        None => "null",
+        Some(ColumnType::Int) => "int",
+        Some(ColumnType::Float) => "float",
+        Some(ColumnType::Str) => "str",
+    }
+}
+
+/// Column tags widened over a materialized table's values (`null` for a
+/// column that never carries one) — used for inline tables like the
+/// `KILL`/`STATUS` replies, which have no merge votes.
+pub fn value_tags(columns: usize, rows: &[Vec<Value>]) -> Vec<&'static str> {
+    let mut tags = vec!["null"; columns];
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            let t = type_tag(v);
+            tags[i] = match (tags[i], t) {
+                (cur, "null") => cur,
+                ("null", t) => t,
+                ("int", "float") | ("float", "int") => "float",
+                (cur, t) if cur == t => cur,
+                _ => "str",
+            };
+        }
+    }
+    tags
+}
+
+/// Splits the optional session tag off a statement or frame:
+/// `#<sid> <body>` → `(Some(sid), body)`, anything else → `(None, s)`.
+/// The tag must be all-digit and followed by whitespace — a leading `#`
+/// that is not a well-formed tag (say a comment) passes through intact.
+pub fn split_sid(s: &str) -> (Option<u64>, &str) {
+    let Some(tail) = s.strip_prefix('#') else {
+        return (None, s);
+    };
+    let digits = tail.len() - tail.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return (None, s);
+    }
+    let rest = &tail[digits..];
+    if !rest.starts_with(char::is_whitespace) {
+        return (None, s);
+    }
+    match tail[..digits].parse::<u64>() {
+        Ok(sid) => (Some(sid), rest.trim_start_matches(char::is_whitespace)),
+        Err(_) => (None, s), // overflow: not a usable tag
+    }
+}
+
+/// Renders the frame prefix for a tagged response (empty when the
+/// request carried no tag).
+pub fn sid_prefix(sid: Option<u64>) -> String {
+    match sid {
+        Some(sid) => format!("#{sid} "),
+        None => String::new(),
     }
 }
 
@@ -157,6 +226,29 @@ mod tests {
         assert!(decode_value("x", "bogus").is_err());
         assert!(unescape("trailing\\").is_err());
         assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn sid_tags_parse_and_pass_through() {
+        assert_eq!(split_sid("#7 SELECT 1"), (Some(7), "SELECT 1"));
+        assert_eq!(split_sid("#12  KILL 3"), (Some(12), "KILL 3"));
+        assert_eq!(split_sid("SELECT 1"), (None, "SELECT 1"));
+        // Malformed tags are not tags.
+        assert_eq!(split_sid("#x SELECT 1"), (None, "#x SELECT 1"));
+        assert_eq!(split_sid("#7SELECT 1"), (None, "#7SELECT 1"));
+        assert_eq!(split_sid("#"), (None, "#"));
+        assert_eq!(sid_prefix(Some(3)), "#3 ");
+        assert_eq!(sid_prefix(None), "");
+    }
+
+    #[test]
+    fn value_tags_widen() {
+        let rows = vec![
+            vec![Value::Null, Value::Int(1), Value::Int(2)],
+            vec![Value::Str("x".into()), Value::Float(0.5), Value::Null],
+        ];
+        assert_eq!(value_tags(3, &rows), vec!["str", "float", "int"]);
+        assert_eq!(value_tags(2, &[]), vec!["null", "null"]);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Client-side `BUSY` retry: jittered exponential backoff honoring the
+//! server's `retry_after_ms` hint.
+//!
+//! Admission backpressure is a normal operating mode — the paper's
+//! shared-scan frontend sheds load by queue limits, and this proxy
+//! surfaces that as a `BUSY` frame rather than an error. A polite
+//! client resubmits after the hinted delay; a *fleet* of polite clients
+//! must not resubmit in lockstep, so each sleep is scaled by a
+//! deterministic per-policy jitter drawn below the exponential
+//! ceiling (never above it, so the server's hint and the cap both stay
+//! honest upper bounds).
+
+use crate::client::ClientError;
+use std::time::Duration;
+
+/// Backoff policy for [`RetryPolicy::run`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// in total) before the final `Busy` is returned to the caller.
+    pub max_retries: u32,
+    /// Lower bound on any sleep, covering a server hint of `0`.
+    pub floor: Duration,
+    /// Upper bound on any sleep, covering a hint that grew too large
+    /// under the exponential scale.
+    pub cap: Duration,
+    /// Growth factor applied to the hint per successive `Busy`.
+    pub multiplier: f64,
+    /// Fraction of each sleep randomized away (0 = deterministic,
+    /// 1 = full jitter down to zero).
+    pub jitter: f64,
+    /// Seed for the jitter sequence — vary per client so a fleet
+    /// spreads out.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 10,
+            floor: Duration::from_millis(1),
+            cap: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.5,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A default policy with its jitter sequence seeded by `seed`.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Runs `op`, sleeping and retrying on [`ClientError::Busy`] until
+    /// it succeeds, fails differently, or the retry budget is spent
+    /// (the last `Busy` is then returned). Each sleep starts from the
+    /// server's `retry_after_ms` hint, scales exponentially with the
+    /// attempt, and is jittered downward.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, ClientError>) -> Result<T, ClientError> {
+        let mut rng = self.seed | 1;
+        let mut scale = 1.0f64;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(ClientError::Busy { retry_after_ms }) if attempt < self.max_retries => {
+                    attempt += 1;
+                    let hint = Duration::from_millis(retry_after_ms).max(self.floor);
+                    let ceiling = hint.mul_f64(scale).min(self.cap);
+                    // xorshift64*: deterministic unit draw in [0, 1).
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let unit = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    let sleep = ceiling.mul_f64(1.0 - self.jitter.clamp(0.0, 1.0) * unit);
+                    std::thread::sleep(sleep);
+                    scale *= self.multiplier.max(1.0);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_successes_and_other_errors_through() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.run(|| Ok::<_, ClientError>(7)).unwrap(), 7);
+        let err = p
+            .run(|| Err::<u32, _>(ClientError::Server("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Server(m) if m == "boom"));
+    }
+
+    #[test]
+    fn retries_busy_until_success() {
+        let p = RetryPolicy {
+            floor: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out = p.run(|| {
+            calls += 1;
+            if calls < 4 {
+                Err(ClientError::Busy { retry_after_ms: 0 })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 4);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_busy() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            floor: Duration::from_micros(1),
+            cap: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let err = p
+            .run(|| {
+                calls += 1;
+                Err::<u32, _>(ClientError::Busy { retry_after_ms: 0 })
+            })
+            .unwrap_err();
+        assert_eq!(calls, 4, "initial attempt + 3 retries");
+        assert!(matches!(err, ClientError::Busy { .. }));
+    }
+
+    #[test]
+    fn jitter_stays_below_the_ceiling() {
+        // The jittered sleep never exceeds the deterministic ceiling:
+        // with a zero hint and a tight cap, total sleep is bounded.
+        let p = RetryPolicy {
+            max_retries: 5,
+            floor: Duration::from_micros(50),
+            cap: Duration::from_micros(200),
+            jitter: 1.0,
+            ..RetryPolicy::default()
+        };
+        let start = std::time::Instant::now();
+        let _ = p.run(|| Err::<u32, _>(ClientError::Busy { retry_after_ms: 0 }));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

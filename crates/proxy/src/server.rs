@@ -1,26 +1,78 @@
-//! The proxy server: one thread per connection over a shared frontend.
+//! The proxy server: one event loop multiplexing every connection.
 //!
-//! Every session submits through one shared [`QueryService`], so
-//! concurrent TCP clients are scheduled together: admission control and
-//! fair dequeue apply across sessions, a full queue surfaces as a
-//! `BUSY` frame, and any session may `KILL` or `STATUS` the queries of
-//! every other.
+//! [`ServerMode::Reactor`] (the default) runs a single poll(2)-driven
+//! event loop over nonblocking sockets: the listener, a cross-thread
+//! [`Waker`], and every client connection are all readiness sources of
+//! one `mio::Poll`. Sessions submit through the shared
+//! [`QueryService`] as *streaming* queries; merged row batches are
+//! framed (`ROWS <n>` + raw TSV lines) into per-connection write
+//! buffers and flushed as sockets accept them, so the first rows of a
+//! scan reach the client while later chunks are still executing.
+//!
+//! Backpressure is end-to-end: a connection whose write buffer climbs
+//! past [`HIGH_WATER_BYTES`] stops draining its stream channels; the
+//! executor's bounded channel then blocks the merge, which stalls
+//! chunk dispatch — a slow client throttles its own query instead of
+//! buffering the whole result in proxy memory.
+//!
+//! Statements may carry a `#<sid>` tag; tagged statements run
+//! concurrently on one connection with their response frames
+//! tag-prefixed for demultiplexing. Untagged statements keep the
+//! classic strict request/response contract: they execute one at a
+//! time per connection, in arrival order.
+//!
+//! Shutdown is reactor-driven and race-free: [`ProxyServer::stop`]
+//! sets a flag and wakes the poll loop through the `Waker` — no
+//! sentinel connections, no window where a fresh accept slips past the
+//! flag check.
+//!
+//! [`ServerMode::ThreadPerConn`] keeps the accept path on the same
+//! poll/waker pair (so stopping stays race-free) but serves each
+//! connection on its own blocking thread — the baseline the proxy
+//! bench compares the reactor against.
 
-use crate::protocol::{encode_value, type_tag};
+use crate::protocol::{
+    column_tag, encode_value, sid_prefix, split_sid, value_tags, MAX_STATEMENT_BYTES,
+};
+use mio::{Events, Interest, Poll, Token, Waker};
 use qserv::service::{QueryService, ServiceConfig};
-use qserv::{Qserv, QservError, Value};
+use qserv::{
+    Notifier, Qserv, QservError, StreamBatch, StreamDone, StreamEvent, StreamHandle, Value,
+};
 use qserv_engine::exec::ResultTable;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+const FIRST_CONN: usize = 2;
+
+/// Above this many buffered-but-unsent bytes, a connection stops
+/// draining its stream channels: the executor's bounded channel fills
+/// and the query stalls until the socket drains.
+pub const HIGH_WATER_BYTES: usize = 256 * 1024;
+
+/// How the server maps connections to execution contexts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One event loop multiplexes every connection (the default).
+    Reactor,
+    /// One blocking thread per connection — the pre-reactor design,
+    /// kept as the bench baseline. The accept path still runs on the
+    /// poll/waker pair so `stop` is race-free in both modes.
+    ThreadPerConn,
+}
 
 /// A running proxy listening on a TCP socket.
 pub struct ProxyServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    thread: Option<JoinHandle<()>>,
     service: Arc<QueryService>,
 }
 
@@ -34,34 +86,43 @@ impl ProxyServer {
     }
 
     /// Starts a proxy over an existing [`QueryService`] — the caller
-    /// picks the admission/scheduling configuration and may keep its
-    /// own handle for `kill`/`status`/metrics.
+    /// picks the admission/scheduling/caching configuration and may
+    /// keep its own handle for `kill`/`status`/metrics.
     pub fn start_with_service(
         service: Arc<QueryService>,
         bind: &str,
     ) -> std::io::Result<ProxyServer> {
-        let listener = TcpListener::bind(bind)?;
+        ProxyServer::start_with_mode(service, bind, ServerMode::Reactor)
+    }
+
+    /// Starts a proxy in an explicit [`ServerMode`].
+    pub fn start_with_mode(
+        service: Arc<QueryService>,
+        bind: &str,
+        mode: ServerMode,
+    ) -> std::io::Result<ProxyServer> {
+        let listener = mio::net::TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+        let poll = Poll::new()?;
+        poll.registry()
+            .register(&listener, LISTENER, Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let svc = Arc::clone(&service);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&svc);
-                std::thread::spawn(move || {
-                    // A dropped/failed connection only ends that session.
-                    let _ = serve_connection(&service, stream);
-                });
-            }
-        });
+
+        let thread = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let waker = Arc::clone(&waker);
+            std::thread::spawn(move || match mode {
+                ServerMode::Reactor => Reactor::new(poll, listener, service, shutdown, waker).run(),
+                ServerMode::ThreadPerConn => run_thread_per_conn(poll, listener, service, shutdown),
+            })
+        };
         Ok(ProxyServer {
             addr,
             shutdown,
-            accept_thread: Some(accept_thread),
+            waker,
+            thread: Some(thread),
             service,
         })
     }
@@ -76,8 +137,10 @@ impl ProxyServer {
         &self.service
     }
 
-    /// Stops accepting connections and joins the accept thread. Existing
-    /// sessions run to completion on their own threads.
+    /// Stops the server and joins its thread. In reactor mode open
+    /// sessions are closed (their in-flight queries cancel); in
+    /// thread-per-connection mode existing session threads run to
+    /// completion on their own.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -86,9 +149,8 @@ impl ProxyServer {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
+        let _ = self.waker.wake();
+        if let Some(h) = self.thread.take() {
             let _ = h.join();
         }
     }
@@ -100,59 +162,72 @@ impl Drop for ProxyServer {
     }
 }
 
-/// Reads `;`-terminated queries off one connection until EOF.
-fn serve_connection(service: &QueryService, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut pending = String::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
-        }
-        pending.push_str(&line);
-        // Serve every complete (';'-terminated) statement accumulated.
-        while let Some(pos) = pending.find(';') {
-            let sql: String = pending.drain(..=pos).collect();
-            let sql = sql.trim_end_matches(';').trim();
-            if sql.is_empty() {
-                continue;
+// ---------------------------------------------------------------------
+// Statement assembly and routing (shared by both server modes).
+// ---------------------------------------------------------------------
+
+/// Accumulates raw socket bytes and yields `;`-terminated statements.
+#[derive(Default)]
+struct StatementSplitter {
+    buf: Vec<u8>,
+}
+
+impl StatementSplitter {
+    fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// The next complete non-empty statement, if any.
+    fn next_statement(&mut self) -> Option<String> {
+        while let Some(pos) = self.buf.iter().position(|&b| b == b';') {
+            let stmt: Vec<u8> = self.buf.drain(..=pos).collect();
+            let stmt = String::from_utf8_lossy(&stmt[..stmt.len() - 1])
+                .trim()
+                .to_string();
+            if !stmt.is_empty() {
+                return Some(stmt);
             }
-            serve_statement(service, sql, &mut writer)?;
-            writer.flush()?;
         }
+        None
+    }
+
+    /// True once the unterminated tail exceeds the frame limit.
+    fn overflowed(&self) -> bool {
+        self.buf.len() > MAX_STATEMENT_BYTES
     }
 }
 
-/// Routes one statement: the session verbs (`KILL <qid>`, `STATUS`,
-/// `TRACE <sql>`) or plain SQL through the service.
-fn serve_statement(
-    service: &QueryService,
-    sql: &str,
-    writer: &mut impl Write,
-) -> std::io::Result<()> {
+/// What one statement asks of the server.
+enum Action {
+    /// An immediately-answerable verb (`KILL`, `STATUS`).
+    Table(ResultTable),
+    /// A malformed verb.
+    BadVerb(String),
+    /// SQL to submit (with `TRACE` already stripped off).
+    Submit { sql: String, traced: bool },
+}
+
+/// Routes one (tag-stripped) statement.
+fn route(service: &QueryService, stmt: &str) -> Action {
     // `KILL <qid>` and `STATUS` answer as ordinary result tables, so
     // any client that can read a query response can drive them.
-    match parse_kill_verb(sql) {
+    match parse_kill_verb(stmt) {
         Some(Ok(qid)) => {
             let outcome = service.kill(qid);
-            let table = ResultTable {
+            return Action::Table(ResultTable {
                 columns: vec!["qid".to_string(), "outcome".to_string()],
                 rows: vec![vec![
                     Value::Int(qid as i64),
                     Value::Str(outcome.as_str().to_string()),
                 ]],
-            };
-            return write_result(writer, &table, 0, 0, None);
+            });
         }
         Some(Err(bad)) => {
-            writeln!(writer, "ERR KILL needs a numeric query id, got {bad:?}")?;
-            return Ok(());
+            return Action::BadVerb(format!("KILL needs a numeric query id, got {bad:?}"))
         }
         None => {}
     }
-    if sql.eq_ignore_ascii_case("STATUS") {
+    if stmt.eq_ignore_ascii_case("STATUS") {
         let rows = service
             .status()
             .into_iter()
@@ -167,101 +242,629 @@ fn serve_statement(
                 ]
             })
             .collect();
-        let table = ResultTable {
+        return Action::Table(ResultTable {
             columns: ["qid", "class", "state", "wait_ms", "run_ms", "sql"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
             rows,
-        };
-        return write_result(writer, &table, 0, 0, None);
+        });
     }
+    match strip_trace_verb(stmt) {
+        Some(inner) => Action::Submit {
+            sql: inner.to_string(),
+            traced: true,
+        },
+        None => Action::Submit {
+            sql: stmt.to_string(),
+            traced: false,
+        },
+    }
+}
 
-    // `TRACE <sql>` runs the statement under a fresh trace rooted at
-    // the proxy (so the span tree covers proxy → service admission →
-    // master → fabric → worker → merge) and streams the tree back as a
-    // `TRACE <json>` frame between the rows and the OK.
-    let submitted = match strip_trace_verb(sql) {
-        Some(inner) => service.submit_traced(inner, "proxy.request"),
-        None => service.submit(sql),
-    };
-    let handle = match submitted {
-        Ok(h) => h,
-        // Admission backpressure is its own frame so clients can tell
-        // "resubmit later" apart from a failed query.
-        Err(QservError::Busy { retry_after_ms }) => {
-            writeln!(writer, "BUSY {retry_after_ms}")?;
-            return Ok(());
+// ---------------------------------------------------------------------
+// Frame encoding (shared by both server modes).
+// ---------------------------------------------------------------------
+
+/// Per-request frame-encoding state: which headers went out, under
+/// which types, and how many rows so far.
+struct ResponseState {
+    sid: Option<u64>,
+    sent_cols: bool,
+    tags: Vec<&'static str>,
+    rows: u64,
+}
+
+impl ResponseState {
+    fn new(sid: Option<u64>) -> ResponseState {
+        ResponseState {
+            sid,
+            sent_cols: false,
+            tags: Vec::new(),
+            rows: 0,
         }
-        Err(e) => {
-            let msg = e.to_string().replace('\n', " ");
-            writeln!(writer, "ERR {msg}")?;
-            return Ok(());
-        }
-    };
-    let reply = handle.wait();
-    match reply.result {
-        Ok((result, stats)) => {
-            let trace_json = reply.trace.as_ref().map(|t| t.to_json());
-            write_result(
-                writer,
-                &result,
+    }
+}
+
+/// Encodes one merged batch: `COLS`/`TYPES` headers the first time,
+/// a `TYPES` resend when a later chunk widened a column, then the
+/// `ROWS <n>` block. The block (header + `n` raw TSV lines) is written
+/// in one append, so multiplexed responses never interleave inside it.
+fn write_batch(out: &mut Vec<u8>, st: &mut ResponseState, batch: &StreamBatch) {
+    let p = sid_prefix(st.sid);
+    let tags: Vec<&'static str> = batch.types.iter().map(|t| column_tag(*t)).collect();
+    if !st.sent_cols {
+        let _ = writeln!(out, "{p}COLS {}", batch.columns.join("\t"));
+        let _ = writeln!(out, "{p}TYPES {}", tags.join("\t"));
+        st.tags = tags;
+        st.sent_cols = true;
+    } else if tags != st.tags {
+        let _ = writeln!(out, "{p}TYPES {}", tags.join("\t"));
+        st.tags = tags;
+    }
+    if batch.rows.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "{p}ROWS {}", batch.rows.len());
+    for row in &batch.rows {
+        let cells: Vec<String> = row.iter().map(encode_value).collect();
+        let _ = writeln!(out, "{}", cells.join("\t"));
+    }
+    st.rows += batch.rows.len() as u64;
+}
+
+/// Encodes the terminal frame: `TRACE` + `END` on success, `ERR` (or
+/// `BUSY`) on failure. An `ERR` after delivered batches tells the
+/// client to discard those rows — the result is the error.
+fn write_done(out: &mut Vec<u8>, st: &ResponseState, done: &StreamDone) {
+    let p = sid_prefix(st.sid);
+    match &done.result {
+        Ok(stats) => {
+            if let Some(trace) = &done.trace {
+                let _ = writeln!(out, "{p}TRACE {}", trace.to_json());
+            }
+            let _ = writeln!(
+                out,
+                "{p}END {} {} {} {}",
+                st.rows,
                 stats.chunks_dispatched,
                 stats.result_bytes,
-                trace_json.as_deref(),
-            )
+                done.cache.as_str()
+            );
         }
-        Err(e) => {
-            // Errors are single-line by protocol.
+        Err(e) => write_error(out, st.sid, e),
+    }
+}
+
+/// Encodes a failure as its frame: admission backpressure is `BUSY`
+/// (resubmit later, the session stays usable), anything else `ERR`.
+fn write_error(out: &mut Vec<u8>, sid: Option<u64>, e: &QservError) {
+    let p = sid_prefix(sid);
+    match e {
+        QservError::Busy { retry_after_ms } => {
+            let _ = writeln!(out, "{p}BUSY {retry_after_ms}");
+        }
+        e => {
             let msg = e.to_string().replace('\n', " ");
-            writeln!(writer, "ERR {msg}")?;
-            Ok(())
+            let _ = writeln!(out, "{p}ERR {msg}");
         }
     }
 }
 
-/// Streams one result table as COLS/TYPES/ROW(/TRACE)/OK frames.
-fn write_result(
-    writer: &mut impl Write,
-    result: &ResultTable,
-    chunks_dispatched: usize,
-    result_bytes: u64,
-    trace_json: Option<&str>,
-) -> std::io::Result<()> {
-    // Column types: widened over all rows, `null` when a column never
-    // carries a value.
-    let mut types = vec!["null"; result.columns.len()];
-    for row in &result.rows {
-        for (i, v) in row.iter().enumerate() {
-            let t = type_tag(v);
-            types[i] = match (types[i], t) {
-                (cur, "null") => cur,
-                ("null", t) => t,
-                ("int", "float") | ("float", "int") => "float",
-                (cur, t) if cur == t => cur,
-                _ => "str",
-            };
+/// Encodes an inline table (the `KILL`/`STATUS` replies): one complete
+/// response with `cache:off` and no cluster work.
+fn write_table(out: &mut Vec<u8>, sid: Option<u64>, table: &ResultTable) {
+    let p = sid_prefix(sid);
+    let tags = value_tags(table.columns.len(), &table.rows);
+    let _ = writeln!(out, "{p}COLS {}", table.columns.join("\t"));
+    let _ = writeln!(out, "{p}TYPES {}", tags.join("\t"));
+    if !table.rows.is_empty() {
+        let _ = writeln!(out, "{p}ROWS {}", table.rows.len());
+        for row in &table.rows {
+            let cells: Vec<String> = row.iter().map(encode_value).collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
         }
     }
-    writeln!(writer, "COLS {}", result.columns.join("\t"))?;
-    writeln!(writer, "TYPES {}", types.join("\t"))?;
-    for row in &result.rows {
-        let cells: Vec<String> = row.iter().map(encode_value).collect();
-        writeln!(writer, "ROW {}", cells.join("\t"))?;
-    }
-    if let Some(json) = trace_json {
-        // Compact JSON is single-line by construction (string values
-        // escape their newlines).
-        writeln!(writer, "TRACE {json}")?;
-    }
-    writeln!(
-        writer,
-        "OK {} {} {}",
-        result.num_rows(),
-        chunks_dispatched,
-        result_bytes
-    )
+    let _ = writeln!(out, "{p}END {} 0 0 off", table.num_rows());
 }
+
+// ---------------------------------------------------------------------
+// Reactor mode.
+// ---------------------------------------------------------------------
+
+/// One in-flight streamed query on a connection.
+struct Request {
+    state: ResponseState,
+    handle: StreamHandle,
+    /// Untagged requests hold the connection's serial slot.
+    untagged: bool,
+}
+
+/// One multiplexed connection.
+struct Conn {
+    token: usize,
+    stream: mio::net::TcpStream,
+    splitter: StatementSplitter,
+    out: Vec<u8>,
+    outpos: usize,
+    requests: Vec<Request>,
+    /// Untagged statements waiting for the serial slot.
+    untagged_queue: VecDeque<String>,
+    untagged_busy: bool,
+    /// Still expecting bytes from the peer (false after EOF — the
+    /// half-closed session keeps draining its in-flight responses).
+    reading: bool,
+    /// Flush what is buffered, then drop the connection.
+    closing: bool,
+    /// Hard socket error: drop immediately.
+    failed: bool,
+    registered: Option<Interest>,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.outpos
+    }
+
+    fn finished(&self) -> bool {
+        self.failed
+            || (self.closing && self.pending_out() == 0)
+            || (!self.reading
+                && self.requests.is_empty()
+                && self.untagged_queue.is_empty()
+                && self.pending_out() == 0)
+    }
+}
+
+struct Reactor {
+    poll: Poll,
+    listener: mio::net::TcpListener,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+    notifier: Notifier,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+}
+
+impl Reactor {
+    fn new(
+        poll: Poll,
+        listener: mio::net::TcpListener,
+        service: Arc<QueryService>,
+        shutdown: Arc<AtomicBool>,
+        waker: Arc<Waker>,
+    ) -> Reactor {
+        // Every streaming submission carries this notifier: the
+        // executor pokes the waker after queuing an event, so a poll
+        // blocked on idle sockets learns of fresh frames immediately.
+        let notifier: Notifier = Arc::new(move || {
+            let _ = waker.wake();
+        });
+        Reactor {
+            poll,
+            listener,
+            service,
+            shutdown,
+            notifier,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Events::with_capacity(256);
+        loop {
+            if self.poll.poll(&mut events, None).is_err() {
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Dropping the reactor drops every connection; their
+                // stream handles cancel any in-flight queries.
+                return;
+            }
+            let ready: Vec<(usize, bool, bool)> = events
+                .iter()
+                .map(|e| (e.token().0, e.is_readable(), e.is_writable()))
+                .collect();
+            for (token, readable, writable) in ready {
+                match token {
+                    t if t == LISTENER.0 => self.accept_ready(),
+                    t if t == WAKER.0 => {} // woken; the pump below runs anyway
+                    t => {
+                        if let Some(conn) = self.conns.get_mut(&t) {
+                            if readable {
+                                read_ready(&self.service, &self.notifier, conn);
+                            }
+                            if writable {
+                                flush(conn);
+                            }
+                        }
+                    }
+                }
+            }
+            self.pump();
+            self.sweep();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn {
+                        token,
+                        stream,
+                        splitter: StatementSplitter::default(),
+                        out: Vec::new(),
+                        outpos: 0,
+                        requests: Vec::new(),
+                        untagged_queue: VecDeque::new(),
+                        untagged_busy: false,
+                        reading: true,
+                        closing: false,
+                        failed: false,
+                        registered: None,
+                    };
+                    update_interest(&self.poll, &mut conn);
+                    self.conns.insert(token, conn);
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Moves every connection forward: drain ready stream events into
+    /// write buffers (respecting the high-water mark), flush sockets,
+    /// start queued untagged statements, refresh interest. The
+    /// drain/flush pair loops so a socket that swallowed its backlog
+    /// immediately frees the query it was throttling — otherwise
+    /// events left behind a high-water stop could strand a blocked
+    /// executor with no readiness edge left to wake us.
+    fn pump(&mut self) {
+        for conn in self.conns.values_mut() {
+            loop {
+                let progressed = drain_requests(&self.service, &self.notifier, conn);
+                flush(conn);
+                if !progressed || conn.pending_out() > HIGH_WATER_BYTES {
+                    break;
+                }
+            }
+            update_interest(&self.poll, conn);
+        }
+    }
+
+    fn sweep(&mut self) {
+        let finished: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in finished {
+            if let Some(conn) = self.conns.remove(&t) {
+                if conn.registered.is_some() {
+                    let _ = self.poll.registry().deregister(&conn.stream);
+                }
+                // Dropping `conn.requests` drops the stream handles,
+                // cancelling whatever was still running for this peer.
+            }
+        }
+    }
+}
+
+/// Reads until `WouldBlock`/EOF, then starts every complete statement.
+fn read_ready(service: &QueryService, notifier: &Notifier, conn: &mut Conn) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.reading = false;
+                break;
+            }
+            Ok(n) => {
+                conn.splitter.push(&buf[..n]);
+                if conn.splitter.overflowed() {
+                    // No way to resynchronize inside an unbounded blob:
+                    // reject and hang up once the error is flushed.
+                    let _ = writeln!(
+                        conn.out,
+                        "ERR statement exceeds {MAX_STATEMENT_BYTES} bytes"
+                    );
+                    conn.reading = false;
+                    conn.closing = true;
+                    return;
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.failed = true;
+                return;
+            }
+        }
+    }
+    while let Some(stmt) = conn.splitter.next_statement() {
+        handle_statement(service, notifier, conn, stmt);
+    }
+}
+
+/// Starts (or queues) one statement. Tagged statements run
+/// concurrently; untagged ones serialize through the connection's
+/// single slot, preserving the strict request/response contract for
+/// clients that never tag.
+fn handle_statement(service: &QueryService, notifier: &Notifier, conn: &mut Conn, raw: String) {
+    let (sid, stmt) = split_sid(&raw);
+    if sid.is_none() && (conn.untagged_busy || !conn.untagged_queue.is_empty()) {
+        conn.untagged_queue.push_back(stmt.to_string());
+        return;
+    }
+    start_statement(service, notifier, conn, sid, stmt);
+}
+
+fn start_statement(
+    service: &QueryService,
+    notifier: &Notifier,
+    conn: &mut Conn,
+    sid: Option<u64>,
+    stmt: &str,
+) {
+    match route(service, stmt) {
+        Action::Table(table) => write_table(&mut conn.out, sid, &table),
+        Action::BadVerb(msg) => {
+            let _ = writeln!(conn.out, "{}ERR {msg}", sid_prefix(sid));
+        }
+        Action::Submit { sql, traced } => {
+            let root = traced.then_some("proxy.request");
+            match service.submit_streaming_with_notify(&sql, root, Arc::clone(notifier)) {
+                Ok(handle) => {
+                    conn.requests.push(Request {
+                        state: ResponseState::new(sid),
+                        handle,
+                        untagged: sid.is_none(),
+                    });
+                    if sid.is_none() {
+                        conn.untagged_busy = true;
+                    }
+                }
+                Err(e) => write_error(&mut conn.out, sid, &e),
+            }
+        }
+    }
+}
+
+/// Drains ready stream events into the connection's write buffer, up
+/// to the high-water mark, and feeds the untagged serial queue as its
+/// slot frees up. Returns whether anything moved (the caller loops
+/// with a flush in between until nothing does).
+fn drain_requests(service: &QueryService, notifier: &Notifier, conn: &mut Conn) -> bool {
+    let mut progressed = false;
+    let mut i = 0;
+    // Split the borrows: the request list and the write buffer are
+    // touched together inside the loop.
+    let (out, outpos, requests) = (&mut conn.out, conn.outpos, &mut conn.requests);
+    let over_water = |out: &Vec<u8>| out.len() - outpos > HIGH_WATER_BYTES;
+    while i < requests.len() {
+        if over_water(out) {
+            // Stop producing: the executor's bounded channel fills
+            // next, stalling the merge until this socket drains.
+            return progressed;
+        }
+        let req = &mut requests[i];
+        let mut finished = false;
+        while let Some(ev) = req.handle.try_recv() {
+            progressed = true;
+            match ev {
+                StreamEvent::Batch(batch) => write_batch(out, &mut req.state, &batch),
+                StreamEvent::Done(done) => {
+                    write_done(out, &req.state, &done);
+                    finished = true;
+                    break;
+                }
+            }
+            if over_water(out) {
+                break;
+            }
+        }
+        if finished {
+            let req = requests.remove(i);
+            if req.untagged {
+                conn.untagged_busy = false;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    // The serial slot freed up: start queued untagged statements
+    // (verbs answer inline and free the slot again immediately).
+    while !conn.untagged_busy && !conn.closing {
+        let Some(stmt) = conn.untagged_queue.pop_front() else {
+            break;
+        };
+        progressed = true;
+        start_statement(service, notifier, conn, None, &stmt);
+    }
+    progressed
+}
+
+/// Writes buffered output until the socket would block.
+fn flush(conn: &mut Conn) {
+    while conn.pending_out() > 0 {
+        match conn.stream.write(&conn.out[conn.outpos..]) {
+            Ok(0) => {
+                conn.failed = true;
+                return;
+            }
+            Ok(n) => conn.outpos += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.failed = true;
+                return;
+            }
+        }
+    }
+    if conn.outpos == conn.out.len() {
+        conn.out.clear();
+        conn.outpos = 0;
+    } else if conn.outpos > 32 * 1024 {
+        conn.out.drain(..conn.outpos);
+        conn.outpos = 0;
+    }
+}
+
+/// Registers exactly the readiness this connection can act on. The
+/// poller is level-triggered, so `WRITABLE` is armed only while output
+/// is pending and `READABLE` only while the peer may still send —
+/// otherwise an idle socket would spin the loop.
+fn update_interest(poll: &Poll, conn: &mut Conn) {
+    let want_r = conn.reading && !conn.closing && !conn.failed;
+    let want_w = conn.pending_out() > 0 && !conn.failed;
+    let want = match (want_r, want_w) {
+        (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+        (true, false) => Some(Interest::READABLE),
+        (false, true) => Some(Interest::WRITABLE),
+        (false, false) => None,
+    };
+    if want == conn.registered {
+        return;
+    }
+    let registry = poll.registry();
+    let ok = match (conn.registered, want) {
+        (None, Some(i)) => registry
+            .register(&conn.stream, Token(conn.token), i)
+            .is_ok(),
+        (Some(_), Some(i)) => registry
+            .reregister(&conn.stream, Token(conn.token), i)
+            .is_ok(),
+        (Some(_), None) => registry.deregister(&conn.stream).is_ok(),
+        (None, None) => true,
+    };
+    if ok {
+        conn.registered = want;
+    } else {
+        conn.failed = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection mode (bench baseline).
+// ---------------------------------------------------------------------
+
+fn run_thread_per_conn(
+    mut poll: Poll,
+    listener: mio::net::TcpListener,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut events = Events::with_capacity(16);
+    loop {
+        if poll.poll(&mut events, None).is_err() {
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let Ok(std_stream) = stream.into_std() else {
+                        continue;
+                    };
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || {
+                        // A dropped/failed connection only ends that
+                        // session.
+                        let _ = serve_blocking(&service, std_stream);
+                    });
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Serves one connection on a blocking thread. Same frames as the
+/// reactor; statements (tagged or not) execute strictly one at a time.
+fn serve_blocking(service: &QueryService, stream: std::net::TcpStream) -> std::io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut splitter = StatementSplitter::default();
+    let mut buf = [0u8; 8192];
+    let mut out = Vec::new();
+    loop {
+        while let Some(stmt) = splitter.next_statement() {
+            let (sid, stmt) = split_sid(&stmt);
+            match route(service, stmt) {
+                Action::Table(table) => write_table(&mut out, sid, &table),
+                Action::BadVerb(msg) => {
+                    let _ = writeln!(out, "{}ERR {msg}", sid_prefix(sid));
+                }
+                Action::Submit { sql, traced } => {
+                    let submitted = match traced {
+                        true => service.submit_streaming_traced(&sql, "proxy.request"),
+                        false => service.submit_streaming(&sql),
+                    };
+                    match submitted {
+                        Ok(handle) => {
+                            let mut st = ResponseState::new(sid);
+                            stream_response(handle, &mut st, &mut out, &mut writer)?;
+                        }
+                        Err(e) => write_error(&mut out, sid, &e),
+                    }
+                }
+            }
+            writer.write_all(&out)?;
+            out.clear();
+        }
+        if splitter.overflowed() {
+            writeln!(writer, "ERR statement exceeds {MAX_STATEMENT_BYTES} bytes")?;
+            return Ok(());
+        }
+        let n = reader.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        splitter.push(&buf[..n]);
+    }
+}
+
+/// Blocking drain of one streamed response, flushing each batch as it
+/// arrives so first rows still beat the scan's completion.
+fn stream_response(
+    handle: StreamHandle,
+    st: &mut ResponseState,
+    out: &mut Vec<u8>,
+    writer: &mut std::net::TcpStream,
+) -> std::io::Result<()> {
+    loop {
+        match handle.recv() {
+            Some(StreamEvent::Batch(batch)) => {
+                write_batch(out, st, &batch);
+                writer.write_all(out)?;
+                out.clear();
+            }
+            Some(StreamEvent::Done(done)) => {
+                write_done(out, st, &done);
+                return Ok(());
+            }
+            None => {
+                // Channel died without a Done: surface as cancellation.
+                write_error(out, st.sid, &QservError::Cancelled);
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verb parsing.
+// ---------------------------------------------------------------------
 
 /// Splits the `TRACE` verb off a statement, returning the inner SQL.
 /// The verb is case-insensitive and must be followed by whitespace, so
@@ -311,5 +914,19 @@ mod tests {
         assert_eq!(strip_trace_verb("trace  SELECT 1"), Some("SELECT 1"));
         assert_eq!(strip_trace_verb("TRACER x"), None);
         assert_eq!(strip_trace_verb("SELECT 1"), None);
+    }
+
+    #[test]
+    fn splitter_yields_statements_across_pushes() {
+        let mut s = StatementSplitter::default();
+        s.push(b"SELECT 1");
+        assert!(s.next_statement().is_none());
+        s.push(b" + 1; SELECT");
+        assert_eq!(s.next_statement().as_deref(), Some("SELECT 1 + 1"));
+        assert!(s.next_statement().is_none());
+        s.push(b" 2;;  ;");
+        assert_eq!(s.next_statement().as_deref(), Some("SELECT 2"));
+        assert!(s.next_statement().is_none(), "empty statements skipped");
+        assert!(!s.overflowed());
     }
 }

@@ -1,0 +1,210 @@
+//! Streaming, caching, retry, and the thread-per-connection baseline,
+//! proven over real TCP.
+
+use qserv::service::{names, QueryService, ServiceConfig};
+use qserv::{CacheOutcome, ClusterBuilder, FabricOp, FaultPlan};
+use qserv_datagen::generate::{CatalogConfig, Patch};
+use qserv_proxy::{ProxyClient, ProxyServer, RetryPolicy, ServerMode};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn query_stream_yields_rows_before_the_scan_finishes() {
+    let patch = Patch::generate(&CatalogConfig::small(600, 31));
+    let mut q = ClusterBuilder::new(3)
+        .fault_plan(FaultPlan::new(41))
+        .build(&patch.objects, &patch.sources);
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(5));
+    let service = Arc::new(QueryService::start(qserv, ServiceConfig::default()));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("bind");
+
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+    let (batches, rows) = {
+        let mut stream = client
+            .query_stream("SELECT objectId FROM Object")
+            .expect("submit");
+        let mut batches = 0usize;
+        let mut rows = 0usize;
+        while let Some(batch) = stream.next_batch().expect("stream stays healthy") {
+            assert_eq!(batch.columns, vec!["objectId"]);
+            if !batch.rows.is_empty() {
+                batches += 1;
+            }
+            rows += batch.rows.len();
+        }
+        let stats = stream.stats().expect("END stats after drain");
+        assert_eq!(stats.rows, 600);
+        assert_eq!(stats.cache, CacheOutcome::Off);
+        (batches, rows)
+    };
+    assert_eq!(rows, 600);
+    assert!(
+        batches >= 2,
+        "a serialized multi-chunk scan must stream incrementally, got {batches} batch(es)"
+    );
+
+    // The session is reusable for a plain buffered query afterwards.
+    let (t, _) = client.query("SELECT COUNT(*) FROM Object").expect("reuse");
+    assert_eq!(t.scalar().and_then(|v| v.as_i64()), Some(600));
+    server.shutdown();
+}
+
+#[test]
+fn abandoned_stream_leaves_the_session_usable() {
+    let patch = Patch::generate(&CatalogConfig::small(500, 32));
+    let qserv = Arc::new(ClusterBuilder::new(3).build(&patch.objects, &patch.sources));
+    let service = Arc::new(QueryService::start(qserv, ServiceConfig::default()));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("bind");
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+    {
+        let mut stream = client
+            .query_stream("SELECT objectId, ra_PS FROM Object")
+            .expect("submit");
+        let _ = stream.next_batch();
+        // Dropped mid-stream: Drop drains to END on our behalf.
+    }
+    let (t, _) = client.query("SELECT COUNT(*) FROM Object").expect("reuse");
+    assert_eq!(t.scalar().and_then(|v| v.as_i64()), Some(500));
+    server.shutdown();
+}
+
+#[test]
+fn cache_outcomes_cross_the_wire() {
+    let patch = Patch::generate(&CatalogConfig::small(400, 33));
+    let qserv = Arc::new(ClusterBuilder::new(3).build(&patch.objects, &patch.sources));
+    let service = Arc::new(QueryService::start(
+        qserv,
+        ServiceConfig {
+            cache_capacity_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server =
+        ProxyServer::start_with_service(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+
+    let sql = "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId";
+    let (cold, cold_stats) = client.query(sql).expect("cold");
+    assert_eq!(cold_stats.cache, CacheOutcome::Miss);
+    let (hot, hot_stats) = client.query(sql).expect("hot");
+    assert_eq!(hot_stats.cache, CacheOutcome::Hit);
+    assert_eq!(hot, cold, "cache replay must be byte-identical");
+    assert_eq!(hot_stats.rows, cold_stats.rows);
+
+    // A second session shares the entry — the cache is service-wide.
+    let mut other = ProxyClient::connect(server.addr()).expect("connect 2");
+    let (shared, shared_stats) = other.query(sql).expect("other session");
+    assert_eq!(shared_stats.cache, CacheOutcome::Hit);
+    assert_eq!(shared, cold);
+
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter(names::CACHE_HIT), 2);
+    assert_eq!(snap.counter(names::CACHE_MISS), 1);
+    server.shutdown();
+}
+
+#[test]
+fn busy_retry_policy_rides_out_admission_backpressure() {
+    let patch = Patch::generate(&CatalogConfig::small(400, 34));
+    let mut q = ClusterBuilder::new(3)
+        .fault_plan(FaultPlan::new(42))
+        .build(&patch.objects, &patch.sources);
+    q.dispatch_width = 1;
+    let qserv = Arc::new(q);
+    qserv
+        .cluster()
+        .faults()
+        .delay(None, Some(FabricOp::Read), Duration::from_millis(5));
+    // One slot, one queue seat: the third concurrent scan gets BUSY.
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            max_concurrent: 1,
+            max_scan_concurrent: 1,
+            queue_capacity: 1,
+            interactive_chunk_threshold: 0,
+            retry_after: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let mut saw_busy = false;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let mut client = ProxyClient::connect(addr).expect("connect");
+                    let policy = RetryPolicy::seeded(1000 + i);
+                    let mut retried = false;
+                    let (t, _) = policy
+                        .run(|| match client.query("SELECT COUNT(*) FROM Object") {
+                            Err(e @ qserv_proxy::client::ClientError::Busy { .. }) => {
+                                retried = true;
+                                Err(e)
+                            }
+                            other => other,
+                        })
+                        .expect("retry policy eventually lands the query");
+                    assert_eq!(t.scalar().and_then(|v| v.as_i64()), Some(400));
+                    retried
+                })
+            })
+            .collect();
+        for h in handles {
+            saw_busy |= h.join().expect("client thread");
+        }
+    })
+    .expect("no client panics");
+    assert!(
+        saw_busy,
+        "with one slot and one queue seat, somebody must have been told BUSY"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn thread_per_conn_mode_speaks_the_same_protocol() {
+    let patch = Patch::generate(&CatalogConfig::small(300, 35));
+    let qserv = Arc::new(ClusterBuilder::new(3).build(&patch.objects, &patch.sources));
+    let service = Arc::new(QueryService::start(
+        qserv,
+        ServiceConfig {
+            cache_capacity_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_mode(service, "127.0.0.1:0", ServerMode::ThreadPerConn)
+        .expect("bind");
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+
+    let (t, stats) = client.query("SELECT COUNT(*) FROM Object").expect("count");
+    assert_eq!(t.scalar().and_then(|v| v.as_i64()), Some(300));
+    assert_eq!(stats.cache, CacheOutcome::Miss);
+    let (_, stats) = client.query("SELECT COUNT(*) FROM Object").expect("hot");
+    assert_eq!(stats.cache, CacheOutcome::Hit);
+
+    let (_, _, trace) = client
+        .query_traced("SELECT objectId FROM Object WHERE objectId = 3")
+        .expect("traced");
+    assert!(trace.contains("proxy.request"), "{trace}");
+
+    assert_eq!(client.kill(999_999).expect("kill unknown"), "unknown");
+
+    let mut stream = client
+        .query_stream("SELECT objectId FROM Object")
+        .expect("stream");
+    let mut rows = 0;
+    while let Some(b) = stream.next_batch().expect("stream") {
+        rows += b.rows.len();
+    }
+    assert_eq!(rows, 300);
+    drop(stream);
+    server.shutdown();
+}

@@ -1,0 +1,615 @@
+//! Offline stand-in for [`mio`](https://crates.io/crates/mio).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the API subset the proxy's event loop uses: a readiness
+//! [`Poll`]er over nonblocking sockets, [`Token`]-tagged [`Events`],
+//! a [`Waker`] for cross-thread wakeups, and thin [`net`] wrappers
+//! around the std TCP types that set nonblocking mode on creation.
+//!
+//! Unlike real mio (epoll, edge-triggered), this shim drives
+//! `poll(2)` directly and is **level-triggered**: a socket that stays
+//! readable is reported on every call. Consumers must therefore only
+//! register `WRITABLE` interest while they actually have pending
+//! output, which is how the proxy server is written. `poll(2)` is
+//! declared via `extern "C"` so no libc crate is needed; everything
+//! else (nonblocking mode, socketpair for the waker) uses std.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Opaque per-registration identifier, echoed back on each [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(1);
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Combines two interests (mio spells this `add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub const fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    pub const fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable, or the peer hung up / errored (a read will surface it).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// Buffer of events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+struct Registration {
+    token: Token,
+    interest: Interest,
+    /// For waker registrations: the read half to drain on readiness,
+    /// kept alive here so the fd stays valid while registered.
+    waker_rd: Option<Arc<UnixStream>>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: HashMap<RawFd, Registration>,
+}
+
+/// Handle for (de)registering event sources; clone-free sharing via
+/// the [`Waker`], which holds the same inner map.
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Registers `source` for `interests` under `token`. Registering an
+    /// already-registered fd errors like mio does.
+    pub fn register<S: AsRawFd + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.entries.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        inner.entries.insert(
+            fd,
+            Registration {
+                token,
+                interest: interests,
+                waker_rd: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Changes the token/interest of an existing registration.
+    pub fn reregister<S: AsRawFd + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut inner = self.inner.lock().unwrap();
+        match inner.entries.get_mut(&fd) {
+            Some(reg) => {
+                reg.token = token;
+                reg.interest = interests;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Removes a registration; the fd stops producing events.
+    pub fn deregister<S: AsRawFd + ?Sized>(&self, source: &S) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut inner = self.inner.lock().unwrap();
+        match inner.entries.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+}
+
+/// The reactor: snapshots registrations into a `pollfd` array, calls
+/// `poll(2)`, and translates revents back into [`Event`]s.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                inner: Arc::new(Mutex::new(RegistryInner::default())),
+            },
+        })
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely). Waker fds are drained here
+    /// so each `wake()` burst yields one event, then re-arms.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        // Snapshot under the lock, then release it for the syscall so
+        // other threads can register/deregister while we block.
+        let (mut fds, tags): (Vec<PollFd>, Vec<(Token, Option<Arc<UnixStream>>)>) = {
+            let inner = self.registry.inner.lock().unwrap();
+            let mut fds = Vec::with_capacity(inner.entries.len());
+            let mut tags = Vec::with_capacity(inner.entries.len());
+            for (&fd, reg) in &inner.entries {
+                let mut ev = 0i16;
+                if reg.interest.is_readable() {
+                    ev |= POLLIN;
+                }
+                if reg.interest.is_writable() {
+                    ev |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: ev,
+                    revents: 0,
+                });
+                tags.push((reg.token, reg.waker_rd.clone()));
+            }
+            (fds, tags)
+        };
+        let timeout_ms: i32 = match timeout {
+            // Round up so sub-millisecond timeouts still yield.
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(()); // spurious wakeup; caller loops
+            }
+            return Err(err);
+        }
+        for (pfd, (token, waker_rd)) in fds.iter().zip(tags.iter()) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            if let Some(rd) = waker_rd {
+                // Drain the pipe so the waker re-arms; coalesce the
+                // burst into a single event, as mio's waker does.
+                let mut buf = [0u8; 64];
+                loop {
+                    match (&**rd).read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(_) => continue,
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+            let err = pfd.revents & (POLLERR | POLLHUP) != 0;
+            events.inner.push(Event {
+                token: *token,
+                readable: pfd.revents & POLLIN != 0 || err,
+                writable: pfd.revents & POLLOUT != 0 || err,
+            });
+            if events.inner.len() >= events.capacity {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cross-thread wakeup: a nonblocking socketpair whose read half is
+/// registered with the poller. `wake()` writes one byte, making the
+/// poll call return with an event carrying the waker's token.
+pub struct Waker {
+    wr: UnixStream,
+    rd: Arc<UnixStream>,
+    registry: Arc<Mutex<RegistryInner>>,
+}
+
+impl Waker {
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (wr, rd) = UnixStream::pair()?;
+        wr.set_nonblocking(true)?;
+        rd.set_nonblocking(true)?;
+        let rd = Arc::new(rd);
+        let fd = rd.as_raw_fd();
+        let mut inner = registry.inner.lock().unwrap();
+        if inner.entries.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "waker fd already registered",
+            ));
+        }
+        inner.entries.insert(
+            fd,
+            Registration {
+                token,
+                interest: Interest::READABLE,
+                waker_rd: Some(Arc::clone(&rd)),
+            },
+        );
+        Ok(Waker {
+            wr,
+            rd,
+            registry: Arc::clone(&registry.inner),
+        })
+    }
+
+    /// Signals the poller. Safe to call from any thread; a full pipe
+    /// (poller hasn't drained yet) still counts as a pending wake.
+    pub fn wake(&self) -> io::Result<()> {
+        use std::io::Write;
+        match (&self.wr).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.registry.lock() {
+            inner.entries.remove(&self.rd.as_raw_fd());
+        }
+    }
+}
+
+/// Nonblocking TCP wrappers mirroring `mio::net`.
+pub mod net {
+    use std::io::{self, Read, Write};
+    use std::net::{self, SocketAddr, ToSocketAddrs};
+    use std::os::unix::io::{AsRawFd, RawFd};
+
+    /// A TCP listener in nonblocking mode; `accept` returns
+    /// `WouldBlock` instead of blocking.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: net::TcpListener,
+    }
+
+    impl TcpListener {
+        pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            let inner = net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// Wraps an existing std listener, switching it to nonblocking.
+        pub fn from_std(inner: net::TcpListener) -> io::Result<TcpListener> {
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, addr) = self.inner.accept()?;
+            Ok((TcpStream::from_std(stream)?, addr))
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl AsRawFd for TcpListener {
+        fn as_raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    /// A TCP stream in nonblocking mode; reads and writes return
+    /// `WouldBlock` when the kernel buffers are empty/full.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Wraps an existing std stream, switching it to nonblocking.
+        pub fn from_std(inner: net::TcpStream) -> io::Result<TcpStream> {
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn shutdown(&self, how: net::Shutdown) -> io::Result<()> {
+            self.inner.shutdown(how)
+        }
+
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// Unwraps the std stream, restoring blocking mode (shim
+        /// extension: lets a reactor-accepted connection be handed to a
+        /// blocking per-connection thread).
+        pub fn into_std(self) -> io::Result<net::TcpStream> {
+            self.inner.set_nonblocking(false)?;
+            Ok(self.inner)
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+
+    impl AsRawFd for TcpStream {
+        fn as_raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Duration;
+
+    const LISTENER: Token = Token(0);
+    const WAKE: Token = Token(1);
+    const CONN: Token = Token(2);
+
+    #[test]
+    fn waker_wakes_blocking_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), WAKE).unwrap());
+        let w2 = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        handle.join().unwrap();
+        let toks: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(toks, vec![WAKE]);
+        // Drained: an immediate re-poll with zero timeout sees nothing.
+        poll.poll(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+        // A new wake re-arms.
+        waker.wake().unwrap();
+        waker.wake().unwrap(); // coalesces
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.iter().count(), 1);
+    }
+
+    #[test]
+    fn listener_and_stream_readiness() {
+        let mut poll = Poll::new().unwrap();
+        let listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&listener, LISTENER, Interest::READABLE)
+            .unwrap();
+        // Accept before connect would block, not hang.
+        assert_eq!(
+            listener.accept().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let mut events = Events::with_capacity(8);
+        // Level-triggered: keep polling until the accept readiness shows.
+        let mut accepted = None;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token() == LISTENER && e.is_readable()) {
+                let (stream, _) = listener.accept().unwrap();
+                accepted = Some(stream);
+                break;
+            }
+        }
+        let server_side = accepted.expect("accept readiness never arrived");
+        poll.registry()
+            .register(&server_side, CONN, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut got_readable = false;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token() == CONN && e.is_readable()) {
+                got_readable = true;
+                break;
+            }
+        }
+        assert!(got_readable);
+        let mut buf = [0u8; 4];
+        (&server_side).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        poll.registry().deregister(&server_side).unwrap();
+        // Deregistered fds stop reporting.
+        client.write_all(b"more").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token() != CONN));
+    }
+
+    #[test]
+    fn reregister_changes_interest() {
+        let mut poll = Poll::new().unwrap();
+        let listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server_side, _) = loop {
+            match listener.accept() {
+                Ok(pair) => break pair,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+        poll.registry()
+            .register(&server_side, CONN, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(200)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CONN && e.is_writable()));
+        // Drop writable interest: idle readable-only socket reports nothing.
+        poll.registry()
+            .reregister(&server_side, CONN, Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty());
+        drop(client);
+        // Peer hangup surfaces as readable (read returns Ok(0)).
+        poll.poll(&mut events, Some(Duration::from_millis(200)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == CONN && e.is_readable()));
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let poll = Poll::new().unwrap();
+        let listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        poll.registry()
+            .register(&listener, LISTENER, Interest::READABLE)
+            .unwrap();
+        assert_eq!(
+            poll.registry()
+                .register(&listener, LISTENER, Interest::READABLE)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::AlreadyExists
+        );
+    }
+}
