@@ -1,0 +1,313 @@
+//! Placement subsystem benchmark: node-loss repair, latency-aware
+//! hot-chunk routing, and cluster-scale rebalancing scenarios.
+//!
+//! Three gates, each asserted inline (any violation aborts non-zero):
+//!
+//! 1. **Repair** — on a real in-process cluster at replication 2, a
+//!    node is killed permanently while query traffic runs. Repair must
+//!    restore the replication factor with *zero* failed queries beyond
+//!    transient retries, and post-repair results must be bit-identical
+//!    to the pre-loss oracle.
+//! 2. **Routing** — a skewed workload against a cluster with one slow
+//!    node: latency-aware replica routing (the metrics→dispatch loop)
+//!    must beat static routing at the p95.
+//! 3. **Scale** — the 150-node simulator: weak scaling must stay flat
+//!    under placement routing, rebalancing on must lose no chunks where
+//!    rebalancing off does, and on the real cluster query results must
+//!    stay bit-identical across membership epochs.
+//!
+//! Summary goes to `BENCH_placement.json`.
+//!
+//! Usage: `placement_bench [--out PATH] [--queries N] [--seed N]`
+
+use qserv::{ClusterBuilder, FabricOp, FaultPlan, Qserv, RoutingMode, Value};
+use qserv_datagen::generate::{CatalogConfig, Patch};
+use qserv_sim::{node_loss_scenario, weak_scaling, SimConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATTERY: [&str; 4] = [
+    "SELECT COUNT(*) FROM Object",
+    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 42",
+    "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId",
+    "SELECT COUNT(*) FROM Source",
+];
+
+fn sorted_rows(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out = rows.to_vec();
+    out.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.total_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    out
+}
+
+fn oracle(q: &Qserv) -> Vec<Vec<Vec<Value>>> {
+    BATTERY
+        .iter()
+        .map(|&sql| sorted_rows(&q.query(sql).expect("oracle query").rows))
+        .collect()
+}
+
+fn percentile_us(latencies: &[u64], p: f64) -> u64 {
+    let mut v = latencies.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() as f64) * p).ceil() as usize;
+    v[idx.saturating_sub(1).min(v.len() - 1)]
+}
+
+/// Gate 1: permanent node loss under traffic. Returns JSON fields.
+fn run_repair_gate(seed: u64) -> String {
+    let patch = Patch::generate(&CatalogConfig::small(800, 17));
+    let q = Arc::new(
+        ClusterBuilder::new(4)
+            .replication(2)
+            .fault_plan(FaultPlan::new(seed))
+            .build(&patch.objects, &patch.sources),
+    );
+    let expected = oracle(&q);
+
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let (report, traffic) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let (stop, completed, expected) = (&stop, &completed, &expected);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let sql = BATTERY[t % BATTERY.len()];
+                        // Zero failed queries beyond transient retries:
+                        // the dispatcher's retry loop absorbs the loss,
+                        // so submit() itself must never error.
+                        let r = q.query(sql).expect("query failed during node loss");
+                        assert_eq!(
+                            sorted_rows(&r.rows),
+                            expected[t % BATTERY.len()],
+                            "result diverged during repair"
+                        );
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let report = q.fail_node(1).expect("repair succeeds");
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().expect("traffic thread");
+        }
+        (report, completed.load(Ordering::Relaxed))
+    });
+
+    // Factor restored on live members, nothing lost.
+    assert!(report.chunks_lost.is_empty(), "gate 1: chunks lost");
+    assert!(report.replicas_created > 0, "gate 1: no repair happened");
+    let snap = q.placement();
+    for chunk in snap.chunks() {
+        let replicas = snap.nodes_of(chunk).expect("chunk mapped");
+        assert_eq!(replicas.len(), 2, "gate 1: chunk {chunk} under-replicated");
+        for &n in replicas {
+            assert!(
+                q.workers()[n].holds_chunk(chunk),
+                "gate 1: hollow replica on {n}"
+            );
+        }
+    }
+    for (i, &sql) in BATTERY.iter().enumerate() {
+        let r = q.query(sql).expect("post-repair query");
+        assert_eq!(sorted_rows(&r.rows), expected[i], "gate 1: diverged");
+    }
+    eprintln!(
+        "repair   node 1 killed under traffic: {} replicas re-created, \
+         {} bytes copied, {} queries completed, 0 failed",
+        report.replicas_created, report.bytes_copied, traffic
+    );
+    format!(
+        "\"repair\": {{\"replicas_created\": {}, \"bytes_copied\": {}, \
+         \"copy_retries\": {}, \"chunks_lost\": {}, \"epoch\": {}, \
+         \"queries_during_loss\": {traffic}, \"failed_queries\": 0}}",
+        report.replicas_created,
+        report.bytes_copied,
+        report.copy_retries,
+        report.chunks_lost.len(),
+        report.epoch
+    )
+}
+
+/// Gate 2: latency-aware routing vs static on a cluster whose node 0
+/// serves every read slowly. Returns JSON fields.
+fn run_routing_gate(queries: usize, seed: u64) -> String {
+    let measure = |mode: RoutingMode| -> Vec<u64> {
+        let patch = Patch::generate(&CatalogConfig::small(800, 23));
+        let q = ClusterBuilder::new(4)
+            .replication(2)
+            .fault_plan(FaultPlan::new(seed))
+            .build(&patch.objects, &patch.sources);
+        q.cluster()
+            .faults()
+            .delay(Some(0), Some(FabricOp::Read), Duration::from_millis(4));
+        q.placement_manager().set_routing(mode);
+        // The skewed scan: every chunk, every query. Warmup feeds the
+        // EWMA loop (and is identical work for both modes, so the
+        // comparison stays fair).
+        let sql = BATTERY[2];
+        for _ in 0..4 {
+            q.query(sql).expect("warmup");
+        }
+        (0..queries)
+            .map(|_| {
+                let t = Instant::now();
+                q.query(sql).expect("routed query");
+                t.elapsed().as_micros() as u64
+            })
+            .collect()
+    };
+
+    let static_lat = measure(RoutingMode::Static);
+    let aware_lat = measure(RoutingMode::LatencyAware);
+    let (s50, s95) = (
+        percentile_us(&static_lat, 0.5),
+        percentile_us(&static_lat, 0.95),
+    );
+    let (a50, a95) = (
+        percentile_us(&aware_lat, 0.5),
+        percentile_us(&aware_lat, 0.95),
+    );
+    let speedup = s95 as f64 / a95.max(1) as f64;
+    eprintln!(
+        "routing  {queries} skewed scans, node 0 slow: static p50/p95 \
+         {s50}/{s95} us  latency-aware p50/p95 {a50}/{a95} us  p95 {speedup:.2}x better"
+    );
+    assert!(
+        a95 < s95,
+        "gate 2: latency-aware p95 ({a95} us) must beat static ({s95} us)"
+    );
+    format!(
+        "\"routing\": {{\"queries\": {queries}, \
+         \"static\": {{\"p50_us\": {s50}, \"p95_us\": {s95}}}, \
+         \"latency_aware\": {{\"p50_us\": {a50}, \"p95_us\": {a95}}}, \
+         \"p95_speedup\": {speedup:.2}}}"
+    )
+}
+
+/// Gate 3: 150-node simulator scenarios plus real-cluster epoch
+/// identity. Returns JSON fields.
+fn run_scale_gate() -> String {
+    let base = SimConfig::paper_cluster();
+
+    // Weak scaling: per-node data fixed, nodes 30 → 150; the full-scan
+    // latency curve must stay flat under placement routing.
+    let points = weak_scaling(&base, &[30, 60, 90, 120, 150], 60, 64 << 20);
+    let first = points[0].elapsed_s;
+    for p in &points {
+        assert!(
+            p.elapsed_s / first < 1.6,
+            "gate 3: weak scaling drifted at {} nodes: {:.1}s vs {:.1}s",
+            p.nodes,
+            p.elapsed_s,
+            first
+        );
+    }
+    let scaling_json = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"nodes\": {}, \"chunks\": {}, \"elapsed_s\": {:.2}}}",
+                p.nodes, p.chunks, p.elapsed_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    eprintln!(
+        "scale    weak scaling 30→150 nodes: {:.1}s → {:.1}s (flat)",
+        first,
+        points.last().unwrap().elapsed_s
+    );
+
+    // Node loss at 150 nodes, rebalancing on vs off: repair keeps every
+    // chunk available; without it the second loss erases data.
+    let on = node_loss_scenario(&base, 150, 60, 64 << 20, true);
+    let off = node_loss_scenario(&base, 150, 60, 64 << 20, false);
+    assert_eq!(on.chunks_lost, 0, "gate 3: rebalancing on lost chunks");
+    assert_eq!(on.factor_one, 0, "gate 3: rebalancing on left factor-1");
+    assert!(off.chunks_lost > 0, "gate 3: scenario must show the risk");
+    eprintln!(
+        "scale    150-node double loss: rebalancing on {} copies 0 lost; \
+         off {} chunks lost, {} at factor 1",
+        on.repair_copies, off.chunks_lost, off.factor_one
+    );
+
+    // Real-cluster epoch identity: the same battery across membership
+    // churn must return bit-identical rows at every epoch.
+    let patch = Patch::generate(&CatalogConfig::small(600, 29));
+    let q = ClusterBuilder::new(3)
+        .replication(2)
+        .standby_nodes(1)
+        .build(&patch.objects, &patch.sources);
+    let expected = oracle(&q);
+    let mut epochs = vec![q.placement().epoch()];
+    q.join_node(3).expect("standby joins");
+    epochs.push(q.placement().epoch());
+    q.leave_node(3).expect("standby drains");
+    epochs.push(q.placement().epoch());
+    for &e in &epochs[1..] {
+        assert!(e > 0, "gate 3: epochs advanced");
+    }
+    for (i, &sql) in BATTERY.iter().enumerate() {
+        let r = q.query(sql).expect("epoch-identity query");
+        assert_eq!(
+            sorted_rows(&r.rows),
+            expected[i],
+            "gate 3: results changed across epochs: {sql}"
+        );
+    }
+    eprintln!("scale    epoch identity: bit-identical battery across epochs {epochs:?}");
+
+    format!(
+        "\"scale\": {{\"weak_scaling\": [{scaling_json}], \
+         \"node_loss\": {{\"rebalancing_on\": {{\"repair_copies\": {}, \
+         \"chunks_lost\": {}, \"after_s\": {:.2}}}, \
+         \"rebalancing_off\": {{\"chunks_lost\": {}, \"factor_one\": {}, \
+         \"after_s\": {:.2}}}}}, \"epochs_checked\": {:?}}}",
+        on.repair_copies,
+        on.chunks_lost,
+        on.after_s,
+        off.chunks_lost,
+        off.factor_one,
+        off.after_s,
+        epochs
+    )
+}
+
+fn main() {
+    let mut out = "BENCH_placement.json".to_string();
+    let mut queries: usize = 30;
+    let mut seed: u64 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = grab("--out"),
+            "--queries" => queries = grab("--queries").parse().expect("integer query count"),
+            "--seed" => seed = grab("--seed").parse().expect("integer seed"),
+            other => panic!("unknown argument {other:?} (expected --out/--queries/--seed)"),
+        }
+    }
+
+    let repair = run_repair_gate(seed);
+    let routing = run_routing_gate(queries, seed);
+    let scale = run_scale_gate();
+
+    let json = format!("{{\n  \"seed\": {seed},\n  {repair},\n  {routing},\n  {scale}\n}}\n");
+    std::fs::write(&out, json).expect("write benchmark output");
+    eprintln!("wrote {out}");
+}

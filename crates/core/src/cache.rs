@@ -7,10 +7,15 @@
 //! caches final result tables keyed by the **normalized** query text
 //! (parse → [`to_sql`](qserv_sqlparse::ast::SelectStatement::to_sql)
 //! fixed point, so `select  x from Object` and `SELECT x FROM Object`
-//! share an entry) together with the catalog **data version**: loading
-//! or attaching data bumps the version
-//! ([`crate::Qserv::bump_data_version`]), instantly orphaning every
-//! older entry rather than serving stale rows.
+//! share an entry) together with a catalog **data version**: loading
+//! or attaching data bumps a version, instantly orphaning affected
+//! entries rather than serving stale rows. Invalidation is scoped to
+//! the tables actually touched: the service keys each entry on
+//! [`crate::Qserv::version_for_tables`] over the query's FROM-clause
+//! tables, so [`crate::Qserv::bump_table_version`]`("Source")` orphans
+//! the Source lookups while cone searches over Object keep hitting.
+//! The global [`crate::Qserv::bump_data_version`] remains the hammer
+//! that orphans everything.
 //!
 //! Only differences the renderer erases (whitespace, keyword casing)
 //! fold together. Spellings that survive rendering — function-name
@@ -42,21 +47,35 @@ use std::sync::Arc;
 /// key on. Parse errors surface to the caller — a broken query must
 /// fail loudly, not miss quietly.
 pub fn normalize_sql(sql: &str) -> Result<String, QservError> {
-    let mut text = parse_select(sql)?.to_sql();
+    normalize_sql_tables(sql).map(|(text, _)| text)
+}
+
+/// [`normalize_sql`] plus the sorted, deduplicated FROM-clause table
+/// names — the tables whose data versions the cache key must cover.
+/// Because the normalized text pins the exact table set, a version sum
+/// over *these* tables is a sound cache key: an entry can only be
+/// replayed for a query over the same tables, so bumping any one of
+/// them perturbs the sum and orphans exactly the entries that read it.
+pub fn normalize_sql_tables(sql: &str) -> Result<(String, Vec<String>), QservError> {
+    let stmt = parse_select(sql)?;
+    let mut tables: Vec<String> = stmt.from.iter().map(|t| t.table.clone()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let mut text = stmt.to_sql();
     for _ in 0..3 {
         let Ok(stmt) = parse_select(&text) else {
             // The rendering no longer parses (renderer bug): the first
             // rendering is still deterministic, so it remains a usable —
             // if less canonical — key.
-            return Ok(text);
+            return Ok((text, tables));
         };
         let again = stmt.to_sql();
         if again == text {
-            return Ok(text);
+            return Ok((text, tables));
         }
         text = again;
     }
-    Ok(text)
+    Ok((text, tables))
 }
 
 fn row_bytes(r: &[Value]) -> u64 {
@@ -239,6 +258,19 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(normalize_sql(&a).unwrap(), a, "normalizing is idempotent");
         assert!(normalize_sql("SELEC nonsense").is_err());
+    }
+
+    #[test]
+    fn normalize_sql_tables_reports_sorted_distinct_from_tables() {
+        let (text, tables) =
+            normalize_sql_tables("select s.psfFlux from Source AS s, Object AS o").unwrap();
+        assert_eq!(tables, vec!["Object".to_string(), "Source".to_string()]);
+        assert_eq!(
+            text,
+            normalize_sql("SELECT s.psfFlux FROM Source s, Object o").unwrap()
+        );
+        let (_, one) = normalize_sql_tables("SELECT ra_PS FROM Object").unwrap();
+        assert_eq!(one, vec!["Object".to_string()]);
     }
 
     #[test]

@@ -50,6 +50,9 @@
 //!   each chunk.
 //! * [`multimaster`] — §7.6's multi-master deployment: several frontends
 //!   load-balanced over one worker fleet.
+//! * [`placement`] — epoch-stamped chunk→replica placement: node
+//!   join/leave, replication repair after permanent node loss (chunk
+//!   copies over the fabric), and metrics-driven hot-chunk routing.
 
 pub mod analysis;
 pub mod cache;
@@ -59,6 +62,7 @@ pub mod master;
 pub mod merge;
 pub mod meta;
 pub mod multimaster;
+pub mod placement;
 pub mod rewrite;
 pub mod service;
 pub mod sharedscan;
@@ -74,6 +78,7 @@ pub use merge::{
 };
 pub use meta::{CatalogMeta, ChunkZones, ColumnZone};
 pub use multimaster::MasterPool;
+pub use placement::{PlacementManager, PlacementMap, RebalanceReport, RoutingMode};
 pub use rewrite::{ColumnRole, MergeShape};
 pub use service::{
     CacheOutcome, FairScheduler, KillOutcome, Notifier, QueryClass, QueryHandle, QueryService,

@@ -122,6 +122,7 @@ pub struct ClusterBuilder {
     chunker: Chunker,
     meta: CatalogMeta,
     nodes: usize,
+    standby_nodes: usize,
     replication: usize,
     strategy: PlacementStrategy,
     cache_subchunks: bool,
@@ -143,6 +144,7 @@ impl ClusterBuilder {
             chunker: Chunker::test_small(),
             meta: CatalogMeta::lsst(),
             nodes,
+            standby_nodes: 0,
             replication: 1,
             strategy: PlacementStrategy::RoundRobin,
             cache_subchunks: false,
@@ -188,6 +190,15 @@ impl ClusterBuilder {
     /// Uses a specific partitioning.
     pub fn chunker(mut self, chunker: Chunker) -> ClusterBuilder {
         self.chunker = chunker;
+        self
+    }
+
+    /// Provisions `extra` standby nodes beyond the initial placement:
+    /// their data servers and workers join the fabric empty (no chunks,
+    /// no exports) and become targets for
+    /// [`Qserv::join_node`](crate::master::Qserv) and rebalancing.
+    pub fn standby_nodes(mut self, extra: usize) -> ClusterBuilder {
+        self.standby_nodes = extra;
         self
     }
 
@@ -327,12 +338,16 @@ impl ClusterBuilder {
         let placement = Placement::new(&chunks, self.nodes, self.replication, self.strategy);
 
         // --- Materialize workers over the fabric -------------------------
+        // Standby nodes get data servers and plugin-bearing workers like
+        // everyone else, but hold no chunks and export no paths until a
+        // join/rebalance copies replicas onto them.
+        let fleet = self.nodes + self.standby_nodes;
         let cluster = XrdCluster::with_servers_and_faults(
-            self.nodes,
+            fleet,
             self.faults.unwrap_or_else(|| FaultPlan::new(0)),
         );
-        let mut workers: Vec<Arc<Worker>> = Vec::with_capacity(self.nodes);
-        for node in 0..self.nodes {
+        let mut workers: Vec<Arc<Worker>> = Vec::with_capacity(fleet);
+        for node in 0..fleet {
             let mut w = Worker::new(node, chunker.clone(), self.meta.clone());
             w.cache_generated = self.cache_subchunks;
             let w = Arc::new(w);
@@ -440,6 +455,7 @@ impl ClusterBuilder {
         );
         qserv.set_zones(Arc::new(zones));
         qserv.retry = self.retry;
+        qserv.storage_dir = self.storage_dir;
         if let Some(clock) = self.clock {
             qserv.set_clock(clock);
         }

@@ -11,6 +11,7 @@ use crate::analysis::{analyze, zone_restrictions, Analysis, JoinClass};
 use crate::error::QservError;
 use crate::merge::{infer_value_types, merge_oracle, Merger, StreamBatch};
 use crate::meta::{CatalogMeta, ChunkZones};
+use crate::placement::{PlacementManager, PlacementMap};
 use crate::rewrite::{build_plan, render_chunk_message, MergeShape, PhysicalPlan};
 use crate::stats::QueryMetrics;
 pub use crate::stats::QueryStats;
@@ -31,6 +32,8 @@ use qserv_xrd::cluster::{query_path, result_path, XrdCluster, XrdError};
 use qserv_xrd::fault::FabricOp;
 use qserv_xrd::md5_hex;
 use qserv_xrd::server::ServerId;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -296,7 +299,11 @@ pub struct Qserv {
     cluster: XrdCluster,
     chunker: Chunker,
     meta: CatalogMeta,
-    placement: Placement,
+    /// Epoch-stamped chunk→replica placement, shared by every frontend
+    /// over this cluster. Queries pin one snapshot at prepare time;
+    /// membership operations ([`Qserv::fail_node`], [`Qserv::join_node`],
+    /// …) commit new epochs.
+    placement: Arc<PlacementManager>,
     secondary: SecondaryIndex,
     workers: Vec<Arc<Worker>>,
     /// The clock dispatch deadlines, retry backoff, and traces read.
@@ -328,6 +335,15 @@ pub struct Qserv {
     /// build; the result cache keys on it, so a bump invalidates every
     /// cached result at once instead of serving stale rows.
     data_version: Arc<AtomicU64>,
+    /// Per-table data versions layered on top of [`Qserv::data_version`]:
+    /// loading into one table bumps only that table, so cached results
+    /// over *other* tables survive (the result cache keys on
+    /// [`Qserv::version_for_tables`], which sums the versions of the
+    /// tables a query actually reads).
+    table_versions: Arc<Mutex<BTreeMap<String, u64>>>,
+    /// Where `.qchunk` files live (the loader's storage dir); replica
+    /// copies imported during repair/rebalance are written here too.
+    pub(crate) storage_dir: Option<PathBuf>,
 }
 
 /// A prepared (analyzed + planned) query, reusable by the shared-scan
@@ -338,6 +354,11 @@ pub(crate) struct Prepared {
     pub chunks: Vec<i32>,
     /// Chunks elided before dispatch by the per-chunk zone maps.
     pub chunks_pruned: usize,
+    /// The placement epoch this query was planned against. The chunk set
+    /// above came from this snapshot; a rebalance committing a newer
+    /// epoch mid-flight does not change it (the query completes against
+    /// the old epoch, failing over per-chunk if a replica moved away).
+    pub placement: Arc<PlacementMap>,
 }
 
 impl Qserv {
@@ -355,7 +376,7 @@ impl Qserv {
             cluster,
             chunker,
             meta,
-            placement,
+            placement: Arc::new(PlacementManager::from_static(&placement)),
             secondary,
             workers,
             clock: wall_clock(),
@@ -365,6 +386,8 @@ impl Qserv {
             qid: Arc::new(AtomicU64::new(1)),
             zones: Arc::new(ChunkZones::new()),
             data_version: Arc::new(AtomicU64::new(1)),
+            table_versions: Arc::new(Mutex::new(BTreeMap::new())),
+            storage_dir: None,
         }
     }
 
@@ -379,6 +402,39 @@ impl Qserv {
     /// unreachable immediately.
     pub fn bump_data_version(&self) -> u64 {
         self.data_version.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Advances the data version of one table only (call after loading
+    /// or attaching data into `table` on a live cluster), returning its
+    /// new per-table version. Cached results over queries that read
+    /// `table` become unreachable; results over other tables survive —
+    /// the scoped alternative to the [`Qserv::bump_data_version`]
+    /// hammer.
+    pub fn bump_table_version(&self, table: &str) -> u64 {
+        let mut tv = self.table_versions.lock();
+        let v = tv.entry(table.to_string()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// The current per-table version of `table` (0 until first bumped).
+    pub fn table_version(&self, table: &str) -> u64 {
+        self.table_versions.lock().get(table).copied().unwrap_or(0)
+    }
+
+    /// The cache version for a query reading exactly `tables`: the
+    /// global data version plus the sum of the tables' versions. Any
+    /// global bump or any bump of a referenced table strictly increases
+    /// it; bumps of unreferenced tables leave it unchanged. (Sound as a
+    /// cache key because the normalized SQL — which fixes the table set
+    /// — is part of the key alongside this version.)
+    pub fn version_for_tables(&self, tables: &[String]) -> u64 {
+        let tv = self.table_versions.lock();
+        self.data_version()
+            + tables
+                .iter()
+                .map(|t| tv.get(t).copied().unwrap_or(0))
+                .sum::<u64>()
     }
 
     /// Installs the per-chunk zone maps (called by the loader after every
@@ -401,14 +457,15 @@ impl Qserv {
     /// Clones this frontend into an independent master over the same
     /// worker fleet — the building block of §7.6 multi-master deployment
     /// (see [`crate::multimaster::MasterPool`]). Frontend state (chunker,
-    /// metadata, placement, secondary index) is copied; workers and the
-    /// fabric are shared.
+    /// metadata, secondary index) is copied; workers, the fabric, and the
+    /// placement manager are shared — every master sees the same
+    /// placement epoch and commits membership changes through one truth.
     pub fn clone_frontend(&self) -> Qserv {
         Qserv {
             cluster: self.cluster.clone(),
             chunker: self.chunker.clone(),
             meta: self.meta.clone(),
-            placement: self.placement.clone(),
+            placement: Arc::clone(&self.placement),
             secondary: self.secondary.clone(),
             workers: self.workers.clone(),
             clock: self.clock.clone(),
@@ -418,6 +475,8 @@ impl Qserv {
             qid: Arc::clone(&self.qid),
             zones: Arc::clone(&self.zones),
             data_version: Arc::clone(&self.data_version),
+            table_versions: Arc::clone(&self.table_versions),
+            storage_dir: self.storage_dir.clone(),
         }
     }
 
@@ -441,9 +500,23 @@ impl Qserv {
         &self.cluster
     }
 
-    /// The chunk placement.
-    pub fn placement(&self) -> &Placement {
+    /// The current chunk-placement snapshot (immutable, epoch-stamped).
+    /// Callers hold a consistent view even while membership changes
+    /// commit newer epochs concurrently.
+    pub fn placement(&self) -> Arc<PlacementMap> {
+        self.placement.snapshot()
+    }
+
+    /// The placement manager: epochs, membership, repair, rebalancing
+    /// and latency-aware replica routing.
+    pub fn placement_manager(&self) -> &Arc<PlacementManager> {
         &self.placement
+    }
+
+    /// The directory new `.qchunk` files land in when replicas are
+    /// copied between workers (`None` falls back to the temp dir).
+    pub fn storage_dir(&self) -> Option<&std::path::Path> {
+        self.storage_dir.as_deref()
     }
 
     /// The clock dispatch waits on and traces are stamped with.
@@ -692,6 +765,11 @@ impl Qserv {
             .set(prepared.analysis.spatial.is_some() as u64);
         qm.chunks_pruned.add(prepared.chunks_pruned as u64);
         let _d = trace::span("master.dispatch");
+        if let Some(g) = &_d {
+            // The epoch this query is pinned to: rebalances committing
+            // newer epochs mid-flight do not change its chunk set.
+            g.annotate("placement_epoch", &prepared.placement.epoch().to_string());
+        }
         if self.streaming_merge {
             self.dispatch_streaming(prepared, qm, token, sink)
         } else {
@@ -741,7 +819,8 @@ impl Qserv {
     ) -> Result<Prepared, QservError> {
         let analysis = analyze(stmt, &self.meta)?;
         let plan = build_plan(&analysis, &self.meta)?;
-        let mut chunks = self.chunk_set(&analysis);
+        let placement = self.placement.snapshot();
+        let mut chunks = self.chunk_set(&analysis, &placement);
         // Zone-map chunk elision: for a single-partitioned-table query,
         // drop every chunk whose registered per-column min/max proves no
         // row can satisfy the WHERE clause's numeric intervals. Sound
@@ -766,7 +845,7 @@ impl Qserv {
         // aggregates keep SQL semantics — COUNT over nothing is 0, not the
         // NULL that SUM-of-no-partials would produce.
         if chunks.is_empty() {
-            chunks = self.placement.chunks().into_iter().take(1).collect();
+            chunks = placement.chunks().into_iter().take(1).collect();
         }
         if chunks.is_empty() {
             return Err(QservError::Analysis(
@@ -778,13 +857,14 @@ impl Qserv {
             plan,
             chunks,
             chunks_pruned,
+            placement,
         })
     }
 
     /// Computes the chunk set: all stored chunks, narrowed by the spatial
     /// restriction and/or the secondary index.
-    fn chunk_set(&self, analysis: &Analysis) -> Vec<i32> {
-        let mut chunks = self.placement.chunks();
+    fn chunk_set(&self, analysis: &Analysis, placement: &PlacementMap) -> Vec<i32> {
+        let mut chunks = placement.chunks();
         if let Some(spec) = &analysis.spatial {
             let selected = self.chunker.chunks_intersecting(&spec.bounding_box());
             chunks.retain(|c| selected.binary_search(c).is_ok());
@@ -1198,6 +1278,12 @@ impl Qserv {
         }
         result.map(|(table, bytes, mut meta)| {
             meta.latency = self.clock.now().saturating_sub(t0);
+            // Feed the per-chunk latency back to the placement manager's
+            // node-heat EWMAs — this closes the loop from observed
+            // dispatch latency into latency-aware replica routing.
+            if let Some(s) = meta.prev_server {
+                self.placement.observe(s, meta.latency);
+            }
             (table, bytes, meta)
         })
     }
@@ -1315,11 +1401,25 @@ impl Qserv {
         meta: &mut ChunkMeta,
     ) -> Attempt {
         let rp = result_path(&md5_hex(message.as_bytes()));
-        let worker = match self.cluster.write_file_excluding(
-            &query_path(chunk),
-            message.as_bytes().to_vec(),
-            excluded,
-        ) {
+        // Under latency-aware routing the placement manager orders this
+        // chunk's replicas coldest-first; an empty preference (the static
+        // default) keeps the redirector's own deterministic choice.
+        let preferred = self.placement.route(chunk);
+        let write = if preferred.is_empty() {
+            self.cluster.write_file_excluding(
+                &query_path(chunk),
+                message.as_bytes().to_vec(),
+                excluded,
+            )
+        } else {
+            self.cluster.write_file_routed(
+                &query_path(chunk),
+                message.as_bytes().to_vec(),
+                &preferred,
+                excluded,
+            )
+        };
+        let worker = match write {
             Ok(w) => w,
             Err(e) => {
                 // A close fault lands after the worker accepted the query
@@ -1368,6 +1468,18 @@ impl Qserv {
             };
         };
         if let Some(err) = text.strip_prefix("ERROR:") {
+            // A worker that no longer holds the chunk (rebalanced away
+            // between redirector routing and plugin execution) NACKs with
+            // a RETRYABLE marker: fail over to another replica instead of
+            // surfacing a fatal worker error.
+            if let Some(moved) = err.trim().strip_prefix("RETRYABLE:") {
+                return Attempt::Retry {
+                    server: Some(worker),
+                    injected: false,
+                    reset_exclusions: false,
+                    error: QservError::Fabric(format!("chunk {chunk}: {}", moved.trim())),
+                };
+            }
             return Attempt::Fatal(QservError::Worker {
                 chunk,
                 message: err.trim().to_string(),

@@ -1,0 +1,863 @@
+//! Elastic chunk placement: epoch-stamped replica maps, membership
+//! change, replication repair, and hot-chunk routing.
+//!
+//! The paper assumes a fixed fleet with static replication; production
+//! scale demands membership change ("Designing a Multi-petabyte Database
+//! for LSST" frames re-replication and placement as *the* petabyte-scale
+//! problem). This module replaces the frozen
+//! [`Placement`] vectors baked into the master with:
+//!
+//! * [`PlacementMap`] — an immutable, epoch-stamped chunk → replica
+//!   assignment plus the member-node set. Queries pin one snapshot at
+//!   prepare time and complete against it; membership operations commit
+//!   new maps at higher epochs.
+//! * [`PlacementManager`] — owns the current map, per-node latency heat
+//!   (fed by the master's per-chunk dispatch latencies, closing the loop
+//!   from `qserv-obs`'s histograms into routing), and the `placement.*`
+//!   metrics registry.
+//! * Membership operations on [`Qserv`] — [`Qserv::fail_node`] /
+//!   [`Qserv::join_node`] / [`Qserv::leave_node`] / [`Qserv::repair`] /
+//!   [`Qserv::rebalance`] — which copy chunk payloads (`.qchunk` file
+//!   bytes or SQL dumps) between workers *over the fabric*, so seeded
+//!   fault plans exercise the copy path. A replica is acknowledged (and
+//!   the epoch bumped) only after its payload survives an md5 check on
+//!   the destination and installs into the worker's database; faults
+//!   mid-copy therefore never lose an acked replica.
+
+use crate::error::QservError;
+use crate::master::Qserv;
+use parking_lot::{Mutex, RwLock};
+use qserv_obs::trace;
+use qserv_obs::{MetricsRegistry, MetricsSnapshot};
+use qserv_partition::placement::Placement;
+use qserv_xrd::cluster::{chunk_data_path, query_path, XrdError};
+use qserv_xrd::md5_hex;
+use qserv_xrd::server::ServerId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An immutable chunk → replica assignment at one epoch.
+///
+/// Source-compatible with the frozen `Placement` everywhere the master
+/// used it ([`PlacementMap::chunks`], [`PlacementMap::nodes_of`]), plus
+/// the membership views the elastic operations need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementMap {
+    epoch: u64,
+    replication: usize,
+    map: BTreeMap<i32, Vec<ServerId>>,
+    members: BTreeSet<ServerId>,
+}
+
+impl PlacementMap {
+    /// Wraps a static load-time placement as epoch 0 with the given
+    /// member set.
+    pub fn from_static(
+        placement: &Placement,
+        members: impl IntoIterator<Item = ServerId>,
+    ) -> PlacementMap {
+        let map: BTreeMap<i32, Vec<ServerId>> = placement
+            .chunks()
+            .into_iter()
+            .map(|c| {
+                (
+                    c,
+                    placement
+                        .nodes_of(c)
+                        .expect("chunk came from this placement")
+                        .to_vec(),
+                )
+            })
+            .collect();
+        PlacementMap {
+            epoch: 0,
+            replication: placement.replication(),
+            map,
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// The epoch this map was committed at (0 = the load-time map).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Every known chunk id, ascending.
+    pub fn chunks(&self) -> Vec<i32> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Replica nodes of `chunk` (primary first), `None` for unknown ids.
+    pub fn nodes_of(&self, chunk: i32) -> Option<&[ServerId]> {
+        self.map.get(&chunk).map(|v| v.as_slice())
+    }
+
+    /// The member-node set (nodes eligible to hold replicas), ascending.
+    pub fn members(&self) -> Vec<ServerId> {
+        self.members.iter().copied().collect()
+    }
+
+    /// Whether `node` is a member.
+    pub fn is_member(&self, node: ServerId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Chunks with a replica on `node`, ascending.
+    pub fn chunks_on(&self, node: ServerId) -> Vec<i32> {
+        self.map
+            .iter()
+            .filter(|(_, ns)| ns.contains(&node))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Replica count per member node (members with no chunks included at
+    /// zero) — the balance measure rebalancing levels.
+    pub fn load(&self) -> BTreeMap<ServerId, usize> {
+        let mut load: BTreeMap<ServerId, usize> = self.members.iter().map(|&n| (n, 0)).collect();
+        for ns in self.map.values() {
+            for n in ns {
+                if let Some(c) = load.get_mut(n) {
+                    *c += 1;
+                }
+            }
+        }
+        load
+    }
+
+    /// Chunks holding fewer than `replication` replicas on member nodes,
+    /// ascending.
+    pub fn under_replicated(&self) -> Vec<i32> {
+        self.map
+            .iter()
+            .filter(|(_, ns)| {
+                ns.iter().filter(|n| self.members.contains(n)).count() < self.replication
+            })
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Starts an edit of this map; [`PlacementEdit::commit`] seals it at
+    /// `epoch + 1`.
+    pub fn edit(&self) -> PlacementEdit {
+        PlacementEdit { next: self.clone() }
+    }
+}
+
+/// A mutable working copy of a [`PlacementMap`]; one membership
+/// operation's worth of mutations, committed as a single epoch bump.
+pub struct PlacementEdit {
+    next: PlacementMap,
+}
+
+impl PlacementEdit {
+    /// Adds `node` to the member set.
+    pub fn add_member(&mut self, node: ServerId) -> &mut Self {
+        self.next.members.insert(node);
+        self
+    }
+
+    /// Removes `node` from the member set and strips it from every
+    /// replica list (the permanent-loss bookkeeping; the data may
+    /// already be gone).
+    pub fn remove_member(&mut self, node: ServerId) -> &mut Self {
+        self.next.members.remove(&node);
+        for ns in self.next.map.values_mut() {
+            ns.retain(|&n| n != node);
+        }
+        self
+    }
+
+    /// Records a new replica of `chunk` on `node`.
+    pub fn add_replica(&mut self, chunk: i32, node: ServerId) -> &mut Self {
+        let ns = self.next.map.entry(chunk).or_default();
+        if !ns.contains(&node) {
+            ns.push(node);
+        }
+        self
+    }
+
+    /// Forgets the replica of `chunk` on `node`.
+    pub fn remove_replica(&mut self, chunk: i32, node: ServerId) -> &mut Self {
+        if let Some(ns) = self.next.map.get_mut(&chunk) {
+            ns.retain(|&n| n != node);
+        }
+        self
+    }
+
+    /// Seals the edit one epoch above the map it was opened from.
+    pub fn commit(mut self) -> PlacementMap {
+        self.next.epoch += 1;
+        self.next
+    }
+}
+
+/// How dispatch picks among a chunk's replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// The redirector's per-path rotation (the pre-placement behavior;
+    /// keeps seeded fault schedules bit-reproducible). The default.
+    Static,
+    /// Order replicas by per-node latency heat (EWMA of observed chunk
+    /// dispatch latencies), coldest first — the metrics-driven hot-chunk
+    /// routing loop.
+    LatencyAware,
+}
+
+/// EWMA smoothing factor for node heat.
+const HEAT_ALPHA: f64 = 0.3;
+
+/// Owns the current [`PlacementMap`], node heat, and `placement.*`
+/// metrics. Shared (`Arc`) by every frontend over one cluster, so
+/// multi-master deployments see one placement truth.
+pub struct PlacementManager {
+    current: RwLock<Arc<PlacementMap>>,
+    /// Per-node EWMA of observed chunk-dispatch latency, in ns.
+    heat: Mutex<BTreeMap<ServerId, f64>>,
+    routing: RwLock<RoutingMode>,
+    metrics: MetricsRegistry,
+    /// Serializes membership operations; queries never take it.
+    admin: Mutex<()>,
+}
+
+impl PlacementManager {
+    /// Wraps a load-time placement as epoch 0; the placement's nodes are
+    /// the initial members (fleet servers beyond them are standbys
+    /// awaiting [`Qserv::join_node`]).
+    pub fn from_static(placement: &Placement) -> PlacementManager {
+        let map = PlacementMap::from_static(placement, 0..placement.num_nodes());
+        let metrics = MetricsRegistry::default();
+        metrics.gauge("placement.epoch").set(0);
+        metrics
+            .gauge("placement.members")
+            .set(map.members.len() as u64);
+        PlacementManager {
+            current: RwLock::new(Arc::new(map)),
+            heat: Mutex::new(BTreeMap::new()),
+            routing: RwLock::new(RoutingMode::Static),
+            metrics,
+            admin: Mutex::new(()),
+        }
+    }
+
+    /// The current map. Queries pin this once at prepare time.
+    pub fn snapshot(&self) -> Arc<PlacementMap> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Installs `map` as current. Panics on a non-monotonic epoch —
+    /// commits happen under the admin lock, so a regression is a bug.
+    pub fn install(&self, map: PlacementMap) -> Arc<PlacementMap> {
+        let mut cur = self.current.write();
+        assert!(
+            map.epoch > cur.epoch,
+            "placement epoch must advance ({} -> {})",
+            cur.epoch,
+            map.epoch
+        );
+        self.metrics.gauge("placement.epoch").set(map.epoch);
+        self.metrics
+            .gauge("placement.members")
+            .set(map.members.len() as u64);
+        *cur = Arc::new(map);
+        Arc::clone(&cur)
+    }
+
+    /// The routing mode in effect.
+    pub fn routing(&self) -> RoutingMode {
+        *self.routing.read()
+    }
+
+    /// Switches replica routing. [`RoutingMode::Static`] (the default)
+    /// leaves dispatch byte-identical to the pre-placement master.
+    pub fn set_routing(&self, mode: RoutingMode) {
+        *self.routing.write() = mode;
+    }
+
+    /// Feeds one observed chunk-dispatch latency into `server`'s heat —
+    /// the hook the master calls after every successful dispatch.
+    pub fn observe(&self, server: ServerId, latency: Duration) {
+        let mut heat = self.heat.lock();
+        let ns = latency.as_nanos() as f64;
+        heat.entry(server)
+            .and_modify(|h| *h = *h * (1.0 - HEAT_ALPHA) + ns * HEAT_ALPHA)
+            .or_insert(ns);
+    }
+
+    /// The current per-node heat (EWMA latency in ns), for inspection.
+    pub fn node_heat(&self) -> BTreeMap<ServerId, f64> {
+        self.heat.lock().clone()
+    }
+
+    /// The replica preference order for `chunk`: empty under
+    /// [`RoutingMode::Static`] (callers then use the redirector's
+    /// rotation unchanged); under [`RoutingMode::LatencyAware`] the
+    /// chunk's replicas sorted coldest-first (ties by node id, so the
+    /// order is deterministic for a given heat state).
+    pub fn route(&self, chunk: i32) -> Vec<ServerId> {
+        if self.routing() != RoutingMode::LatencyAware {
+            return Vec::new();
+        }
+        let snap = self.snapshot();
+        let Some(replicas) = snap.nodes_of(chunk) else {
+            return Vec::new();
+        };
+        if replicas.len() < 2 {
+            return replicas.to_vec();
+        }
+        let heat = self.heat.lock();
+        let mut ordered = replicas.to_vec();
+        ordered.sort_by(|&a, &b| {
+            let (ha, hb) = (
+                heat.get(&a).copied().unwrap_or(0.0),
+                heat.get(&b).copied().unwrap_or(0.0),
+            );
+            ha.partial_cmp(&hb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        if ordered != replicas {
+            self.metrics.counter("placement.hot_reroutes").inc();
+        }
+        ordered
+    }
+
+    /// The `placement.*` metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Snapshot of the `placement.*` metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    pub(crate) fn admin_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.admin.lock()
+    }
+}
+
+/// What one membership operation did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// The epoch current after the operation.
+    pub epoch: u64,
+    /// New replicas created (repair copies).
+    pub replicas_created: usize,
+    /// Replicas moved between members (rebalance/drain copies).
+    pub chunks_moved: usize,
+    /// Payload bytes shipped over the fabric.
+    pub bytes_copied: u64,
+    /// Transient copy failures retried (injected faults, corruption
+    /// caught by the digest check).
+    pub copy_retries: u64,
+    /// Chunks whose every replica is gone — unrecoverable without
+    /// reload. Empty unless replication was insufficient for the loss.
+    pub chunks_lost: Vec<i32>,
+}
+
+/// A single copy-step failure, classified before it collapses into
+/// [`QservError::Fabric`] text (transience drives the retry loop).
+enum CopyErr {
+    Xrd(XrdError),
+    /// Digest mismatch or missing readback — corruption in flight; the
+    /// next attempt redraws the fault schedule, so always retryable.
+    Digest(String),
+}
+
+impl CopyErr {
+    fn transient(&self) -> bool {
+        match self {
+            CopyErr::Xrd(x) => x.is_transient(),
+            CopyErr::Digest(_) => true,
+        }
+    }
+
+    fn into_qserv(self) -> QservError {
+        match self {
+            CopyErr::Xrd(x) => x.into(),
+            CopyErr::Digest(m) => QservError::Fabric(m),
+        }
+    }
+}
+
+impl Qserv {
+    /// Permanently fails `node`: marks its server offline, strips it
+    /// from membership and every replica list (one epoch), then repairs
+    /// replication from surviving replicas. In-flight queries holding
+    /// the old epoch retry cleanly: the offline server classifies as
+    /// transient and failover steers to a surviving replica.
+    pub fn fail_node(&self, node: ServerId) -> Result<RebalanceReport, QservError> {
+        let manager = self.placement_manager();
+        let _admin = manager.admin_lock();
+        let span = trace::span("placement.repair");
+        if let Some(g) = &span {
+            g.annotate("failed_node", &node.to_string());
+        }
+        if let Some(s) = self.cluster().server(node) {
+            s.set_online(false);
+        }
+        let snap = manager.snapshot();
+        if !snap.is_member(node) {
+            return Err(QservError::Fabric(format!(
+                "node {node} is not a placement member"
+            )));
+        }
+        let mut edit = snap.edit();
+        edit.remove_member(node);
+        manager.install(edit.commit());
+        self.cluster().redirector().invalidate_cache();
+        self.repair_locked()
+    }
+
+    /// Restores the replication factor for every under-replicated chunk
+    /// by copying payloads from surviving replicas to the least-loaded
+    /// members. Each successful copy commits its own epoch, so a crash
+    /// mid-repair leaves every acked replica recorded.
+    pub fn repair(&self) -> Result<RebalanceReport, QservError> {
+        let _admin = self.placement_manager().admin_lock();
+        self.repair_locked()
+    }
+
+    /// Activates standby `node` (a fleet server holding no chunks) as a
+    /// member and rebalances chunk replicas onto it.
+    pub fn join_node(&self, node: ServerId) -> Result<RebalanceReport, QservError> {
+        let manager = self.placement_manager();
+        let _admin = manager.admin_lock();
+        let span = trace::span("placement.rebalance");
+        if let Some(g) = &span {
+            g.annotate("joined_node", &node.to_string());
+        }
+        let Some(server) = self.cluster().server(node) else {
+            return Err(QservError::Fabric(format!(
+                "node {node} is not part of the fleet"
+            )));
+        };
+        let snap = manager.snapshot();
+        if snap.is_member(node) {
+            return Err(QservError::Fabric(format!(
+                "node {node} is already a placement member"
+            )));
+        }
+        server.set_online(true);
+        let mut edit = snap.edit();
+        edit.add_member(node);
+        manager.install(edit.commit());
+        self.rebalance_locked()
+    }
+
+    /// Gracefully drains `node`: every replica it holds is copied to
+    /// another member first (copy-then-detach, so no epoch ever records
+    /// fewer live replicas than before), then the node leaves
+    /// membership and returns to standby.
+    pub fn leave_node(&self, node: ServerId) -> Result<RebalanceReport, QservError> {
+        let manager = self.placement_manager();
+        let _admin = manager.admin_lock();
+        let span = trace::span("placement.rebalance");
+        if let Some(g) = &span {
+            g.annotate("leaving_node", &node.to_string());
+        }
+        if !manager.snapshot().is_member(node) {
+            return Err(QservError::Fabric(format!(
+                "node {node} is not a placement member"
+            )));
+        }
+        let mut report = RebalanceReport::default();
+        for chunk in manager.snapshot().chunks_on(node) {
+            let snap = manager.snapshot();
+            let holders = snap.nodes_of(chunk).unwrap_or(&[]).to_vec();
+            match pick_least_loaded(&snap, &holders) {
+                Some(dst) => {
+                    self.copy_chunk(chunk, node, dst, &mut report)?;
+                    let mut edit = manager.snapshot().edit();
+                    edit.add_replica(chunk, dst).remove_replica(chunk, node);
+                    manager.install(edit.commit());
+                    report.chunks_moved += 1;
+                    manager.metrics().counter("placement.chunks_moved").inc();
+                }
+                None if holders.iter().any(|&h| h != node && snap.is_member(h)) => {
+                    // Every other member already holds the chunk: the
+                    // factor is capped by the shrinking membership.
+                    let mut edit = snap.edit();
+                    edit.remove_replica(chunk, node);
+                    manager.install(edit.commit());
+                }
+                None => {
+                    return Err(QservError::Fabric(format!(
+                        "cannot drain chunk {chunk} off node {node}: no member can take it"
+                    )));
+                }
+            }
+            self.detach_replica(chunk, node);
+        }
+        let mut edit = manager.snapshot().edit();
+        edit.remove_member(node);
+        let map = manager.install(edit.commit());
+        self.cluster().redirector().invalidate_cache();
+        report.epoch = map.epoch();
+        Ok(report)
+    }
+
+    /// Moves replicas from the most- to the least-loaded members until
+    /// replica counts differ by at most one.
+    pub fn rebalance(&self) -> Result<RebalanceReport, QservError> {
+        let _admin = self.placement_manager().admin_lock();
+        self.rebalance_locked()
+    }
+
+    fn repair_locked(&self) -> Result<RebalanceReport, QservError> {
+        let manager = self.placement_manager();
+        let span = trace::span("placement.repair");
+        let mut report = RebalanceReport::default();
+        // Chunks repair cannot help: lost (no live source) or capped by
+        // membership size. Skipping them keeps the loop terminating.
+        let mut skip: BTreeSet<i32> = BTreeSet::new();
+        loop {
+            let snap = manager.snapshot();
+            let mut acted = false;
+            for chunk in snap.under_replicated() {
+                if skip.contains(&chunk) {
+                    continue;
+                }
+                let holders = snap.nodes_of(chunk).unwrap_or(&[]).to_vec();
+                let Some(dst) = pick_least_loaded(&snap, &holders) else {
+                    skip.insert(chunk);
+                    continue;
+                };
+                let Some(src) = holders
+                    .iter()
+                    .copied()
+                    .find(|&h| self.replica_alive(chunk, h))
+                else {
+                    report.chunks_lost.push(chunk);
+                    manager.metrics().counter("placement.chunks_lost").inc();
+                    skip.insert(chunk);
+                    continue;
+                };
+                self.copy_chunk(chunk, src, dst, &mut report)?;
+                let mut edit = manager.snapshot().edit();
+                edit.add_replica(chunk, dst);
+                manager.install(edit.commit());
+                report.replicas_created += 1;
+                manager.metrics().counter("placement.repairs").inc();
+                acted = true;
+                break; // re-snapshot: load changed
+            }
+            if !acted {
+                break;
+            }
+        }
+        report.epoch = manager.snapshot().epoch();
+        if let Some(g) = &span {
+            g.annotate("replicas_created", &report.replicas_created.to_string());
+            g.annotate("epoch", &report.epoch.to_string());
+        }
+        Ok(report)
+    }
+
+    fn rebalance_locked(&self) -> Result<RebalanceReport, QservError> {
+        let manager = self.placement_manager();
+        let span = trace::span("placement.rebalance");
+        let mut report = RebalanceReport::default();
+        loop {
+            let snap = manager.snapshot();
+            let load = snap.load();
+            let Some((&donor, &hi)) = load.iter().max_by_key(|&(&n, &c)| (c, usize::MAX - n))
+            else {
+                break;
+            };
+            let Some((&recipient, &lo)) = load.iter().min_by_key(|&(&n, &c)| (c, n)) else {
+                break;
+            };
+            if hi <= lo + 1 {
+                break;
+            }
+            // The smallest chunk on the donor that the recipient does
+            // not already hold.
+            let Some(chunk) = snap
+                .chunks_on(donor)
+                .into_iter()
+                .find(|&c| !snap.nodes_of(c).unwrap_or(&[]).contains(&recipient))
+            else {
+                break;
+            };
+            self.copy_chunk(chunk, donor, recipient, &mut report)?;
+            let mut edit = manager.snapshot().edit();
+            edit.add_replica(chunk, recipient)
+                .remove_replica(chunk, donor);
+            manager.install(edit.commit());
+            self.detach_replica(chunk, donor);
+            report.chunks_moved += 1;
+            manager.metrics().counter("placement.chunks_moved").inc();
+        }
+        report.epoch = manager.snapshot().epoch();
+        if let Some(g) = &span {
+            g.annotate("chunks_moved", &report.chunks_moved.to_string());
+            g.annotate("epoch", &report.epoch.to_string());
+        }
+        Ok(report)
+    }
+
+    /// Whether node `n`'s replica of `chunk` can serve as a copy source.
+    fn replica_alive(&self, chunk: i32, n: ServerId) -> bool {
+        self.cluster().server(n).is_some_and(|s| s.is_online())
+            && self.workers().get(n).is_some_and(|w| w.holds_chunk(chunk))
+    }
+
+    /// Ships every table payload of `chunk` from worker `src` to worker
+    /// `dst` over the fabric, verifying an md5 digest per file, then
+    /// installs and exports the new replica. Transient fabric errors and
+    /// digest mismatches retry under the master's retry budget (backoff
+    /// on the master's clock); the replica is installed — and may be
+    /// acked by the caller — only after every payload verified.
+    fn copy_chunk(
+        &self,
+        chunk: i32,
+        src: ServerId,
+        dst: ServerId,
+        report: &mut RebalanceReport,
+    ) -> Result<(), QservError> {
+        let span = trace::span("placement.copy");
+        if let Some(g) = &span {
+            g.annotate("chunk", &chunk.to_string());
+            g.annotate("src", &src.to_string());
+            g.annotate("dst", &dst.to_string());
+        }
+        let manager = self.placement_manager();
+        let src_server = self
+            .cluster()
+            .server(src)
+            .ok_or_else(|| QservError::Fabric(format!("copy source {src} does not exist")))?;
+        let dst_server = self
+            .cluster()
+            .server(dst)
+            .ok_or_else(|| QservError::Fabric(format!("copy target {dst} does not exist")))?;
+        let files = self.workers()[src]
+            .export_chunk(chunk)
+            .map_err(|e| QservError::Fabric(format!("export chunk {chunk} from {src}: {e}")))?;
+        if files.is_empty() {
+            return Err(QservError::Fabric(format!(
+                "node {src} holds no tables of chunk {chunk}"
+            )));
+        }
+        let mut staged: Vec<(String, Vec<u8>)> = Vec::with_capacity(files.len());
+        for (label, bytes) in files {
+            let path = chunk_data_path(&label, chunk);
+            let digest = md5_hex(&bytes);
+            // Stage on the source's local store; the *transfer* below is
+            // the fault-injected fabric part.
+            src_server.put_file(&path, bytes);
+            let max_attempts = self.retry.max_attempts.max(1);
+            let mut attempt = 0usize;
+            let verified: Vec<u8> = loop {
+                let outcome: Result<Vec<u8>, CopyErr> = (|| {
+                    let data = self.cluster().read_file(src, &path).map_err(CopyErr::Xrd)?;
+                    if md5_hex(&data) != digest {
+                        return Err(CopyErr::Digest(format!(
+                            "chunk {chunk} payload {label} corrupted in flight"
+                        )));
+                    }
+                    self.cluster()
+                        .put_file_direct(dst, &path, (*data).clone())
+                        .map_err(CopyErr::Xrd)?;
+                    let back = dst_server.get_file(&path).ok_or_else(|| {
+                        CopyErr::Digest(format!(
+                            "chunk {chunk} payload {label} missing on {dst} after write"
+                        ))
+                    })?;
+                    if md5_hex(&back) != digest {
+                        return Err(CopyErr::Digest(format!(
+                            "chunk {chunk} payload {label} corrupted on write to {dst}"
+                        )));
+                    }
+                    Ok((*back).clone())
+                })();
+                match outcome {
+                    Ok(data) => break data,
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt >= max_attempts || !e.transient() {
+                            src_server.delete_file(&path);
+                            dst_server.delete_file(&path);
+                            return Err(e.into_qserv());
+                        }
+                        report.copy_retries += 1;
+                        manager.metrics().counter("placement.copy_retries").inc();
+                        let backoff = self
+                            .retry
+                            .backoff_base
+                            .saturating_mul(1u32 << (attempt - 1).min(16));
+                        if !backoff.is_zero() {
+                            self.clock().sleep(backoff);
+                        }
+                    }
+                }
+            };
+            report.bytes_copied += verified.len() as u64;
+            manager
+                .metrics()
+                .counter("placement.copy_bytes")
+                .add(verified.len() as u64);
+            src_server.delete_file(&path);
+            dst_server.delete_file(&path);
+            staged.push((label, verified));
+        }
+        self.workers()[dst]
+            .import_chunk(chunk, &staged, self.storage_dir())
+            .map_err(|e| QservError::Fabric(format!("install chunk {chunk} on {dst}: {e}")))?;
+        dst_server.export(&query_path(chunk));
+        self.cluster().redirector().invalidate_cache();
+        Ok(())
+    }
+
+    /// Drops `chunk`'s tables and export from `node` after a move. Old
+    /// in-flight queries already routed there get a retryable NACK from
+    /// the worker and fail over to the new replica.
+    fn detach_replica(&self, chunk: i32, node: ServerId) {
+        if let Some(w) = self.workers().get(node) {
+            w.detach_chunk(chunk);
+        }
+        if let Some(s) = self.cluster().server(node) {
+            s.unexport(&query_path(chunk));
+        }
+        self.cluster().redirector().invalidate_cache();
+    }
+}
+
+/// The member with the fewest replicas that does not already hold the
+/// chunk (ties to the lowest node id).
+fn pick_least_loaded(snap: &PlacementMap, holders: &[ServerId]) -> Option<ServerId> {
+    snap.load()
+        .into_iter()
+        .filter(|(n, _)| !holders.contains(n))
+        .min_by_key(|&(n, c)| (c, n))
+        .map(|(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserv_partition::placement::PlacementStrategy;
+
+    fn map3() -> PlacementMap {
+        let p = Placement::new(&[1, 2, 3, 4, 5, 6], 3, 2, PlacementStrategy::RoundRobin);
+        PlacementMap::from_static(&p, 0..3)
+    }
+
+    #[test]
+    fn from_static_preserves_replicas_at_epoch_zero() {
+        let p = Placement::new(&[1, 2, 3], 3, 2, PlacementStrategy::RoundRobin);
+        let m = PlacementMap::from_static(&p, 0..3);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.replication(), 2);
+        assert_eq!(m.chunks(), vec![1, 2, 3]);
+        for c in m.chunks() {
+            assert_eq!(m.nodes_of(c).unwrap(), p.nodes_of(c).unwrap());
+        }
+        assert_eq!(m.members(), vec![0, 1, 2]);
+        assert!(m.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn edits_commit_monotonic_epochs() {
+        let m = map3();
+        let mut e = m.edit();
+        e.add_member(3).add_replica(1, 3);
+        let m2 = e.commit();
+        assert_eq!(m2.epoch(), 1);
+        assert!(m2.is_member(3));
+        assert!(m2.nodes_of(1).unwrap().contains(&3));
+        // The source map is untouched (queries pin it safely).
+        assert_eq!(m.epoch(), 0);
+        assert!(!m.is_member(3));
+    }
+
+    #[test]
+    fn remove_member_strips_replicas_and_reports_under_replication() {
+        let m = map3();
+        let mut e = m.edit();
+        e.remove_member(0);
+        let m2 = e.commit();
+        assert!(!m2.is_member(0));
+        for c in m2.chunks() {
+            assert!(!m2.nodes_of(c).unwrap().contains(&0));
+        }
+        let under = m2.under_replicated();
+        assert!(!under.is_empty(), "losing a node must under-replicate");
+        for c in &under {
+            assert!(m2.nodes_of(*c).unwrap().len() < m2.replication());
+        }
+    }
+
+    #[test]
+    fn load_counts_members_with_zero_chunks() {
+        let m = map3();
+        let mut e = m.edit();
+        e.add_member(7);
+        let m2 = e.commit();
+        assert_eq!(m2.load().get(&7), Some(&0));
+        let total: usize = m2.load().values().sum();
+        assert_eq!(total, 12, "6 chunks x 2 replicas");
+    }
+
+    #[test]
+    fn manager_snapshot_pins_while_installs_advance() {
+        let p = Placement::new(&[1, 2], 2, 1, PlacementStrategy::RoundRobin);
+        let mgr = PlacementManager::from_static(&p);
+        let pinned = mgr.snapshot();
+        let mut e = pinned.edit();
+        e.add_replica(1, 1);
+        mgr.install(e.commit());
+        assert_eq!(pinned.epoch(), 0, "pinned snapshot is immutable");
+        assert_eq!(mgr.snapshot().epoch(), 1);
+        assert_eq!(mgr.metrics_snapshot().gauge("placement.epoch"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must advance")]
+    fn stale_install_panics() {
+        let p = Placement::new(&[1], 1, 1, PlacementStrategy::RoundRobin);
+        let mgr = PlacementManager::from_static(&p);
+        let e = mgr.snapshot().edit();
+        mgr.install(e.commit());
+        // Re-commit from a stale epoch-0 map: 1 -> 1 must be rejected.
+        let stale = PlacementMap::from_static(&p, 0..1).edit();
+        mgr.install(stale.commit());
+    }
+
+    #[test]
+    fn static_routing_returns_no_preference() {
+        let p = Placement::new(&[1, 2], 2, 2, PlacementStrategy::RoundRobin);
+        let mgr = PlacementManager::from_static(&p);
+        mgr.observe(0, Duration::from_millis(50));
+        assert!(mgr.route(1).is_empty(), "static mode never reorders");
+    }
+
+    #[test]
+    fn latency_aware_routing_orders_coldest_first() {
+        let p = Placement::new(&[1], 2, 2, PlacementStrategy::RoundRobin);
+        let mgr = PlacementManager::from_static(&p);
+        mgr.set_routing(RoutingMode::LatencyAware);
+        // No heat yet: deterministic id order.
+        assert_eq!(mgr.route(1), vec![0, 1]);
+        // Node 0 runs hot: node 1 becomes preferred.
+        for _ in 0..8 {
+            mgr.observe(0, Duration::from_millis(80));
+            mgr.observe(1, Duration::from_millis(2));
+        }
+        assert_eq!(mgr.route(1), vec![1, 0]);
+        assert!(mgr.metrics_snapshot().counter("placement.hot_reroutes") >= 1);
+        // Heat decays toward new observations.
+        for _ in 0..64 {
+            mgr.observe(0, Duration::from_micros(10));
+            mgr.observe(1, Duration::from_millis(90));
+        }
+        assert_eq!(mgr.route(1), vec![0, 1]);
+    }
+}

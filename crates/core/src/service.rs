@@ -30,7 +30,7 @@
 //! no threads, no clock — so property tests can replay arbitrary
 //! arrival schedules against it deterministically on a virtual clock.
 
-use crate::cache::{normalize_sql, stream_batch_bytes, CachedResult, ResultCache};
+use crate::cache::{normalize_sql_tables, stream_batch_bytes, CachedResult, ResultCache};
 use crate::error::QservError;
 use crate::master::{CancelToken, Qserv, QueryStats};
 use crate::merge::{infer_value_types, StreamBatch, StreamCollector};
@@ -963,8 +963,11 @@ impl Inner {
         // point of caching repeated lookups.
         let mut cache_key = None;
         if self.cfg.cache_capacity_bytes > 0 {
-            let version = self.qserv.data_version();
-            let normalized = normalize_sql(sql)?;
+            // The key's version sums the global data version with the
+            // versions of the tables this query reads, so a per-table
+            // bump orphans only the entries that touched that table.
+            let (normalized, tables) = normalize_sql_tables(sql)?;
+            let version = self.qserv.version_for_tables(&tables);
             let hit = self
                 .cache
                 .lock()

@@ -21,7 +21,7 @@ use crate::meta::CatalogMeta;
 use crate::rewrite;
 use parking_lot::RwLock;
 use qserv_engine::db::Database;
-use qserv_engine::dump::dump_table;
+use qserv_engine::dump::{dump_table, load_dump};
 use qserv_engine::exec::{execute_detailed, ExecMode, ExecPath, ResultTable, ScanStats};
 use qserv_engine::table::Table;
 use qserv_partition::chunker::Chunker;
@@ -146,6 +146,125 @@ impl Worker {
     /// Total estimated bytes stored on this worker.
     pub fn footprint_bytes(&self) -> u64 {
         self.db.read().footprint_bytes()
+    }
+
+    /// True when any partitioned base table of `chunk` is installed here
+    /// (in memory or as an attached chunk file).
+    pub fn holds_chunk(&self, chunk: i32) -> bool {
+        let db = self.db.read();
+        self.meta
+            .table_names()
+            .iter()
+            .filter(|t| self.meta.partition_info(t).is_some())
+            .any(|t| db.has_table(&rewrite::chunk_table(t, chunk)))
+    }
+
+    /// Serializes every installed table of `chunk` for replication to
+    /// another worker: one `(label, payload)` per table, where the label
+    /// is the base name (`Object`) or overlap name (`ObjectOverlap`) and
+    /// the payload is the raw `.qchunk` file bytes for disk-backed
+    /// tables or a SQL dump for in-memory ones.
+    /// [`Worker::import_chunk`] reverses the encoding by sniffing the
+    /// `.qchunk` magic.
+    pub fn export_chunk(&self, chunk: i32) -> Result<Vec<(String, Vec<u8>)>, String> {
+        let db = self.db.read();
+        let mut files = Vec::new();
+        for base in self.meta.table_names() {
+            if self.meta.partition_info(base).is_none() {
+                continue;
+            }
+            let owned_name = rewrite::chunk_table(base, chunk);
+            if let Some(path) = db.stored_path(&owned_name) {
+                let bytes =
+                    std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+                files.push((base.to_string(), bytes));
+            } else if let Some(t) = db.table(&owned_name) {
+                files.push((base.to_string(), dump_table(&owned_name, t).into_bytes()));
+            } else {
+                continue; // this base has no chunk here
+            }
+            let overlap_name = rewrite::overlap_table(base, chunk);
+            if let Some(t) = db.table(&overlap_name) {
+                files.push((
+                    format!("{base}Overlap"),
+                    dump_table(&overlap_name, t).into_bytes(),
+                ));
+            }
+        }
+        Ok(files)
+    }
+
+    /// Installs a replica of `chunk` from [`Worker::export_chunk`]
+    /// payloads. `.qchunk` payloads (recognized by their magic) are
+    /// written to `storage_dir` (the temp dir when `None`) under a
+    /// node-unique name and attached cold; SQL dumps are loaded in
+    /// memory, with the owned table's objectId index rebuilt when the
+    /// column exists.
+    pub fn import_chunk(
+        &self,
+        chunk: i32,
+        files: &[(String, Vec<u8>)],
+        storage_dir: Option<&std::path::Path>,
+    ) -> Result<(), String> {
+        static IMPORT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut db = self.db.write();
+        for (label, bytes) in files {
+            let table_name = rewrite::chunk_table(label, chunk);
+            if bytes.starts_with(qserv_engine::storage::MAGIC) {
+                let dir = storage_dir
+                    .map(|p| p.to_path_buf())
+                    .unwrap_or_else(std::env::temp_dir);
+                let seq = IMPORT_SEQ.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!(
+                    "{label}_{chunk}.n{}.p{}.s{seq}.qchunk",
+                    self.node_id,
+                    std::process::id()
+                ));
+                std::fs::write(&path, bytes)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                db.attach_stored(&table_name, &path)
+                    .map_err(|e| format!("attach {}: {e}", path.display()))?;
+            } else {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| format!("chunk payload {label} is not UTF-8"))?;
+                let (_, mut table) = load_dump(text).map_err(|e| format!("load {label}: {e}"))?;
+                // Owned tables carry a per-chunk objectId index when the
+                // column exists (RefObject does not; ignore).
+                if self.meta.partition_info(label).is_some() {
+                    let _ = table.build_index("objectId");
+                }
+                db.create_table(&table_name, table);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops every table of `chunk` — installed and on-demand generated —
+    /// after its replica moved elsewhere. Returns how many were dropped;
+    /// attached `.qchunk` files stay on disk for other replicas.
+    pub fn detach_chunk(&self, chunk: i32) -> usize {
+        let mut db = self.db.write();
+        let mut doomed: Vec<String> = Vec::new();
+        for base in self.meta.table_names() {
+            if self.meta.partition_info(base).is_none() {
+                continue;
+            }
+            doomed.push(rewrite::chunk_table(base, chunk));
+            doomed.push(rewrite::overlap_table(base, chunk));
+            doomed.push(rewrite::union_table(base, chunk));
+            let sub_prefix = format!("{base}_{chunk}_");
+            let full_prefix = format!("{base}FullOverlap_{chunk}_");
+            for name in db.table_names() {
+                if parse_suffixed(name, &sub_prefix).is_some()
+                    || parse_suffixed(name, &full_prefix).is_some()
+                {
+                    doomed.push(name.to_string());
+                }
+            }
+        }
+        doomed.sort();
+        doomed.dedup();
+        doomed.iter().filter(|n| db.drop_table(n)).count()
     }
 
     /// Executes one chunk-query message (header + statements) against this
@@ -364,6 +483,22 @@ impl OfsPlugin for Worker {
         else {
             return; // not a chunk-query path
         };
+        // A query routed here against a placement epoch older than a
+        // rebalance may arrive after the chunk moved away. NACK with a
+        // retryable marker so the master fails over to a live replica
+        // instead of treating it as a worker SQL error.
+        if !self.holds_chunk(chunk) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            server.put_file(
+                &result_path(&md5_hex(data)),
+                format!(
+                    "ERROR: RETRYABLE: chunk {chunk} not resident on node {}",
+                    self.node_id
+                )
+                .into_bytes(),
+            );
+            return;
+        }
         let text = match std::str::from_utf8(data) {
             Ok(t) => t,
             Err(_) => {
@@ -689,6 +824,59 @@ mod tests {
         assert!(deposited.starts_with(b"ERROR:"));
         let (_q, _s, _b, errors) = worker.stats.snapshot();
         assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn export_import_round_trips_a_chunk() {
+        let (src, chunk) = worker_with_chunk();
+        let files = src.export_chunk(chunk).unwrap();
+        // Object owned + ObjectOverlap, as SQL dumps (no chunk file).
+        assert_eq!(
+            files.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+            vec!["Object", "ObjectOverlap"]
+        );
+        let dst = Worker::new(1, src.chunker.clone(), CatalogMeta::lsst());
+        assert!(!dst.holds_chunk(chunk));
+        dst.import_chunk(chunk, &files, None).unwrap();
+        assert!(dst.holds_chunk(chunk));
+        // The replica answers the same chunk query identically, union
+        // table included (owned + overlap survived the trip).
+        let msg =
+            format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS o;");
+        let a = src.execute_message(chunk, &msg).unwrap();
+        let b = dst.execute_message(chunk, &msg).unwrap();
+        assert_eq!(a.get_by_name(0, "c"), b.get_by_name(0, "c"));
+        assert_eq!(b.get_by_name(0, "c"), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn detach_chunk_drops_installed_and_generated_tables() {
+        let (mut worker, chunk) = worker_with_chunk();
+        worker.cache_generated = true; // leave a generated table behind
+        let msg =
+            format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.ObjectUnion_{chunk} AS o;");
+        worker.execute_message(chunk, &msg).unwrap();
+        assert!(worker.holds_chunk(chunk));
+        let dropped = worker.detach_chunk(chunk);
+        assert_eq!(dropped, 3, "owned + overlap + cached union");
+        assert!(!worker.holds_chunk(chunk));
+        assert!(worker.table_names().is_empty());
+        assert_eq!(worker.detach_chunk(chunk), 0, "idempotent");
+    }
+
+    #[test]
+    fn plugin_nacks_unheld_chunk_with_retryable_marker() {
+        let (worker, chunk) = worker_with_chunk();
+        let server = DataServer::new(0);
+        let other = chunk + 1;
+        let msg = format!("-- SUBCHUNKS:\nSELECT COUNT(*) AS c FROM LSST.Object_{other} AS o;");
+        worker.on_file_closed(&server, &format!("/query2/{other}"), msg.as_bytes());
+        let deposited = server
+            .get_file(&result_path(&md5_hex(msg.as_bytes())))
+            .expect("NACK deposited");
+        let text = String::from_utf8(deposited.to_vec()).unwrap();
+        assert!(text.starts_with("ERROR: RETRYABLE:"), "{text}");
+        assert!(text.contains(&format!("chunk {other}")), "{text}");
     }
 
     #[test]

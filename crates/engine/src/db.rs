@@ -69,6 +69,20 @@ impl Database {
         self.tables.remove(name).is_some() | self.stored.remove(name).is_some()
     }
 
+    /// Detaches a stored chunk table without touching in-memory tables;
+    /// true when `name` was stored. The backing `.qchunk` file is left on
+    /// disk (other replicas may still attach it); any resident pages are
+    /// released with the [`StoredChunk`] handle.
+    pub fn detach_stored(&mut self, name: &str) -> bool {
+        self.stored.remove(name).is_some()
+    }
+
+    /// The on-disk path behind a stored table, `None` for in-memory or
+    /// unknown names. Rebalancing ships these bytes between workers.
+    pub fn stored_path(&self, name: &str) -> Option<std::path::PathBuf> {
+        self.stored.get(name).map(|c| c.file().path().to_path_buf())
+    }
+
     /// Looks up an in-memory table (`None` for stored-only tables; see
     /// [`Database::stored`]).
     pub fn table(&self, name: &str) -> Option<&Arc<Table>> {

@@ -4,6 +4,7 @@
 //! it arrives, so first rows are usable while the scan still runs).
 
 use crate::protocol::{decode_value, ProtocolError};
+use crate::retry::RetryPolicy;
 use qserv::CacheOutcome;
 use qserv_engine::exec::ResultTable;
 use qserv_engine::value::Value;
@@ -97,23 +98,76 @@ pub struct WireBatch {
 pub struct ProxyClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry: RetryPolicy,
 }
 
-impl ProxyClient {
-    /// Connects to a proxy.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ProxyClient> {
+/// Configures a [`ProxyClient`] before connecting — today that is the
+/// `BUSY` [`RetryPolicy`] (attempt budget, backoff floor/cap, growth
+/// factor, jitter fraction and seed; see [`crate::retry`] for the
+/// defaults and [the protocol doc](crate#busy-and-client-backoff) for
+/// how they interact with the server's `retry_after_ms` hint).
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    retry: RetryPolicy,
+}
+
+impl ClientBuilder {
+    /// Replaces the default `BUSY` retry policy. Fleets should at least
+    /// vary the jitter seed per client ([`RetryPolicy::seeded`]) so
+    /// backoffs spread out instead of resubmitting in lockstep.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> ClientBuilder {
+        self.retry = retry;
+        self
+    }
+
+    /// Connects to a proxy with this configuration.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> std::io::Result<ProxyClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(ProxyClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            retry: self.retry,
         })
+    }
+}
+
+impl ProxyClient {
+    /// Connects to a proxy with the default configuration
+    /// (equivalent to `ProxyClient::builder().connect(addr)`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ProxyClient> {
+        ProxyClient::builder().connect(addr)
+    }
+
+    /// Starts configuring a client (retry policy, …).
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// The `BUSY` retry policy [`ProxyClient::query_with_retry`] runs
+    /// under.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Submits one query and buffers the full response.
     pub fn query(&mut self, sql: &str) -> Result<(ResultTable, RemoteStats), ClientError> {
         let (table, stats, _trace) = self.exchange(sql.trim_end_matches(';'))?;
         Ok((table, stats))
+    }
+
+    /// [`ProxyClient::query`] under the configured [`RetryPolicy`]:
+    /// `BUSY` responses back off and resubmit until the retry budget is
+    /// spent; every other outcome passes through unchanged.
+    pub fn query_with_retry(
+        &mut self,
+        sql: &str,
+    ) -> Result<(ResultTable, RemoteStats), ClientError> {
+        let policy = self.retry.clone();
+        policy.run(|| {
+            let (table, stats, _trace) = self.exchange(sql.trim_end_matches(';'))?;
+            Ok((table, stats))
+        })
     }
 
     /// Submits one query under the server-side trace (`TRACE <sql>;`),

@@ -28,6 +28,31 @@
 //!                                  resubmit; see [`retry::RetryPolicy`])
 //! ```
 //!
+//! # BUSY and client backoff
+//!
+//! `BUSY <retry_after_ms>` is a normal operating mode, not an error:
+//! the admission queue shed the statement and the session stays usable.
+//! A polite client resubmits after the hinted delay under a jittered
+//! exponential backoff — [`retry::RetryPolicy`], configurable per
+//! client via [`client::ClientBuilder::retry_policy`] and applied by
+//! [`client::ProxyClient::query_with_retry`]. The defaults:
+//!
+//! | knob         | default | meaning                                   |
+//! |--------------|---------|-------------------------------------------|
+//! | `max_retries`| 10      | retries after the first attempt           |
+//! | `floor`      | 1 ms    | lower bound on any sleep (covers hint 0)  |
+//! | `cap`        | 2 s     | upper bound on any sleep                  |
+//! | `multiplier` | 2.0     | per-`BUSY` growth of the hint's scale     |
+//! | `jitter`     | 0.5     | fraction of each sleep randomized *away*  |
+//! | `seed`       | fixed   | jitter sequence; vary per client in fleets|
+//!
+//! Each sleep starts from the server's `retry_after_ms` hint (clamped
+//! to `floor`), scales by `multiplier` per successive `BUSY`, caps at
+//! `cap`, and is jittered strictly *downward* — so the hint and the cap
+//! both remain honest upper bounds, and a fleet of clients with
+//! distinct seeds ([`retry::RetryPolicy::seeded`]) spreads out instead
+//! of resubmitting in lockstep.
+//!
 //! The trailing `END` word reports how the server's normalized-query
 //! result cache participated: `hit` (replayed without executing),
 //! `miss` (executed, possibly populating), or `off` (caching disabled
@@ -79,7 +104,7 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 
-pub use client::{ProxyClient, QueryStream, RemoteStats, WireBatch};
+pub use client::{ClientBuilder, ProxyClient, QueryStream, RemoteStats, WireBatch};
 pub use qserv_engine::exec::ResultTable;
 pub use retry::RetryPolicy;
 pub use server::{ProxyServer, ServerMode};

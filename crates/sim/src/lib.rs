@@ -24,9 +24,13 @@
 //! no wall clock, no randomness, stable tie-breaking.
 
 pub mod config;
+pub mod placement;
 pub mod simulator;
 
 pub use config::{FaultConfig, SchedulerPolicy, SimConfig};
+pub use placement::{
+    node_loss_scenario, weak_scaling, NodeLossOutcome, RepairPlan, ScalePoint, SimPlacement,
+};
 pub use simulator::{ChunkTask, QueryJob, QueryReport, Simulator};
 
 // The shared virtual timeline ([`Simulator::bind_clock`]): the same clock

@@ -1,0 +1,430 @@
+//! Placement-aware scenario composition for the cluster simulator.
+//!
+//! The live system's `core::placement` subsystem (epoch-versioned
+//! chunk→replica maps, repair after node loss, rebalancing) operates at
+//! cluster scales the test suite cannot build for real — the paper's
+//! testbed is 150 nodes. [`SimPlacement`] mirrors the placement math at
+//! simulator scale: the same round-robin replica layout the loader
+//! produces, the same fewest-loaded repair target choice, the same
+//! epoch discipline. Scenario builders then compose [`Simulator`] runs
+//! per epoch phase:
+//!
+//! * [`weak_scaling`] — the §6.3 experiment shape: node count grows,
+//!   per-node data stays fixed, full-scan latency should stay flat.
+//! * [`node_loss_scenario`] — a node dies mid-workload. With
+//!   *rebalancing on*, repair copies restore the replication factor and
+//!   the follow-up scan runs on a balanced map; with *rebalancing off*,
+//!   the dead node's chunks pile onto its surviving replica holders and
+//!   load concentrates.
+//!
+//! Determinism matters here the way it does everywhere else in this
+//! crate: same inputs ⇒ same plan, same virtual timings, no wall clock.
+
+use crate::config::SimConfig;
+use crate::simulator::{ChunkTask, QueryJob, Simulator};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A simulator-scale mirror of the live placement map: chunk→replica
+/// assignments over member nodes, versioned by epoch.
+#[derive(Clone, Debug)]
+pub struct SimPlacement {
+    epoch: u64,
+    replication: usize,
+    map: BTreeMap<usize, Vec<usize>>,
+    members: BTreeSet<usize>,
+}
+
+/// One repair copy: ship `bytes` of chunk payload from a surviving
+/// replica holder to the chosen recipient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyOp {
+    /// Chunk being re-replicated.
+    pub chunk: usize,
+    /// Surviving holder the payload streams from.
+    pub src: usize,
+    /// Fewest-loaded member receiving the new replica.
+    pub dst: usize,
+    /// Payload size.
+    pub bytes: u64,
+}
+
+/// The deterministic plan a node loss produces.
+#[derive(Clone, Debug, Default)]
+pub struct RepairPlan {
+    /// Epoch of the map after the loss + repair committed.
+    pub epoch: u64,
+    /// Copies needed to restore the replication factor.
+    pub copies: Vec<CopyOp>,
+    /// Chunks whose every replica lived on the lost node.
+    pub chunks_lost: Vec<usize>,
+}
+
+impl SimPlacement {
+    /// Round-robin layout over `nodes` members: chunk `c` replica `r`
+    /// lands on node `(c + r) % nodes` — the loader's static strategy.
+    pub fn round_robin(chunks: usize, nodes: usize, replication: usize) -> SimPlacement {
+        assert!(nodes > 0, "a cluster has at least one node");
+        let replication = replication.min(nodes);
+        let map = (0..chunks)
+            .map(|c| (c, (0..replication).map(|r| (c + r) % nodes).collect()))
+            .collect();
+        SimPlacement {
+            epoch: 0,
+            replication,
+            map,
+            members: (0..nodes).collect(),
+        }
+    }
+
+    /// Current map version.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live members, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        self.members.iter().copied().collect()
+    }
+
+    /// Replica nodes of `chunk`, in placement order.
+    pub fn nodes_of(&self, chunk: usize) -> &[usize] {
+        self.map.get(&chunk).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The node a scan task for `chunk` runs on: the first replica.
+    /// After a loss without repair this falls back to whichever replica
+    /// survives — which is exactly how load concentrates.
+    pub fn primary(&self, chunk: usize) -> Option<usize> {
+        self.nodes_of(chunk).first().copied()
+    }
+
+    /// Chunks currently at exactly one replica — one more loss away
+    /// from unavailability.
+    pub fn factor_one_chunks(&self) -> usize {
+        self.map.values().filter(|r| r.len() == 1).count()
+    }
+
+    /// Chunks with no replica left at all (unavailable data).
+    pub fn lost_chunks(&self) -> usize {
+        self.map.values().filter(|r| r.is_empty()).count()
+    }
+
+    /// Replica count per member (members at zero included).
+    pub fn load(&self) -> BTreeMap<usize, usize> {
+        let mut load: BTreeMap<usize, usize> = self.members.iter().map(|&n| (n, 0)).collect();
+        for replicas in self.map.values() {
+            for &n in replicas {
+                *load.entry(n).or_insert(0) += 1;
+            }
+        }
+        load
+    }
+
+    /// Removes `node` from membership and its replica lists, committing
+    /// one epoch. Returns the chunks that dropped below factor.
+    pub fn fail_node(&mut self, node: usize) -> Vec<usize> {
+        self.members.remove(&node);
+        let mut under = Vec::new();
+        for (&chunk, replicas) in self.map.iter_mut() {
+            let before = replicas.len();
+            replicas.retain(|&n| n != node);
+            if replicas.len() < before {
+                under.push(chunk);
+            }
+        }
+        self.epoch += 1;
+        under
+    }
+
+    /// Plans and applies the repair for a lost node: every
+    /// under-replicated chunk gains a replica on the fewest-loaded
+    /// member not already holding it (ties to the lowest id), streamed
+    /// from its first surviving holder. One epoch per loss+repair.
+    pub fn fail_and_repair(&mut self, node: usize, chunk_bytes: u64) -> RepairPlan {
+        let under = self.fail_node(node);
+        let mut plan = RepairPlan::default();
+        let mut load = self.load();
+        for chunk in under {
+            let holders = self.map.get(&chunk).cloned().unwrap_or_default();
+            let Some(&src) = holders.first() else {
+                plan.chunks_lost.push(chunk);
+                continue;
+            };
+            if holders.len() >= self.replication.min(self.members.len()) {
+                continue;
+            }
+            let Some((&dst, _)) = load
+                .iter()
+                .filter(|(n, _)| !holders.contains(n))
+                .min_by_key(|&(&n, &c)| (c, n))
+            else {
+                continue;
+            };
+            self.map.get_mut(&chunk).expect("chunk mapped").push(dst);
+            *load.entry(dst).or_insert(0) += 1;
+            plan.copies.push(CopyOp {
+                chunk,
+                src,
+                dst,
+                bytes: chunk_bytes,
+            });
+        }
+        plan.epoch = self.epoch;
+        plan
+    }
+}
+
+/// Routes one scan task per chunk onto the least-loaded of its
+/// replicas (ties to the lowest node id) — the deterministic mirror of
+/// the live dispatcher's load-aware replica choice. Chunks that lost
+/// all but one replica have no choice, which is exactly how an
+/// unrepaired loss concentrates load.
+pub fn route_scan(placement: &SimPlacement) -> BTreeMap<usize, usize> {
+    let mut assigned: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut per_node: BTreeMap<usize, usize> = BTreeMap::new();
+    for (&chunk, replicas) in &placement.map {
+        let Some(&node) = replicas
+            .iter()
+            .min_by_key(|&&n| (per_node.get(&n).copied().unwrap_or(0), n))
+        else {
+            continue;
+        };
+        *per_node.entry(node).or_insert(0) += 1;
+        assigned.insert(chunk, node);
+    }
+    assigned
+}
+
+/// A full-scan query routed by the placement map: one uncached scan
+/// task per chunk on the replica [`route_scan`] picked.
+pub fn scan_job(
+    placement: &SimPlacement,
+    label: &str,
+    submit_s: f64,
+    bytes_per_chunk: u64,
+) -> QueryJob {
+    QueryJob {
+        label: format!("{label}@e{}", placement.epoch()),
+        submit_s,
+        tasks: route_scan(placement)
+            .into_values()
+            .map(|node| ChunkTask {
+                node,
+                disk_bytes: bytes_per_chunk,
+                result_bytes: 256,
+                ..ChunkTask::default()
+            })
+            .collect(),
+    }
+}
+
+/// The repair traffic of a [`RepairPlan`] as a simulator job: each copy
+/// reads the payload off the source replica's disk and ships it to the
+/// recipient over the fabric (modeled as the task's result bytes).
+pub fn repair_job(plan: &RepairPlan, submit_s: f64) -> QueryJob {
+    QueryJob {
+        label: format!("repair@e{}", plan.epoch),
+        submit_s,
+        tasks: plan
+            .copies
+            .iter()
+            .map(|c| ChunkTask {
+                node: c.src,
+                disk_bytes: c.bytes,
+                result_bytes: c.bytes,
+                ..ChunkTask::default()
+            })
+            .collect(),
+    }
+}
+
+/// One weak-scaling measurement point.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Chunks scanned (grows with the cluster: fixed per-node data).
+    pub chunks: usize,
+    /// Full-scan completion, virtual seconds.
+    pub elapsed_s: f64,
+}
+
+/// §6.3-shaped weak scaling under placement routing: per-node data
+/// fixed, node count grows, one full scan per point.
+pub fn weak_scaling(
+    base: &SimConfig,
+    node_counts: &[usize],
+    chunks_per_node: usize,
+    bytes_per_chunk: u64,
+) -> Vec<ScalePoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let placement = SimPlacement::round_robin(nodes * chunks_per_node, nodes, 2);
+            let mut sim = Simulator::new(base.clone().with_nodes(nodes));
+            sim.submit(scan_job(&placement, "scan", 0.0, bytes_per_chunk));
+            let reports = sim.run();
+            ScalePoint {
+                nodes,
+                chunks: nodes * chunks_per_node,
+                elapsed_s: reports[0].elapsed_s,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of the node-loss scenario at one rebalancing setting.
+#[derive(Clone, Debug)]
+pub struct NodeLossOutcome {
+    /// Scan latency before the loss (epoch 0).
+    pub before_s: f64,
+    /// Scan latency after both losses settled — on the repaired map if
+    /// rebalancing was on, on the degraded survivor-fallback map if
+    /// off (lost chunks simply have no task, so this under-counts the
+    /// degraded case's true cost: the data is gone).
+    pub after_s: f64,
+    /// Chunks left with exactly one replica (one loss from gone).
+    pub factor_one: usize,
+    /// Chunks left with *no* replica: unavailable data. Always 0 with
+    /// rebalancing on; the second loss makes it non-zero without.
+    pub chunks_lost: usize,
+    /// Epoch of the final map.
+    pub epoch: u64,
+    /// Repair copies performed (0 with rebalancing off).
+    pub repair_copies: usize,
+}
+
+/// Two sequential permanent node losses mid-workload — adjacent nodes,
+/// so their replica sets overlap. With `rebalancing = true` each loss
+/// is repaired before the next (factor restored, nothing lost); with
+/// `false` the survivors serve whatever replicas remain, and the
+/// second loss erases every chunk whose only replicas lived on the two
+/// dead nodes.
+pub fn node_loss_scenario(
+    base: &SimConfig,
+    nodes: usize,
+    chunks_per_node: usize,
+    bytes_per_chunk: u64,
+    rebalancing: bool,
+) -> NodeLossOutcome {
+    let chunks = nodes * chunks_per_node;
+    let mut placement = SimPlacement::round_robin(chunks, nodes, 2);
+
+    let mut sim = Simulator::new(base.clone().with_nodes(nodes));
+    sim.submit(scan_job(&placement, "before", 0.0, bytes_per_chunk));
+    let before_s = sim.run()[0].elapsed_s;
+
+    let mut repair_copies = 0;
+    for lost in [nodes / 2, nodes / 2 + 1] {
+        if rebalancing {
+            let plan = placement.fail_and_repair(lost, bytes_per_chunk);
+            // The repair traffic itself runs through the simulator: the
+            // copies' virtual cost is part of the scenario timeline.
+            let mut sim = Simulator::new(base.clone().with_nodes(nodes));
+            sim.submit(repair_job(&plan, 0.0));
+            sim.run();
+            repair_copies += plan.copies.len();
+        } else {
+            placement.fail_node(lost);
+        }
+    }
+
+    let mut sim = Simulator::new(base.clone().with_nodes(nodes));
+    sim.submit(scan_job(&placement, "after", 0.0, bytes_per_chunk));
+    let after_s = sim.run()[0].elapsed_s;
+
+    NodeLossOutcome {
+        before_s,
+        after_s,
+        factor_one: placement.factor_one_chunks(),
+        chunks_lost: placement.lost_chunks(),
+        epoch: placement.epoch(),
+        repair_copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_layout_matches_the_loader() {
+        let p = SimPlacement::round_robin(12, 4, 2);
+        assert_eq!(p.nodes_of(0), &[0, 1]);
+        assert_eq!(p.nodes_of(3), &[3, 0]);
+        assert_eq!(p.epoch(), 0);
+        let load = p.load();
+        // 12 chunks × 2 replicas over 4 nodes: every node carries 6.
+        assert!(load.values().all(|&c| c == 6), "{load:?}");
+    }
+
+    #[test]
+    fn fail_and_repair_restores_factor_and_balances() {
+        let mut p = SimPlacement::round_robin(12, 4, 2);
+        let plan = p.fail_and_repair(1, 1 << 20);
+        assert_eq!(plan.epoch, 1);
+        assert!(plan.chunks_lost.is_empty());
+        // Node 1 held 6 replicas; each needs exactly one copy.
+        assert_eq!(plan.copies.len(), 6);
+        for chunk in 0..12 {
+            assert_eq!(p.nodes_of(chunk).len(), 2, "chunk {chunk} back at factor");
+            assert!(!p.nodes_of(chunk).contains(&1));
+        }
+        let load = p.load();
+        let (hi, lo) = (*load.values().max().unwrap(), *load.values().min().unwrap());
+        assert!(hi - lo <= 1, "repair targets spread evenly: {load:?}");
+    }
+
+    #[test]
+    fn factor_one_loss_reports_lost_chunks() {
+        let mut p = SimPlacement::round_robin(6, 3, 1);
+        let plan = p.fail_and_repair(0, 1024);
+        assert_eq!(plan.chunks_lost, vec![0, 3]);
+        assert!(plan.copies.is_empty());
+    }
+
+    #[test]
+    fn rebalancing_off_loses_data_on_the_second_loss() {
+        let base = SimConfig::paper_cluster();
+        let degraded = node_loss_scenario(&base, 10, 4, 64 << 20, false);
+        let repaired = node_loss_scenario(&base, 10, 4, 64 << 20, true);
+        assert!(degraded.repair_copies == 0 && repaired.repair_copies > 0);
+        // Repaired: every chunk back at factor 2, nothing lost, and the
+        // post-loss scan stays close to the pre-loss baseline.
+        assert_eq!(repaired.chunks_lost, 0);
+        assert_eq!(repaired.factor_one, 0);
+        assert_eq!(repaired.epoch, 2);
+        assert!(repaired.after_s < repaired.before_s * 1.5);
+        // Degraded: the adjacent second loss erased the chunks whose
+        // replicas lived only on the two dead nodes, and the survivors
+        // sit one loss away from losing more.
+        assert!(degraded.chunks_lost > 0, "overlap chunks must be gone");
+        assert!(degraded.factor_one > 0);
+    }
+
+    #[test]
+    fn weak_scaling_stays_flat_under_placement_routing() {
+        let base = SimConfig::paper_cluster();
+        let points = weak_scaling(&base, &[30, 90, 150], 8, 64 << 20);
+        let first = points[0].elapsed_s;
+        for p in &points {
+            assert!(
+                (p.elapsed_s / first) < 1.6,
+                "{}-node scan {}s drifted off {}s",
+                p.nodes,
+                p.elapsed_s,
+                first
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let base = SimConfig::paper_cluster();
+        let a = node_loss_scenario(&base, 12, 4, 32 << 20, true);
+        let b = node_loss_scenario(&base, 12, 4, 32 << 20, true);
+        assert_eq!(a.before_s.to_bits(), b.before_s.to_bits());
+        assert_eq!(a.after_s.to_bits(), b.after_s.to_bits());
+        assert_eq!(a.repair_copies, b.repair_copies);
+    }
+}

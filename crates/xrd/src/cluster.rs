@@ -167,13 +167,92 @@ impl XrdCluster {
     pub fn write_file_excluding(
         &self,
         path: &str,
-        mut data: Vec<u8>,
+        data: Vec<u8>,
         exclude: &[ServerId],
     ) -> Result<ServerId, XrdError> {
         let server = self
             .redirector
             .resolve_excluding(path, exclude)
             .ok_or_else(|| XrdError::NoServerForPath(path.to_string()))?;
+        self.write_to_server(&server, path, data)
+    }
+
+    /// [`XrdCluster::write_file_excluding`] with a replica *preference*:
+    /// the placement layer may order a chunk's replicas (e.g. away from
+    /// hot nodes), and the first preferred server that is online, exports
+    /// the path and is not excluded gets the write. With no usable
+    /// preference the call falls back to the redirector's rotation —
+    /// bit-identical to [`XrdCluster::write_file_excluding`].
+    pub fn write_file_routed(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        preferred: &[ServerId],
+        exclude: &[ServerId],
+    ) -> Result<ServerId, XrdError> {
+        for &id in preferred {
+            if exclude.contains(&id) {
+                continue;
+            }
+            let Some(server) = self.redirector.server(id) else {
+                continue;
+            };
+            if !server.is_online() || !server.exports_path(path) {
+                continue;
+            }
+            return self.write_to_server(&server, path, data);
+        }
+        self.write_file_excluding(path, data, exclude)
+    }
+
+    /// Writes `data` to `path` on a *specific* server as a plain file
+    /// transaction (open → write → close, each fault-checked) without
+    /// consulting the export namespace and without firing the ofs plugin —
+    /// the transport half of a chunk-replica copy. Corruption faults
+    /// mangle the stored payload; the receiver is expected to verify a
+    /// digest before acknowledging the replica.
+    pub fn put_file_direct(
+        &self,
+        server: ServerId,
+        path: &str,
+        mut data: Vec<u8>,
+    ) -> Result<(), XrdError> {
+        let s = self
+            .redirector
+            .server(server)
+            .ok_or(XrdError::NoSuchServer(server))?;
+        if !s.is_online() {
+            return Err(XrdError::ServerOffline(server));
+        }
+        {
+            let g = op_span(FabricOp::Open, server, path);
+            note_fault(&g, self.check(server, FabricOp::Open, path))?;
+        }
+        {
+            let g = op_span(FabricOp::Write, server, path);
+            if note_fault(&g, self.check(server, FabricOp::Write, path))? {
+                if let Some(g) = &g {
+                    g.annotate("corrupted", "true");
+                }
+                crate::fault::corrupt(&mut data);
+            }
+            s.put_file(path, data);
+        }
+        {
+            let g = op_span(FabricOp::Close, server, path);
+            note_fault(&g, self.check(server, FabricOp::Close, path))?;
+        }
+        Ok(())
+    }
+
+    /// The shared §5.4 write transaction against an already-resolved
+    /// server.
+    fn write_to_server(
+        &self,
+        server: &Arc<DataServer>,
+        path: &str,
+        mut data: Vec<u8>,
+    ) -> Result<ServerId, XrdError> {
         let id = server.id();
         {
             let g = op_span(FabricOp::Open, id, path);
@@ -280,6 +359,13 @@ pub fn query_path(chunk_id: i32) -> String {
 /// Formats the hash-addressed result path: `/result/H` (paper §5.4).
 pub fn result_path(query_hash: &str) -> String {
     format!("/result/{query_hash}")
+}
+
+/// Formats the staging path a chunk-replica copy moves one table's
+/// payload through: `/chunk/<table>/<chunk>`. Never exported — staging
+/// files are addressed directly by server id on both ends of the copy.
+pub fn chunk_data_path(table: &str, chunk_id: i32) -> String {
+    format!("/chunk/{table}/{chunk_id}")
 }
 
 #[cfg(test)]
@@ -443,6 +529,79 @@ mod tests {
             c.write_file_excluding(&query_path(0), b"q".to_vec(), &[0, 3]),
             Err(XrdError::NoServerForPath(query_path(0)))
         );
+    }
+
+    #[test]
+    fn routed_write_prefers_eligible_servers_in_order() {
+        let c = cluster();
+        // Chunk 0 lives on server 0; replicate onto 3.
+        c.servers()[3].export(&query_path(0));
+        // Preference order wins over the rotation…
+        let w = c
+            .write_file_routed(&query_path(0), b"q".to_vec(), &[3, 0], &[])
+            .unwrap();
+        assert_eq!(w, 3);
+        // …skipping excluded, offline, and non-exporting entries.
+        let w = c
+            .write_file_routed(&query_path(0), b"q".to_vec(), &[3, 0], &[3])
+            .unwrap();
+        assert_eq!(w, 0);
+        c.servers()[3].set_online(false);
+        let w = c
+            .write_file_routed(&query_path(0), b"q".to_vec(), &[3, 2, 0], &[])
+            .unwrap();
+        assert_eq!(w, 0, "3 offline, 2 does not export chunk 0");
+        c.servers()[3].set_online(true);
+        // An unusable preference list falls back to the rotation.
+        let w = c
+            .write_file_routed(&query_path(1), b"q".to_vec(), &[99], &[])
+            .unwrap();
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn put_file_direct_stores_without_firing_the_plugin() {
+        let c = cluster();
+        let before = c.servers()[2].num_files();
+        c.put_file_direct(2, "/chunk/Object/9", b"payload".to_vec())
+            .unwrap();
+        assert_eq!(
+            *c.servers()[2].get_file("/chunk/Object/9").unwrap(),
+            b"payload".to_vec()
+        );
+        // Exactly one new file: no plugin deposit alongside it.
+        assert_eq!(c.servers()[2].num_files(), before + 1);
+        // Offline and unknown targets fail.
+        c.servers()[2].set_online(false);
+        assert!(matches!(
+            c.put_file_direct(2, "/chunk/Object/9", vec![]),
+            Err(XrdError::ServerOffline(2))
+        ));
+        assert!(matches!(
+            c.put_file_direct(77, "/x", vec![]),
+            Err(XrdError::NoSuchServer(77))
+        ));
+    }
+
+    #[test]
+    fn put_file_direct_is_fault_checked() {
+        let c = cluster();
+        c.faults()
+            .fail_next(None, Some(crate::fault::FabricOp::Write), 1);
+        let err = c
+            .put_file_direct(1, "/chunk/Object/3", b"p".to_vec())
+            .unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        assert!(c.servers()[1].get_file("/chunk/Object/3").is_none());
+        // Corruption faults mangle the stored payload (receivers verify
+        // a digest before acking a replica).
+        c.faults()
+            .corrupt_payload(None, Some(crate::fault::FabricOp::Write), 1.0);
+        let clean = b"0123456789abcdef0123456789abcdef".to_vec();
+        c.put_file_direct(1, "/chunk/Object/3", clean.clone())
+            .unwrap();
+        c.faults().clear();
+        assert_ne!(*c.servers()[1].get_file("/chunk/Object/3").unwrap(), clean);
     }
 
     #[test]

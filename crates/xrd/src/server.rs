@@ -67,6 +67,21 @@ impl DataServer {
         }
     }
 
+    /// Removes `path` from the exported namespace, returning whether it
+    /// was exported. Rebalancing moves a chunk's export to another
+    /// server; the redirector's resolution cache must be invalidated
+    /// afterwards, since cached entries do not re-check exports.
+    pub fn unexport(&self, path: &str) -> bool {
+        let mut e = self.exports.write();
+        match e.iter().position(|p| p == path) {
+            Some(i) => {
+                e.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The exported paths (sorted copies).
     pub fn exports(&self) -> Vec<String> {
         let mut e = self.exports.read().clone();
@@ -175,6 +190,17 @@ mod tests {
         assert_eq!(s.exports(), vec!["/query2/1", "/query2/5"]);
         assert!(s.exports_path("/query2/5"));
         assert!(!s.exports_path("/query2/9"));
+    }
+
+    #[test]
+    fn unexport_removes_only_the_named_path() {
+        let s = DataServer::new(0);
+        s.export("/query2/5");
+        s.export("/query2/1");
+        assert!(s.unexport("/query2/5"));
+        assert!(!s.unexport("/query2/5"));
+        assert_eq!(s.exports(), vec!["/query2/1"]);
+        assert!(!s.exports_path("/query2/5"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use qserv::{
     Value,
 };
 use qserv_proxy::client::ClientError;
-use qserv_proxy::{ProxyClient, ProxyServer};
+use qserv_proxy::{ProxyClient, ProxyServer, RetryPolicy};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -229,6 +229,53 @@ fn busy_backpressure_is_survivable_by_retry() {
     assert!(busy_total > 0, "a 1-deep queue must reject under 4 clients");
     assert_eq!(rejected as usize, busy_total, "BUSY frames == rejections");
     assert_no_result_leaks(&qserv, "backpressure run");
+}
+
+#[test]
+fn configured_retry_policy_absorbs_busy_transparently() {
+    // Same 1-deep service as above, but clients use the builder's
+    // retry policy instead of a hand-rolled loop: query_with_retry
+    // never surfaces a BUSY within its budget.
+    let patch = small_patch(300, 45);
+    let qserv = Arc::new(ClusterBuilder::new(2).build(&patch.objects, &patch.sources));
+    let expected = qserv.query(STRESS_QUERIES[0]).expect("oracle");
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&qserv),
+        ServiceConfig {
+            max_concurrent: 1,
+            max_scan_concurrent: 1,
+            queue_capacity: 1,
+            retry_after: Duration::from_millis(2),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ProxyServer::start_with_service(service, "127.0.0.1:0").expect("proxy binds");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..4u64 {
+            let expected = &expected;
+            scope.spawn(move || {
+                // Distinct jitter seeds per client, generous budget.
+                let policy = RetryPolicy {
+                    max_retries: 200,
+                    ..RetryPolicy::seeded(c + 1)
+                };
+                let mut client = ProxyClient::builder()
+                    .retry_policy(policy)
+                    .connect(addr)
+                    .expect("client connects");
+                assert_eq!(client.retry_policy().max_retries, 200);
+                for i in 0..4 {
+                    let (table, _) = client
+                        .query_with_retry(STRESS_QUERIES[0])
+                        .unwrap_or_else(|e| panic!("client {c} query {i}: {e}"));
+                    assert_eq!(table.scalar(), expected.scalar());
+                }
+            });
+        }
+    });
+    assert_no_result_leaks(&qserv, "retry-policy run");
 }
 
 #[test]

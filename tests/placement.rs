@@ -1,0 +1,368 @@
+//! Placement & membership under chaos: node loss, repair, join/drain,
+//! epoch pinning, and latency-aware routing — the tentpole suite of
+//! PR 9.
+//!
+//! The invariants proven here:
+//!
+//! * **Repair restores the replication factor.** After a permanent node
+//!   loss, every chunk is back at factor-R on live members, the copies
+//!   are real (the new workers answer queries), and results are
+//!   bit-identical to the pre-loss run.
+//! * **An acked replica is never lost.** Seeded fabric faults fire
+//!   *during* the repair copies (failed reads, corrupted payloads); a
+//!   replica is recorded in the placement map only after its payload
+//!   survives digest checks and installs — proven by killing the copy
+//!   *source* afterwards and querying purely from the repaired replicas.
+//! * **Queries pin their epoch.** Queries running concurrently with
+//!   join/rebalance either complete against the old epoch or retry
+//!   cleanly against the new one; every result matches the oracle.
+//! * **No `/result/*` residue** survives any of it.
+//!
+//! The chaos seed comes from `QSERV_PLACEMENT_SEED` (default 1) so CI
+//! runs a seed matrix.
+
+mod common;
+
+use common::{small_patch, sorted_rows};
+use qserv::{
+    ClusterBuilder, FabricOp, FaultPlan, Qserv, QservError, RetryPolicy, RoutingMode, Value,
+};
+use qserv_datagen::generate::Patch;
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERIES: [&str; 4] = [
+    "SELECT COUNT(*) FROM Object",
+    "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 123",
+    "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId",
+    "SELECT COUNT(*) FROM Source",
+];
+
+fn placement_seed() -> u64 {
+    std::env::var("QSERV_PLACEMENT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn replicated(patch: &Patch, seed: u64) -> Qserv {
+    ClusterBuilder::new(4)
+        .replication(2)
+        .fault_plan(FaultPlan::new(seed))
+        .build(&patch.objects, &patch.sources)
+}
+
+fn assert_no_result_leaks(q: &Qserv, context: &str) {
+    for (id, server) in q.cluster().servers().iter().enumerate() {
+        let leaked = server.file_names("/result/");
+        assert!(
+            leaked.is_empty(),
+            "{context}: server {id} leaked result files: {leaked:?}"
+        );
+    }
+}
+
+/// Every chunk holds `factor` replicas on live members, and each mapped
+/// replica is genuinely resident on its worker (not just bookkeeping).
+fn assert_replication_restored(q: &Qserv, factor: usize, context: &str) {
+    let snap = q.placement();
+    for chunk in snap.chunks() {
+        let replicas = snap.nodes_of(chunk).expect("chunk mapped");
+        assert_eq!(
+            replicas.len(),
+            factor,
+            "{context}: chunk {chunk} at factor {} != {factor}",
+            replicas.len()
+        );
+        for &n in replicas {
+            assert!(snap.is_member(n), "{context}: replica on non-member {n}");
+            assert!(
+                q.workers()[n].holds_chunk(chunk),
+                "{context}: node {n} mapped for chunk {chunk} but does not hold it"
+            );
+        }
+    }
+}
+
+#[test]
+fn fail_node_repairs_replication_and_results_are_identical() {
+    let patch = small_patch(600, 81);
+    let q = replicated(&patch, placement_seed());
+    let oracle: Vec<_> = QUERIES
+        .iter()
+        .map(|&sql| sorted_rows(&q.query(sql).expect("pre-loss run").rows))
+        .collect();
+    assert_eq!(q.placement().epoch(), 0);
+
+    let report = q.fail_node(0).expect("repair succeeds");
+    assert!(report.replicas_created > 0, "loss must force repair copies");
+    assert!(report.chunks_lost.is_empty(), "factor 2 survives one loss");
+    assert!(report.bytes_copied > 0, "payloads moved over the fabric");
+    assert!(report.epoch > 0, "membership + repairs commit epochs");
+    assert_replication_restored(&q, 2, "after fail_node(0)");
+
+    // Zero failed queries beyond transient retries: every query
+    // succeeds and matches the pre-loss oracle bit-for-bit.
+    for (i, &sql) in QUERIES.iter().enumerate() {
+        let (r, _) = q.query_with_stats(sql).expect("post-repair run");
+        assert_eq!(
+            sorted_rows(&r.rows),
+            oracle[i],
+            "diverged after repair: {sql}"
+        );
+    }
+    let snap = q.placement_manager().metrics_snapshot();
+    assert_eq!(snap.gauge("placement.members"), 3);
+    assert!(snap.counter("placement.repairs") >= report.replicas_created as u64);
+    assert_no_result_leaks(&q, "fail_node repair");
+}
+
+#[test]
+fn seeded_faults_during_copy_never_lose_an_acked_replica() {
+    let patch = small_patch(600, 82);
+    let q = replicated(&patch, placement_seed());
+    let oracle: Vec<_> = QUERIES
+        .iter()
+        .map(|&sql| sorted_rows(&q.query(sql).expect("clean run").rows))
+        .collect();
+
+    // Chaos *during* the repair copies: transient read failures plus
+    // payload corruption (caught by the copy's digest checks). Seeded,
+    // so each CI matrix seed replays its own schedule.
+    q.cluster()
+        .faults()
+        .fail_with_probability(None, Some(FabricOp::Read), 0.15);
+    q.cluster()
+        .faults()
+        .corrupt_payload(None, Some(FabricOp::Read), 0.15);
+
+    let report = q.fail_node(1).expect("repair survives chaos");
+    assert!(report.chunks_lost.is_empty());
+    assert_replication_restored(&q, 2, "after chaotic repair");
+
+    // The acid test: the *sources* the repair copied from may die next.
+    // Every chunk must still be answerable from the repaired replicas —
+    // an acked-but-hollow replica would fail here. Quiesce the fault
+    // rules first so only real placement state is under test.
+    q.cluster().faults().clear();
+    let survivor_victim = 2;
+    q.fail_node(survivor_victim).expect("second loss repairs");
+    assert!(
+        q.placement().epoch() >= 2,
+        "two membership changes committed"
+    );
+    for (i, &sql) in QUERIES.iter().enumerate() {
+        let r = q.query(sql).expect("run after double loss");
+        assert_eq!(
+            sorted_rows(&r.rows),
+            oracle[i],
+            "acked replica was hollow: {sql}"
+        );
+    }
+    assert_no_result_leaks(&q, "chaotic repair");
+}
+
+#[test]
+fn fail_node_with_on_disk_chunks_ships_qchunk_files() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("qserv-itest-placement-{}", std::process::id()));
+    let patch = small_patch(500, 83);
+    let q = ClusterBuilder::new(3)
+        .replication(2)
+        .storage_dir(&dir)
+        .storage_page_rows(64)
+        .fault_plan(FaultPlan::new(placement_seed()))
+        .build(&patch.objects, &patch.sources);
+    let oracle: Vec<_> = QUERIES
+        .iter()
+        .map(|&sql| sorted_rows(&q.query(sql).expect("clean run").rows))
+        .collect();
+    let report = q.fail_node(2).expect("repair on-disk cluster");
+    assert!(report.replicas_created > 0);
+    assert_replication_restored(&q, 2, "on-disk repair");
+    for (i, &sql) in QUERIES.iter().enumerate() {
+        let r = q.query(sql).expect("post-repair run");
+        assert_eq!(sorted_rows(&r.rows), oracle[i], "on-disk diverged: {sql}");
+    }
+    assert_no_result_leaks(&q, "on-disk repair");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repair_reports_unrecoverable_chunks_at_replication_one() {
+    let patch = small_patch(500, 84);
+    let q = ClusterBuilder::new(3)
+        .replication(1)
+        .build(&patch.objects, &patch.sources);
+    let doomed = q.placement().chunks_on(0);
+    assert!(!doomed.is_empty(), "node 0 held chunks");
+    let report = q.fail_node(0).expect("repair runs even when lossy");
+    assert_eq!(
+        report.chunks_lost, doomed,
+        "every factor-1 chunk on the lost node is reported unrecoverable"
+    );
+    assert_eq!(report.replicas_created, 0, "nothing to copy from");
+    assert_eq!(
+        q.placement_manager()
+            .metrics_snapshot()
+            .counter("placement.chunks_lost"),
+        doomed.len() as u64
+    );
+}
+
+#[test]
+fn join_and_drain_preserve_results_and_balance() {
+    let patch = small_patch(600, 85);
+    let q = ClusterBuilder::new(3)
+        .replication(2)
+        .standby_nodes(1)
+        .build(&patch.objects, &patch.sources);
+    let oracle: Vec<_> = QUERIES
+        .iter()
+        .map(|&sql| sorted_rows(&q.query(sql).expect("baseline").rows))
+        .collect();
+    assert_eq!(q.placement().members(), vec![0, 1, 2]);
+    assert!(q.workers()[3].table_names().is_empty(), "standby is empty");
+
+    // Join: the standby becomes a member and rebalancing moves replicas
+    // onto it until loads differ by at most one.
+    let report = q.join_node(3).expect("standby joins");
+    assert!(report.chunks_moved > 0, "rebalance shipped replicas");
+    let load = q.placement().load();
+    let (hi, lo) = (
+        load.values().max().copied().unwrap(),
+        load.values().min().copied().unwrap(),
+    );
+    assert!(hi <= lo + 1, "balanced after join: {load:?}");
+    assert!(q.workers()[3].holds_chunk(q.placement().chunks_on(3)[0]));
+    assert_replication_restored(&q, 2, "after join");
+    for (i, &sql) in QUERIES.iter().enumerate() {
+        let r = q.query(sql).expect("post-join run");
+        assert_eq!(
+            sorted_rows(&r.rows),
+            oracle[i],
+            "diverged after join: {sql}"
+        );
+    }
+
+    // Drain it back out: copy-then-detach, so the factor never dips.
+    let report = q.leave_node(3).expect("drain succeeds");
+    assert!(report.chunks_moved > 0, "drain shipped replicas off");
+    assert!(!q.placement().is_member(3));
+    assert!(q.placement().chunks_on(3).is_empty());
+    assert_replication_restored(&q, 2, "after drain");
+    for (i, &sql) in QUERIES.iter().enumerate() {
+        let r = q.query(sql).expect("post-drain run");
+        assert_eq!(
+            sorted_rows(&r.rows),
+            oracle[i],
+            "diverged after drain: {sql}"
+        );
+    }
+    assert_no_result_leaks(&q, "join/drain");
+}
+
+#[test]
+fn in_flight_queries_pin_their_epoch_or_retry_cleanly() {
+    let patch = small_patch(700, 86);
+    let mut q = ClusterBuilder::new(3)
+        .replication(2)
+        .standby_nodes(1)
+        .retry(RetryPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::from_micros(100),
+            deadline: None,
+        })
+        .build(&patch.objects, &patch.sources);
+    // Serial dispatch widens the window in which a rebalance can land
+    // mid-query.
+    q.dispatch_width = 2;
+    let q = Arc::new(q);
+    let expected = q.query(QUERIES[0]).expect("oracle").scalar().cloned();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..3)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let expected = expected.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut runs = 0u32;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let r = q
+                            .query(QUERIES[0])
+                            .unwrap_or_else(|e| panic!("thread {t}: query failed mid-epoch: {e}"));
+                        assert_eq!(r.scalar().cloned(), expected);
+                        runs += 1;
+                    }
+                    runs
+                })
+            })
+            .collect();
+        // Membership churn while the query threads hammer: join the
+        // standby (rebalance), then drain it back out, twice.
+        for _ in 0..2 {
+            q.join_node(3).expect("join during traffic");
+            q.leave_node(3).expect("drain during traffic");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u32 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "query threads actually ran");
+    });
+    assert!(
+        q.placement().epoch() >= 4,
+        "membership churn committed epochs"
+    );
+    assert_no_result_leaks(&q, "epoch pinning");
+}
+
+#[test]
+fn latency_aware_routing_steers_off_the_hot_node_with_identical_results() {
+    let patch = small_patch(600, 87);
+    let q = replicated(&patch, placement_seed());
+    let oracle = sorted_rows(&q.query(QUERIES[2]).expect("baseline").rows);
+
+    // Node 0 runs hot (a delay on every read it serves); the EWMA loop
+    // must learn that and prefer its peers.
+    q.cluster()
+        .faults()
+        .delay(Some(0), Some(FabricOp::Read), Duration::from_millis(3));
+    q.placement_manager().set_routing(RoutingMode::LatencyAware);
+    for _ in 0..6 {
+        let r = q.query(QUERIES[2]).expect("routed run");
+        assert_eq!(sorted_rows(&r.rows), oracle, "routing changed results");
+    }
+    let heat = q.placement_manager().node_heat();
+    let hot = heat.get(&0).copied().unwrap_or(0.0);
+    assert!(
+        heat.iter().filter(|(&n, _)| n != 0).any(|(_, &h)| h < hot),
+        "node 0 must run hotter than some peer: {heat:?}"
+    );
+    assert!(
+        q.placement_manager()
+            .metrics_snapshot()
+            .counter("placement.hot_reroutes")
+            > 0,
+        "hot-chunk rerouting must have fired"
+    );
+    assert_no_result_leaks(&q, "latency-aware routing");
+}
+
+#[test]
+fn membership_errors_are_loud_not_silent() {
+    let patch = small_patch(300, 88);
+    let q = ClusterBuilder::new(2)
+        .replication(2)
+        .build(&patch.objects, &patch.sources);
+    // Joining a node outside the fleet, joining a member, failing a
+    // non-member: all refuse with a fabric error naming the node.
+    assert!(matches!(q.join_node(9), Err(QservError::Fabric(m)) if m.contains('9')));
+    assert!(matches!(q.join_node(1), Err(QservError::Fabric(m)) if m.contains('1')));
+    assert!(matches!(q.fail_node(7), Err(QservError::Fabric(m)) if m.contains('7')));
+    // Draining half of a fully-replicated 2-node cluster caps the
+    // factor rather than inventing copies: chunks stay available.
+    q.leave_node(1).expect("drain to a single node");
+    let r = q.query(QUERIES[0]).expect("single-node run");
+    assert_eq!(r.scalar(), Some(&Value::Int(patch.objects.len() as i64)));
+}

@@ -234,6 +234,43 @@ fn version_bump_invalidates_cached_entries() {
 }
 
 #[test]
+fn table_version_bump_invalidates_only_that_tables_entries() {
+    let service = service(300, 75, cached_cfg());
+    let obj = "SELECT COUNT(*) FROM Object";
+    let src = "SELECT COUNT(*) FROM Source";
+    service
+        .submit(obj)
+        .expect("obj cold")
+        .wait()
+        .result
+        .expect("obj runs");
+    service
+        .submit(src)
+        .expect("src cold")
+        .wait()
+        .result
+        .expect("src runs");
+    // Bumping Source orphans the Source entry only: the Object lookup
+    // keeps hitting, the Source one re-executes.
+    service.qserv().bump_table_version("Source");
+    service
+        .submit(obj)
+        .expect("obj warm")
+        .wait()
+        .result
+        .expect("obj hits");
+    service
+        .submit(src)
+        .expect("src warm")
+        .wait()
+        .result
+        .expect("src reruns");
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter(names::CACHE_HIT), 1, "Object entry survived");
+    assert_eq!(snap.counter(names::CACHE_MISS), 3, "Source entry orphaned");
+}
+
+#[test]
 fn byte_budget_evicts_and_counts() {
     // A budget big enough for roughly one COUNT(*) result: the second
     // distinct query must push the first out.
