@@ -421,6 +421,163 @@ fn run_join_bench(out: &str, iters: usize) {
     eprintln!("wrote {out}");
 }
 
+/// The cost-based-planner benchmark: a mixed workload — point lookups,
+/// IN-lists, predicate region scans, top-n — on a real cluster, run
+/// end-to-end under three plan policies: always-scan, always-index
+/// (both with pushdown and reordering forced off), and the planner's
+/// own choice. Every policy must return bit-identical results (the
+/// plan-equivalence gate; the planner only picks among sound plans),
+/// and the planner's total must beat both forced baselines. Also
+/// reports the estimator's q-error over the planner-mode runs. Summary
+/// goes to `BENCH_planner.json`.
+fn run_planner_bench(out: &str, iters: usize) {
+    use qserv::PlanOverride;
+
+    let objects = 12_000usize;
+    // A wide footprint so the chunk set is large enough that chunk
+    // elision and index routing matter; no injected fabric delay, so
+    // CPU + result transfer dominate, as on a warm cluster.
+    let patch = Patch::generate(&CatalogConfig {
+        objects,
+        mean_sources_per_object: 1.0,
+        seed: 83,
+        footprint: qserv_sphgeom::SphericalBox::from_degrees(0.0, -40.0, 120.0, 40.0),
+    });
+    let mut q = ClusterBuilder::new(8).build(&patch.objects, &patch.sources);
+    let chunks = q.placement().chunks().len();
+
+    let mut queries: Vec<String> = Vec::new();
+    for i in 0..8u64 {
+        queries.push(format!(
+            "SELECT * FROM Object WHERE objectId = {}",
+            37 + i * 731
+        ));
+    }
+    for i in 0..4u64 {
+        let b = 500 + i * 977;
+        queries.push(format!(
+            "SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId IN \
+             ({}, {}, {}, {}, {})",
+            b,
+            b + 311,
+            b + 622,
+            b + 933,
+            b + 1244
+        ));
+    }
+    // Region scans with the expensive conjunct written first — the
+    // filter-reordering target.
+    for (l0, b0, l1, b1) in [
+        (5.0, -35.0, 35.0, -5.0),
+        (40.0, -20.0, 80.0, 20.0),
+        (10.0, 0.0, 60.0, 38.0),
+        (70.0, -38.0, 118.0, 0.0),
+    ] {
+        queries.push(format!(
+            "SELECT objectId FROM Object WHERE qserv_areaspec_box({l0}, {b0}, {l1}, {b1}) \
+             AND fluxToAbMag(zFlux_PS) < 23.5 AND decl_PS < 35.0"
+        ));
+    }
+    for i in 0..8u64 {
+        queries.push(format!(
+            "SELECT * FROM Object ORDER BY objectId{} LIMIT 5",
+            if i % 2 == 0 { " DESC" } else { "" }
+        ));
+    }
+
+    let modes: [(&str, Option<PlanOverride>); 3] = [
+        (
+            "always_scan",
+            Some(PlanOverride {
+                use_index: Some(false),
+                push_topn: Some(false),
+                reorder: Some(false),
+            }),
+        ),
+        (
+            "always_index",
+            Some(PlanOverride {
+                use_index: Some(true),
+                push_topn: Some(false),
+                reorder: Some(false),
+            }),
+        ),
+        ("planner", None),
+    ];
+
+    let mut reference: Option<Vec<ResultTable>> = None;
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    let mut qerr_mean = 0.0f64;
+    let mut qerr_max = 0.0f64;
+    for (name, ov) in modes {
+        q.plan_override = ov;
+        // Warm-up pass doubles as the plan-equivalence gate: a forced
+        // plan returning different bytes is a planner soundness bug.
+        let results: Vec<ResultTable> = queries
+            .iter()
+            .map(|sql| q.query(sql).expect("workload query runs"))
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(expect) => {
+                for ((sql, a), b) in queries.iter().zip(expect).zip(&results) {
+                    assert_eq!(a, b, "{name} diverged from always_scan on {sql}");
+                }
+            }
+        }
+        if ov.is_none() {
+            // Estimator accuracy, measured on the plans actually chosen.
+            let mut errs = Vec::new();
+            for sql in &queries {
+                let (_, stats) = q.query_with_stats(sql).expect("stats run");
+                errs.push(stats.planner_qerror_pct as f64 / 100.0);
+            }
+            qerr_mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            qerr_max = errs.iter().cloned().fold(0.0, f64::max);
+        }
+        let (_, best) = best_of(iters, || {
+            for sql in &queries {
+                q.query(sql).expect("workload query runs");
+            }
+        });
+        eprintln!(
+            "planner  {name:<12} {} queries over {chunks} chunks: {:.0} ms",
+            queries.len(),
+            best * 1e3
+        );
+        totals.push((name, best));
+    }
+    let scan_s = totals[0].1;
+    let index_s = totals[1].1;
+    let planner_s = totals[2].1;
+    // The headline gate: the cost model must pay for itself end to end.
+    assert!(
+        planner_s < scan_s && planner_s < index_s,
+        "planner ({planner_s:.3}s) must beat always-scan ({scan_s:.3}s) \
+         and always-index ({index_s:.3}s)"
+    );
+    eprintln!(
+        "planner  headline: {:.2}x vs always-scan, {:.2}x vs always-index, \
+         q-error mean {qerr_mean:.2} max {qerr_max:.2}",
+        scan_s / planner_s,
+        index_s / planner_s
+    );
+
+    let json = format!(
+        "{{\n  \"objects\": {objects},\n  \"chunks\": {chunks},\n  \"iters\": {iters},\n  \
+         \"queries\": {},\n  \
+         \"always_scan_s\": {scan_s:.4},\n  \"always_index_s\": {index_s:.4},\n  \
+         \"planner_s\": {planner_s:.4},\n  \
+         \"speedup_vs_scan\": {:.3},\n  \"speedup_vs_index\": {:.3},\n  \
+         \"qerror\": {{\"mean\": {qerr_mean:.3}, \"max\": {qerr_max:.3}}}\n}}\n",
+        queries.len(),
+        scan_s / planner_s,
+        index_s / planner_s
+    );
+    std::fs::write(out, json).expect("write planner benchmark output");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let mut chunk_counts: Vec<usize> = vec![64, 256, 1024];
     let mut rows: usize = 200;
@@ -428,6 +585,7 @@ fn main() {
     let mut out = "BENCH_master.json".to_string();
     let mut service_out = "BENCH_service.json".to_string();
     let mut join_out: Option<String> = None;
+    let mut planner_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |what: &str| {
@@ -446,9 +604,10 @@ fn main() {
             "--out" => out = grab("--out"),
             "--service-out" => service_out = grab("--service-out"),
             "--join-out" => join_out = Some(grab("--join-out")),
+            "--planner-out" => planner_out = Some(grab("--planner-out")),
             other => panic!(
                 "unknown argument {other:?} \
-                 (expected --chunks/--rows/--iters/--out/--service-out/--join-out)"
+                 (expected --chunks/--rows/--iters/--out/--service-out/--join-out/--planner-out)"
             ),
         }
     }
@@ -506,5 +665,9 @@ fn main() {
 
     if let Some(join_out) = join_out {
         run_join_bench(&join_out, iters);
+    }
+
+    if let Some(planner_out) = planner_out {
+        run_planner_bench(&planner_out, iters);
     }
 }

@@ -26,6 +26,11 @@
 //!   the secondary index.
 //! * [`analysis`] — query analysis (§5.3): spatial restriction detection,
 //!   objectId index opportunities, table references, join classification.
+//! * [`planner`] — cost-based planning over load-time statistics (zone
+//!   maps, row counts, distinct-value counts): per-conjunct selectivity
+//!   estimation with filter reordering, index-vs-scan choice, proven-
+//!   sound ORDER BY + LIMIT pushdown, and shared-scan attachment —
+//!   surfaced through the service's `EXPLAIN` verb.
 //! * [`rewrite`] — physical query generation: aggregate splitting
 //!   (`AVG → SUM/COUNT`), `qserv_areaspec_box` → worker UDF predicates,
 //!   chunk/subchunk table substitution, and the master's merge query.
@@ -63,6 +68,7 @@ pub mod merge;
 pub mod meta;
 pub mod multimaster;
 pub mod placement;
+pub mod planner;
 pub mod rewrite;
 pub mod service;
 pub mod sharedscan;
@@ -76,9 +82,10 @@ pub use master::{CancelToken, Qserv, QueryStats, RetryPolicy, TracedQuery, XMatc
 pub use merge::{
     infer_value_types, merge_oracle, merge_tables, Merger, StreamBatch, StreamCollector,
 };
-pub use meta::{CatalogMeta, ChunkZones, ColumnZone};
+pub use meta::{CatalogMeta, ChunkZones, ColumnStat, ColumnZone, TableStats};
 pub use multimaster::MasterPool;
 pub use placement::{PlacementManager, PlacementMap, RebalanceReport, RoutingMode};
+pub use planner::{AccessPath, ConjunctEstimate, PlanChoice, PlanOverride};
 pub use rewrite::{ColumnRole, MergeShape};
 pub use service::{
     CacheOutcome, FairScheduler, KillOutcome, Notifier, QueryClass, QueryHandle, QueryService,
@@ -104,3 +111,4 @@ pub use qserv_engine::exec::ResultTable;
 pub use qserv_engine::value::Value;
 pub use qserv_partition::chunker::Chunker;
 pub use qserv_partition::placement::PlacementStrategy;
+pub use qserv_sqlparse::strip_explain;

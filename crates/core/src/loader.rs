@@ -373,6 +373,19 @@ impl ClusterBuilder {
             std::fs::create_dir_all(dir).expect("storage dir is creatable");
         }
         let mut zones = ChunkZones::new();
+        // Planner statistics, collected at write time from the same
+        // owned tables the zone maps come from: per-chunk row counts,
+        // per-column valid counts, and distinct values — exact for
+        // integer columns (global value sets merged across chunks, so
+        // uniqueness of e.g. objectId is *provable*), summed per-chunk
+        // (an estimate) for floats.
+        let mut stats = crate::meta::TableStats::new();
+        let mut col_acc: std::collections::BTreeMap<(String, String), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut int_sets: std::collections::BTreeMap<
+            (String, String),
+            std::collections::HashSet<i64>,
+        > = std::collections::BTreeMap::new();
         for &chunk in &chunks {
             // Owned tables are built once per chunk; replicas share them
             // (by clone in-memory, by file path on disk).
@@ -394,7 +407,8 @@ impl ClusterBuilder {
             // storage modes, so the master's chunk elision is identical
             // with or without on-disk chunk files.
             for (name, t) in &owned {
-                for s in qserv_engine::storage::table_column_summaries(t) {
+                stats.record_chunk_rows(name, chunk as i64, t.num_rows() as u64);
+                for s in qserv_engine::storage::table_column_stats(t) {
                     zones.register(
                         name,
                         chunk as i64,
@@ -405,6 +419,26 @@ impl ClusterBuilder {
                             max: s.max,
                         },
                     );
+                    let acc = col_acc
+                        .entry((name.to_string(), s.name.clone()))
+                        .or_insert((0, 0));
+                    acc.0 += s.valid;
+                    acc.1 += s.distinct;
+                }
+                // Exact global distinct for integer columns: merge the
+                // chunk's values into one set per (table, column).
+                for (ci, def) in t.schema().columns().iter().enumerate() {
+                    if let qserv_engine::table::ColumnSlice::Int(vals) = t.column_slice(ci) {
+                        let nulls = t.null_mask(ci);
+                        let set = int_sets
+                            .entry((name.to_string(), def.name.clone()))
+                            .or_default();
+                        for (&v, &n) in vals.iter().zip(nulls) {
+                            if !n {
+                                set.insert(v);
+                            }
+                        }
+                    }
                 }
             }
             let paths: Option<Vec<std::path::PathBuf>> = self.storage_dir.as_ref().map(|dir| {
@@ -453,7 +487,23 @@ impl ClusterBuilder {
             secondary,
             workers,
         );
+        for ((table, column), (valid, distinct_sum)) in col_acc {
+            let (distinct, exact) = match int_sets.get(&(table.clone(), column.clone())) {
+                Some(set) => (set.len() as u64, true),
+                None => (distinct_sum.min(valid), false),
+            };
+            stats.set_column(
+                &table,
+                &column,
+                crate::meta::ColumnStat {
+                    valid,
+                    distinct,
+                    exact_distinct: exact,
+                },
+            );
+        }
         qserv.set_zones(Arc::new(zones));
+        qserv.set_stats(Arc::new(stats));
         qserv.retry = self.retry;
         qserv.storage_dir = self.storage_dir;
         if let Some(clock) = self.clock {

@@ -7,11 +7,12 @@
 //! read back mysqldump-style results → merge into a local `result` table →
 //! run the merge/aggregation query → return rows to the caller.
 
-use crate::analysis::{analyze, zone_restrictions, Analysis, JoinClass};
+use crate::analysis::{analyze, Analysis, JoinClass};
 use crate::error::QservError;
 use crate::merge::{infer_value_types, merge_oracle, Merger, StreamBatch};
-use crate::meta::{CatalogMeta, ChunkZones};
+use crate::meta::{CatalogMeta, ChunkZones, TableStats};
 use crate::placement::{PlacementManager, PlacementMap};
+use crate::planner::{self, PlanChoice, PlanOverride};
 use crate::rewrite::{build_plan, render_chunk_message, MergeShape, PhysicalPlan};
 use crate::stats::QueryMetrics;
 pub use crate::stats::QueryStats;
@@ -277,6 +278,10 @@ pub struct Explain {
     /// One rendered chunk-query message (for the first chunk), for
     /// inspection.
     pub sample_message: Option<String>,
+    /// The cost-based planner's full decision record.
+    pub choice: PlanChoice,
+    /// The placement epoch the plan was pinned to.
+    pub placement_epoch: u64,
 }
 
 /// Everything [`Qserv::query_traced`] hands back: rows, the classic
@@ -330,6 +335,15 @@ pub struct Qserv {
     /// dispatch — the master-side analogue of the worker's per-page zone
     /// maps. Empty when the loader registered none.
     zones: Arc<ChunkZones>,
+    /// Load-time table statistics (per-chunk row counts, per-column
+    /// distinct-value counts) feeding the cost-based planner. Empty when
+    /// the loader registered none — the planner then degrades to the
+    /// rule-based defaults.
+    stats: Arc<TableStats>,
+    /// Forces individual planner decisions; `None` (the default) lets
+    /// the cost model choose. The plan-equivalence test battery and the
+    /// bench baselines set this to pin a plan.
+    pub plan_override: Option<PlanOverride>,
     /// Monotonic catalog data version, shared by every frontend over
     /// this cluster. Bumped whenever data is loaded or attached after
     /// build; the result cache keys on it, so a bump invalidates every
@@ -359,6 +373,9 @@ pub(crate) struct Prepared {
     /// epoch mid-flight does not change it (the query completes against
     /// the old epoch, failing over per-chunk if a replica moved away).
     pub placement: Arc<PlacementMap>,
+    /// What the cost-based planner decided (access path, predicate
+    /// order, estimates) — EXPLAIN renders this, metrics record it.
+    pub choice: PlanChoice,
 }
 
 impl Qserv {
@@ -385,6 +402,8 @@ impl Qserv {
             streaming_merge: true,
             qid: Arc::new(AtomicU64::new(1)),
             zones: Arc::new(ChunkZones::new()),
+            stats: Arc::new(TableStats::new()),
+            plan_override: None,
             data_version: Arc::new(AtomicU64::new(1)),
             table_versions: Arc::new(Mutex::new(BTreeMap::new())),
             storage_dir: None,
@@ -448,6 +467,17 @@ impl Qserv {
         &self.zones
     }
 
+    /// Installs the load-time table statistics the planner reads (called
+    /// by the loader after every chunk is in).
+    pub(crate) fn set_stats(&mut self, stats: Arc<TableStats>) {
+        self.stats = stats;
+    }
+
+    /// The planner's table statistics (empty when none registered).
+    pub fn table_stats(&self) -> &TableStats {
+        &self.stats
+    }
+
     /// Prefixes a rendered chunk message with a unique query-instance id.
     pub(crate) fn tag_message(&self, message: String) -> String {
         let qid = self.qid.fetch_add(1, Ordering::Relaxed);
@@ -474,6 +504,8 @@ impl Qserv {
             streaming_merge: self.streaming_merge,
             qid: Arc::clone(&self.qid),
             zones: Arc::clone(&self.zones),
+            stats: Arc::clone(&self.stats),
+            plan_override: self.plan_override,
             data_version: Arc::clone(&self.data_version),
             table_versions: Arc::clone(&self.table_versions),
             storage_dir: self.storage_dir.clone(),
@@ -729,10 +761,35 @@ impl Qserv {
                 if prepared.chunks_pruned > 0 {
                     g.annotate("chunks_pruned", &prepared.chunks_pruned.to_string());
                 }
+                g.annotate("planner.access", &format!("{:?}", prepared.choice.access));
+                g.annotate(
+                    "planner.est_rows",
+                    &format!("{:.1}", prepared.choice.est_rows),
+                );
             }
             prepared
         };
+        let streaming = sink.is_some();
         let result = self.run_prepared_sink(&prepared, &qm, token, sink)?;
+        // Record the estimate-vs-actual error on the query span and the
+        // planner gauges. Under a streaming sink the final table is
+        // empty by design; the rows-merged gauge stands in for the
+        // actual.
+        let actual = if streaming {
+            qm.snapshot().gauge(crate::stats::names::ROWS_MERGED)
+        } else {
+            result.num_rows() as u64
+        };
+        let qerror = prepared.choice.q_error(actual);
+        qm.planner_qerror_pct.set((qerror * 100.0).round() as u64);
+        if let Some(q) = &_q {
+            q.annotate(
+                "planner.est_rows",
+                &format!("{:.1}", prepared.choice.est_rows),
+            );
+            q.annotate("planner.actual_rows", &actual.to_string());
+            q.annotate("planner.qerror", &format!("{qerror:.2}"));
+        }
         Ok((result, qm))
     }
 
@@ -764,6 +821,15 @@ impl Qserv {
         qm.used_spatial_restriction
             .set(prepared.analysis.spatial.is_some() as u64);
         qm.chunks_pruned.add(prepared.chunks_pruned as u64);
+        qm.planner_est_rows
+            .set(prepared.choice.est_rows.round() as u64);
+        qm.planner_index_lookup.set(matches!(
+            prepared.choice.access,
+            crate::planner::AccessPath::IndexLookup { .. }
+        ) as u64);
+        qm.planner_topn_pushdown
+            .set(prepared.choice.topn_pushdown.is_some() as u64);
+        qm.planner_reordered.set(prepared.choice.reordered as u64);
         let _d = trace::span("master.dispatch");
         if let Some(g) = &_d {
             // The epoch this query is pinned to: rebalances committing
@@ -797,6 +863,59 @@ impl Qserv {
             aggregated: prepared.analysis.aggregated,
             uses_secondary_index: prepared.analysis.index_ids.is_some(),
             sample_message,
+            choice: prepared.choice.clone(),
+            placement_epoch: prepared.placement.epoch(),
+        })
+    }
+
+    /// Renders the planner's chosen plan for `sql` as a deterministic
+    /// two-column `(item, value)` result table — the body of the
+    /// service/proxy `EXPLAIN <sql>` verb. Plans without executing.
+    pub fn explain_table(&self, sql: &str) -> Result<ResultTable, QservError> {
+        let stmt = parse_select(sql)?;
+        let columns = vec!["item".to_string(), "value".to_string()];
+        let mut items: Vec<(String, String)> = Vec::new();
+        if stmt.from.is_empty() {
+            // FROM-less statements run locally on the frontend; there is
+            // no distributed plan to show.
+            items.push(("access_path".to_string(), "frontend_local".to_string()));
+            items.push(("chunks".to_string(), "0".to_string()));
+        } else {
+            let prepared = self.prepare_stmt(&stmt)?;
+            items.push(("class".to_string(), {
+                if prepared.chunks.len() <= planner::DEFAULT_INTERACTIVE_CHUNKS {
+                    "interactive".to_string()
+                } else {
+                    "scan".to_string()
+                }
+            }));
+            items.push(("chunks".to_string(), prepared.chunks.len().to_string()));
+            items.push((
+                "chunks_pruned".to_string(),
+                prepared.chunks_pruned.to_string(),
+            ));
+            items.extend(prepared.choice.render_rows());
+            items.push((
+                "merge_shape".to_string(),
+                format!("{:?}", prepared.plan.shape),
+            ));
+            items.push(("join".to_string(), format!("{:?}", prepared.plan.join)));
+            items.push((
+                "placement_epoch".to_string(),
+                prepared.placement.epoch().to_string(),
+            ));
+        }
+        Ok(ResultTable {
+            columns,
+            rows: items
+                .into_iter()
+                .map(|(k, v)| {
+                    vec![
+                        qserv_engine::value::Value::Str(k),
+                        qserv_engine::value::Value::Str(v),
+                    ]
+                })
+                .collect(),
         })
     }
 
@@ -818,28 +937,35 @@ impl Qserv {
         stmt: &qserv_sqlparse::ast::SelectStatement,
     ) -> Result<Prepared, QservError> {
         let analysis = analyze(stmt, &self.meta)?;
-        let plan = build_plan(&analysis, &self.meta)?;
+        let mut plan = build_plan(&analysis, &self.meta)?;
         let placement = self.placement.snapshot();
-        let mut chunks = self.chunk_set(&analysis, &placement);
-        // Zone-map chunk elision: for a single-partitioned-table query,
-        // drop every chunk whose registered per-column min/max proves no
-        // row can satisfy the WHERE clause's numeric intervals. Sound
-        // because a pruned chunk would contribute zero rows anyway — the
-        // workers still apply the full predicate — so elision only skips
-        // dispatches whose results are the merge's fold identity.
-        let mut chunks_pruned = 0usize;
-        if analysis.join == JoinClass::None
-            && analysis.partitioned.len() == 1
-            && !self.zones.is_empty()
-        {
-            let table = &analysis.stmt.from[analysis.partitioned[0]].table;
-            let restrictions = zone_restrictions(&analysis.stmt);
-            if !restrictions.is_empty() {
-                let before = chunks.len();
-                chunks.retain(|&c| !self.zones.chunk_excluded(table, c as i64, &restrictions));
-                chunks_pruned = before - chunks.len();
-            }
-        }
+        // Candidate chunk sets: the spatially-restricted full scan and,
+        // when an objectId point/IN predicate exists, the secondary
+        // index's narrowing of it. The cost-based planner picks between
+        // them, applies zone-map chunk elision to both, reorders the
+        // chunk query's WHERE conjuncts by estimated selectivity, and
+        // pushes ORDER BY + LIMIT down when statistics prove the sort
+        // key unique (see [`crate::planner`]).
+        let scan_chunks = self.chunk_set_spatial(&analysis, &placement);
+        let index_chunks = analysis.index_ids.as_ref().map(|ids| {
+            let selected = self.secondary.chunks_for(ids);
+            let mut narrowed = scan_chunks.clone();
+            narrowed.retain(|c| selected.binary_search(c).is_ok());
+            narrowed
+        });
+        let planned = planner::choose(
+            planner::PlannerContext {
+                analysis: &analysis,
+                zones: &self.zones,
+                stats: &self.stats,
+                scan_chunks,
+                index_chunks,
+            },
+            self.plan_override.as_ref(),
+            &mut plan,
+        );
+        let (choice, mut chunks, chunks_pruned) =
+            (planned.choice, planned.chunks, planned.chunks_pruned);
         // A fully-restricted-away chunk set still dispatches one chunk:
         // its (empty) result gives the merge query real input columns, so
         // aggregates keep SQL semantics — COUNT over nothing is 0, not the
@@ -858,19 +984,16 @@ impl Qserv {
             chunks,
             chunks_pruned,
             placement,
+            choice,
         })
     }
 
-    /// Computes the chunk set: all stored chunks, narrowed by the spatial
-    /// restriction and/or the secondary index.
-    fn chunk_set(&self, analysis: &Analysis, placement: &PlacementMap) -> Vec<i32> {
+    /// Computes the full-scan candidate chunk set: all stored chunks,
+    /// narrowed by the spatial restriction.
+    fn chunk_set_spatial(&self, analysis: &Analysis, placement: &PlacementMap) -> Vec<i32> {
         let mut chunks = placement.chunks();
         if let Some(spec) = &analysis.spatial {
             let selected = self.chunker.chunks_intersecting(&spec.bounding_box());
-            chunks.retain(|c| selected.binary_search(c).is_ok());
-        }
-        if let Some(ids) = &analysis.index_ids {
-            let selected = self.secondary.chunks_for(ids);
             chunks.retain(|c| selected.binary_search(c).is_ok());
         }
         chunks

@@ -228,6 +228,98 @@ impl ChunkZones {
     }
 }
 
+/// Planner statistics for one numeric column of one table, aggregated
+/// over every loaded chunk.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ColumnStat {
+    /// Non-NULL, non-NaN values across all chunks.
+    pub valid: u64,
+    /// Distinct-value count across all chunks. Exact when
+    /// `exact_distinct` (the loader merged per-chunk value sets);
+    /// otherwise a sum of per-chunk distinct counts, an upper bound
+    /// that double-counts values repeated across chunks.
+    pub distinct: u64,
+    /// Whether `distinct` is an exact global count.
+    pub exact_distinct: bool,
+}
+
+/// Table/column statistics registered at load time and consumed by
+/// [`crate::planner`]: per-chunk row counts (the unit of the cost
+/// model), per-table totals, and per-column distinct-value estimates
+/// for selectivity. Like [`ChunkZones`], this is a plain registry the
+/// loader fills and the master holds behind an `Arc`.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    chunk_rows: BTreeMap<(String, i64), u64>,
+    table_rows: BTreeMap<String, u64>,
+    columns: BTreeMap<(String, String), ColumnStat>,
+}
+
+impl TableStats {
+    /// An empty registry.
+    pub fn new() -> TableStats {
+        TableStats::default()
+    }
+
+    /// Records the row count of one chunk of `table` (accumulating, so
+    /// split loads fold in).
+    pub fn record_chunk_rows(&mut self, table: &str, chunk: i64, rows: u64) {
+        *self
+            .chunk_rows
+            .entry((table.to_string(), chunk))
+            .or_insert(0) += rows;
+        *self.table_rows.entry(table.to_string()).or_insert(0) += rows;
+    }
+
+    /// Sets the column statistic for `(table, column)`, replacing any
+    /// previous value — the loader computes the global figure once,
+    /// after all chunks are in.
+    pub fn set_column(&mut self, table: &str, column: &str, stat: ColumnStat) {
+        self.columns
+            .insert((table.to_string(), column.to_string()), stat);
+    }
+
+    /// Rows loaded into chunk `chunk` of `table`, when known.
+    pub fn chunk_rows(&self, table: &str, chunk: i64) -> Option<u64> {
+        self.chunk_rows.get(&(table.to_string(), chunk)).copied()
+    }
+
+    /// Total rows loaded across all chunks of `table`.
+    pub fn table_rows(&self, table: &str) -> u64 {
+        self.table_rows.get(table).copied().unwrap_or(0)
+    }
+
+    /// The statistic for `column` of `table`, when registered.
+    pub fn column(&self, table: &str, column: &str) -> Option<ColumnStat> {
+        self.columns
+            .get(&(table.to_string(), column.to_string()))
+            .copied()
+    }
+
+    /// True when statistics *prove* `column` of `table` is a unique,
+    /// NULL-free key over the loaded data: exact distinct count equal to
+    /// both the valid count and the table's total rows. The planner only
+    /// pushes ORDER BY + LIMIT below the merge on such a column — ties
+    /// are impossible, so every plan yields the identical prefix.
+    pub fn is_unique_key(&self, table: &str, column: &str) -> bool {
+        let rows = self.table_rows(table);
+        rows > 0
+            && self
+                .column(table, column)
+                .is_some_and(|c| c.exact_distinct && c.distinct == c.valid && c.valid == rows)
+    }
+
+    /// Number of (table, chunk) row-count entries registered.
+    pub fn len(&self) -> usize {
+        self.chunk_rows.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.chunk_rows.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +412,55 @@ mod tests {
         );
         let any = vec![("zFlux_PS".to_string(), f64::NEG_INFINITY, f64::INFINITY)];
         assert!(z.chunk_excluded("Object", 1, &any));
+    }
+
+    #[test]
+    fn table_stats_accumulate_and_prove_uniqueness() {
+        let mut s = TableStats::new();
+        assert!(s.is_empty());
+        s.record_chunk_rows("Object", 7, 10);
+        s.record_chunk_rows("Object", 8, 5);
+        s.record_chunk_rows("Object", 7, 2); // split load folds in
+        assert_eq!(s.chunk_rows("Object", 7), Some(12));
+        assert_eq!(s.chunk_rows("Object", 9), None);
+        assert_eq!(s.table_rows("Object"), 17);
+        assert_eq!(s.table_rows("Source"), 0);
+        assert_eq!(s.len(), 2);
+
+        s.set_column(
+            "Object",
+            "objectId",
+            ColumnStat {
+                valid: 17,
+                distinct: 17,
+                exact_distinct: true,
+            },
+        );
+        assert!(s.is_unique_key("Object", "objectId"));
+        // Inexact distinct never proves uniqueness, even if counts line up.
+        s.set_column(
+            "Object",
+            "ra_PS",
+            ColumnStat {
+                valid: 17,
+                distinct: 17,
+                exact_distinct: false,
+            },
+        );
+        assert!(!s.is_unique_key("Object", "ra_PS"));
+        // NULLs (valid < rows) break uniqueness.
+        s.set_column(
+            "Object",
+            "zFlux_PS",
+            ColumnStat {
+                valid: 16,
+                distinct: 16,
+                exact_distinct: true,
+            },
+        );
+        assert!(!s.is_unique_key("Object", "zFlux_PS"));
+        assert!(!s.is_unique_key("Object", "nope"));
+        assert!(!s.is_unique_key("Empty", "x"));
     }
 
     #[test]

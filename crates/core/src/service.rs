@@ -856,6 +856,15 @@ impl QueryService {
             .submit_streaming(sql, root.map(|s| s.to_string()), Some(notify))
     }
 
+    /// Plans `sql` without executing it and renders the planner's
+    /// choice — access path, predicate order with estimates, pushdown,
+    /// cost — as a deterministic result table (the proxy's `EXPLAIN`
+    /// verb). Plans are cached under an `EXPLAIN`-tagged key, disjoint
+    /// from the entry the query's own results would occupy.
+    pub fn explain(&self, sql: &str) -> Result<ResultTable, QservError> {
+        self.inner.explain(sql)
+    }
+
     /// Drops every cached result. Version bumps on load/attach already
     /// invalidate stale entries; this is the explicit hammer.
     pub fn clear_result_cache(&self) {
@@ -1070,6 +1079,45 @@ impl Inner {
         }
         self.cv.notify_all();
         Ok(handle)
+    }
+
+    /// Plans `sql` without executing it (the proxy's `EXPLAIN` verb) and
+    /// renders the chosen plan as a result table. Cached under an
+    /// `EXPLAIN `-prefixed key — the verb is part of the key, so an
+    /// EXPLAIN never serves (or populates) the result-cache entry of the
+    /// query itself, and vice versa.
+    fn explain(&self, sql: &str) -> Result<ResultTable, QservError> {
+        let mut cache_key = None;
+        if self.cfg.cache_capacity_bytes > 0 {
+            let (normalized, tables) = normalize_sql_tables(sql)?;
+            let version = self.qserv.version_for_tables(&tables);
+            let key = format!("EXPLAIN {normalized}");
+            let hit = self
+                .cache
+                .lock()
+                .expect("result cache poisoned")
+                .get(version, &key);
+            if let Some(entry) = hit {
+                self.metrics.cache_hit.inc();
+                return Ok(entry.table.clone());
+            }
+            cache_key = Some((version, key));
+        }
+        let table = self.qserv.explain_table(sql)?;
+        if let Some(key) = cache_key {
+            self.metrics.cache_miss.inc();
+            let types = infer_value_types(&table);
+            self.populate_cache(
+                key,
+                CachedResult {
+                    table: table.clone(),
+                    types,
+                    stats: QueryStats::default(),
+                    class: QueryClass::Interactive,
+                },
+            );
+        }
+        Ok(table)
     }
 
     /// Replays a cached result as if the query ran instantly: a `Done`

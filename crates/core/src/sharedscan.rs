@@ -49,6 +49,24 @@ pub struct ScanReport {
     pub stats: Vec<QueryStats>,
 }
 
+/// Outcome of [`SharedScanner::run_adaptive`]: the planner decided,
+/// per member, whether convoy attachment pays off.
+#[derive(Clone, Debug)]
+pub struct AdaptiveReport {
+    /// Per-query results, in input order — identical to what independent
+    /// execution would return.
+    pub results: Vec<ResultTable>,
+    /// Members the planner attached to the convoy (scan-class plans).
+    pub attached: usize,
+    /// Members that ran independently (interactive plans: index lookups
+    /// and small chunk sets a convoy would only delay).
+    pub detached: usize,
+    /// Chunks visited by the convoy pass (zero when nothing attached).
+    pub chunk_passes: usize,
+    /// Chunk visits the attached members would have made independently.
+    pub naive_passes: usize,
+}
+
 /// The convoy scheduler over a running cluster.
 pub struct SharedScanner<'q> {
     qserv: &'q Qserv,
@@ -188,6 +206,57 @@ impl<'q> SharedScanner<'q> {
             chunk_passes,
             naive_passes,
             stats,
+        })
+    }
+
+    /// Runs a batch with planner-driven attachment: members whose plan
+    /// is scan-class ([`crate::planner::PlanChoice::attach_convoy`])
+    /// share one convoy pass; interactive members (index lookups, small
+    /// chunk sets) run independently so a convoy of unrelated scans
+    /// cannot delay them. Results are identical to [`SharedScanner::run`]
+    /// either way — attachment is purely a scheduling decision.
+    pub fn run_adaptive(&self, queries: &[&str]) -> Result<AdaptiveReport, QservError> {
+        let mut attach_idx = Vec::new();
+        let mut detach_idx = Vec::new();
+        for (i, sql) in queries.iter().enumerate() {
+            let stmt = parse_select(sql)?;
+            if stmt.from.is_empty() {
+                return Err(QservError::Analysis(
+                    "shared scans need table queries".to_string(),
+                ));
+            }
+            let p = self.qserv.prepare_stmt(&stmt)?;
+            if p.choice.attach_convoy {
+                attach_idx.push(i);
+            } else {
+                detach_idx.push(i);
+            }
+        }
+        let mut results: Vec<Option<ResultTable>> = vec![None; queries.len()];
+        let (chunk_passes, naive_passes) = if attach_idx.is_empty() {
+            (0, 0)
+        } else {
+            let batch: Vec<&str> = attach_idx.iter().map(|&i| queries[i]).collect();
+            let report = self.run(&batch)?;
+            let naive = report.naive_passes;
+            let passes = report.chunk_passes;
+            for (&slot, table) in attach_idx.iter().zip(report.results) {
+                results[slot] = Some(table);
+            }
+            (passes, naive)
+        };
+        for &i in &detach_idx {
+            results[i] = Some(self.qserv.query(queries[i])?);
+        }
+        Ok(AdaptiveReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every member resolved"))
+                .collect(),
+            attached: attach_idx.len(),
+            detached: detach_idx.len(),
+            chunk_passes,
+            naive_passes,
         })
     }
 }

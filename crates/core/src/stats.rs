@@ -42,6 +42,16 @@ pub mod names {
     pub const PAGES_PRUNED: &str = "query.pages_pruned";
     /// Counter: row-group pages decoded from disk (cold scans).
     pub const PAGES_SCANNED: &str = "query.pages_scanned";
+    /// Gauge: the planner's estimated merged-result row count.
+    pub const PLANNER_EST_ROWS: &str = "planner.est_rows";
+    /// Gauge: estimate-vs-actual q-error × 100 (100 = perfect).
+    pub const PLANNER_QERROR_PCT: &str = "planner.qerror_pct";
+    /// Gauge (0/1): the planner chose the secondary-index access path.
+    pub const PLANNER_INDEX_LOOKUP: &str = "planner.index_lookup";
+    /// Gauge (0/1): the planner pushed ORDER BY + LIMIT into the chunks.
+    pub const PLANNER_TOPN_PUSHDOWN: &str = "planner.topn_pushdown";
+    /// Gauge (0/1): the planner reordered the WHERE conjuncts.
+    pub const PLANNER_REORDERED: &str = "planner.predicates_reordered";
     /// Histogram: dispatch attempts per completed chunk.
     pub const CHUNK_ATTEMPTS: &str = "chunk.attempts";
     /// Histogram: per-chunk dispatch latency (clock ns, retries included).
@@ -87,6 +97,12 @@ pub struct QueryStats {
     pub pages_pruned: u64,
     /// Row-group pages workers decoded from disk during cold scans.
     pub pages_scanned: u64,
+    /// The planner's estimated merged-result row count (rounded).
+    pub planner_est_rows: u64,
+    /// Estimate-vs-actual q-error × 100 (100 = perfect estimate; 0 when
+    /// the query never recorded an actual, e.g. errors or plain
+    /// EXPLAIN).
+    pub planner_qerror_pct: u64,
 }
 
 impl QueryStats {
@@ -107,6 +123,8 @@ impl QueryStats {
             chunks_pruned: s.counter(names::CHUNKS_PRUNED) as usize,
             pages_pruned: s.counter(names::PAGES_PRUNED),
             pages_scanned: s.counter(names::PAGES_SCANNED),
+            planner_est_rows: s.gauge(names::PLANNER_EST_ROWS),
+            planner_qerror_pct: s.gauge(names::PLANNER_QERROR_PCT),
         }
     }
 }
@@ -131,6 +149,11 @@ pub(crate) struct QueryMetrics {
     pub chunks_pruned: Counter,
     pub pages_pruned: Counter,
     pub pages_scanned: Counter,
+    pub planner_est_rows: Gauge,
+    pub planner_qerror_pct: Gauge,
+    pub planner_index_lookup: Gauge,
+    pub planner_topn_pushdown: Gauge,
+    pub planner_reordered: Gauge,
     pub chunk_attempts: Histogram,
     pub chunk_latency_ns: Histogram,
 }
@@ -154,6 +177,11 @@ impl QueryMetrics {
             chunks_pruned: registry.counter(names::CHUNKS_PRUNED),
             pages_pruned: registry.counter(names::PAGES_PRUNED),
             pages_scanned: registry.counter(names::PAGES_SCANNED),
+            planner_est_rows: registry.gauge(names::PLANNER_EST_ROWS),
+            planner_qerror_pct: registry.gauge(names::PLANNER_QERROR_PCT),
+            planner_index_lookup: registry.gauge(names::PLANNER_INDEX_LOOKUP),
+            planner_topn_pushdown: registry.gauge(names::PLANNER_TOPN_PUSHDOWN),
+            planner_reordered: registry.gauge(names::PLANNER_REORDERED),
             chunk_attempts: registry.histogram(names::CHUNK_ATTEMPTS),
             chunk_latency_ns: registry.histogram(names::CHUNK_LATENCY_NS),
             registry,

@@ -512,15 +512,79 @@ fn candidate_rows(
             }
         }
         None => {
-            for r in 0..table.num_rows() {
-                b.set_row(0, r);
-                if all_pass(conjuncts, &b)? {
-                    out.push(r as u32);
+            // Sorted-probe fast path: an un-indexed `intcol IN (int
+            // literals)` conjunct rejects rows by binary search before
+            // the general evaluator runs — O(log k) per row instead of
+            // a linear pass over the k-item list. Probe failure implies
+            // the conjunct is false (or NULL) for the row, so skipping
+            // it never changes the answer; survivors still run the full
+            // conjunct list.
+            let probe = conjuncts.iter().find_map(|c| in_probe(c, name, table));
+            match probe {
+                Some((ci, keys)) => {
+                    let nulls = table.null_mask(ci);
+                    if let crate::table::ColumnSlice::Int(vals) = table.column_slice(ci) {
+                        for r in 0..table.num_rows() {
+                            if nulls[r] || keys.binary_search(&vals[r]).is_err() {
+                                continue;
+                            }
+                            b.set_row(0, r);
+                            if all_pass(conjuncts, &b)? {
+                                out.push(r as u32);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for r in 0..table.num_rows() {
+                        b.set_row(0, r);
+                        if all_pass(conjuncts, &b)? {
+                            out.push(r as u32);
+                        }
+                    }
                 }
             }
         }
     }
     Ok(out)
+}
+
+/// When `conjunct` is a non-negated `intcol IN (<int literals>)` over a
+/// dense Int column of `table` (unqualified or qualified by this
+/// binding's name), returns the column's index and the sorted,
+/// deduplicated key list for binary-search probing.
+fn in_probe(conjunct: &Expr, binding: &str, table: &Table) -> Option<(usize, Vec<i64>)> {
+    let Expr::InList {
+        expr,
+        negated: false,
+        list,
+    } = conjunct
+    else {
+        return None;
+    };
+    let Expr::Column {
+        qualifier, name, ..
+    } = expr.as_ref()
+    else {
+        return None;
+    };
+    if qualifier.as_deref().is_some_and(|q| q != binding) {
+        return None;
+    }
+    let ci = table.schema().index_of(name)?;
+    if table.schema().columns()[ci].ty != ColumnType::Int {
+        return None;
+    }
+    let mut keys: Vec<i64> = list
+        .iter()
+        .map(|e| match e {
+            Expr::Literal(Literal::Int(v)) => Some(*v),
+            _ => None,
+        })
+        .collect::<Option<Vec<i64>>>()?;
+    keys.sort_unstable();
+    keys.dedup();
+    Some((ci, keys))
 }
 
 /// When `conjunct` is `col = <int literal>` or `col IN (<int literals>)`
@@ -1265,7 +1329,7 @@ impl<'q> RowSink<'q> {
                     }
                 }
             }
-            self.rows.sort_by(|a, b| {
+            let key_cmp = |a: &[Value], b: &[Value]| {
                 for &(i, desc) in &keys {
                     let ord = a[i].total_cmp(&b[i]);
                     if ord != std::cmp::Ordering::Equal {
@@ -1273,7 +1337,34 @@ impl<'q> RowSink<'q> {
                     }
                 }
                 std::cmp::Ordering::Equal
-            });
+            };
+            match self.stmt.limit {
+                // Top-n selection: ORDER BY + LIMIT n with n well under
+                // the row count selects the n smallest under (keys,
+                // original index) — a strict total order, so the result
+                // is exactly the stable sort's prefix without sorting
+                // the whole set.
+                Some(l) if (l as usize) < self.rows.len() => {
+                    let n = l as usize;
+                    if n == 0 {
+                        self.rows.clear();
+                    } else {
+                        let rows = &self.rows;
+                        let ord =
+                            |x: &usize, y: &usize| key_cmp(&rows[*x], &rows[*y]).then(x.cmp(y));
+                        let mut idx: Vec<usize> = (0..rows.len()).collect();
+                        idx.select_nth_unstable_by(n - 1, ord);
+                        idx.truncate(n);
+                        idx.sort_unstable_by(ord);
+                        let mut out = Vec::with_capacity(n);
+                        for &i in &idx {
+                            out.push(std::mem::take(&mut self.rows[i]));
+                        }
+                        self.rows = out;
+                    }
+                }
+                _ => self.rows.sort_by(|a, b| key_cmp(a, b)),
+            }
         }
         // Strip hidden sort keys.
         let visible = self.columns.len();

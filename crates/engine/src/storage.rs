@@ -958,6 +958,80 @@ pub fn table_column_summaries(t: &Table) -> Vec<ColumnSummary> {
         .collect()
 }
 
+/// Planner-grade statistics for one numeric column of an in-memory
+/// table: the zone-map summary plus row count and an exact
+/// distinct-value count. Collected at write/load time (the loader runs
+/// this over each chunk table it builds, right where it registers zone
+/// maps), never read back from disk — the chunk-file format carries
+/// only the per-page zone summaries and stays unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Rows in the table (including NULLs for this column).
+    pub rows: u64,
+    /// Count of non-NULL, non-NaN values.
+    pub valid: u64,
+    /// Minimum valid value (`+∞` when `valid == 0`).
+    pub min: f64,
+    /// Maximum valid value (`−∞` when `valid == 0`).
+    pub max: f64,
+    /// Exact count of distinct valid values. At catalog-simulation row
+    /// counts an exact set fits easily; a sketch (HLL) would take this
+    /// field's place at survey scale.
+    pub distinct: u64,
+}
+
+/// Computes [`ColumnStats`] straight from an in-memory table. Same
+/// traversal as [`table_column_summaries`] plus distinct counting:
+/// values are deduplicated by bit pattern (`i64` bits for Int columns,
+/// IEEE-754 bits for Float), so `-0.0` and `0.0` count as two — a
+/// harmless over-count for selectivity purposes.
+pub fn table_column_stats(t: &Table) -> Vec<ColumnStats> {
+    let rows = t.num_rows() as u64;
+    t.schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, def)| {
+            let nulls = t.null_mask(i);
+            let (mut valid, mut min, mut max) = (0u64, f64::INFINITY, f64::NEG_INFINITY);
+            let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            match t.column_slice(i) {
+                crate::table::ColumnSlice::Int(vals) => {
+                    for (&v, &n) in vals.iter().zip(nulls) {
+                        if !n {
+                            valid += 1;
+                            min = min.min(v as f64);
+                            max = max.max(v as f64);
+                            seen.insert(v as u64);
+                        }
+                    }
+                }
+                crate::table::ColumnSlice::Float(vals) => {
+                    for (&v, &n) in vals.iter().zip(nulls) {
+                        if !n && !v.is_nan() {
+                            valid += 1;
+                            min = min.min(v);
+                            max = max.max(v);
+                            seen.insert(v.to_bits());
+                        }
+                    }
+                }
+                crate::table::ColumnSlice::Str(_) => return None,
+            }
+            Some(ColumnStats {
+                name: def.name.clone(),
+                rows,
+                valid,
+                min,
+                max,
+                distinct: seen.len() as u64,
+            })
+        })
+        .collect()
+}
+
 /// Bit-level table equality: schema, row count, dense column storage
 /// (floats by IEEE bits, so NaN payloads count) and null masks. Index
 /// presence is ignored — it is derived state.
@@ -1628,5 +1702,22 @@ mod tests {
         // In-memory summaries agree with the on-disk fold.
         assert_eq!(table_column_summaries(&t), s);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_stats_count_rows_valid_and_distinct() {
+        let t = mixed_table();
+        let s = table_column_stats(&t);
+        assert_eq!(s.len(), 2, "Str column filtered out");
+        assert_eq!(s[0].name, "objectId");
+        assert_eq!((s[0].rows, s[0].valid, s[0].distinct), (5, 4, 4));
+        assert_eq!((s[0].min, s[0].max), (1.0, 5.0));
+        // flux: NaN and NULL excluded from valid; -0.0 and -inf distinct.
+        assert_eq!(s[1].name, "flux");
+        assert_eq!((s[1].rows, s[1].valid, s[1].distinct), (5, 3, 3));
+        // Stats agree with the zone summaries on the shared fields.
+        for (st, su) in s.iter().zip(table_column_summaries(&t)) {
+            assert_eq!((st.valid, st.min, st.max), (su.valid, su.min, su.max));
+        }
     }
 }

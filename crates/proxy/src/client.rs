@@ -221,6 +221,17 @@ impl ProxyClient {
         Ok(table)
     }
 
+    /// Plans `sql` server-side without executing it (`EXPLAIN <sql>;`)
+    /// and returns the chosen plan as an `item, value` result table:
+    /// access path, predicate order with selectivity/cost estimates,
+    /// top-n pushdown, estimated rows/cost, merge shape, and placement
+    /// epoch.
+    pub fn explain(&mut self, sql: &str) -> Result<ResultTable, ClientError> {
+        let request = format!("EXPLAIN {}", sql.trim_end_matches(';'));
+        let (table, _, _) = self.exchange(&request)?;
+        Ok(table)
+    }
+
     /// One request/response round trip, buffering every batch; the
     /// optional third element is the body of a `TRACE` frame.
     fn exchange(

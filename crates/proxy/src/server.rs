@@ -250,6 +250,14 @@ fn route(service: &QueryService, stmt: &str) -> Action {
             rows,
         });
     }
+    // `EXPLAIN <sql>` plans without executing and answers inline with
+    // the planner's choice rendered as a result table.
+    if let Some(inner) = qserv::strip_explain(stmt) {
+        return match service.explain(inner) {
+            Ok(table) => Action::Table(table),
+            Err(e) => Action::BadVerb(format!("EXPLAIN failed: {e}")),
+        };
+    }
     match strip_trace_verb(stmt) {
         Some(inner) => Action::Submit {
             sql: inner.to_string(),

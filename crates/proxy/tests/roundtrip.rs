@@ -54,6 +54,41 @@ fn multiple_statements_one_session() {
 }
 
 #[test]
+fn explain_round_trip_over_tcp() {
+    let (server, _patch) = start_server(200, 19);
+    let mut client = ProxyClient::connect(server.addr()).expect("connect");
+
+    let plan = client
+        .explain("SELECT * FROM Object WHERE objectId = 42")
+        .expect("explain");
+    assert_eq!(plan.columns, vec!["item", "value"]);
+    let items: Vec<String> = plan
+        .rows
+        .iter()
+        .map(|r| r[0].to_string() + "=" + &r[1].to_string())
+        .collect();
+    let joined = items.join("\n");
+    assert!(joined.contains("access_path"), "{joined}");
+    assert!(joined.contains("est_cost"), "{joined}");
+    assert!(joined.contains("index_lookup"), "{joined}");
+    // EXPLAIN plans without executing: the query itself still runs.
+    let (rows, _) = client
+        .query("SELECT objectId FROM Object WHERE objectId = 42")
+        .expect("point");
+    assert_eq!(rows.rows[0][0].as_i64(), Some(42));
+
+    // A malformed inner statement errors without killing the session.
+    let err = client.explain("SELECTT 1").unwrap_err();
+    assert!(err.to_string().contains("EXPLAIN failed"), "{err}");
+    let plan = client.explain("SELECT 1").expect("frontend-local");
+    assert!(plan
+        .rows
+        .iter()
+        .any(|r| r[1].to_string().contains("frontend_local")));
+    server.shutdown();
+}
+
+#[test]
 fn errors_cross_the_wire() {
     let (server, _patch) = start_server(50, 13);
     let mut client = ProxyClient::connect(server.addr()).expect("connect");

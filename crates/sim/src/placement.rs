@@ -218,6 +218,44 @@ pub fn scan_job(
     }
 }
 
+/// An index-routed point lookup under the placement map: the secondary
+/// index already resolved the keys to their home `chunks`, so only
+/// those chunks get a task, and each task reads an index probe's worth
+/// of pages (`probe_bytes`) instead of the whole chunk. Compare against
+/// [`scan_job`] over the same placement to see the planner's
+/// index-vs-scan cost gap in simulator terms.
+pub fn lookup_job(
+    placement: &SimPlacement,
+    label: &str,
+    submit_s: f64,
+    chunks: &[usize],
+    probe_bytes: u64,
+) -> QueryJob {
+    let mut per_node: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut tasks = Vec::new();
+    for &chunk in chunks {
+        let Some(&node) = placement
+            .nodes_of(chunk)
+            .iter()
+            .min_by_key(|&&n| (per_node.get(&n).copied().unwrap_or(0), n))
+        else {
+            continue;
+        };
+        *per_node.entry(node).or_insert(0) += 1;
+        tasks.push(ChunkTask {
+            node,
+            disk_bytes: probe_bytes,
+            result_bytes: 256,
+            ..ChunkTask::default()
+        });
+    }
+    QueryJob {
+        label: format!("{label}@e{}", placement.epoch()),
+        submit_s,
+        tasks,
+    }
+}
+
 /// The repair traffic of a [`RepairPlan`] as a simulator job: each copy
 /// reads the payload off the source replica's disk and ships it to the
 /// recipient over the fabric (modeled as the task's result bytes).
@@ -416,6 +454,44 @@ mod tests {
                 first
             );
         }
+    }
+
+    #[test]
+    fn index_lookup_outruns_the_scan() {
+        let base = SimConfig::paper_cluster();
+        let placement = SimPlacement::round_robin(120, 10, 2);
+
+        let mut sim = Simulator::new(base.clone().with_nodes(10));
+        sim.submit(scan_job(&placement, "scan", 0.0, 64 << 20));
+        sim.submit(lookup_job(
+            &placement,
+            "lookup",
+            0.0,
+            &[3, 47, 91],
+            64 << 10,
+        ));
+        let reports = sim.run();
+
+        let scan = reports
+            .iter()
+            .find(|r| r.label.starts_with("scan"))
+            .expect("scan report");
+        let lookup = reports
+            .iter()
+            .find(|r| r.label.starts_with("lookup"))
+            .expect("lookup report");
+        assert_eq!(scan.tasks, 120);
+        assert_eq!(lookup.tasks, 3);
+        // The cost gap the planner's index-vs-scan choice banks on:
+        // three index probes finish several times before the 120-chunk
+        // scan even while queueing behind it on a shared cluster.
+        assert!(
+            lookup.elapsed_s * 5.0 < scan.elapsed_s,
+            "lookup {}s vs scan {}s",
+            lookup.elapsed_s,
+            scan.elapsed_s
+        );
+        assert!(lookup.disk_bytes * 100 < scan.disk_bytes);
     }
 
     #[test]

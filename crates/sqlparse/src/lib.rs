@@ -23,4 +23,4 @@ pub mod parser;
 
 pub use ast::{BinaryOp, Expr, Literal, OrderItem, Projection, SelectStatement, TableRef, UnaryOp};
 pub use lexer::{LexError, Token, TokenKind};
-pub use parser::{parse_select, ParseError};
+pub use parser::{parse_select, strip_explain, ParseError};

@@ -63,6 +63,23 @@ pub fn parse_select(sql: &str) -> Result<SelectStatement, ParseError> {
     Ok(stmt)
 }
 
+/// Splits the `EXPLAIN` verb off a statement, returning the inner SQL.
+/// The verb is case-insensitive and must be followed by whitespace, so
+/// ordinary SQL (which never starts with EXPLAIN) passes through as
+/// `None`. `EXPLAIN` is a planner verb, not part of the SELECT grammar:
+/// callers strip it here and plan the inner statement without executing.
+pub fn strip_explain(sql: &str) -> Option<&str> {
+    let sql = sql.trim_start();
+    sql.get(..7)
+        .filter(|verb| verb.eq_ignore_ascii_case("EXPLAIN"))?;
+    let tail = &sql[7..];
+    if tail.starts_with(char::is_whitespace) {
+        Some(tail.trim_start())
+    } else {
+        None
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -567,6 +584,16 @@ mod tests {
 
     fn roundtrip(sql: &str) -> String {
         parse_select(sql).unwrap().to_sql()
+    }
+
+    #[test]
+    fn explain_verb_strips() {
+        assert_eq!(strip_explain("EXPLAIN SELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_explain("explain  SELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_explain("  Explain\tSELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_explain("EXPLAINED x"), None);
+        assert_eq!(strip_explain("EXPLAIN"), None);
+        assert_eq!(strip_explain("SELECT 1"), None);
     }
 
     #[test]

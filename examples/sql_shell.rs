@@ -65,21 +65,14 @@ fn main() {
         if input == "\\q" || input.eq_ignore_ascii_case("quit") {
             break;
         }
-        if let Some(rest) = input
-            .strip_prefix("EXPLAIN ")
-            .or_else(|| input.strip_prefix("explain "))
-        {
-            match qserv.explain(rest) {
-                Ok(e) => {
-                    println!(
-                        "join={:?} aggregated={} secondary_index={} chunks={}",
-                        e.join,
-                        e.aggregated,
-                        e.uses_secondary_index,
-                        e.chunks.len()
-                    );
-                    if let Some(msg) = e.sample_message {
-                        println!("sample chunk query:\n{msg}");
+        // EXPLAIN travels the wire like everything else: the proxy
+        // answers with the planner's item/value table.
+        if let Some(rest) = qserv::strip_explain(input) {
+            match client.explain(rest) {
+                Ok(plan) => {
+                    for row in &plan.rows {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        println!("{}", cells.join(" = "));
                     }
                 }
                 Err(e) => println!("error: {e}"),

@@ -1,0 +1,198 @@
+//! The planner's user-facing surfaces: golden EXPLAIN snapshots for the
+//! paper's query shapes, estimator accuracy bounds (q-error), the
+//! planner fields exported through metrics and trace JSON, and the
+//! result-cache regression that keeps `EXPLAIN <sql>` and `<sql>`
+//! under disjoint cache keys.
+//!
+//! Golden fixtures live in `tests/golden_plans/*.txt`. To regenerate
+//! after an intentional planner change:
+//! `UPDATE_GOLDENS=1 cargo test --test planner_explain golden`.
+
+mod common;
+
+use common::{cluster_from, small_patch};
+use qserv::service::{QueryService, ServiceConfig};
+use qserv::{CacheOutcome, Qserv};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+fn fixture() -> &'static Qserv {
+    static FIX: OnceLock<Qserv> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let patch = small_patch(600, 4242);
+        cluster_from(&patch, 4)
+    })
+}
+
+/// Renders an EXPLAIN table as stable `item = value` lines.
+fn render_explain(q: &Qserv, sql: &str) -> String {
+    let table = q.explain_table(sql).expect("explain");
+    assert_eq!(table.columns, vec!["item", "value"]);
+    let mut out = String::new();
+    for row in &table.rows {
+        let (qserv::Value::Str(k), qserv::Value::Str(v)) = (&row[0], &row[1]) else {
+            panic!("EXPLAIN cells are strings: {row:?}");
+        };
+        out.push_str(k);
+        out.push_str(" = ");
+        out.push_str(v);
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares against (or, under `UPDATE_GOLDENS=1`, rewrites) the
+/// committed snapshot.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden_plans")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        rendered, expected,
+        "EXPLAIN drifted from golden {name}; if intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn golden_objectid_lookup() {
+    assert_golden(
+        "objectid_lookup",
+        &render_explain(
+            fixture(),
+            "SELECT ra_PS, decl_PS FROM Object WHERE objectId = 42",
+        ),
+    );
+}
+
+#[test]
+fn golden_region_scan() {
+    assert_golden(
+        "region_scan",
+        &render_explain(
+            fixture(),
+            "SELECT objectId, ra_PS, decl_PS FROM Object \
+             WHERE qserv_areaspec_box(359.0, -1.2, 2.5, 1.2) AND fluxToAbMag(zFlux_PS) < 24",
+        ),
+    );
+}
+
+#[test]
+fn golden_near_neighbor() {
+    assert_golden(
+        "near_neighbor",
+        &render_explain(
+            fixture(),
+            "SELECT count(*) FROM Object o1, Object o2 \
+             WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.05 \
+             AND o1.objectId != o2.objectId",
+        ),
+    );
+}
+
+#[test]
+fn golden_topn() {
+    assert_golden(
+        "topn",
+        &render_explain(
+            fixture(),
+            "SELECT objectId, ra_PS FROM Object ORDER BY objectId DESC LIMIT 10",
+        ),
+    );
+}
+
+/// Estimator accuracy on a datagen workload: every estimate within a
+/// bounded q-error of the actual row count, and the estimate/actual
+/// pair exported through the stats view.
+#[test]
+fn estimator_qerror_is_bounded() {
+    let q = fixture();
+    let workload = [
+        "SELECT objectId FROM Object WHERE objectId = 101",
+        "SELECT objectId FROM Object WHERE objectId IN (5, 105, 205, 305)",
+        "SELECT objectId FROM Object WHERE decl_PS < 0.0",
+        "SELECT objectId FROM Object WHERE decl_PS < 0.0 AND ra_PS > 1.0",
+        "SELECT objectId, ra_PS FROM Object ORDER BY objectId LIMIT 20",
+        "SELECT COUNT(*) FROM Object",
+    ];
+    for sql in workload {
+        let (_, stats) = q.query_with_stats(sql).expect("runs");
+        let qerr = stats.planner_qerror_pct as f64 / 100.0;
+        assert!(
+            (1.0..=16.0).contains(&qerr),
+            "q-error {qerr} out of bounds for {sql} (est {})",
+            stats.planner_est_rows
+        );
+    }
+}
+
+/// The planner's choice and its estimate-vs-actual error ride the span
+/// tree: `master.analyze` records the access path and estimate, the
+/// query root records the q-error — all visible in the exported JSON.
+#[test]
+fn trace_json_carries_planner_annotations() {
+    let q = fixture();
+    let traced = q
+        .query_traced("SELECT ra_PS FROM Object WHERE objectId = 57")
+        .expect("traced run");
+    let json = traced.trace.to_json();
+    for key in [
+        "planner.access",
+        "planner.est_rows",
+        "planner.actual_rows",
+        "planner.qerror",
+    ] {
+        assert!(json.contains(key), "trace JSON missing {key}: {json}");
+    }
+    assert!(json.contains("IndexLookup"), "{json}");
+    // The stats view exposes the same numbers for metrics consumers
+    // (q-error is floored at 1.0, surfaced as percent).
+    assert!(traced.stats.planner_qerror_pct >= 100);
+}
+
+/// Regression: `EXPLAIN <sql>` and `<sql>` must occupy disjoint cache
+/// entries — in both directions.
+#[test]
+fn explain_never_shares_a_cache_entry_with_its_query() {
+    let patch = small_patch(300, 909);
+    let qserv = Arc::new(cluster_from(&patch, 2));
+    let service = QueryService::start(
+        qserv,
+        ServiceConfig {
+            cache_capacity_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        },
+    );
+    let sql = "SELECT objectId, ra_PS FROM Object WHERE objectId = 11";
+
+    // Direction 1: EXPLAIN populates its own entry only. The query
+    // submitted afterwards must MISS (and return rows, not a plan).
+    let plan = service.explain(sql).expect("explain");
+    assert_eq!(service.result_cache_len(), 1);
+    let outcome = service.submit_streaming(sql).expect("admitted").collect();
+    assert_eq!(
+        outcome.cache,
+        CacheOutcome::Miss,
+        "EXPLAIN must not seed the query's entry"
+    );
+    let (rows, _) = outcome.result.expect("query runs");
+    assert_eq!(rows.columns, vec!["objectId", "ra_PS"]);
+    assert_ne!(rows.columns, plan.columns);
+    assert_eq!(service.result_cache_len(), 2);
+
+    // Direction 2: with the query's result now cached, EXPLAIN must
+    // keep answering with the plan, and a resubmit still hits.
+    let plan2 = service.explain(sql).expect("explain again");
+    assert_eq!(plan2.columns, vec!["item", "value"]);
+    assert_eq!(plan2, plan, "cached EXPLAIN must replay the plan");
+    let outcome = service.submit_streaming(sql).expect("admitted").collect();
+    assert_eq!(outcome.cache, CacheOutcome::Hit);
+    let (rows, _) = outcome.result.expect("cached rows");
+    assert_eq!(rows.columns, vec!["objectId", "ra_PS"]);
+    assert_eq!(service.result_cache_len(), 2, "no extra entries appeared");
+}

@@ -74,6 +74,59 @@ fn convoy_of_one_equals_plain_query() {
 }
 
 #[test]
+fn adaptive_convoy_detaches_interactive_members() {
+    // A wide footprint so the chunk set exceeds the interactive
+    // threshold and full-sky scans classify as scan-class.
+    let patch = qserv_datagen::generate::Patch::generate(&qserv_datagen::generate::CatalogConfig {
+        objects: 800,
+        mean_sources_per_object: 2.0,
+        seed: 76,
+        footprint: qserv_sphgeom::SphericalBox::from_degrees(0.0, -40.0, 120.0, 40.0),
+    });
+    let q = cluster_from(&patch, 4);
+    let total_chunks = q.placement().chunks().len();
+    assert!(
+        total_chunks > 8,
+        "fixture must exceed the interactive threshold, got {total_chunks}"
+    );
+    let queries = [
+        "SELECT COUNT(*) FROM Object",
+        "SELECT ra_PS, decl_PS FROM Object WHERE objectId = 42",
+        "SELECT AVG(ra_PS) FROM Object",
+    ];
+    let report = SharedScanner::new(&q)
+        .run_adaptive(&queries)
+        .expect("adaptive convoy runs");
+    // The two full-sky scans attach; the objectId probe plans as an
+    // index lookup and runs independently.
+    assert_eq!(report.attached, 2);
+    assert_eq!(report.detached, 1);
+    assert_eq!(report.chunk_passes, total_chunks);
+    assert_eq!(report.naive_passes, 2 * total_chunks);
+    // Attachment is scheduling only: results match independent runs.
+    for (sql, shared) in queries.iter().zip(&report.results) {
+        assert_eq!(&q.query(sql).expect("solo"), shared, "{sql}");
+    }
+}
+
+#[test]
+fn adaptive_convoy_of_detached_only_skips_the_pass() {
+    let patch = small_patch(300, 77);
+    let q = cluster_from(&patch, 2);
+    let report = SharedScanner::new(&q)
+        .run_adaptive(&["SELECT objectId FROM Object WHERE objectId = 7"])
+        .expect("runs");
+    assert_eq!(report.attached, 0);
+    assert_eq!(report.detached, 1);
+    assert_eq!(report.chunk_passes, 0);
+    assert_eq!(
+        report.results[0],
+        q.query("SELECT objectId FROM Object WHERE objectId = 7")
+            .expect("solo")
+    );
+}
+
+#[test]
 fn convoy_rejects_tableless_queries() {
     let patch = small_patch(50, 75);
     let q = cluster_from(&patch, 1);
